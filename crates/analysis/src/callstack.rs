@@ -1,0 +1,103 @@
+//! Shadow call stack shared by the analysis tools.
+//!
+//! Tracks call/return pairs so findings can be attributed one frame up —
+//! the paper reports "overflow at `0x4f0f0907` (lib `strcat`) when called
+//! by `0x804ee82` (`ftpBuildTitleUrl`)", which requires knowing the
+//! caller of the faulting library routine.
+
+/// One tracked frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Call target (the function entered).
+    pub target: u32,
+    /// Return address pushed by the call.
+    pub ret_addr: u32,
+    /// Stack slot holding the return address.
+    pub ret_slot: u32,
+}
+
+/// A shadow call stack maintained from `on_call`/`on_ret` events.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowStack {
+    frames: Vec<Frame>,
+}
+
+impl ShadowStack {
+    /// An empty shadow stack.
+    pub fn new() -> ShadowStack {
+        ShadowStack::default()
+    }
+
+    /// Record a call.
+    pub fn push(&mut self, target: u32, ret_addr: u32, ret_slot: u32) {
+        self.frames.push(Frame {
+            target,
+            ret_addr,
+            ret_slot,
+        });
+    }
+
+    /// Record a return popping slot `sp`: unwinds every frame at or below
+    /// the popped slot (robust to frames skipped by longjmp-like flows).
+    pub fn pop_to(&mut self, sp: u32) {
+        while let Some(f) = self.frames.last() {
+            if f.ret_slot <= sp {
+                self.frames.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The innermost frame.
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// The return address of the innermost frame — i.e. a pc *in the
+    /// caller* of the currently executing function.
+    pub fn caller_pc(&self) -> Option<u32> {
+        self.top().map(|f| f.ret_addr)
+    }
+
+    /// All frames, outermost first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_tracks_depth() {
+        let mut s = ShadowStack::new();
+        s.push(0x100, 0x208, 0xbff0);
+        s.push(0x300, 0x108, 0xbfec);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.caller_pc(), Some(0x108));
+        s.pop_to(0xbfec);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.top().map(|f| f.target), Some(0x100));
+        s.pop_to(0xbff0);
+        assert_eq!(s.depth(), 0);
+        assert!(s.caller_pc().is_none());
+    }
+
+    #[test]
+    fn pop_to_unwinds_skipped_frames() {
+        let mut s = ShadowStack::new();
+        s.push(1, 1, 0xbff8);
+        s.push(2, 2, 0xbff4);
+        s.push(3, 3, 0xbff0);
+        // A return that pops the outermost slot unwinds everything below.
+        s.pop_to(0xbff8);
+        assert_eq!(s.depth(), 0);
+    }
+}

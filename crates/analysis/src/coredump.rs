@@ -1,0 +1,460 @@
+//! Memory-state ("core dump") analysis — the first, fastest analysis step.
+//!
+//! Paper §3.2: "By looking at the state of the program at the time when
+//! the lightweight monitor detects an attack, we can learn some things
+//! about the attack. This tool checks the consistency of the heap data
+//! structures, walks the stack to check for consistency, and determines
+//! the faulting instruction." It takes milliseconds and yields the
+//! *initial* VSEF; later dynamic steps refine it.
+
+use svm::{Access, Fault, Machine};
+
+/// Classification of a crash from the static memory image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashClass {
+    /// Dereference of a (near-)NULL pointer.
+    NullDeref,
+    /// Control transferred to a non-code address (smashed return address
+    /// or function pointer).
+    WildJump,
+    /// A data write to an unmapped/forbidden address.
+    WildWrite,
+    /// A data read from an unmapped/forbidden address.
+    WildRead,
+    /// The allocator aborted on corrupt chunk metadata.
+    HeapMetadataAbort,
+    /// Stack guard exceeded.
+    StackOverflow,
+    /// Arithmetic fault.
+    DivByZero,
+    /// Decoder fault (often a wild jump into data).
+    BadInstruction,
+}
+
+/// The initial (memory-state derived) defence recommendation.
+///
+/// This is what the antibody module turns into the *first* VSEF — the one
+/// available tens of milliseconds after detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitialRecommendation {
+    /// Keep a side stack of return addresses for this function
+    /// (stack-smash initial VSEF; paper: "use a side stack for
+    /// `try_alias_list`").
+    RetAddrGuard {
+        /// Function entry address.
+        func: u32,
+        /// Function name.
+        func_name: String,
+    },
+    /// Check a pointer for NULL before the faulting instruction.
+    NullCheck {
+        /// The faulting instruction.
+        insn: u32,
+    },
+    /// Verify heap-chunk integrity (incl. double free) at an
+    /// allocator callsite.
+    HeapIntegrityGuard {
+        /// The allocator routine's faulting pc.
+        insn: u32,
+        /// The application callsite one frame up, if identified.
+        caller: Option<u32>,
+    },
+    /// Nothing better than generic monitoring (e.g. pure DoS faults).
+    Generic,
+}
+
+/// A probable return address found on (live or dead) stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackHit {
+    /// Stack slot address.
+    pub slot: u32,
+    /// The return address value.
+    pub ret_addr: u32,
+    /// Name of the function the return address points into.
+    pub into_fn: String,
+}
+
+/// The core-dump analyzer's report.
+#[derive(Debug, Clone)]
+pub struct CoreDumpReport {
+    /// The raw fault.
+    pub fault: Fault,
+    /// Crash classification.
+    pub class: CrashClass,
+    /// Rendered fault site (`0x... (name)` or `0x... (?)`).
+    pub fault_site: String,
+    /// Whether the frame-pointer chain walks cleanly.
+    pub stack_consistent: bool,
+    /// Whether the heap boundary tags and free list are consistent.
+    pub heap_consistent: bool,
+    /// Probable crash function (from the stack scan), if attributable.
+    pub crash_fn: Option<String>,
+    /// Return addresses found by scanning around the stack pointer,
+    /// innermost (lowest slot) first.
+    pub stack_hits: Vec<StackHit>,
+    /// The initial VSEF recommendation.
+    pub recommendation: InitialRecommendation,
+}
+
+/// Walk the frame-pointer chain; returns (frames walked, consistent).
+fn walk_fp_chain(m: &Machine) -> (usize, bool) {
+    let stack_base = m.layout.stack_top - m.layout.stack_size;
+    let mut fp = m.cpu.fp();
+    let mut frames = 0usize;
+    // The outermost frames don't maintain fp; an fp equal to the initial
+    // sp region counts as a clean termination.
+    for _ in 0..64 {
+        if fp >= m.layout.stack_top - 16 {
+            return (frames, true); // Reached the base frame cleanly.
+        }
+        if fp < stack_base || !fp.is_multiple_of(4) {
+            return (frames, false);
+        }
+        let Ok(saved_fp) = m.mem.read_u32(0, fp) else {
+            return (frames, false);
+        };
+        let Ok(ret) = m.mem.read_u32(0, fp + 4) else {
+            return (frames, false);
+        };
+        if !m.symbols.in_bounds(ret) {
+            return (frames, false);
+        }
+        if saved_fp <= fp {
+            return (frames, false);
+        }
+        fp = saved_fp;
+        frames += 1;
+    }
+    (frames, false)
+}
+
+/// Check heap boundary tags plus free-list sanity.
+fn heap_consistent(m: &Machine) -> bool {
+    let (chunks, tags_ok) = m.heap.walk(&m.mem);
+    if !tags_ok {
+        return false;
+    }
+    // Walk the free list (bounded): every listed chunk must exist in the
+    // boundary-tag walk and be marked free. A double-free leaves a chunk
+    // that is simultaneously listed and in use.
+    let mut cur = m.heap.free_head;
+    for _ in 0..chunks.len() + 8 {
+        if cur == 0 {
+            return true;
+        }
+        match chunks.iter().find(|(addr, _, _)| *addr == cur) {
+            Some((_, _, in_use)) => {
+                if *in_use {
+                    return false; // Listed but allocated: corruption.
+                }
+            }
+            None => return false, // fd points outside the chunk chain.
+        }
+        match m.mem.read_u32(0, cur + 8) {
+            Ok(fd) => cur = fd,
+            Err(_) => return false,
+        }
+    }
+    false // Cycle.
+}
+
+/// Scan the stack around `sp` for probable return addresses: values
+/// pointing into code whose preceding instruction slot decodes as a call.
+/// Includes the *dead* stack below `sp`, which is how a post-`ret` crash
+/// is attributed to the function whose frame was just popped.
+fn scan_stack(m: &Machine) -> Vec<StackHit> {
+    let stack_base = m.layout.stack_top - m.layout.stack_size;
+    let sp = m.cpu.sp();
+    let lo = sp.saturating_sub(512).max(stack_base);
+    let hi = (sp.saturating_add(1024)).min(m.layout.stack_top - 4);
+    let mut hits = Vec::new();
+    let mut slot = lo & !3;
+    while slot < hi {
+        if let Ok(v) = m.mem.read_u32(0, slot) {
+            if m.symbols.in_bounds(v) && v >= svm::isa::INSN_SIZE {
+                // Does the instruction before `v` decode as a call?
+                if let Ok(w) = m.mem.fetch(v - svm::isa::INSN_SIZE) {
+                    if let Ok(op) = svm::isa::Op::decode(w, 0) {
+                        if matches!(op, svm::isa::Op::Call { .. } | svm::isa::Op::CallR { .. }) {
+                            if let Some(sym) = m.symbols.resolve(v) {
+                                hits.push(StackHit {
+                                    slot,
+                                    ret_addr: v,
+                                    into_fn: sym.name.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        slot += 4;
+    }
+    hits
+}
+
+/// Analyze a faulted machine's memory image.
+///
+/// Returns `None` if the machine has not faulted.
+pub fn analyze(m: &Machine) -> Option<CoreDumpReport> {
+    let fault = match m.status() {
+        svm::Status::Faulted(f) => f,
+        _ => return None,
+    };
+    let (_, stack_ok) = walk_fp_chain(m);
+    let heap_ok = heap_consistent(m);
+    let stack_hits = scan_stack(m);
+
+    let class = match fault {
+        Fault::HeapAbort { .. } => CrashClass::HeapMetadataAbort,
+        Fault::StackOverflow { .. } => CrashClass::StackOverflow,
+        Fault::DivByZero { .. } => CrashClass::DivByZero,
+        Fault::BadOpcode { .. } => CrashClass::BadInstruction,
+        Fault::Unmapped { addr, access, .. } | Fault::Protection { addr, access, .. } => {
+            if fault.is_null_deref() {
+                CrashClass::NullDeref
+            } else {
+                match access {
+                    Access::Exec => CrashClass::WildJump,
+                    Access::Write => {
+                        let _ = addr;
+                        CrashClass::WildWrite
+                    }
+                    Access::Read => CrashClass::WildRead,
+                }
+            }
+        }
+    };
+
+    // Attribute the crash to a function. For in-segment pcs that is the
+    // containing function; for wild jumps, the innermost (lowest-slot)
+    // probable return address names the function whose frame was popped
+    // or abused.
+    let pc_fn = m.symbols.resolve(fault.pc()).map(|s| s.name.clone());
+    let crash_fn = pc_fn
+        .clone()
+        .or_else(|| stack_hits.first().map(|h| h.into_fn.clone()));
+
+    // For allocator faults, the application callsite is the innermost
+    // stack hit outside the allocator wrappers.
+    let caller = stack_hits
+        .iter()
+        .find(|h| h.into_fn != "malloc" && h.into_fn != "free")
+        .map(|h| h.ret_addr);
+
+    let recommendation = match class {
+        CrashClass::NullDeref => InitialRecommendation::NullCheck { insn: fault.pc() },
+        CrashClass::WildJump if !stack_ok || pc_fn.is_none() => {
+            match crash_fn.as_ref().and_then(|n| m.symbols.addr_of(n)) {
+                Some(func) => InitialRecommendation::RetAddrGuard {
+                    func,
+                    func_name: crash_fn.clone().unwrap_or_default(),
+                },
+                None => InitialRecommendation::Generic,
+            }
+        }
+        CrashClass::HeapMetadataAbort => InitialRecommendation::HeapIntegrityGuard {
+            insn: fault.pc(),
+            caller,
+        },
+        CrashClass::WildWrite | CrashClass::WildRead => {
+            // A wild access inside the allocator is heap corruption; any
+            // other wild access gets the generic recommendation pending
+            // the dynamic steps.
+            if matches!(pc_fn.as_deref(), Some("malloc") | Some("free")) {
+                InitialRecommendation::HeapIntegrityGuard {
+                    insn: fault.pc(),
+                    caller,
+                }
+            } else {
+                InitialRecommendation::Generic
+            }
+        }
+        _ => InitialRecommendation::Generic,
+    };
+
+    Some(CoreDumpReport {
+        fault,
+        class,
+        fault_site: m.symbols.render(fault.pc()),
+        stack_consistent: stack_ok,
+        heap_consistent: heap_ok,
+        crash_fn,
+        stack_hits,
+        recommendation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps_for_tests::*;
+
+    // The analysis crate cannot depend on `apps` (dependency direction),
+    // so the tests build their own minimal vulnerable guests.
+    mod apps_for_tests {
+        use svm::asm::assemble;
+        use svm::loader::Aslr;
+        use svm::stdlib::LIB_ASM;
+        use svm::{Machine, NopHook, Status};
+
+        pub fn run_to_fault(src: &str, input: &[u8]) -> Machine {
+            let prog = assemble(src).expect("asm");
+            let mut m = Machine::boot(&prog, Aslr::on(77)).expect("boot");
+            m.net.push_connection(input.to_vec());
+            match m.run(&mut NopHook, 400_000_000) {
+                Status::Faulted(_) => m,
+                other => panic!("expected fault, got {other:?}"),
+            }
+        }
+
+        /// Reads a request and smashes its own return address with the
+        /// first 4 request bytes.
+        pub fn smasher() -> String {
+            format!(
+                "
+.text
+main:
+    sys accept
+    mov r10, r0
+    movi r1, buf
+    movi r2, 64
+    sys read
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    movi r1, buf
+    ld r1, [r1, 0]
+    st [fp, 4], r1      ; overwrite own return address
+    movi r0, buf
+    call strlen         ; leaves a ret-into-victim on the dead stack
+    mov sp, fp
+    pop fp
+    ret
+.data
+buf: .space 64
+{LIB_ASM}
+"
+            )
+        }
+
+        pub fn null_derefer() -> String {
+            "
+.text
+main:
+    sys accept
+    movi r1, buf
+    movi r2, 8
+    sys read
+    call looker
+    halt
+looker:
+    movi r0, 0
+    ldb r1, [r0, 4]
+    ret
+.data
+buf: .space 8
+"
+            .to_string()
+        }
+
+        pub fn heap_trasher() -> String {
+            // Allocates two chunks, trashes the second's header, frees.
+            "
+.text
+main:
+    sys accept
+    movi r1, buf
+    movi r2, 8
+    sys read
+    call trash
+    halt
+trash:
+    push r4
+    push r5
+    movi r0, 32
+    call malloc
+    mov r4, r0
+    movi r0, 32
+    call malloc
+    mov r5, r0
+    movi r1, 0x61616161
+    st [r5, -4], r1      ; trash own size word
+    mov r0, r5
+    call free
+    pop r5
+    pop r4
+    ret
+.lib
+malloc:
+    sys alloc
+    ret
+free:
+    sys free
+    ret
+.data
+buf: .space 8
+"
+            .to_string()
+        }
+    }
+
+    #[test]
+    fn null_deref_classified_and_recommended() {
+        let m = apps_for_tests::run_to_fault(&null_derefer(), b"x");
+        let r = analyze(&m).expect("report");
+        assert_eq!(r.class, CrashClass::NullDeref);
+        assert!(r.fault_site.contains("looker"));
+        assert!(matches!(
+            r.recommendation,
+            InitialRecommendation::NullCheck { .. }
+        ));
+        assert!(r.heap_consistent, "heap untouched");
+    }
+
+    #[test]
+    fn smashed_ret_gives_wild_jump_and_ret_guard() {
+        let m = run_to_fault(&smasher(), &0x6666_6666u32.to_le_bytes());
+        let r = analyze(&m).expect("report");
+        assert_eq!(r.class, CrashClass::WildJump);
+        assert!(
+            r.fault_site.ends_with("(?)"),
+            "wild pc unresolvable: {}",
+            r.fault_site
+        );
+        // The dead-stack scan attributes the crash to `victim`.
+        assert_eq!(r.crash_fn.as_deref(), Some("victim"));
+        match &r.recommendation {
+            InitialRecommendation::RetAddrGuard { func_name, .. } => {
+                assert_eq!(func_name, "victim")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn heap_abort_classified_with_caller() {
+        let m = run_to_fault(&heap_trasher(), b"x");
+        let r = analyze(&m).expect("report");
+        assert_eq!(r.class, CrashClass::HeapMetadataAbort);
+        assert!(!r.heap_consistent, "boundary tags broken");
+        assert!(r.fault_site.contains("free"));
+        match r.recommendation {
+            InitialRecommendation::HeapIntegrityGuard { caller, .. } => {
+                let caller = caller.expect("app callsite identified");
+                assert_eq!(m.symbols.resolve(caller).expect("sym").name, "trash");
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_machine_yields_none() {
+        let prog = svm::asm::assemble(".text\nmain:\n halt\n").expect("asm");
+        let mut m = svm::Machine::boot(&prog, svm::loader::Aslr::off()).expect("boot");
+        m.run(&mut svm::NopHook, 1000);
+        assert!(analyze(&m).is_none());
+    }
+}

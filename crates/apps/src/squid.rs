@@ -1,0 +1,359 @@
+//! mini-squid — the squid-2.3 / CVE-2002-0068 analogue (paper Figure 2).
+//!
+//! An FTP-proxy request handler reproducing the exact bug the paper walks
+//! through: `ftp_build_title_url` allocates the title buffer `t` as
+//! `64 + strlen(user)` bytes, but `rfc1738_escape_part` can expand the
+//! user to `3 * strlen(user)` bytes (each unsafe character becomes
+//! `%XX`), and the unbounded library `strcat` then overflows `t` into the
+//! adjacent chunk's boundary tag. The following `free(buf)` trips the
+//! allocator's glibc-style size check — a `HeapAbort` fault inside
+//! library `free`, with the heap inconsistent: Sweeper's detection
+//! signal. Replay-time memory-bug detection pinpoints the overflowing
+//! store inside `strcat` called by `ftp_build_title_url`, reproducing the
+//! paper's headline VSEF.
+
+use svm::stdlib::LIB_ASM;
+use svm::SvmError;
+
+use crate::common::{App, BugType, Exploit, RT_ASM};
+
+fn source() -> String {
+    format!(
+        r#"
+; mini-squid (Squid analogue) — heap overflow via strcat in
+; ftp_build_title_url (CVE-2002-0068, paper Figure 2).
+.text
+main:
+    sys accept
+    mov r10, r0
+    mov r0, r10
+    movi r1, reqbuf
+    movi r2, 4096
+    sys read
+    cmpi r0, 0
+    jz conn_done
+    movi r1, reqbuf
+    add r1, r1, r0
+    movi r2, 0
+    stb [r1, 0], r2
+    call handle_request
+conn_done:
+    mov r0, r10
+    sys close
+    jmp main
+
+handle_request:
+    push r4
+    movi r0, reqbuf
+    movi r1, scheme_ftp
+    movi r2, 6
+    call strncmp
+    cmpi r0, 0
+    jnz hr_bad
+    movi r0, reqbuf+6
+    movi r1, '@'
+    call strchr
+    cmpi r0, 0
+    jz hr_nouser
+    movi r1, 0
+    stb [r0, 0], r1        ; split user@host
+    movi r0, reqbuf+6
+    call ftp_build_title_url
+    mov r4, r0             ; t
+    mov r0, r10
+    mov r1, r4
+    call write_cstr
+    mov r0, r4
+    call free
+    jmp hr_out
+hr_nouser:
+    mov r0, r10
+    movi r1, resp_anon
+    call write_cstr
+    jmp hr_out
+hr_bad:
+    mov r0, r10
+    movi r1, resp_bad
+    call write_cstr
+hr_out:
+    pop r4
+    ret
+
+; Build "ftp://<escaped user>" in a heap buffer sized 64 + strlen(user).
+; Paper Figure 2, steps (1)-(3).
+ftp_build_title_url:
+    push r4
+    push r5
+    push r6
+    mov r4, r0             ; user
+    call strlen
+    addi r0, r0, 64        ; (1) len = 64 + strlen(user)
+    call malloc
+    mov r5, r0             ; t
+    mov r0, r5
+    movi r1, title_pre
+    call strcpy
+    mov r0, r4
+    call rfc1738_escape_part
+    mov r6, r0             ; buf (sized strlen(user)*3 + 1)
+    mov r0, r5
+    mov r1, r6
+    call strcat            ; (3) copy buf into t -- OVERFLOW
+    mov r0, r6
+    call free              ; <-- trips the size check on the trashed heap
+    mov r0, r5
+    pop r6
+    pop r5
+    pop r4
+    ret
+
+; Escape unsafe characters as %XX; output buffer strlen(s)*3 + 1 bytes.
+rfc1738_escape_part:
+    push r4
+    push r5
+    push r6
+    mov r4, r0             ; src
+    call strlen
+    movi r1, 3
+    mul r0, r0, r1
+    addi r0, r0, 1         ; (2) bufsize = strlen(user)*3 + 1
+    call malloc
+    mov r5, r0             ; out base
+    mov r6, r5             ; writer
+resc_loop:
+    ldb r1, [r4, 0]
+    cmpi r1, 0
+    jz resc_done
+    call is_safe_char      ; r1 = char, result in r0
+    cmpi r0, 0
+    jnz resc_plain
+    ; escape: '%' hexhi hexlo
+    movi r2, '%'
+    stb [r6, 0], r2
+    addi r6, r6, 1
+    mov r0, r1
+    shri r0, r0, 4
+    call hex_digit
+    stb [r6, 0], r0
+    addi r6, r6, 1
+    mov r0, r1
+    andi r0, r0, 15
+    call hex_digit
+    stb [r6, 0], r0
+    addi r6, r6, 1
+    jmp resc_next
+resc_plain:
+    stb [r6, 0], r1
+    addi r6, r6, 1
+resc_next:
+    addi r4, r4, 1
+    jmp resc_loop
+resc_done:
+    movi r1, 0
+    stb [r6, 0], r1
+    mov r0, r5
+    pop r6
+    pop r5
+    pop r4
+    ret
+
+; Safe = anything except the RFC1738 unsafe punctuation set.
+; (High-bit and control bytes pass through, as 2002-era squid did for
+; the title path -- which is what made the real bug exploitable.)
+is_safe_char:
+    cmpi r1, '~'
+    jz isc_unsafe
+    cmpi r1, ' '
+    jz isc_unsafe
+    cmpi r1, '<'
+    jz isc_unsafe
+    cmpi r1, '>'
+    jz isc_unsafe
+    cmpi r1, '"'
+    jz isc_unsafe
+    cmpi r1, '#'
+    jz isc_unsafe
+    cmpi r1, '%'
+    jz isc_unsafe
+    cmpi r1, '{{'
+    jz isc_unsafe
+    cmpi r1, '}}'
+    jz isc_unsafe
+    cmpi r1, '|'
+    jz isc_unsafe
+    cmpi r1, '^'
+    jz isc_unsafe
+    cmpi r1, '['
+    jz isc_unsafe
+    cmpi r1, ']'
+    jz isc_unsafe
+    movi r0, 1
+    ret
+isc_unsafe:
+    movi r0, 0
+    ret
+
+; r0 = nibble -> ASCII hex digit.
+hex_digit:
+    cmpi r0, 10
+    jlt hd_num
+    addi r0, r0, 87        ; 'a' - 10
+    ret
+hd_num:
+    addi r0, r0, '0'
+    ret
+
+.data
+scheme_ftp: .string "ftp://"
+title_pre: .string "ftp://"
+resp_anon: .string "ftp: anonymous listing\n"
+resp_bad: .string "error: unsupported scheme\n"
+reqbuf: .space 4104
+{LIB_ASM}
+{RT_ASM}
+"#
+    )
+}
+
+/// Build the Squid app.
+pub fn app() -> Result<App, SvmError> {
+    App::build(
+        "Squid",
+        "squid-2.3 proxy cache server",
+        "CVE-2002-0068",
+        BugType::HeapOverflow,
+        "Remotely exploitable vulnerability provides unauthorized access and disruption of service",
+        source(),
+    )
+}
+
+/// A benign proxy request with a short user name.
+pub fn benign_request(user: &str, host: &str) -> Vec<u8> {
+    format!("ftp://{user}@{host}/pub/file\n").into_bytes()
+}
+
+/// The exploit (paper Figure 2): a user string dominated by unsafe
+/// characters, so the escaped copy needs ~3x the space `t` reserves.
+/// Layout-independent: the trashed boundary tag always aborts the
+/// following `free`.
+pub fn exploit_crash(_a: &App) -> Exploit {
+    let user = "~".repeat(40);
+    Exploit {
+        app: "Squid",
+        input: format!("ftp://{user}@ftp.site/\n").into_bytes(),
+        variant: "crash (heap overflow, layout-independent)",
+    }
+}
+
+/// Polymorphic variant: different unsafe characters and lengths, same
+/// overflow.
+pub fn exploit_crash_poly(_a: &App, salt: u8) -> Exploit {
+    let ch = ['~', '^', '|', '['][salt as usize % 4];
+    let user: String = std::iter::repeat_n(ch, 36 + (salt as usize % 5) * 4).collect();
+    Exploit {
+        app: "Squid",
+        input: format!("ftp://{user}@h{salt}/\n").into_bytes(),
+        variant: "crash (polymorphic)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::loader::Aslr;
+    use svm::{Fault, Machine, NopHook, Status};
+
+    fn drive(m: &mut Machine) -> Status {
+        m.run(&mut NopHook, 400_000_000)
+    }
+
+    #[test]
+    fn benign_requests_build_titles() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(1)).expect("boot");
+        m.net.push_connection(benign_request("bob", "example.com"));
+        m.net.push_connection(b"ftp://plain.example/\n".to_vec());
+        m.net.push_connection(b"http://wrong.example/\n".to_vec());
+        drive(&mut m);
+        assert_eq!(m.net.conn(0).expect("c").output, b"ftp://bob");
+        assert!(m
+            .net
+            .conn(1)
+            .expect("c")
+            .output
+            .starts_with(b"ftp: anonymous"));
+        assert!(m.net.conn(2).expect("c").output.starts_with(b"error"));
+        assert!(matches!(m.status(), Status::Blocked(_)));
+    }
+
+    #[test]
+    fn escaping_works_for_mixed_users() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        // One unsafe char: expansion fits comfortably.
+        m.net.push_connection(b"ftp://a~b@host/\n".to_vec());
+        drive(&mut m);
+        assert_eq!(m.net.conn(0).expect("c").output, b"ftp://a%7eb");
+    }
+
+    #[test]
+    fn overflow_aborts_in_library_free_with_heap_inconsistent() {
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::on(9)).expect("boot");
+        m.net.push_connection(exploit_crash(&a).input);
+        let s = drive(&mut m);
+        let Status::Faulted(f) = s else {
+            panic!("{s:?}")
+        };
+        assert!(matches!(f, Fault::HeapAbort { .. }), "{f:?}");
+        assert_eq!(m.symbols.resolve(f.pc()).expect("sym").name, "free");
+        // The heap really is inconsistent at the crash point.
+        let (_, ok) = m.heap.walk(&m.mem);
+        assert!(!ok, "boundary-tag chain broken by the overflow");
+    }
+
+    #[test]
+    fn heap_recovers_across_benign_requests() {
+        // Allocations are freed each request: heap usage stays bounded.
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        for i in 0..20 {
+            m.net
+                .push_connection(benign_request(&format!("user{i}"), "h"));
+        }
+        drive(&mut m);
+        assert!(matches!(m.status(), Status::Blocked(_)));
+        let (chunks, ok) = m.heap.walk(&m.mem);
+        assert!(ok);
+        assert!(
+            chunks.iter().all(|(_, _, in_use)| !in_use),
+            "everything freed"
+        );
+    }
+
+    #[test]
+    fn poly_variants_all_abort() {
+        let a = app().expect("app");
+        for salt in 0..4u8 {
+            let mut m = a.boot(Aslr::on(100 + salt as u64)).expect("boot");
+            m.net.push_connection(exploit_crash_poly(&a, salt).input);
+            assert!(
+                matches!(drive(&mut m), Status::Faulted(Fault::HeapAbort { .. })),
+                "salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_user_just_below_overflow_is_safe() {
+        // 6 + 3u <= align8(64+u) for u = 28: safe. (u=40 overflows.)
+        let a = app().expect("app");
+        let mut m = a.boot(Aslr::off()).expect("boot");
+        let user = "~".repeat(28);
+        m.net
+            .push_connection(format!("ftp://{user}@h/\n").into_bytes());
+        drive(&mut m);
+        assert!(matches!(m.status(), Status::Blocked(_)), "no crash at u=28");
+        assert!(m.net.conn(0).expect("c").output.starts_with(b"ftp://%7e"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Benign workload generation for throughput/overhead experiments.
+//!
+//! Deterministic (seeded) request streams per application, used by the
+//! Figure 4/5 harnesses and the benchmark suite. Request mixes are mild
+//! variations so exact-match caches can't trivialize the work.
+
+use svm::rng::XorShift64;
+
+use crate::{cvs, httpd1, httpd2, squid};
+
+/// Which app a workload targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// mini-httpd v1.
+    Apache1,
+    /// mini-httpd v2.
+    Apache2,
+    /// mini-cvs.
+    Cvs,
+    /// mini-squid.
+    Squid,
+}
+
+/// A deterministic benign request generator.
+pub struct Workload {
+    target: Target,
+    rng: XorShift64,
+    count: u64,
+}
+
+impl Workload {
+    /// A workload for `target` seeded with `seed`.
+    pub fn new(target: Target, seed: u64) -> Workload {
+        Workload {
+            target,
+            rng: XorShift64::new(seed),
+            count: 0,
+        }
+    }
+
+    /// Number of requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.count
+    }
+
+    /// The next benign request.
+    pub fn next_request(&mut self) -> Vec<u8> {
+        self.count += 1;
+        let n = self.rng.below(1000);
+        match self.target {
+            Target::Apache1 => {
+                let depth = 1 + (n % 3);
+                let mut path = String::new();
+                for d in 0..depth {
+                    path.push_str(&format!("dir{}/", (n + d) % 17));
+                }
+                path.push_str(&format!("page{}.html", n % 29));
+                httpd1::benign_request(&path)
+            }
+            Target::Apache2 => {
+                let referer = match n % 3 {
+                    0 => None,
+                    1 => Some(format!("http://site{}.example/", n % 11)),
+                    _ => Some(format!("ftp://mirror{}.example/", n % 7)),
+                };
+                httpd2::benign_request(&format!("doc{}.html", n % 23), referer.as_deref())
+            }
+            Target::Cvs => {
+                let d1 = format!("mod{}", n % 13);
+                let d2 = format!("sub{}", n % 5);
+                cvs::benign_session(&[&d1, &d2])
+            }
+            Target::Squid => {
+                let user = format!("user{}", n % 19);
+                let host = format!("ftp{}.example.com", n % 9);
+                squid::benign_request(&user, &host)
+            }
+        }
+    }
+
+    /// Generate a batch of `n` requests.
+    pub fn batch(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::loader::Aslr;
+    use svm::{Machine, NopHook, Status};
+
+    fn drive(m: &mut Machine) -> Status {
+        m.run(&mut NopHook, 1_000_000_000)
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let mut a = Workload::new(Target::Squid, 7);
+        let mut b = Workload::new(Target::Squid, 7);
+        assert_eq!(a.batch(10), b.batch(10));
+        let mut c = Workload::new(Target::Squid, 8);
+        assert_ne!(a.batch(10), c.batch(10));
+    }
+
+    #[test]
+    fn every_target_survives_a_batch() {
+        for (target, app) in [
+            (Target::Apache1, httpd1::app().expect("a1")),
+            (Target::Apache2, httpd2::app().expect("a2")),
+            (Target::Cvs, cvs::app().expect("cvs")),
+            (Target::Squid, squid::app().expect("squid")),
+        ] {
+            let mut m = app.boot(Aslr::on(42)).expect("boot");
+            let mut w = Workload::new(target, 1);
+            for req in w.batch(25) {
+                m.net.push_connection(req);
+            }
+            let s = drive(&mut m);
+            assert!(
+                matches!(s, Status::Blocked(_)),
+                "{} should survive benign traffic: {s:?}",
+                app.name
+            );
+            // All 25 connections got a response.
+            for i in 0..25 {
+                assert!(
+                    !m.net.conn(i).expect("conn").output.is_empty(),
+                    "{} conn {i} unanswered",
+                    app.name
+                );
+            }
+        }
+    }
+}

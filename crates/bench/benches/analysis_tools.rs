@@ -1,0 +1,119 @@
+//! Wall-clock benchmarks of the four analysis steps on the Squid exploit
+//! — the real-time analogue of Table 3's component diagnosis times.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use analysis::{backward_slice, MemBugDetector, TaintTool};
+use checkpoint::{CheckpointManager, CkptId, Proxy, ReplaySession};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbi::{Instrumenter, TraceRecorder};
+use svm::loader::Aslr;
+use svm::{Machine, NopHook};
+
+struct AttackScene {
+    mgr: CheckpointManager,
+    proxy: Proxy,
+    ckpt: CkptId,
+    faulted: Machine,
+}
+
+fn scene() -> AttackScene {
+    let app = apps::squid::app().expect("app");
+    let mut m = app.boot(Aslr::on(7)).expect("boot");
+    m.run(&mut NopHook, 100_000_000);
+    let mut mgr = CheckpointManager::new(0, 4);
+    let mut proxy = Proxy::new();
+    let ckpt = mgr.take(&mut m);
+    for i in 0..3 {
+        proxy.offer(
+            &mut m,
+            apps::squid::benign_request(&format!("u{i}"), "h"),
+            &[],
+        );
+        m.run(&mut NopHook, 400_000_000);
+    }
+    proxy.offer(&mut m, apps::squid::exploit_crash(&app).input, &[]);
+    m.run(&mut NopHook, 400_000_000);
+    AttackScene {
+        mgr,
+        proxy,
+        ckpt,
+        faulted: m,
+    }
+}
+
+fn bench_memory_state(c: &mut Criterion) {
+    let s = scene();
+    c.bench_function("analysis/memory_state", |b| {
+        b.iter(|| analysis::analyze(&s.faulted).expect("report"))
+    });
+}
+
+fn bench_membug_replay(c: &mut Criterion) {
+    let s = scene();
+    c.bench_function("analysis/membug_replay", |b| {
+        b.iter(|| {
+            let det = MemBugDetector::attach_to(&s.mgr.get(s.ckpt).expect("ck").machine);
+            let mut ins = Instrumenter::new();
+            let id = ins.attach(Box::new(det));
+            ReplaySession::new(&s.mgr, &s.proxy, s.ckpt)
+                .expect("sess")
+                .run(&mut ins);
+            ins.get::<MemBugDetector>(id)
+                .expect("tool")
+                .findings()
+                .len()
+        })
+    });
+}
+
+fn bench_taint_replay(c: &mut Criterion) {
+    let s = scene();
+    c.bench_function("analysis/taint_replay", |b| {
+        b.iter(|| {
+            let mut ins = Instrumenter::new();
+            let id = ins.attach(Box::new(TaintTool::new()));
+            ReplaySession::new(&s.mgr, &s.proxy, s.ckpt)
+                .expect("sess")
+                .run(&mut ins);
+            ins.get::<TaintTool>(id).expect("tool").alerts().len()
+        })
+    });
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let s = scene();
+    // Record once; slicing itself (graph walk) is what we time.
+    let mut ins = Instrumenter::new();
+    let id = ins.attach(Box::new(TraceRecorder::new()));
+    ReplaySession::new(&s.mgr, &s.proxy, s.ckpt)
+        .expect("sess")
+        .run(&mut ins);
+    let tool = ins.detach(id).expect("tool");
+    let trace = tool
+        .as_any()
+        .downcast_ref::<TraceRecorder>()
+        .expect("downcast");
+    let crit = trace.len() - 1;
+    c.bench_function("analysis/backward_slice", |b| {
+        b.iter(|| backward_slice(trace, crit, true).len())
+    });
+    c.bench_function("analysis/trace_record_replay", |b| {
+        b.iter(|| {
+            let mut ins = Instrumenter::new();
+            let id = ins.attach(Box::new(TraceRecorder::new()));
+            ReplaySession::new(&s.mgr, &s.proxy, s.ckpt)
+                .expect("sess")
+                .run(&mut ins);
+            ins.get::<TraceRecorder>(id).expect("tool").len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_memory_state,
+    bench_membug_replay,
+    bench_taint_replay,
+    bench_slicing
+);
+criterion_main!(benches);

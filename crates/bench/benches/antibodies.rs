@@ -1,0 +1,101 @@
+//! Wall-clock benchmarks of antibody machinery: signature matching at
+//! the proxy, VSEF-instrumented execution vs bare execution (the §5.3
+//! overhead claim at real-time scale), and antibody verification.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use antibody::{exact_from, Signature, SignatureSet, VsefRuntime, VsefSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dbi::Instrumenter;
+use svm::loader::Aslr;
+use svm::{NopHook, Status};
+
+fn bench_signature_matching(c: &mut Criterion) {
+    let mut set = SignatureSet::new();
+    set.add(exact_from(b"GET /exact-evil HTTP/1.0\n"));
+    set.add(Signature::Substring(b"~~~~~~~~@".to_vec()));
+    set.add(Signature::TokenSeq(vec![
+        b"Directory ".to_vec(),
+        b"Entry ".to_vec(),
+    ]));
+    let benign = b"GET /totally/normal/page.html HTTP/1.0\nHost: example\n";
+    let mut g = c.benchmark_group("antibody/signature_match");
+    g.throughput(Throughput::Bytes(benign.len() as u64));
+    g.bench_function("benign_miss", |b| b.iter(|| set.matches(benign)));
+    let hostile = b"ftp://~~~~~~~~@target/";
+    g.bench_function("hostile_hit", |b| b.iter(|| set.matches(hostile)));
+    g.finish();
+}
+
+fn bench_vsef_execution_overhead(c: &mut Criterion) {
+    // The core §5.3 claim measured in *wall* time: running a request
+    // under a deployed one-site VSEF costs about the same as bare.
+    let app = apps::squid::app().expect("app");
+    let m0 = {
+        let mut m = app.boot(Aslr::off()).expect("boot");
+        m.run(&mut NopHook, 100_000_000);
+        m
+    };
+    let strcat_copy = m0.symbols.addr_of("strcat_copy").expect("sym");
+    let req = apps::squid::benign_request("someuser", "example.com");
+    let mut g = c.benchmark_group("antibody/vsef_exec");
+    g.bench_function("bare", |b| {
+        b.iter_batched(
+            || {
+                let mut m = m0.clone();
+                m.net.push_connection(req.clone());
+                m.unblock();
+                m
+            },
+            |mut m| {
+                let s = m.run(&mut NopHook, 1_000_000_000);
+                assert!(matches!(s, Status::Blocked(_)));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("one_site_vsef", |b| {
+        b.iter_batched(
+            || {
+                let mut m = m0.clone();
+                m.net.push_connection(req.clone());
+                m.unblock();
+                let mut ins = Instrumenter::new();
+                ins.attach(Box::new(VsefRuntime::new(vec![
+                    VsefSpec::HeapBoundsCheck {
+                        store_pc: strcat_copy + 8,
+                        caller: None,
+                    },
+                ])));
+                (m, ins)
+            },
+            |(mut m, mut ins)| {
+                let s = m.run(&mut ins, 1_000_000_000);
+                assert!(matches!(s, Status::Blocked(_)));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let app = apps::squid::app().expect("app");
+    let exploit = apps::squid::exploit_crash(&app).input;
+    let mut ab = antibody::Antibody::new();
+    ab.push(antibody::AntibodyItem::ExploitInput(exploit), 50.0);
+    c.bench_function("antibody/verify_sandboxed", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            antibody::verify(&app.program, &ab, seed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_signature_matching,
+    bench_vsef_execution_overhead,
+    bench_verification
+);
+criterion_main!(benches);

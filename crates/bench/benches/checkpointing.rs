@@ -1,0 +1,84 @@
+//! Wall-clock benchmarks of the checkpoint substrate: take, rollback,
+//! COW write amplification, and replay — one bench per Figure 4 design
+//! lever.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use checkpoint::{CheckpointManager, Proxy, ReplaySession};
+use criterion::{criterion_group, criterion_main, Criterion};
+use svm::loader::Aslr;
+use svm::{Machine, NopHook};
+
+fn busy_server() -> Machine {
+    let app = apps::squid::app().expect("app");
+    let mut m = app.boot(Aslr::off()).expect("boot");
+    m.run(&mut NopHook, 100_000_000);
+    m
+}
+
+fn bench_take(c: &mut Criterion) {
+    let m = busy_server();
+    c.bench_function("checkpoint/take", |b| {
+        b.iter_batched(
+            || (m.clone(), CheckpointManager::new(0, 4)),
+            |(mut machine, mut mgr)| mgr.take(&mut machine),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut m = busy_server();
+    let mut mgr = CheckpointManager::new(0, 4);
+    let id = mgr.take(&mut m);
+    c.bench_function("checkpoint/rollback", |b| {
+        b.iter(|| mgr.rollback(id).expect("rb"))
+    });
+}
+
+fn bench_cow_write(c: &mut Criterion) {
+    // First write to a shared page pays the copy; measure the fault path.
+    let mut m = busy_server();
+    let mut mgr = CheckpointManager::new(0, 2);
+    mgr.take(&mut m);
+    let addr = m.layout.heap_base;
+    c.bench_function("checkpoint/cow_first_write", |b| {
+        b.iter_batched(
+            || mgr.rollback(checkpoint::CkptId(0)).expect("rb"),
+            |mut fresh| fresh.mem.write_u32(0, addr, 7).expect("w"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let app = apps::squid::app().expect("app");
+    let mut m = app.boot(Aslr::off()).expect("boot");
+    m.run(&mut NopHook, 100_000_000);
+    let mut mgr = CheckpointManager::new(0, 4);
+    let mut proxy = Proxy::new();
+    let id = mgr.take(&mut m);
+    for i in 0..10 {
+        proxy.offer(
+            &mut m,
+            apps::squid::benign_request(&format!("u{i}"), "h"),
+            &[],
+        );
+        m.run(&mut NopHook, 400_000_000);
+    }
+    c.bench_function("checkpoint/replay_10_requests", |b| {
+        b.iter(|| {
+            ReplaySession::new(&mgr, &proxy, id)
+                .expect("session")
+                .run(&mut NopHook)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_take,
+    bench_rollback,
+    bench_cow_write,
+    bench_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Wall-clock benchmarks of the community-defense model: ODE solves,
+//! full figure sweeps, and Monte-Carlo outbreaks.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epidemic::{figure6, simulate, solve, Scenario};
+
+fn bench_solve(c: &mut Criterion) {
+    c.bench_function("epidemic/solve_slammer", |b| {
+        b.iter(|| solve(&Scenario::slammer(0.001, 20.0)))
+    });
+    c.bench_function("epidemic/solve_hitlist_4000", |b| {
+        b.iter(|| solve(&Scenario::hitlist(4000.0, 0.0001, 10.0)))
+    });
+}
+
+fn bench_figure_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epidemic/figure6_sweep");
+    g.sample_size(10);
+    g.bench_function("30_cells", |b| b.iter(figure6));
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let s = Scenario {
+        beta: 0.1,
+        n: 10_000.0,
+        alpha: 0.001,
+        rho: 1.0,
+        gamma: 10.0,
+        i0: 1.0,
+    };
+    c.bench_function("epidemic/monte_carlo_outbreak", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simulate(&s, seed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_solve, bench_figure_sweep, bench_monte_carlo);
+criterion_main!(benches);

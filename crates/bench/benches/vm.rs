@@ -1,0 +1,88 @@
+//! Wall-clock benchmarks of the VM substrate: interpreter rate, memory
+//! access paths, assembler throughput.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use svm::asm::assemble;
+use svm::loader::Aslr;
+use svm::{Machine, NopHook, Status};
+
+fn tight_loop_machine(iters: u32) -> Machine {
+    let src = format!(
+        ".text\nmain:\n movi r1, {iters}\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n"
+    );
+    Machine::boot(&assemble(&src).expect("asm"), Aslr::off()).expect("boot")
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm/interpreter");
+    let iters = 10_000u32;
+    g.throughput(Throughput::Elements(iters as u64 * 3));
+    g.bench_function("tight_loop", |b| {
+        b.iter(|| {
+            let mut m = tight_loop_machine(iters);
+            assert!(matches!(m.run(&mut NopHook, u64::MAX), Status::Halted(_)));
+            m.insns_retired
+        })
+    });
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm/memory");
+    let src = "
+.text
+main:
+    movi r1, buf
+    movi r2, 4096
+loop:
+    st [r1, 0], r2
+    ld r3, [r1, 0]
+    addi r1, r1, 4
+    subi r2, r2, 4
+    cmpi r2, 0
+    jnz loop
+    halt
+.data
+buf: .space 4096
+";
+    let prog = assemble(src).expect("asm");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("store_load_sweep", |b| {
+        b.iter(|| {
+            let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+            m.run(&mut NopHook, u64::MAX)
+        })
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let src = apps::squid::app().expect("app").source;
+    let mut g = c.benchmark_group("vm/assembler");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("assemble_mini_squid", |b| {
+        b.iter(|| assemble(&src).expect("asm"))
+    });
+    g.finish();
+}
+
+fn bench_boot(c: &mut Criterion) {
+    let app = apps::squid::app().expect("app");
+    c.bench_function("vm/boot_randomized", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            app.boot(Aslr::on(seed)).expect("boot")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_memory,
+    bench_assembler,
+    bench_boot
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # bench — experiment harnesses for every table and figure
+//!
+//! Shared drivers ([`driver`]) and per-experiment harnesses
+//! ([`experiments`]) used by both the `tables` binary (which prints each
+//! paper table/figure) and the Criterion benchmarks under `benches/`.
+
+pub mod ablation;
+pub mod community_sim;
+pub mod driver;
+pub mod experiments;
+
+pub use ablation::{defense_matrix, empirical_rho, nx_ablation, CampaignOutcome, Defense};
+pub use community_sim::{run_campaign, CampaignConfig, CampaignResult, HostOutcome};
+pub use driver::{attack_timeline, checkpoint_overhead, run_protected, ThroughputRun};
+pub use experiments::{end_to_end_gamma, table1, table2, table3, vsef_overhead};

@@ -1,0 +1,304 @@
+//! Periodic lightweight checkpointing (the Rx/Flashback analogue).
+//!
+//! A checkpoint is a copy-on-write clone of the whole [`Machine`] — the
+//! shadow-process equivalent: taking one costs O(mapped pages) pointer
+//! copies plus (in the virtual cost model) the COW page copies dirtied
+//! since the previous checkpoint. The manager keeps a bounded ring of
+//! recent checkpoints (paper default: 20 checkpoints, 200 ms interval)
+//! and can roll the live machine back to any retained one.
+
+use svm::clock::cost;
+use svm::Machine;
+
+/// Identifier of a retained checkpoint (monotonically increasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CkptId(pub u64);
+
+/// One retained checkpoint.
+pub struct Checkpoint {
+    /// Identifier.
+    pub id: CkptId,
+    /// Virtual cycle count of the protected machine when taken.
+    pub taken_at_cycles: u64,
+    /// Number of connections that existed when taken (used by the proxy
+    /// to know which logged connections must be re-injected on replay).
+    pub conns_at: usize,
+    /// The shadow machine state.
+    pub machine: Machine,
+}
+
+/// Checkpointing policy and storage.
+pub struct CheckpointManager {
+    /// Interval between checkpoints, in virtual cycles.
+    pub interval_cycles: u64,
+    /// Maximum retained checkpoints (oldest evicted first).
+    pub max_retained: usize,
+    ring: Vec<Checkpoint>,
+    next_id: u64,
+    last_taken_cycles: Option<u64>,
+    /// Total checkpoints ever taken (statistics).
+    pub taken_total: u64,
+    /// Total virtual cycles charged for checkpointing (statistics).
+    pub overhead_cycles: u64,
+}
+
+impl CheckpointManager {
+    /// A manager with the paper's defaults: 200 ms interval, 20 retained.
+    pub fn with_defaults() -> CheckpointManager {
+        CheckpointManager::new(svm::clock::secs_to_cycles(0.2), 20)
+    }
+
+    /// A manager with an explicit interval (cycles) and retention count.
+    pub fn new(interval_cycles: u64, max_retained: usize) -> CheckpointManager {
+        CheckpointManager {
+            interval_cycles,
+            max_retained: max_retained.max(1),
+            ring: Vec::new(),
+            next_id: 0,
+            last_taken_cycles: None,
+            taken_total: 0,
+            overhead_cycles: 0,
+        }
+    }
+
+    /// Whether the interval policy says a checkpoint is due.
+    pub fn due(&self, m: &Machine) -> bool {
+        match self.last_taken_cycles {
+            None => true,
+            Some(t) => m.clock.cycles().saturating_sub(t) >= self.interval_cycles,
+        }
+    }
+
+    /// Take a checkpoint now, charging its cost to the machine's clock.
+    ///
+    /// The charged cost models the `fork()`-like page-table copy plus the
+    /// copy-on-write copies of pages dirtied since the last checkpoint
+    /// (accounted here, deferred, rather than per-write).
+    pub fn take(&mut self, m: &mut Machine) -> CkptId {
+        let dirty = m.mem.mapped_pages() - m.mem.shared_pages();
+        let cost = cost::CHECKPOINT_BASE + cost::PAGE_COPY * dirty as u64;
+        m.clock.tick(cost);
+        self.overhead_cycles += cost;
+        let id = CkptId(self.next_id);
+        self.next_id += 1;
+        self.taken_total += 1;
+        self.last_taken_cycles = Some(m.clock.cycles());
+        let ckpt = Checkpoint {
+            id,
+            taken_at_cycles: m.clock.cycles(),
+            conns_at: m.net.conns().len(),
+            machine: m.clone(),
+        };
+        self.ring.push(ckpt);
+        if self.ring.len() > self.max_retained {
+            self.ring.remove(0);
+        }
+        id
+    }
+
+    /// Take a checkpoint if one is due; returns its id if taken.
+    pub fn maybe_take(&mut self, m: &mut Machine) -> Option<CkptId> {
+        if self.due(m) {
+            Some(self.take(m))
+        } else {
+            None
+        }
+    }
+
+    /// The retained checkpoint with the given id.
+    pub fn get(&self, id: CkptId) -> Option<&Checkpoint> {
+        self.ring.iter().find(|c| c.id == id)
+    }
+
+    /// The most recent retained checkpoint.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.ring.last()
+    }
+
+    /// The oldest retained checkpoint.
+    pub fn oldest(&self) -> Option<&Checkpoint> {
+        self.ring.first()
+    }
+
+    /// The most recent checkpoint taken at or before `cycles` — used to
+    /// pick a rollback point prior to a suspect connection's arrival.
+    pub fn latest_before(&self, cycles: u64) -> Option<&Checkpoint> {
+        self.ring.iter().rev().find(|c| c.taken_at_cycles <= cycles)
+    }
+
+    /// Number of retained checkpoints.
+    pub fn retained(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Produce a fresh machine rolled back to checkpoint `id`, charging
+    /// the (cheap, context-switch-like) rollback cost to it.
+    pub fn rollback(&self, id: CkptId) -> Option<Machine> {
+        let ckpt = self.get(id)?;
+        let mut m = ckpt.machine.clone();
+        m.clock.tick(cost::ROLLBACK);
+        Some(m)
+    }
+
+    /// Exact extra memory held by the retained checkpoints, in pages.
+    ///
+    /// Counts the distinct page storages reachable from the snapshot
+    /// ring that the live machine does *not* also reference. Thanks to
+    /// copy-on-write sharing this stays far below
+    /// `retained × mapped_pages` — which is why keeping checkpoints "for
+    /// a short time ... and then discard" them in memory is feasible
+    /// (paper §3.1), and the measurable cost of the retention-count
+    /// design lever (DESIGN.md §6).
+    pub fn retained_unique_pages(&self, live: &Machine) -> usize {
+        use std::collections::HashSet;
+        let live_ids: HashSet<usize> = live.mem.page_storage_ids().collect();
+        let mut snapshot_ids: HashSet<usize> = HashSet::new();
+        for c in &self.ring {
+            snapshot_ids.extend(c.machine.mem.page_storage_ids());
+        }
+        snapshot_ids.difference(&live_ids).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::asm::assemble;
+    use svm::loader::Aslr;
+    use svm::{NopHook, Status};
+
+    fn boot_counter() -> Machine {
+        // Increments a data word forever; preemptible.
+        let prog = assemble(
+            ".text\nmain:\n movi r1, v\nloop:\n ld r0, [r1, 0]\n addi r0, r0, 1\n st [r1, 0], r0\n jmp loop\n.data\nv: .word 0\n",
+        )
+        .expect("asm");
+        Machine::boot(&prog, Aslr::off()).expect("boot")
+    }
+
+    #[test]
+    fn interval_policy() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(1000, 4);
+        assert!(mgr.due(&m), "first checkpoint is always due");
+        mgr.take(&mut m);
+        assert!(!mgr.due(&m));
+        m.run(&mut NopHook, 2000);
+        assert!(mgr.due(&m));
+        assert!(mgr.maybe_take(&mut m).is_some());
+        assert!(mgr.maybe_take(&mut m).is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 3);
+        let ids: Vec<CkptId> = (0..5).map(|_| mgr.take(&mut m)).collect();
+        assert_eq!(mgr.retained(), 3);
+        assert!(mgr.get(ids[0]).is_none(), "oldest evicted");
+        assert!(mgr.get(ids[4]).is_some());
+        assert_eq!(mgr.oldest().map(|c| c.id), Some(ids[2]));
+        assert_eq!(mgr.latest().map(|c| c.id), Some(ids[4]));
+        assert_eq!(mgr.taken_total, 5);
+    }
+
+    #[test]
+    fn rollback_restores_execution_state() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        m.run(&mut NopHook, 500);
+        let v_addr = m.symbols.addr_of("v").expect("v");
+        let id = mgr.take(&mut m);
+        let v_at_ckpt = m.mem.read_u32(0, v_addr).expect("r");
+        m.run(&mut NopHook, 5000);
+        let v_later = m.mem.read_u32(0, v_addr).expect("r");
+        assert!(v_later > v_at_ckpt);
+        let rb = mgr.rollback(id).expect("rollback");
+        assert_eq!(rb.mem.read_u32(0, v_addr).expect("r"), v_at_ckpt);
+        assert_eq!(rb.cpu, mgr.get(id).expect("ckpt").machine.cpu);
+    }
+
+    #[test]
+    fn replay_from_rollback_is_deterministic() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let id = mgr.take(&mut m);
+        let v_addr = m.symbols.addr_of("v").expect("v");
+        // Retire a fixed number of instructions on the live machine.
+        let insns = 1234;
+        for _ in 0..insns {
+            assert!(matches!(m.step(), Status::Running));
+        }
+        let v_final = m.mem.read_u32(0, v_addr).expect("r");
+        // Replay the same instruction count from the checkpoint.
+        let mut rb = mgr.rollback(id).expect("rollback");
+        for _ in 0..insns {
+            assert!(matches!(rb.step(), Status::Running));
+        }
+        assert_eq!(
+            rb.mem.read_u32(0, v_addr).expect("r"),
+            v_final,
+            "identical replay"
+        );
+        assert_eq!(rb.cpu, m.cpu, "register state identical");
+    }
+
+    #[test]
+    fn latest_before_selects_pre_attack_checkpoint() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let a = mgr.take(&mut m);
+        m.run(&mut NopHook, 1000);
+        let mid_cycles = m.clock.cycles();
+        m.run(&mut NopHook, 1000);
+        let b = mgr.take(&mut m);
+        assert_eq!(mgr.latest_before(mid_cycles).map(|c| c.id), Some(a));
+        assert_eq!(mgr.latest_before(u64::MAX).map(|c| c.id), Some(b));
+        let ckpt_a_cycles = mgr.get(a).expect("a").taken_at_cycles;
+        assert!(mgr.latest_before(ckpt_a_cycles.saturating_sub(1)).is_none());
+    }
+
+    #[test]
+    fn retained_memory_stays_bounded_by_cow() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        assert_eq!(mgr.retained_unique_pages(&m), 0, "no checkpoints yet");
+        mgr.take(&mut m);
+        // Immediately after a checkpoint, everything is shared.
+        assert_eq!(mgr.retained_unique_pages(&m), 0);
+        // Run: the counter loop dirties one data page; the snapshot now
+        // privately owns exactly the old copy of that page.
+        m.run(&mut NopHook, 5000);
+        let unique = mgr.retained_unique_pages(&m);
+        assert!(
+            (1..=3).contains(&unique),
+            "one-ish diverged page, not a full copy: {unique} of {}",
+            m.mem.mapped_pages()
+        );
+        // Several checkpoints of near-identical states share storage.
+        for _ in 0..5 {
+            mgr.take(&mut m);
+        }
+        let total = mgr.retained_unique_pages(&m);
+        assert!(
+            total <= 4,
+            "ring of similar snapshots dedups via COW: {total}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_cost_scales_with_dirty_pages() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        mgr.take(&mut m);
+        let first_cost = mgr.overhead_cycles;
+        // Immediately re-checkpoint: almost no dirty pages.
+        let before = mgr.overhead_cycles;
+        mgr.take(&mut m);
+        let second_cost = mgr.overhead_cycles - before;
+        assert!(
+            second_cost < first_cost,
+            "clean re-checkpoint is cheaper: {second_cost} vs {first_cost}"
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Recovery: promote a drop-the-attack replay to the live process.
+//!
+//! Paper §3.1/§4.1: once the attack input is identified, Sweeper rolls
+//! back, re-executes without the malicious input, and resumes service.
+//! Two consistency concerns are handled here:
+//!
+//! - **Output commit**: bytes already released to clients must not be
+//!   re-sent. The proxy remembers the exact released bytes; after the
+//!   recovery replay they are treated as already delivered.
+//! - **Session consistency** (the Flashback-style check): if a replayed
+//!   connection's output *diverges* from bytes already released — the
+//!   re-execution was sensitive to the dropped input — recovery aborts
+//!   and reports that a restart is required, the fallback §4.1 describes.
+
+use svm::Machine;
+
+use crate::manager::{CheckpointManager, CkptId};
+use crate::proxy::Proxy;
+use crate::replay::{ReplayEnd, ReplaySession};
+
+/// Outcome of a recovery attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The replayed machine was promoted to live; service continues.
+    Resumed {
+        /// Virtual cycles the recovery replay consumed (service pause).
+        pause_cycles: u64,
+        /// Post-checkpoint connections that were replayed.
+        replayed_conns: usize,
+    },
+    /// Replay diverged from committed output; a restart is required.
+    RestartRequired {
+        /// Log id of the diverging connection.
+        diverged_conn: usize,
+    },
+    /// Replay itself faulted (e.g. a second attack in the window) —
+    /// the caller should widen the drop set and retry.
+    ReplayFaulted(svm::Fault),
+}
+
+/// Attempt recovery.
+///
+/// Replays from checkpoint `ckpt` with the attack connections `drop_ids`
+/// excluded, verifies every committed output prefix, and on success marks
+/// the dropped connections in the proxy and replaces `live` with the
+/// recovered machine. On failure `live` and the proxy are untouched.
+pub fn recover(
+    live: &mut Machine,
+    mgr: &CheckpointManager,
+    proxy: &mut Proxy,
+    ckpt: CkptId,
+    drop_ids: &[usize],
+) -> RecoveryOutcome {
+    let Some(session) = ReplaySession::new(mgr, proxy, ckpt) else {
+        return RecoveryOutcome::RestartRequired {
+            diverged_conn: usize::MAX,
+        };
+    };
+    let out = session.dropping(drop_ids).run(&mut svm::NopHook);
+    match out.end {
+        ReplayEnd::Faulted(f) => return RecoveryOutcome::ReplayFaulted(f),
+        ReplayEnd::Quiescent | ReplayEnd::Halted(_) | ReplayEnd::StuckOnRead => {}
+        ReplayEnd::BudgetExhausted => {
+            return RecoveryOutcome::RestartRequired {
+                diverged_conn: usize::MAX,
+            }
+        }
+    }
+    let replayed = out.machine;
+
+    // Build the replayed machine's guest-id -> log-id mapping: the first
+    // `conns_at` guest connections are the pre-checkpoint unfiltered log
+    // entries (in order), followed by the replay set.
+    let conns_at = mgr.get(ckpt).map(|c| c.conns_at).unwrap_or(0);
+    let mut mapping: Vec<usize> = proxy
+        .log()
+        .iter()
+        .filter(|c| !c.filtered)
+        .take(conns_at)
+        .map(|c| c.log_id)
+        .collect();
+    mapping.extend(
+        proxy
+            .replay_set(conns_at, drop_ids)
+            .iter()
+            .map(|c| c.log_id),
+    );
+
+    // Session-consistency check against committed output.
+    for (guest_id, &log_id) in mapping.iter().enumerate() {
+        let Some(lc) = proxy.get(log_id) else {
+            continue;
+        };
+        if lc.released.is_empty() {
+            continue;
+        }
+        let got = replayed
+            .net
+            .conn(guest_id as u32)
+            .map(|c| c.output.as_slice())
+            .unwrap_or(&[]);
+        if got.len() < lc.released.len() || got[..lc.released.len()] != lc.released[..] {
+            return RecoveryOutcome::RestartRequired {
+                diverged_conn: log_id,
+            };
+        }
+    }
+
+    // Consistent: drop the attack connections from the log so that future
+    // `release_outputs` walks line up with the recovered machine, then
+    // promote the replayed machine to live.
+    for id in drop_ids {
+        proxy.mark_dropped(*id);
+    }
+    *live = replayed;
+    RecoveryOutcome::Resumed {
+        pause_cycles: out.cycles,
+        replayed_conns: mapping.len().saturating_sub(conns_at),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::asm::assemble;
+    use svm::loader::Aslr;
+    use svm::stdlib::LIB_ASM;
+    use svm::{NopHook, Status};
+
+    /// Echo server; input containing 'X' crashes it (stand-in exploit);
+    /// input containing 'R' makes the reply depend on a per-boot counter
+    /// (stand-in for the SSL-session-key sensitivity of §4.1).
+    fn server() -> Machine {
+        let src = format!(
+            "
+.text
+main:
+    sys accept
+    mov r4, r0
+    mov r0, r4
+    movi r1, buf
+    movi r2, 64
+    sys read
+    mov r5, r0
+    movi r0, buf
+    movi r1, 'X'
+    call strchr
+    cmpi r0, 0
+    jnz boom
+    movi r0, buf
+    movi r1, 'R'
+    call strchr
+    cmpi r0, 0
+    jnz counter_reply
+    mov r0, r4
+    movi r1, buf
+    mov r2, r5
+    sys write
+    mov r0, r4
+    sys close
+    jmp main
+counter_reply:
+    movi r1, count
+    ld r2, [r1, 0]
+    addi r2, r2, 1
+    st [r1, 0], r2
+    addi r2, r2, '0'
+    movi r1, cbuf
+    stb [r1, 0], r2
+    mov r0, r4
+    movi r2, 1
+    sys write
+    mov r0, r4
+    sys close
+    jmp main
+boom:
+    movi r1, 0
+    ld r0, [r1, 0]
+    jmp main
+.data
+buf: .space 64
+cbuf: .space 4
+count: .word 0
+{LIB_ASM}
+"
+        );
+        Machine::boot(&assemble(&src).expect("asm"), Aslr::off()).expect("boot")
+    }
+
+    fn drive(m: &mut Machine) -> Status {
+        m.run(&mut NopHook, 100_000_000)
+    }
+
+    struct World {
+        m: Machine,
+        mgr: CheckpointManager,
+        proxy: Proxy,
+        ckpt: CkptId,
+    }
+
+    fn attacked_world() -> World {
+        let mut m = server();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let mut proxy = Proxy::new();
+        drive(&mut m);
+        let ckpt = mgr.take(&mut m);
+        proxy.offer(&mut m, b"first".to_vec(), &[]);
+        drive(&mut m);
+        proxy.release_outputs(&m);
+        proxy.offer(&mut m, b"atkX".to_vec(), &[]);
+        drive(&mut m);
+        proxy.offer(&mut m, b"third".to_vec(), &[]);
+        assert!(matches!(m.status(), Status::Faulted(_)));
+        World {
+            m,
+            mgr,
+            proxy,
+            ckpt,
+        }
+    }
+
+    #[test]
+    fn recovery_resumes_service_without_the_attack() {
+        let mut w = attacked_world();
+        let out = recover(&mut w.m, &w.mgr, &mut w.proxy, w.ckpt, &[1]);
+        match out {
+            RecoveryOutcome::Resumed {
+                replayed_conns,
+                pause_cycles,
+            } => {
+                assert_eq!(replayed_conns, 2, "first + third replayed");
+                assert!(pause_cycles > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Live machine is healthy and served the third request.
+        assert!(!matches!(w.m.status(), Status::Faulted(_)));
+        let rel = w.proxy.release_outputs(&w.m);
+        // "first" was already committed pre-recovery; only "third" is new.
+        assert_eq!(rel, vec![(2, b"third".to_vec())]);
+        // And the server keeps serving.
+        w.proxy.offer(&mut w.m, b"fourth".to_vec(), &[]);
+        drive(&mut w.m);
+        let rel2 = w.proxy.release_outputs(&w.m);
+        assert_eq!(rel2, vec![(3, b"fourth".to_vec())]);
+    }
+
+    #[test]
+    fn divergent_replay_demands_restart() {
+        // §4.1 scenario: dropping the attack changes a *later* replayed
+        // connection's output that the client has already seen.
+        let mut m = server();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let mut proxy = Proxy::new();
+        drive(&mut m);
+        let ckpt = mgr.take(&mut m);
+        proxy.offer(&mut m, b"R".to_vec(), &[]); // id 0 -> "1", committed
+        drive(&mut m);
+        proxy.offer(&mut m, b"R".to_vec(), &[]); // id 1 -> "2", committed
+        drive(&mut m);
+        proxy.offer(&mut m, b"R".to_vec(), &[]); // id 2 -> "3", committed
+        drive(&mut m);
+        proxy.release_outputs(&m);
+        proxy.offer(&mut m, b"atkX".to_vec(), &[]); // id 3 faults
+        drive(&mut m);
+        assert!(matches!(m.status(), Status::Faulted(_)));
+        // Analysis (wrongly or rightly) decides connections 1 and 3 were
+        // the attack. Without connection 1, the counter replay gives
+        // connection 2 the reply "2" — but the client already saw "3".
+        let out = recover(&mut m, &mgr, &mut proxy, ckpt, &[1, 3]);
+        assert!(
+            matches!(out, RecoveryOutcome::RestartRequired { diverged_conn: 2 }),
+            "got {out:?}"
+        );
+        // Live machine and proxy untouched on failure.
+        assert!(matches!(m.status(), Status::Faulted(_)));
+        assert!(!proxy.get(1).expect("c").filtered);
+    }
+
+    #[test]
+    fn replay_fault_is_reported_when_wrong_input_dropped() {
+        let mut w = attacked_world();
+        // Drop the benign third connection; the attack replays and faults.
+        let out = recover(&mut w.m, &w.mgr, &mut w.proxy, w.ckpt, &[2]);
+        assert!(matches!(out, RecoveryOutcome::ReplayFaulted(f) if f.is_null_deref()));
+        // Live machine untouched (still faulted), proxy unmodified.
+        assert!(matches!(w.m.status(), Status::Faulted(_)));
+        assert!(!w.proxy.get(2).expect("c").filtered);
+    }
+
+    #[test]
+    fn consistent_counter_replay_resumes() {
+        // Same counter server, but the committed counter output replays
+        // identically when only the attack is dropped (order preserved).
+        let mut m = server();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let mut proxy = Proxy::new();
+        drive(&mut m);
+        let ckpt = mgr.take(&mut m);
+        proxy.offer(&mut m, b"R1".to_vec(), &[]);
+        drive(&mut m);
+        proxy.release_outputs(&m);
+        proxy.offer(&mut m, b"atkX".to_vec(), &[]);
+        drive(&mut m);
+        let out = recover(&mut m, &mgr, &mut proxy, ckpt, &[1]);
+        assert!(
+            matches!(out, RecoveryOutcome::Resumed { .. }),
+            "got {out:?}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Flashback-style syscall logging for replay-consistency verification
+//! (paper §4.1).
+//!
+//! Rx-style recovery can silently diverge when execution depends on
+//! nondeterministic inputs; the paper's alternative is Flashback's
+//! approach: "log all of the system calls made by the process, in order
+//! to allow deterministic re-execution ... Sweeper can compare the
+//! re-execution's calls to `write()` to the previous results Flashback
+//! recorded; if they match, we know that we have been successful."
+//!
+//! [`SyscallLog`] is a hook that records every syscall's `(pc, number,
+//! args, result)`; [`divergence`] compares a live log against a replay
+//! log and reports the first mismatch. Our VM is deterministic given the
+//! same inputs, so matching logs certify that a recovery replay really
+//! did re-execute the same computation — and a mismatch pinpoints where
+//! a drop-the-attack replay started to differ.
+
+use svm::isa::{Op, Syscall};
+use svm::{Hook, Machine};
+
+/// One recorded syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallRecord {
+    /// Program counter of the `sys` instruction.
+    pub pc: u32,
+    /// Syscall performed.
+    pub syscall: Syscall,
+    /// Argument registers r0..r3 at entry.
+    pub args: [u32; 4],
+    /// Result placed in r0.
+    pub ret: u32,
+}
+
+/// A recording hook (attach to any run via `Pair` or directly).
+#[derive(Debug, Clone, Default)]
+pub struct SyscallLog {
+    records: Vec<SyscallRecord>,
+}
+
+impl SyscallLog {
+    /// An empty log.
+    pub fn new() -> SyscallLog {
+        SyscallLog::default()
+    }
+
+    /// Recorded syscalls in execution order.
+    pub fn records(&self) -> &[SyscallRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Only the `write` records (the §4.1 output-consistency subset).
+    pub fn writes(&self) -> Vec<&SyscallRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.syscall == Syscall::Write)
+            .collect()
+    }
+}
+
+impl Hook for SyscallLog {
+    fn on_syscall(&mut self, _m: &Machine, pc: u32, sc: Syscall, args: [u32; 4], ret: u32) {
+        self.records.push(SyscallRecord {
+            pc,
+            syscall: sc,
+            args,
+            ret,
+        });
+    }
+    fn on_insn(&mut self, _m: &Machine, _pc: u32, _op: &Op) {}
+}
+
+/// The first point where two syscall logs diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Logs are identical over the compared prefix.
+    None,
+    /// Record `index` differs.
+    At {
+        /// Index of the first differing record.
+        index: usize,
+        /// The original record (if present).
+        original: Option<SyscallRecord>,
+        /// The replayed record (if present).
+        replayed: Option<SyscallRecord>,
+    },
+}
+
+/// Compare an original log against a replay log.
+///
+/// `writes_only` restricts the comparison to `write` syscalls, which is
+/// the §4.1 criterion (a recovery replay legitimately *omits* the
+/// dropped attack's reads, but committed output must not change).
+pub fn divergence(original: &SyscallLog, replayed: &SyscallLog, writes_only: bool) -> Divergence {
+    let a: Vec<&SyscallRecord> = if writes_only {
+        original.writes()
+    } else {
+        original.records().iter().collect()
+    };
+    let b: Vec<&SyscallRecord> = if writes_only {
+        replayed.writes()
+    } else {
+        replayed.records().iter().collect()
+    };
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        if a[i] != b[i] {
+            return Divergence::At {
+                index: i,
+                original: Some(*a[i]),
+                replayed: Some(*b[i]),
+            };
+        }
+    }
+    if a.len() != b.len() {
+        return Divergence::At {
+            index: n,
+            original: a.get(n).map(|r| **r),
+            replayed: b.get(n).map(|r| **r),
+        };
+    }
+    Divergence::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::CheckpointManager;
+    use crate::proxy::Proxy;
+    use crate::replay::ReplaySession;
+    use svm::asm::assemble;
+    use svm::loader::Aslr;
+    use svm::stdlib::LIB_ASM;
+    use svm::{Machine, NopHook};
+
+    fn echo_server() -> Machine {
+        let src = format!(
+            "
+.text
+main:
+    sys accept
+    mov r10, r0
+    mov r0, r10
+    movi r1, buf
+    movi r2, 64
+    sys read
+    mov r3, r0
+    mov r0, r10
+    movi r1, buf
+    mov r2, r3
+    sys write
+    mov r0, r10
+    sys close
+    jmp main
+.data
+buf: .space 64
+{LIB_ASM}
+"
+        );
+        Machine::boot(&assemble(&src).expect("asm"), Aslr::off()).expect("boot")
+    }
+
+    #[test]
+    fn log_records_syscalls_in_order() {
+        let mut m = echo_server();
+        m.net.push_connection(b"ping".to_vec());
+        let mut log = SyscallLog::new();
+        m.run(&mut log, 50_000_000);
+        let kinds: Vec<Syscall> = log.records().iter().map(|r| r.syscall).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Syscall::Accept,
+                Syscall::Read,
+                Syscall::Write,
+                Syscall::Close
+            ],
+            "one request's syscall sequence"
+        );
+        assert_eq!(log.writes().len(), 1);
+        assert_eq!(log.records()[1].ret, 4, "read returned 4 bytes");
+    }
+
+    #[test]
+    fn identical_replay_has_no_divergence() {
+        let mut m = echo_server();
+        let mut mgr = CheckpointManager::new(0, 4);
+        let mut proxy = Proxy::new();
+        m.run(&mut NopHook, 50_000_000);
+        let ck = mgr.take(&mut m);
+        // Live run with logging.
+        let mut live_log = SyscallLog::new();
+        proxy.offer(&mut m, b"hello".to_vec(), &[]);
+        m.run(&mut live_log, 50_000_000);
+        // Replay the same inputs with logging.
+        let mut replay_log = SyscallLog::new();
+        ReplaySession::new(&mgr, &proxy, ck)
+            .expect("session")
+            .run(&mut replay_log);
+        assert_eq!(divergence(&live_log, &replay_log, false), Divergence::None);
+        assert_eq!(divergence(&live_log, &replay_log, true), Divergence::None);
+    }
+
+    #[test]
+    fn dropped_input_diverges_fully_but_not_on_earlier_writes() {
+        let mut m = echo_server();
+        let mut mgr = CheckpointManager::new(0, 4);
+        let mut proxy = Proxy::new();
+        m.run(&mut NopHook, 50_000_000);
+        let ck = mgr.take(&mut m);
+        let mut live_log = SyscallLog::new();
+        proxy.offer(&mut m, b"first".to_vec(), &[]);
+        m.run(&mut live_log, 50_000_000);
+        proxy.offer(&mut m, b"evil!".to_vec(), &[]);
+        m.run(&mut live_log, 50_000_000);
+        // Replay without the second ("attack") connection.
+        let mut replay_log = SyscallLog::new();
+        ReplaySession::new(&mgr, &proxy, ck)
+            .expect("session")
+            .dropping(&[1])
+            .run(&mut replay_log);
+        // Full comparison diverges (the attack's syscalls are missing)...
+        assert!(matches!(
+            divergence(&live_log, &replay_log, false),
+            Divergence::At { .. }
+        ));
+        // ...and the writes-only comparison flags exactly the missing
+        // second write, while the first request's write matched.
+        match divergence(&live_log, &replay_log, true) {
+            Divergence::At {
+                index: 1,
+                original: Some(_),
+                replayed: None,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn changed_output_is_pinpointed() {
+        let mut a = SyscallLog::new();
+        let mut b = SyscallLog::new();
+        let rec = |ret| SyscallRecord {
+            pc: 0x100,
+            syscall: Syscall::Write,
+            args: [0, 0x2000, 4, 0],
+            ret,
+        };
+        a.records.push(rec(4));
+        b.records.push(rec(3));
+        match divergence(&a, &b, true) {
+            Divergence::At {
+                index: 0,
+                original: Some(o),
+                replayed: Some(r),
+            } => {
+                assert_ne!(o.ret, r.ret);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Instruction-coverage tool: which pcs executed, how often.
+//!
+//! A lightweight profiling tool used by the experiments to verify
+//! selective-instrumentation claims (a VSEF's watch set is visited a
+//! handful of times; full tools see everything), and generally useful
+//! for exercising guest programs (which branches a test actually took).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use svm::isa::Op;
+use svm::Machine;
+
+use crate::tool::{Tool, Watch};
+
+/// Execution counts per static pc.
+#[derive(Default)]
+pub struct Coverage {
+    counts: BTreeMap<u32, u64>,
+    calls: BTreeMap<u32, u64>,
+}
+
+impl Coverage {
+    /// An empty coverage map.
+    pub fn new() -> Coverage {
+        Coverage::default()
+    }
+
+    /// Distinct pcs executed.
+    pub fn unique_pcs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total dynamic instructions observed.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Execution count of one pc.
+    pub fn count(&self, pc: u32) -> u64 {
+        self.counts.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// Whether a pc executed at all.
+    pub fn covered(&self, pc: u32) -> bool {
+        self.count(pc) > 0
+    }
+
+    /// Call counts per target (a cheap call-graph profile).
+    pub fn call_count(&self, target: u32) -> u64 {
+        self.calls.get(&target).copied().unwrap_or(0)
+    }
+
+    /// The hottest `n` pcs, descending.
+    pub fn hottest(&self, n: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v.truncate(n);
+        v
+    }
+
+    /// Fraction of the pcs in `set` that executed.
+    pub fn coverage_of(&self, set: &[u32]) -> f64 {
+        if set.is_empty() {
+            return 1.0;
+        }
+        set.iter().filter(|&&p| self.covered(p)).count() as f64 / set.len() as f64
+    }
+}
+
+impl Tool for Coverage {
+    fn name(&self) -> &str {
+        "coverage"
+    }
+
+    fn watches(&self) -> Watch {
+        Watch::All
+    }
+
+    fn insn_cost(&self) -> u64 {
+        2 // Counting is nearly free.
+    }
+
+    fn on_insn(&mut self, _m: &Machine, pc: u32, _op: &Op) {
+        *self.counts.entry(pc).or_insert(0) += 1;
+    }
+
+    fn on_call(&mut self, _m: &Machine, _pc: u32, target: u32, _ret: u32, _sp: u32) {
+        *self.calls.entry(target).or_insert(0) += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instrumenter;
+    use svm::asm::assemble;
+    use svm::loader::Aslr;
+    use svm::Status;
+
+    fn run(src: &str) -> (Machine, Coverage) {
+        let prog = assemble(src).expect("asm");
+        let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        let mut ins = Instrumenter::new();
+        let id = ins.attach(Box::new(Coverage::new()));
+        assert!(matches!(m.run(&mut ins, 10_000_000), Status::Halted(_)));
+        let tool = ins.detach(id).expect("tool");
+        let mut holder = None;
+        let mut boxed = tool;
+        if let Some(c) = boxed.as_any_mut().downcast_mut::<Coverage>() {
+            holder = Some(std::mem::take(c));
+        }
+        (m, holder.expect("downcast"))
+    }
+
+    #[test]
+    fn counts_loop_iterations_exactly() {
+        let (m, cov) = run(
+            ".text\nmain:\n movi r1, 7\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n",
+        );
+        let loop_pc = m.symbols.addr_of("loop").expect("loop");
+        assert_eq!(cov.count(loop_pc), 7);
+        assert_eq!(cov.count(m.symbols.addr_of("main").expect("m")), 1);
+        assert_eq!(cov.unique_pcs(), 5);
+        assert_eq!(cov.total(), 1 + 7 * 3 + 1);
+    }
+
+    #[test]
+    fn untaken_branches_are_uncovered() {
+        let (m, cov) = run(
+            ".text\nmain:\n movi r1, 1\n cmpi r1, 0\n jz dead\n halt\ndead:\n movi r2, 9\n halt\n",
+        );
+        let dead = m.symbols.addr_of("dead").expect("dead");
+        assert!(!cov.covered(dead));
+        assert_eq!(cov.coverage_of(&[dead]), 0.0);
+        assert_eq!(
+            cov.coverage_of(&[m.symbols.addr_of("main").expect("m"), dead]),
+            0.5
+        );
+        assert_eq!(cov.coverage_of(&[]), 1.0);
+    }
+
+    #[test]
+    fn call_profile_counts_targets() {
+        let (m, cov) = run(".text\nmain:\n call f\n call f\n call g\n halt\nf:\n ret\ng:\n ret\n");
+        assert_eq!(cov.call_count(m.symbols.addr_of("f").expect("f")), 2);
+        assert_eq!(cov.call_count(m.symbols.addr_of("g").expect("g")), 1);
+        assert_eq!(cov.call_count(0x1234), 0);
+    }
+
+    #[test]
+    fn hottest_orders_by_count() {
+        let (_m, cov) = run(
+            ".text\nmain:\n movi r1, 3\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n",
+        );
+        let hot = cov.hottest(2);
+        assert_eq!(hot.len(), 2);
+        assert!(hot[0].1 >= hot[1].1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-instruction dataflow effects.
+//!
+//! Given the pre-execution machine state and a decoded instruction, compute
+//! exactly which registers, memory bytes, and flags the instruction reads
+//! and writes. Taint analysis and dynamic backward slicing are both just
+//! folds over these effect sets, which is why they live here in the
+//! instrumentation layer rather than in each tool.
+
+use svm::isa::{Op, Reg};
+use svm::Machine;
+
+/// A dataflow location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// A general-purpose register.
+    Reg(u8),
+    /// One byte of guest memory.
+    MemByte(u32),
+    /// The comparison flags.
+    Flags,
+}
+
+/// One value flow: `to` receives a value computed from `from`.
+///
+/// Flows are the *taint-relevant* subset of the dependency structure:
+/// address computations and stack-pointer bookkeeping appear in
+/// [`Effects::reads`]/[`Effects::writes`] (so slicing sees pointer
+/// indirection, per the paper's taint-vs-slicing example) but not here.
+/// A written location covered by no flow receives a constant-derived
+/// value (taint must be cleared).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Source locations the value is computed from.
+    pub from: Vec<Loc>,
+    /// Destination location.
+    pub to: Loc,
+}
+
+/// The resolved effects of one dynamic instruction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Locations read (data dependencies).
+    pub reads: Vec<Loc>,
+    /// Locations written.
+    pub writes: Vec<Loc>,
+    /// Per-destination value flows (taint propagation rules).
+    pub flows: Vec<Flow>,
+    /// Memory region written, as `(addr, len)`, if any (convenience for
+    /// bounds-checking tools; bytes also appear in `writes`).
+    pub mem_write: Option<(u32, u32)>,
+    /// Memory region read, as `(addr, len)`, if any.
+    pub mem_read: Option<(u32, u32)>,
+    /// Control-flow target read from a register or memory, if this is an
+    /// indirect transfer (`jmpr`/`callr`/`ret`) — the hijack sinks.
+    pub indirect_target: Option<(Loc, u32)>,
+    /// Whether the instruction conditionally branches on the flags.
+    pub reads_flags: bool,
+}
+
+fn push_mem(v: &mut Vec<Loc>, addr: u32, len: u32) {
+    for i in 0..len {
+        v.push(Loc::MemByte(addr.wrapping_add(i)));
+    }
+}
+
+/// Compute the effects of `op` about to execute at `pc` on machine `m`.
+///
+/// Must be called *before* the instruction executes (effective addresses
+/// are taken from current register values).
+pub fn effects(m: &Machine, op: &Op) -> Effects {
+    let mut e = Effects::default();
+    let r = |reg: Reg| Loc::Reg(reg.0);
+    let mem_locs = |addr: u32, len: u32| -> Vec<Loc> {
+        (0..len)
+            .map(|i| Loc::MemByte(addr.wrapping_add(i)))
+            .collect()
+    };
+    match *op {
+        Op::Nop | Op::Halt | Op::Jmp { .. } => {}
+        Op::MovI { rd, .. } => {
+            e.writes.push(r(rd));
+            e.flows.push(Flow {
+                from: Vec::new(),
+                to: r(rd),
+            });
+        }
+        Op::Mov { rd, rs } => {
+            e.reads.push(r(rs));
+            e.writes.push(r(rd));
+            e.flows.push(Flow {
+                from: vec![r(rs)],
+                to: r(rd),
+            });
+        }
+        Op::Ld { rd, rs, off } => {
+            let addr = m.cpu.get(rs).wrapping_add(off as u32);
+            e.reads.push(r(rs));
+            push_mem(&mut e.reads, addr, 4);
+            e.mem_read = Some((addr, 4));
+            e.writes.push(r(rd));
+            // Value flow: the loaded bytes only. The address register is
+            // a *pointer* dependency: visible to slicing, not to taint.
+            e.flows.push(Flow {
+                from: mem_locs(addr, 4),
+                to: r(rd),
+            });
+        }
+        Op::LdB { rd, rs, off } => {
+            let addr = m.cpu.get(rs).wrapping_add(off as u32);
+            e.reads.push(r(rs));
+            push_mem(&mut e.reads, addr, 1);
+            e.mem_read = Some((addr, 1));
+            e.writes.push(r(rd));
+            e.flows.push(Flow {
+                from: mem_locs(addr, 1),
+                to: r(rd),
+            });
+        }
+        Op::St { rd, rs, off } => {
+            let addr = m.cpu.get(rd).wrapping_add(off as u32);
+            e.reads.push(r(rd));
+            e.reads.push(r(rs));
+            push_mem(&mut e.writes, addr, 4);
+            e.mem_write = Some((addr, 4));
+            for l in mem_locs(addr, 4) {
+                e.flows.push(Flow {
+                    from: vec![r(rs)],
+                    to: l,
+                });
+            }
+        }
+        Op::StB { rd, rs, off } => {
+            let addr = m.cpu.get(rd).wrapping_add(off as u32);
+            e.reads.push(r(rd));
+            e.reads.push(r(rs));
+            push_mem(&mut e.writes, addr, 1);
+            e.mem_write = Some((addr, 1));
+            e.flows.push(Flow {
+                from: vec![r(rs)],
+                to: Loc::MemByte(addr),
+            });
+        }
+        Op::Alu { rd, rs1, rs2, .. } => {
+            e.reads.push(r(rs1));
+            e.reads.push(r(rs2));
+            e.writes.push(r(rd));
+            e.flows.push(Flow {
+                from: vec![r(rs1), r(rs2)],
+                to: r(rd),
+            });
+        }
+        Op::AluI { rd, rs1, .. } => {
+            e.reads.push(r(rs1));
+            e.writes.push(r(rd));
+            e.flows.push(Flow {
+                from: vec![r(rs1)],
+                to: r(rd),
+            });
+        }
+        Op::Cmp { rs1, rs2 } => {
+            e.reads.push(r(rs1));
+            e.reads.push(r(rs2));
+            e.writes.push(Loc::Flags);
+            e.flows.push(Flow {
+                from: vec![r(rs1), r(rs2)],
+                to: Loc::Flags,
+            });
+        }
+        Op::CmpI { rs1, .. } => {
+            e.reads.push(r(rs1));
+            e.writes.push(Loc::Flags);
+            e.flows.push(Flow {
+                from: vec![r(rs1)],
+                to: Loc::Flags,
+            });
+        }
+        Op::JCond { .. } => {
+            e.reads.push(Loc::Flags);
+            e.reads_flags = true;
+        }
+        Op::JmpR { rs } => {
+            e.reads.push(r(rs));
+            e.indirect_target = Some((r(rs), m.cpu.get(rs)));
+        }
+        Op::Call { .. } => {
+            let sp = m.cpu.sp().wrapping_sub(4);
+            e.reads.push(r(Reg::SP));
+            e.writes.push(r(Reg::SP));
+            push_mem(&mut e.writes, sp, 4);
+            e.mem_write = Some((sp, 4));
+            // The pushed return address is constant-derived: the flows
+            // (none) clear any stale taint in the slot and leave SP
+            // untainted. Slicing still sees the SP dependency above.
+        }
+        Op::CallR { rs } => {
+            let sp = m.cpu.sp().wrapping_sub(4);
+            e.reads.push(r(rs));
+            e.reads.push(r(Reg::SP));
+            e.writes.push(r(Reg::SP));
+            push_mem(&mut e.writes, sp, 4);
+            e.mem_write = Some((sp, 4));
+            e.indirect_target = Some((r(rs), m.cpu.get(rs)));
+        }
+        Op::Ret => {
+            let sp = m.cpu.sp();
+            e.reads.push(r(Reg::SP));
+            push_mem(&mut e.reads, sp, 4);
+            e.mem_read = Some((sp, 4));
+            e.writes.push(r(Reg::SP));
+            let target = m.mem.read_u32(0, sp).unwrap_or(0);
+            e.indirect_target = Some((Loc::MemByte(sp), target));
+        }
+        Op::Push { rs } => {
+            let sp = m.cpu.sp().wrapping_sub(4);
+            e.reads.push(r(rs));
+            e.reads.push(r(Reg::SP));
+            e.writes.push(r(Reg::SP));
+            push_mem(&mut e.writes, sp, 4);
+            e.mem_write = Some((sp, 4));
+            for l in mem_locs(sp, 4) {
+                e.flows.push(Flow {
+                    from: vec![r(rs)],
+                    to: l,
+                });
+            }
+        }
+        Op::Pop { rd } => {
+            let sp = m.cpu.sp();
+            e.reads.push(r(Reg::SP));
+            push_mem(&mut e.reads, sp, 4);
+            e.mem_read = Some((sp, 4));
+            e.writes.push(r(rd));
+            e.writes.push(r(Reg::SP));
+            e.flows.push(Flow {
+                from: mem_locs(sp, 4),
+                to: r(rd),
+            });
+        }
+        Op::Sys { .. } => {
+            // Syscall argument registers are address/size operands; the
+            // result in r0 is kernel-produced. Input-data taint enters
+            // via the dedicated on_input hook, so at the effects level a
+            // syscall clears r0 (no flow) and carries no value flows.
+            // Slicing still records the argument dependencies.
+            for i in 0..4 {
+                e.reads.push(Loc::Reg(i));
+            }
+            e.writes.push(Loc::Reg(0));
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::asm::assemble;
+    use svm::loader::Aslr;
+    use svm::Machine;
+
+    fn machine() -> Machine {
+        let prog = assemble(".text\nmain:\n halt\n").expect("asm");
+        Machine::boot(&prog, Aslr::off()).expect("boot")
+    }
+
+    #[test]
+    fn load_effects_use_effective_address() {
+        let mut m = machine();
+        m.cpu.set(Reg(2), 0x2000);
+        let e = effects(
+            &m,
+            &Op::Ld {
+                rd: Reg(1),
+                rs: Reg(2),
+                off: 8,
+            },
+        );
+        assert!(e.reads.contains(&Loc::Reg(2)));
+        assert!(e.reads.contains(&Loc::MemByte(0x2008)));
+        assert!(e.reads.contains(&Loc::MemByte(0x200b)));
+        assert_eq!(e.mem_read, Some((0x2008, 4)));
+        assert_eq!(e.writes, vec![Loc::Reg(1)]);
+    }
+
+    #[test]
+    fn store_effects() {
+        let mut m = machine();
+        m.cpu.set(Reg(3), 0x3000);
+        let e = effects(
+            &m,
+            &Op::StB {
+                rd: Reg(3),
+                rs: Reg(4),
+                off: -1,
+            },
+        );
+        assert_eq!(e.mem_write, Some((0x2fff, 1)));
+        assert!(e.reads.contains(&Loc::Reg(4)));
+        assert_eq!(e.writes, vec![Loc::MemByte(0x2fff)]);
+    }
+
+    #[test]
+    fn ret_is_an_indirect_sink_reading_stack() {
+        let mut m = machine();
+        let sp = m.cpu.sp();
+        m.mem.write_u32(0, sp, 0x4242).expect("w");
+        let e = effects(&m, &Op::Ret);
+        assert_eq!(e.indirect_target, Some((Loc::MemByte(sp), 0x4242)));
+        assert!(e.reads.contains(&Loc::MemByte(sp)));
+    }
+
+    #[test]
+    fn callr_is_an_indirect_sink() {
+        let mut m = machine();
+        m.cpu.set(Reg(6), 0x7777);
+        let e = effects(&m, &Op::CallR { rs: Reg(6) });
+        assert_eq!(e.indirect_target, Some((Loc::Reg(6), 0x7777)));
+        assert!(e.mem_write.is_some(), "pushes the return address");
+    }
+
+    #[test]
+    fn cmp_writes_flags_jcond_reads_them() {
+        let m = machine();
+        let e = effects(
+            &m,
+            &Op::Cmp {
+                rs1: Reg(0),
+                rs2: Reg(1),
+            },
+        );
+        assert!(e.writes.contains(&Loc::Flags));
+        let e2 = effects(
+            &m,
+            &Op::JCond {
+                cond: svm::isa::Cond::Eq,
+                target: 0,
+            },
+        );
+        assert!(e2.reads_flags);
+        assert!(e2.reads.contains(&Loc::Flags));
+    }
+
+    #[test]
+    fn alu_reads_both_sources() {
+        let m = machine();
+        let e = effects(
+            &m,
+            &Op::Alu {
+                op: svm::isa::AluOp::Xor,
+                rd: Reg(0),
+                rs1: Reg(5),
+                rs2: Reg(6),
+            },
+        );
+        assert_eq!(e.reads, vec![Loc::Reg(5), Loc::Reg(6)]);
+        assert_eq!(e.writes, vec![Loc::Reg(0)]);
+    }
+}

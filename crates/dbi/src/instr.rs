@@ -1,0 +1,333 @@
+//! The instrumenter: dynamic attach/detach and event multiplexing.
+//!
+//! This is the PIN analogue: tools can be attached to an *already running*
+//! process (the property Sweeper exploits to defer heavyweight analysis
+//! until after an attack), receive filtered events, and are charged
+//! virtual-cycle overhead per delivered event so that instrumentation cost
+//! is visible in the experiments.
+
+use svm::alloc::FreeKind;
+use svm::isa::{Op, Syscall};
+use svm::{Hook, Machine};
+
+use crate::tool::{Tool, Watch};
+
+/// Identifier of an attached tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ToolId(usize);
+
+struct Slot {
+    tool: Box<dyn Tool>,
+    watch: Watch,
+    insn_cost: u64,
+    events: u64,
+}
+
+/// Multiplexes events from a [`Machine`] to attached [`Tool`]s.
+///
+/// Implements [`svm::Hook`], so it is passed to `Machine::run`. Overhead
+/// cycles accumulate internally; call [`Instrumenter::charge`] to transfer
+/// them to a machine's virtual clock (done by the drivers that model
+/// instrumented execution time).
+#[derive(Default)]
+pub struct Instrumenter {
+    slots: Vec<Option<Slot>>,
+    overhead: u64,
+}
+
+impl Instrumenter {
+    /// An instrumenter with no tools.
+    pub fn new() -> Instrumenter {
+        Instrumenter::default()
+    }
+
+    /// Attach a tool (mid-execution attach is the point of this API).
+    pub fn attach(&mut self, tool: Box<dyn Tool>) -> ToolId {
+        let watch = tool.watches();
+        let insn_cost = tool.insn_cost();
+        let slot = Slot {
+            tool,
+            watch,
+            insn_cost,
+            events: 0,
+        };
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.is_none() {
+                *s = Some(slot);
+                return ToolId(i);
+            }
+        }
+        self.slots.push(Some(slot));
+        ToolId(self.slots.len() - 1)
+    }
+
+    /// Detach a tool, returning it (e.g. to read out its findings).
+    pub fn detach(&mut self, id: ToolId) -> Option<Box<dyn Tool>> {
+        self.slots
+            .get_mut(id.0)
+            .and_then(|s| s.take())
+            .map(|s| s.tool)
+    }
+
+    /// Re-read a tool's watch set and cost (after reconfiguring it).
+    pub fn refresh(&mut self, id: ToolId) {
+        if let Some(Some(s)) = self.slots.get_mut(id.0) {
+            s.watch = s.tool.watches();
+            s.insn_cost = s.tool.insn_cost();
+        }
+    }
+
+    /// Borrow an attached tool by id and concrete type.
+    pub fn get<T: Tool>(&self, id: ToolId) -> Option<&T> {
+        self.slots
+            .get(id.0)?
+            .as_ref()?
+            .tool
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrow an attached tool by id and concrete type.
+    pub fn get_mut<T: Tool>(&mut self, id: ToolId) -> Option<&mut T> {
+        self.slots
+            .get_mut(id.0)?
+            .as_mut()?
+            .tool
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Number of currently attached tools.
+    pub fn tool_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Events delivered to a tool so far.
+    pub fn events_of(&self, id: ToolId) -> u64 {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.events)
+            .unwrap_or(0)
+    }
+
+    /// Accumulated (uncharged) instrumentation overhead in cycles.
+    pub fn pending_overhead(&self) -> u64 {
+        self.overhead
+    }
+
+    /// Transfer accumulated overhead onto `m`'s virtual clock.
+    pub fn charge(&mut self, m: &mut Machine) {
+        m.clock.tick(self.overhead);
+        self.overhead = 0;
+    }
+
+    /// Drop accumulated overhead without charging (sandboxed replays whose
+    /// time is accounted separately).
+    pub fn take_overhead(&mut self) -> u64 {
+        std::mem::take(&mut self.overhead)
+    }
+
+    fn each<F: FnMut(&mut Slot)>(&mut self, mut f: F) {
+        for s in self.slots.iter_mut().flatten() {
+            f(s);
+        }
+    }
+}
+
+impl Hook for Instrumenter {
+    fn on_insn(&mut self, m: &Machine, pc: u32, op: &Op) {
+        let mut overhead = 0;
+        for s in self.slots.iter_mut().flatten() {
+            if s.watch.covers(pc) {
+                s.tool.on_insn(m, pc, op);
+                s.events += 1;
+                overhead += s.insn_cost;
+            }
+        }
+        self.overhead += overhead;
+    }
+
+    fn on_mem_read(&mut self, m: &Machine, pc: u32, addr: u32, size: u8, val: u32) {
+        self.each(|s| {
+            if s.watch.covers(pc) {
+                s.tool.on_mem_read(m, pc, addr, size, val);
+            }
+        });
+    }
+
+    fn on_mem_write(&mut self, m: &Machine, pc: u32, addr: u32, size: u8, val: u32) {
+        self.each(|s| {
+            if s.watch.covers(pc) {
+                s.tool.on_mem_write(m, pc, addr, size, val);
+            }
+        });
+    }
+
+    fn on_call(&mut self, m: &Machine, pc: u32, target: u32, ret_addr: u32, sp: u32) {
+        self.each(|s| s.tool.on_call(m, pc, target, ret_addr, sp));
+    }
+
+    fn on_ret(&mut self, m: &Machine, pc: u32, ret_target: u32, sp: u32) {
+        self.each(|s| s.tool.on_ret(m, pc, ret_target, sp));
+    }
+
+    fn on_alloc(&mut self, m: &Machine, pc: u32, size: u32, ptr: u32) {
+        self.each(|s| s.tool.on_alloc(m, pc, size, ptr));
+    }
+
+    fn on_free(&mut self, m: &Machine, pc: u32, ptr: u32, kind: FreeKind) {
+        self.each(|s| s.tool.on_free(m, pc, ptr, kind));
+    }
+
+    fn on_syscall(&mut self, m: &Machine, pc: u32, sc: Syscall, args: [u32; 4], ret: u32) {
+        self.each(|s| s.tool.on_syscall(m, pc, sc, args, ret));
+    }
+
+    fn on_input(&mut self, m: &Machine, conn: u32, stream_off: u32, addr: u32, data: &[u8]) {
+        self.each(|s| s.tool.on_input(m, conn, stream_off, addr, data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::Watch;
+    use std::any::Any;
+    use std::collections::HashSet;
+    use svm::asm::assemble;
+    use svm::loader::Aslr;
+    use svm::Status;
+
+    struct Counter {
+        name: String,
+        watch: Watch,
+        cost: u64,
+        insns: u64,
+        allocs: u64,
+    }
+
+    impl Counter {
+        fn new(watch: Watch, cost: u64) -> Counter {
+            Counter {
+                name: "counter".into(),
+                watch,
+                cost,
+                insns: 0,
+                allocs: 0,
+            }
+        }
+    }
+
+    impl Tool for Counter {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn watches(&self) -> Watch {
+            self.watch.clone()
+        }
+        fn insn_cost(&self) -> u64 {
+            self.cost
+        }
+        fn on_insn(&mut self, _m: &Machine, _pc: u32, _op: &Op) {
+            self.insns += 1;
+        }
+        fn on_alloc(&mut self, _m: &Machine, _pc: u32, _size: u32, _ptr: u32) {
+            self.allocs += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn boot(src: &str) -> Machine {
+        Machine::boot(&assemble(src).expect("asm"), Aslr::off()).expect("boot")
+    }
+
+    #[test]
+    fn full_watch_sees_every_instruction() {
+        let mut m = boot(".text\nmain:\n movi r0, 1\n movi r0, 2\n halt\n");
+        let mut ins = Instrumenter::new();
+        let id = ins.attach(Box::new(Counter::new(Watch::All, 7)));
+        assert!(matches!(m.run(&mut ins, 1_000_000), Status::Halted(_)));
+        assert_eq!(ins.get::<Counter>(id).expect("tool").insns, 3);
+        assert_eq!(ins.pending_overhead(), 21);
+        let before = m.clock.cycles();
+        ins.charge(&mut m);
+        assert_eq!(m.clock.cycles(), before + 21);
+        assert_eq!(ins.pending_overhead(), 0);
+    }
+
+    #[test]
+    fn pc_filter_restricts_delivery_and_cost() {
+        let mut m = boot(".text\nmain:\n movi r0, 1\n movi r0, 2\n movi r0, 3\n halt\n");
+        let entry = m.cpu.pc;
+        let pcs: HashSet<u32> = [entry + 8].into_iter().collect();
+        let mut ins = Instrumenter::new();
+        let id = ins.attach(Box::new(Counter::new(Watch::Pcs(pcs), 100)));
+        m.run(&mut ins, 1_000_000);
+        assert_eq!(
+            ins.get::<Counter>(id).expect("t").insns,
+            1,
+            "only the watched pc"
+        );
+        assert_eq!(ins.pending_overhead(), 100);
+    }
+
+    #[test]
+    fn mid_execution_attach() {
+        let mut m =
+            boot(".text\nmain:\n movi r0, 1\n movi r0, 2\n movi r0, 3\n movi r0, 4\n halt\n");
+        let mut ins = Instrumenter::new();
+        // Run two instructions uninstrumented.
+        m.step_hooked(&mut ins);
+        m.step_hooked(&mut ins);
+        // Attach mid-flight — the Sweeper move.
+        let id = ins.attach(Box::new(Counter::new(Watch::All, 1)));
+        while m.step_hooked(&mut ins).is_running() {}
+        assert_eq!(
+            ins.get::<Counter>(id).expect("t").insns,
+            3,
+            "saw only the tail"
+        );
+    }
+
+    #[test]
+    fn detach_returns_tool_with_findings() {
+        let mut m = boot(".text\nmain:\n movi r0, 64\n sys alloc\n halt\n");
+        let mut ins = Instrumenter::new();
+        let id = ins.attach(Box::new(Counter::new(Watch::All, 1)));
+        m.run(&mut ins, 1_000_000);
+        let tool = ins.detach(id).expect("detach");
+        let c = tool.as_any().downcast_ref::<Counter>().expect("downcast");
+        assert_eq!(c.allocs, 1);
+        assert_eq!(ins.tool_count(), 0);
+        assert!(ins.detach(id).is_none(), "double detach is None");
+    }
+
+    #[test]
+    fn multiple_tools_all_receive_events() {
+        let mut m = boot(".text\nmain:\n movi r0, 1\n halt\n");
+        let mut ins = Instrumenter::new();
+        let a = ins.attach(Box::new(Counter::new(Watch::All, 2)));
+        let b = ins.attach(Box::new(Counter::new(Watch::All, 3)));
+        m.run(&mut ins, 1_000_000);
+        assert_eq!(ins.get::<Counter>(a).expect("a").insns, 2);
+        assert_eq!(ins.get::<Counter>(b).expect("b").insns, 2);
+        assert_eq!(ins.pending_overhead(), 2 * (2 + 3));
+        assert_eq!(ins.events_of(a), 2);
+    }
+
+    #[test]
+    fn slot_reuse_after_detach() {
+        let mut ins = Instrumenter::new();
+        let a = ins.attach(Box::new(Counter::new(Watch::All, 1)));
+        ins.detach(a);
+        let b = ins.attach(Box::new(Counter::new(Watch::None, 1)));
+        assert_eq!(a, b, "slot is reused");
+        assert_eq!(ins.tool_count(), 1);
+    }
+}

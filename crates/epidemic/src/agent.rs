@@ -1,0 +1,165 @@
+//! Agent-based Monte-Carlo cross-check of the SI community model.
+//!
+//! A Gillespie-style continuous-time simulation of the same process the
+//! ODEs describe: each infected host emits contact attempts at rate `β`;
+//! each attempt targets a uniformly random vulnerable host. Hits on
+//! susceptible consumers succeed with probability `ρ`; the first hit on a
+//! producer starts the antibody clock; at `T0 + γ` every host becomes
+//! immune. Used to validate the analytic figures (6-8) and to expose
+//! stochastic variance the ODEs hide (the lucky/unlucky first-contact
+//! races the paper's hit-list discussion turns on).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::Scenario;
+
+/// One simulated outbreak's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Time of first producer contact, if any.
+    pub t0: Option<f64>,
+    /// Hosts infected when immunity landed (or at saturation).
+    pub infected: u64,
+    /// Infection ratio.
+    pub infection_ratio: f64,
+}
+
+/// Simulate one outbreak with the given RNG seed.
+pub fn simulate(s: &Scenario, seed: u64) -> SimOutcome {
+    let n = s.n.round() as u64;
+    let producers = ((s.alpha * s.n).round() as u64).min(n);
+    // Hosts [0, producers) are producers; the rest are consumers.
+    let mut infected_flags = vec![false; n as usize];
+    let mut infected: u64 = s.i0.round().max(1.0) as u64;
+    // Seed infections among consumers (the worm starts outside).
+    for k in 0..infected {
+        let idx = (producers + k).min(n - 1) as usize;
+        infected_flags[idx] = true;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut t0: Option<f64> = None;
+    let consumer_count = n - producers;
+    let t_bound = 1e7 / s.beta.max(1e-12);
+    loop {
+        if let Some(t0v) = t0 {
+            if t >= t0v + s.gamma {
+                break; // Immunity deployed.
+            }
+        }
+        if infected >= consumer_count {
+            break; // Saturation.
+        }
+        if t > t_bound {
+            break; // Die-out guard.
+        }
+        // Next contact event: total rate β * I.
+        let rate = s.beta * infected as f64;
+        let dt = -(1.0f64 - rng.gen::<f64>()).ln() / rate;
+        t += dt;
+        // Don't spread past the immunity instant.
+        if let Some(t0v) = t0 {
+            if t >= t0v + s.gamma {
+                break;
+            }
+        }
+        let target = rng.gen_range(0..n) as usize;
+        if (target as u64) < producers {
+            // A producer was contacted: the antibody clock starts.
+            if t0.is_none() {
+                t0 = Some(t);
+            }
+        } else if !infected_flags[target] && rng.gen::<f64>() < s.rho {
+            infected_flags[target] = true;
+            infected += 1;
+        }
+    }
+    SimOutcome {
+        t0,
+        infected,
+        infection_ratio: infected as f64 / s.n,
+    }
+}
+
+/// Average infection ratio over `runs` independent outbreaks.
+pub fn simulate_mean(s: &Scenario, runs: u32, seed: u64) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..runs {
+        acc += simulate(s, seed.wrapping_add(k as u64 * 0x9e37_79b9)).infection_ratio;
+    }
+    acc / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{solve, Scenario};
+
+    /// A scaled-down Slammer (smaller N keeps the simulation fast; the
+    /// dynamics depend on α·N and β, so α is scaled up accordingly).
+    fn small(alpha: f64, gamma: f64) -> Scenario {
+        Scenario {
+            beta: 0.1,
+            n: 10_000.0,
+            alpha,
+            rho: 1.0,
+            gamma,
+            i0: 1.0,
+        }
+    }
+
+    #[test]
+    fn simulation_is_seed_deterministic() {
+        let s = small(0.001, 10.0);
+        assert_eq!(simulate(&s, 7), simulate(&s, 7));
+    }
+
+    #[test]
+    fn monte_carlo_tracks_the_ode() {
+        let s = small(0.002, 10.0);
+        let ode = solve(&s).infection_ratio;
+        let mc = simulate_mean(&s, 30, 42);
+        // Stochastic, so allow a generous band — the point is the same
+        // regime, not digit agreement.
+        assert!(
+            (mc - ode).abs() < 0.25,
+            "ODE {ode:.3} vs Monte-Carlo {mc:.3} diverge"
+        );
+    }
+
+    #[test]
+    fn no_producers_saturates() {
+        let s = small(0.0, 5.0);
+        let out = simulate(&s, 3);
+        assert!(out.t0.is_none());
+        assert!(out.infection_ratio > 0.95, "{out:?}");
+    }
+
+    #[test]
+    fn response_time_ordering_holds_stochastically() {
+        let fast = simulate_mean(&small(0.002, 5.0), 20, 1);
+        let slow = simulate_mean(&small(0.002, 60.0), 20, 1);
+        assert!(fast <= slow + 0.02, "fast {fast:.3} vs slow {slow:.3}");
+    }
+
+    #[test]
+    fn proactive_protection_slows_hitlist() {
+        let hot = Scenario {
+            beta: 1000.0,
+            n: 10_000.0,
+            alpha: 0.001,
+            rho: 1.0,
+            gamma: 5.0,
+            i0: 1.0,
+        };
+        let cold = Scenario {
+            rho: (2.0f64).powi(-12),
+            ..hot
+        };
+        let hot_r = simulate_mean(&hot, 10, 5);
+        let cold_r = simulate_mean(&cold, 10, 5);
+        assert!(hot_r > 0.8, "unprotected hit-list saturates: {hot_r:.3}");
+        assert!(cold_r < 0.05, "protected hit-list contained: {cold_r:.3}");
+    }
+}

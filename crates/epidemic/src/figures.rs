@@ -1,0 +1,177 @@
+//! Figure 6/7/8 sweeps: infection ratio vs deployment ratio per γ.
+
+use crate::model::{solve, Scenario};
+
+/// The γ values (seconds) the paper plots.
+pub const GAMMAS: [f64; 6] = [5.0, 10.0, 20.0, 30.0, 50.0, 100.0];
+
+/// The deployment ratios plotted in Figure 6 (Slammer).
+pub const ALPHAS_FIG6: [f64; 5] = [0.1, 0.01, 0.005, 0.001, 0.0001];
+
+/// The deployment ratios plotted in Figures 7/8 (hit-list worms).
+pub const ALPHAS_FIG78: [f64; 5] = [0.5, 0.1, 0.01, 0.001, 0.0001];
+
+/// One curve: a γ value with its infection ratio per α.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Response time γ (seconds).
+    pub gamma: f64,
+    /// `(alpha, infection_ratio)` points, in plotted α order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A whole figure: one curve per γ.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// Curves, one per γ.
+    pub curves: Vec<Curve>,
+}
+
+fn sweep(title: &str, alphas: &[f64], make: impl Fn(f64, f64) -> Scenario) -> Figure {
+    let curves = GAMMAS
+        .iter()
+        .map(|&gamma| Curve {
+            gamma,
+            points: alphas
+                .iter()
+                .map(|&alpha| (alpha, solve(&make(alpha, gamma)).infection_ratio))
+                .collect(),
+        })
+        .collect();
+    Figure {
+        title: title.to_string(),
+        curves,
+    }
+}
+
+/// Figure 6: Sweeper community vs Slammer (β = 0.1, ρ = 1).
+pub fn figure6() -> Figure {
+    sweep(
+        "Fig 6: Sweeper defense against Slammer (beta=0.1)",
+        &ALPHAS_FIG6,
+        Scenario::slammer,
+    )
+}
+
+/// Figure 7: Sweeper + proactive protection vs hit-list β = 1000.
+pub fn figure7() -> Figure {
+    sweep(
+        "Fig 7: Sweeper with proactive protection against hit-list (beta=1000)",
+        &ALPHAS_FIG78,
+        |a, g| Scenario::hitlist(1000.0, a, g),
+    )
+}
+
+/// Figure 8: Sweeper + proactive protection vs hit-list β = 4000.
+pub fn figure8() -> Figure {
+    sweep(
+        "Fig 8: Sweeper with proactive protection against hit-list (beta=4000)",
+        &ALPHAS_FIG78,
+        |a, g| Scenario::hitlist(4000.0, a, g),
+    )
+}
+
+impl Figure {
+    /// Render as an aligned text table (α columns, γ rows).
+    pub fn render(&self) -> String {
+        let alphas: Vec<f64> = self
+            .curves
+            .first()
+            .map(|c| c.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        let mut out = format!("{}\n", self.title);
+        out.push_str(&format!("{:>8} |", "gamma"));
+        for a in &alphas {
+            out.push_str(&format!(" a={a:<9}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(10 + alphas.len() * 12));
+        out.push('\n');
+        for c in &self.curves {
+            out.push_str(&format!("{:>7}s |", c.gamma));
+            for (_, r) in &c.points {
+                out.push_str(&format!(" {:<10.4}", r));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The infection ratio for a given (γ, α) cell.
+    pub fn at(&self, gamma: f64, alpha: f64) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|c| (c.gamma - gamma).abs() < 1e-9)?
+            .points
+            .iter()
+            .find(|(a, _)| (a - alpha).abs() < 1e-12)
+            .map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shape_matches_paper() {
+        let f = figure6();
+        // γ=5, α=0.0001 -> ~15%.
+        let r = f.at(5.0, 0.0001).expect("cell");
+        assert!(r > 0.05 && r < 0.3, "{r}");
+        // γ=20, α=0.001 -> ~5%.
+        let r2 = f.at(20.0, 0.001).expect("cell");
+        assert!(r2 < 0.1, "{r2}");
+        // Monotone: more deployment never hurts (within a γ row).
+        for c in &f.curves {
+            for w in c.points.windows(2) {
+                // Points are ordered from high alpha to low alpha.
+                assert!(w[0].1 <= w[1].1 + 1e-9, "non-monotone in alpha: {w:?}");
+            }
+        }
+        // Monotone: slower response never helps (within an α column).
+        for a_idx in 0..ALPHAS_FIG6.len() {
+            for g in f.curves.windows(2) {
+                assert!(g[0].points[a_idx].1 <= g[1].points[a_idx].1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_gamma_cliff() {
+        let f = figure7();
+        // Paper: "Note that γ = 50 is much worse than γ = 30."
+        for &alpha in &[0.01, 0.001] {
+            let g30 = f.at(30.0, alpha).expect("g30");
+            let g50 = f.at(50.0, alpha).expect("g50");
+            assert!(
+                g50 > g30 + 0.25,
+                "cliff at alpha {alpha}: g30={g30:.3} g50={g50:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure8_gamma_cliff_moves_earlier() {
+        let f = figure8();
+        // Paper: "Note that γ = 20 is much worse than γ = 10."
+        for &alpha in &[0.01, 0.001] {
+            let g10 = f.at(10.0, alpha).expect("g10");
+            let g20 = f.at(20.0, alpha).expect("g20");
+            assert!(
+                g20 > g10 + 0.25,
+                "cliff at alpha {alpha}: g10={g10:.3} g20={g20:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn renders_a_complete_table() {
+        let f = figure6();
+        let txt = f.render();
+        assert_eq!(txt.lines().count(), 3 + GAMMAS.len());
+        assert!(txt.contains("a=0.0001"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # epidemic — the community-defense worm model (paper §6)
+//!
+//! The Susceptible-Infected community model of equations (1)-(4):
+//! Producers (full Sweeper, ratio α) detect the first infection attempt
+//! against them, produce antibodies within the response time γ, and
+//! immunize everyone; Consumers rely on lightweight proactive protection
+//! (per-attempt success probability ρ) until then.
+//!
+//! - [`model`] — RK4 integration of the ODEs plus the closed-form
+//!   logistic used to validate it.
+//! - [`agent`] — a Gillespie-style agent-based Monte-Carlo cross-check.
+//! - [`figures`] — the α/γ sweeps regenerating Figures 6, 7, and 8.
+
+pub mod agent;
+pub mod figures;
+pub mod model;
+
+pub use agent::{simulate, simulate_mean, SimOutcome};
+pub use figures::{figure6, figure7, figure8, Curve, Figure, ALPHAS_FIG6, ALPHAS_FIG78, GAMMAS};
+pub use model::{logistic_i, required_gamma, solve, Outcome, Scenario};

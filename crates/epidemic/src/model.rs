@@ -1,0 +1,396 @@
+//! The Susceptible-Infected community model (paper §6, equations 1-4).
+//!
+//! Worm spread follows the classic SI epidemic model. A fraction `α` of
+//! the `N` vulnerable hosts are *Producers* (full Sweeper); the rest are
+//! *Consumers*. With proactive probabilistic protection (paper §6.3), an
+//! individual infection attempt succeeds only with probability `ρ`:
+//!
+//! ```text
+//! dI/dt = β·ρ·I·(1 − α − I/N)          (infected consumers)
+//! dP/dt = α·β·I·(1 − P/(α·N))          (producers contacted)
+//! ```
+//!
+//! `T0` is the first time a producer receives an infection attempt
+//! (`P(T0) = 1`); after the community response time `γ` (analysis +
+//! dissemination + deployment), every host is immune. The outcome metric
+//! is the infection ratio `I(T0 + γ) / N`.
+
+/// Parameters of one community-defense scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Average contact rate (per infected host per second).
+    pub beta: f64,
+    /// Total vulnerable hosts.
+    pub n: f64,
+    /// Producer (full-Sweeper) deployment ratio.
+    pub alpha: f64,
+    /// Per-attempt infection success probability (1.0 = no proactive
+    /// protection; the paper uses 2⁻¹² for address-space randomization).
+    pub rho: f64,
+    /// Community response time in seconds (γ = γ₁ analysis + γ₂
+    /// dissemination).
+    pub gamma: f64,
+    /// Initially infected hosts.
+    pub i0: f64,
+}
+
+impl Scenario {
+    /// The paper's Slammer scenario (§6.2): β = 0.1, N = 100 000, no
+    /// proactive protection.
+    pub fn slammer(alpha: f64, gamma: f64) -> Scenario {
+        Scenario {
+            beta: 0.1,
+            n: 100_000.0,
+            alpha,
+            rho: 1.0,
+            gamma,
+            i0: 1.0,
+        }
+    }
+
+    /// The paper's hit-list scenarios (§6.3): β ∈ {1000, 4000}, with
+    /// proactive protection ρ = 2⁻¹².
+    pub fn hitlist(beta: f64, alpha: f64, gamma: f64) -> Scenario {
+        Scenario {
+            beta,
+            n: 100_000.0,
+            alpha,
+            rho: (2.0f64).powi(-12),
+            gamma,
+            i0: 1.0,
+        }
+    }
+}
+
+/// State of the ODE system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct State {
+    /// Time (seconds).
+    pub t: f64,
+    /// Infected hosts.
+    pub i: f64,
+    /// Producers contacted at least once.
+    pub p: f64,
+}
+
+fn derivs(s: &Scenario, i: f64, p: f64) -> (f64, f64) {
+    let di = s.beta * s.rho * i * (1.0 - s.alpha - i / s.n);
+    let dp = if s.alpha > 0.0 {
+        s.alpha * s.beta * i * (1.0 - p / (s.alpha * s.n))
+    } else {
+        0.0
+    };
+    (di.max(0.0), dp.max(0.0))
+}
+
+/// One RK4 step.
+fn rk4(s: &Scenario, st: State, dt: f64) -> State {
+    let (k1i, k1p) = derivs(s, st.i, st.p);
+    let (k2i, k2p) = derivs(s, st.i + 0.5 * dt * k1i, st.p + 0.5 * dt * k1p);
+    let (k3i, k3p) = derivs(s, st.i + 0.5 * dt * k2i, st.p + 0.5 * dt * k2p);
+    let (k4i, k4p) = derivs(s, st.i + dt * k3i, st.p + dt * k3p);
+    let i = st.i + dt / 6.0 * (k1i + 2.0 * k2i + 2.0 * k3i + k4i);
+    let p = st.p + dt / 6.0 * (k1p + 2.0 * k2p + 2.0 * k3p + k4p);
+    State {
+        t: st.t + dt,
+        i: i.clamp(0.0, s.n * (1.0 - s.alpha)),
+        p: p.clamp(0.0, s.alpha * s.n),
+    }
+}
+
+/// Result of solving one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Time of the first producer contact (s); `None` if no producer is
+    /// ever contacted (α = 0 or the worm dies out).
+    pub t0: Option<f64>,
+    /// Infected hosts at T0 + γ (or at saturation when T0 is `None`).
+    pub infected: f64,
+    /// The headline metric: `infected / N`.
+    pub infection_ratio: f64,
+}
+
+/// Integration time step for a scenario: resolve the fastest timescale.
+fn timestep(s: &Scenario) -> f64 {
+    // The infection timescale is 1/(β·ρ·N/N) = 1/(β·ρ) per-host, but the
+    // *population* dynamics move on 1/(β·ρ) too; the producer-contact
+    // rate grows with I. Resolve both comfortably.
+    let fastest_rate = (s.beta * s.rho).max(s.beta * s.alpha.max(1e-6));
+    (0.02 / fastest_rate).clamp(1e-9, 1.0)
+}
+
+/// Solve the scenario: integrate to `T0`, then `γ` further.
+pub fn solve(s: &Scenario) -> Outcome {
+    let dt = timestep(s);
+    let mut st = State {
+        t: 0.0,
+        i: s.i0,
+        p: 0.0,
+    };
+    let cap = s.n * (1.0 - s.alpha);
+    // Phase 1: find T0 (P crosses 1). Bound the search generously.
+    let mut t0 = None;
+    let t_max = phase1_bound(s);
+    while st.t < t_max {
+        if st.p >= 1.0 {
+            t0 = Some(st.t);
+            break;
+        }
+        if st.i >= cap - 1e-9 && s.alpha <= 0.0 {
+            break;
+        }
+        st = rk4(s, st, dt);
+    }
+    if st.p >= 1.0 && t0.is_none() {
+        t0 = Some(st.t);
+    }
+    let Some(t0v) = t0 else {
+        // No producer ever contacted: the worm saturates the consumers.
+        let infected = if s.alpha > 0.0 { st.i } else { cap };
+        return Outcome {
+            t0: None,
+            infected,
+            infection_ratio: infected / s.n,
+        };
+    };
+    // Phase 2: γ more seconds of spreading, then immunity everywhere.
+    let end = t0v + s.gamma;
+    while st.t < end {
+        let step = dt.min(end - st.t);
+        st = rk4(s, st, step);
+    }
+    Outcome {
+        t0,
+        infected: st.i,
+        infection_ratio: st.i / s.n,
+    }
+}
+
+fn phase1_bound(s: &Scenario) -> f64 {
+    // Generous: many multiples of the epidemic's doubling time.
+    let rate = (s.beta * s.rho).max(1e-12);
+    (200.0 * (s.n.ln() + 10.0) / rate).min(1e9)
+}
+
+/// The inverse problem: the largest community response time γ (seconds)
+/// that still keeps the infection ratio at or below `target`.
+///
+/// This is the operational question §6 answers implicitly ("a total
+/// end-to-end time of about 5 seconds will stop a hit-list worm"): given
+/// a worm and a deployment, how fast must detection + analysis +
+/// dissemination be? Solved by bisection over the (monotone in γ)
+/// infection ratio. Returns `None` when even γ = 0 overshoots the target
+/// (the outbreak before the first producer contact already exceeds it).
+pub fn required_gamma(base: &Scenario, target: f64) -> Option<f64> {
+    let ratio_at = |gamma: f64| solve(&Scenario { gamma, ..*base }).infection_ratio;
+    if ratio_at(0.0) > target {
+        return None;
+    }
+    // Find an upper bracket where the target is exceeded.
+    let mut hi = 1.0f64;
+    while ratio_at(hi) <= target {
+        hi *= 2.0;
+        if hi > 1e5 {
+            return Some(f64::INFINITY); // Target holds for any response time.
+        }
+    }
+    let mut lo = hi / 2.0;
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ratio_at(mid) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Closed-form logistic solution of eq. (1) (used for validation):
+/// `I(t) = K·I0·e^{rKt} / (K + I0·(e^{rKt} − 1))` with `K = N(1−α)`,
+/// `r = βρ/N`.
+pub fn logistic_i(s: &Scenario, t: f64) -> f64 {
+    let k = s.n * (1.0 - s.alpha);
+    let r = s.beta * s.rho / s.n;
+    let e = (r * k * t).exp();
+    k * s.i0 * e / (k + s.i0 * (e - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_matches_logistic_closed_form() {
+        let s = Scenario {
+            beta: 0.1,
+            n: 100_000.0,
+            alpha: 0.0,
+            rho: 1.0,
+            gamma: 0.0,
+            i0: 1.0,
+        };
+        let dt = timestep(&s);
+        let mut st = State {
+            t: 0.0,
+            i: s.i0,
+            p: 0.0,
+        };
+        for _ in 0..((200.0 / dt) as usize) {
+            st = rk4(&s, st, dt);
+        }
+        let exact = logistic_i(&s, st.t);
+        let rel = (st.i - exact).abs() / exact;
+        assert!(rel < 1e-4, "RK4 {} vs logistic {} (rel {rel})", st.i, exact);
+    }
+
+    #[test]
+    fn no_producers_means_full_sweep() {
+        let s = Scenario {
+            alpha: 0.0,
+            ..Scenario::slammer(0.0, 5.0)
+        };
+        let out = solve(&s);
+        assert!(out.t0.is_none());
+        assert!(out.infection_ratio > 0.99, "{out:?}");
+    }
+
+    #[test]
+    fn slammer_contained_at_modest_deployment() {
+        // Paper §6.2: "given a very low deployment ratio α = 0.0001, and a
+        // reasonable response time γ = 5 seconds, the overall infection
+        // ratio is only 15%".
+        let out = solve(&Scenario::slammer(0.0001, 5.0));
+        assert!(out.t0.is_some());
+        assert!(
+            out.infection_ratio > 0.05 && out.infection_ratio < 0.30,
+            "expected ~15%, got {:.3}",
+            out.infection_ratio
+        );
+        // "For a slightly higher producer ratio α = 0.001, ... all but 5%
+        // ... even for a relatively slow response time of γ = 20 s."
+        let out2 = solve(&Scenario::slammer(0.001, 20.0));
+        assert!(
+            out2.infection_ratio < 0.10,
+            "expected <~5%, got {:.3}",
+            out2.infection_ratio
+        );
+    }
+
+    #[test]
+    fn faster_response_means_fewer_infections() {
+        let slow = solve(&Scenario::slammer(0.001, 100.0));
+        let fast = solve(&Scenario::slammer(0.001, 5.0));
+        assert!(fast.infection_ratio < slow.infection_ratio);
+    }
+
+    #[test]
+    fn more_producers_means_earlier_t0() {
+        let few = solve(&Scenario::slammer(0.0001, 5.0));
+        let many = solve(&Scenario::slammer(0.01, 5.0));
+        assert!(many.t0.expect("t0") < few.t0.expect("t0"));
+        assert!(many.infection_ratio < few.infection_ratio);
+    }
+
+    #[test]
+    fn hitlist_with_proactive_protection_is_contained() {
+        // Paper §6.3: "given deployment rate α = 0.0001 and reaction time
+        // γ = 10 seconds, the overall infection ratio is only 5% for
+        // β = 1000"; "for α = 0.0001 and γ = 5 s, ... negligible (<1%)".
+        let out = solve(&Scenario::hitlist(1000.0, 0.0001, 10.0));
+        assert!(
+            out.infection_ratio < 0.12,
+            "expected ~5%, got {:.3}",
+            out.infection_ratio
+        );
+        let out5 = solve(&Scenario::hitlist(1000.0, 0.0001, 5.0));
+        assert!(
+            out5.infection_ratio < 0.01,
+            "expected <1%, got {:.4}",
+            out5.infection_ratio
+        );
+        // β = 4000, γ = 10: "40%".
+        let out4k = solve(&Scenario::hitlist(4000.0, 0.0001, 10.0));
+        assert!(
+            out4k.infection_ratio > 0.15 && out4k.infection_ratio < 0.65,
+            "expected ~40%, got {:.3}",
+            out4k.infection_ratio
+        );
+        let out4k5 = solve(&Scenario::hitlist(4000.0, 0.0001, 5.0));
+        assert!(
+            out4k5.infection_ratio < 0.01,
+            "expected <1%, got {:.4}",
+            out4k5.infection_ratio
+        );
+    }
+
+    #[test]
+    fn hitlist_without_proactive_protection_is_lost() {
+        // "100% of vulnerable hosts ... in mere hundredths of a second."
+        let s = Scenario {
+            rho: 1.0,
+            ..Scenario::hitlist(1000.0, 0.0001, 5.0)
+        };
+        let out = solve(&s);
+        assert!(
+            out.infection_ratio > 0.9,
+            "unprotected hit-list saturates: {out:?}"
+        );
+    }
+
+    #[test]
+    fn required_gamma_inverts_the_model() {
+        // The budget found by the inverse solver really does achieve the
+        // target, and a slightly slower response does not.
+        let base = Scenario::hitlist(1000.0, 0.001, 0.0);
+        let g = required_gamma(&base, 0.05).expect("feasible");
+        assert!(g > 1.0 && g < 100.0, "plausible budget: {g}");
+        let at = solve(&Scenario { gamma: g, ..base }).infection_ratio;
+        let over = solve(&Scenario {
+            gamma: g * 1.2,
+            ..base
+        })
+        .infection_ratio;
+        assert!(at <= 0.05 + 1e-6, "{at}");
+        assert!(over > 0.05, "{over}");
+        // Faster worm -> tighter budget.
+        let g4k = required_gamma(&Scenario::hitlist(4000.0, 0.001, 0.0), 0.05).expect("feasible");
+        assert!(g4k < g, "beta=4000 budget {g4k} < beta=1000 budget {g}");
+        // The paper's headline: ~5 s suffices for 5% even at beta=4000
+        // with alpha as low as 1e-4.
+        let tight =
+            required_gamma(&Scenario::hitlist(4000.0, 0.0001, 0.0), 0.05).expect("feasible");
+        assert!(
+            tight >= 5.0,
+            "5 s response meets the 5% target: budget {tight}"
+        );
+    }
+
+    #[test]
+    fn required_gamma_edge_cases() {
+        // Unreachable target: no producers at all.
+        let none = Scenario {
+            alpha: 0.0,
+            ..Scenario::slammer(0.0, 0.0)
+        };
+        assert!(required_gamma(&none, 0.05).is_none());
+        // Trivial target: 100% is satisfied by any response time.
+        let any = required_gamma(&Scenario::slammer(0.01, 0.0), 1.0);
+        assert_eq!(any, Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn gamma_cliff_is_reproduced() {
+        // Paper figure 7 note: "γ = 50 is much worse than γ = 30" at
+        // β = 1000 — the infection ratio climbs steeply between them.
+        let g30 = solve(&Scenario::hitlist(1000.0, 0.001, 30.0));
+        let g50 = solve(&Scenario::hitlist(1000.0, 0.001, 50.0));
+        assert!(
+            g50.infection_ratio > 4.0 * g30.infection_ratio.max(1e-6)
+                || (g50.infection_ratio - g30.infection_ratio) > 0.3,
+            "cliff missing: γ30 {:.4} vs γ50 {:.4}",
+            g30.infection_ratio,
+            g50.infection_ratio
+        );
+    }
+}

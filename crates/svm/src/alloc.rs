@@ -1,0 +1,502 @@
+//! The guest heap allocator — Sweeper's primary exploit surface.
+//!
+//! Like glibc's dlmalloc, all metadata lives *inline in guest memory*:
+//! every chunk carries a `prev_size`/`size` boundary tag just below its
+//! payload, and free chunks thread `fd`/`bk` pointers through their first
+//! payload bytes. This is what makes the paper's Squid heap overflow
+//! (CVE-2002-0068) and CVS double free (CVE-2003-0015) genuinely
+//! exploitable here: an overflow rewrites the *next* chunk's boundary tag
+//! and free-list pointers, and the next `free()` performs the classic
+//! unlink `*(fd+12)=bk; *(bk+8)=fd` — an attacker-controlled 4-byte write.
+//!
+//! The allocator is intentionally *vulnerable* (no double-free check, no
+//! pointer sanity check before unlink), matching the 2003-era targets.
+//! Sweeper's memory-bug detector re-derives safety by monitoring these
+//! structures from outside during replay.
+
+use crate::error::Fault;
+use crate::mem::Mem;
+
+/// Size of the per-chunk boundary tag (prev_size + size words).
+pub const HEADER_SIZE: u32 = 8;
+/// Minimum whole-chunk size (header + room for fd/bk).
+pub const MIN_CHUNK: u32 = 24;
+/// In-use flag stored in the low bit of the size word.
+pub const IN_USE: u32 = 1;
+
+/// Host-side allocator state (checkpointed as plain data).
+///
+/// Only `brk` and the free-list head live here; everything an attacker can
+/// corrupt lives in guest memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapState {
+    /// First address of the heap region.
+    pub base: u32,
+    /// One past the last usable heap address.
+    pub end: u32,
+    /// Current break (next fresh chunk address).
+    pub brk: u32,
+    /// Head of the doubly-linked free list (0 = empty).
+    pub free_head: u32,
+    /// Counter of successful allocations (statistics).
+    pub allocs: u64,
+    /// Counter of frees (statistics).
+    pub frees: u64,
+}
+
+/// Outcome of a `free` call, reported to instrumentation hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeKind {
+    /// Chunk was in use and is now free.
+    Normal,
+    /// The chunk's in-use bit was already clear: a double free. The
+    /// vulnerable allocator proceeds anyway (matching the CVS target).
+    DoubleFree,
+}
+
+impl HeapState {
+    /// A fresh heap covering `[base, base+size)`.
+    pub fn new(base: u32, size: u32) -> HeapState {
+        HeapState {
+            base,
+            end: base + size,
+            brk: base,
+            free_head: 0,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    fn align8(n: u32) -> u32 {
+        (n + 7) & !7
+    }
+
+    fn read_size(&self, mem: &Mem, pc: u32, chunk: u32) -> Result<u32, Fault> {
+        mem.read_u32(pc, chunk + 4)
+    }
+
+    /// Validate a chunk's size word, aborting like glibc's
+    /// "free(): invalid next size" on gross corruption. The check is
+    /// deliberately shallow (size-word shape only): a *consistent* forged
+    /// header — and the double-free list corruption — sails through,
+    /// matching the 2003-era exploitability the evaluated CVEs relied on.
+    fn check_size(&self, pc: u32, chunk: u32, size_word: u32) -> Result<u32, Fault> {
+        let size = size_word & !IN_USE;
+        if size < MIN_CHUNK
+            || !size.is_multiple_of(8)
+            || chunk < self.base
+            || chunk + size > self.brk
+        {
+            return Err(Fault::HeapAbort { pc, chunk });
+        }
+        Ok(size)
+    }
+
+    /// Allocate `size` payload bytes; returns the payload pointer or 0.
+    ///
+    /// Walks the free list first-fit (following guest-memory `fd`
+    /// pointers), splitting oversized chunks; falls back to extending the
+    /// break. Returns `Err` only if corrupted metadata makes the allocator
+    /// itself fault (e.g. an `fd` pointer into unmapped memory).
+    pub fn alloc(&mut self, mem: &mut Mem, pc: u32, size: u32) -> Result<u32, Fault> {
+        let need = Self::align8(size.max(16)) + HEADER_SIZE;
+        // First-fit over the free list.
+        let mut cur = self.free_head;
+        let mut steps = 0u32;
+        while cur != 0 {
+            // A cycle (from double-free corruption) would loop forever;
+            // glibc-era allocators spin too, but we bound and abort like a
+            // detected arena corruption so the host regains control.
+            steps += 1;
+            if steps > 1_000_000 {
+                return Err(Fault::HeapAbort { pc, chunk: cur });
+            }
+            let w = self.read_size(mem, pc, cur)?;
+            let csize = self.check_size(pc, cur, w)?;
+            if csize >= need {
+                self.unlink(mem, pc, cur)?;
+                self.split(mem, pc, cur, csize, need)?;
+                self.allocs += 1;
+                return Ok(cur + HEADER_SIZE);
+            }
+            cur = mem.read_u32(pc, cur + 8)?; // fd
+        }
+        // Extend the break.
+        let Some(new_brk) = self.brk.checked_add(need) else {
+            return Ok(0);
+        };
+        if new_brk > self.end {
+            return Ok(0); // OOM.
+        }
+        let chunk = self.brk;
+        self.brk += need;
+        let prev_size = 0u32;
+        mem.write_u32(pc, chunk, prev_size)?;
+        mem.write_u32(pc, chunk + 4, need | IN_USE)?;
+        self.allocs += 1;
+        Ok(chunk + HEADER_SIZE)
+    }
+
+    /// Split chunk `c` (whole size `csize`) leaving `need` bytes in use and
+    /// returning the remainder to the free list if it is large enough.
+    fn split(
+        &mut self,
+        mem: &mut Mem,
+        pc: u32,
+        c: u32,
+        csize: u32,
+        need: u32,
+    ) -> Result<(), Fault> {
+        if csize >= need + MIN_CHUNK {
+            let rem_addr = c + need;
+            let rem_size = csize - need;
+            mem.write_u32(pc, c + 4, need | IN_USE)?;
+            mem.write_u32(pc, rem_addr, need)?; // prev_size of remainder
+            mem.write_u32(pc, rem_addr + 4, rem_size)?;
+            self.push_free(mem, pc, rem_addr)?;
+            // Fix prev_size of the chunk after the remainder, if in heap.
+            let after = rem_addr + rem_size;
+            if after < self.brk {
+                mem.write_u32(pc, after, rem_size)?;
+            }
+        } else {
+            mem.write_u32(pc, c + 4, csize | IN_USE)?;
+        }
+        Ok(())
+    }
+
+    /// Remove chunk `c` from the free list — the classic unlink primitive.
+    ///
+    /// `fd`/`bk` are read from *guest memory*; if an overflow rewrote them,
+    /// the two writes below go wherever the attacker chose.
+    fn unlink(&mut self, mem: &mut Mem, pc: u32, c: u32) -> Result<(), Fault> {
+        let fd = mem.read_u32(pc, c + 8)?;
+        let bk = mem.read_u32(pc, c + 12)?;
+        if bk != 0 {
+            mem.write_u32(pc, bk + 8, fd)?; // bk->fd = fd
+        } else {
+            self.free_head = fd;
+        }
+        if fd != 0 {
+            mem.write_u32(pc, fd + 12, bk)?; // fd->bk = bk
+        }
+        Ok(())
+    }
+
+    /// Push chunk `c` onto the free-list head.
+    fn push_free(&mut self, mem: &mut Mem, pc: u32, c: u32) -> Result<(), Fault> {
+        let old = self.free_head;
+        mem.write_u32(pc, c + 8, old)?; // fd
+        mem.write_u32(pc, c + 12, 0)?; // bk
+        if old != 0 {
+            mem.write_u32(pc, old + 12, c)?;
+        }
+        self.free_head = c;
+        Ok(())
+    }
+
+    /// Free the payload pointer `ptr`.
+    ///
+    /// No double-free check (reported as [`FreeKind::DoubleFree`] to hooks
+    /// but *performed anyway*), and coalescing unlinks the next chunk using
+    /// its in-guest-memory pointers — both deliberate period-accurate
+    /// vulnerabilities.
+    pub fn free(&mut self, mem: &mut Mem, pc: u32, ptr: u32) -> Result<FreeKind, Fault> {
+        let c = ptr.wrapping_sub(HEADER_SIZE);
+        let size_word = self.read_size(mem, pc, c)?;
+        let kind = if size_word & IN_USE == 0 {
+            FreeKind::DoubleFree
+        } else {
+            FreeKind::Normal
+        };
+        let mut size = self.check_size(pc, c, size_word)?;
+        // Coalesce forward: if the next chunk is free, unlink and absorb it.
+        let next = c.wrapping_add(size);
+        if next.wrapping_add(HEADER_SIZE) <= self.brk && next > c {
+            let next_size_word = self.read_size(mem, pc, next)?;
+            // An overflowed (garbage) next size word aborts, glibc-style.
+            let next_size = self.check_size(pc, next, next_size_word)?;
+            if next_size_word & IN_USE == 0 {
+                self.unlink(mem, pc, next)?;
+                size += next_size;
+            }
+        }
+        mem.write_u32(pc, c + 4, size)?;
+        let after = c.wrapping_add(size);
+        if size != 0 && after < self.brk && after > c {
+            mem.write_u32(pc, after, size)?;
+        }
+        self.push_free(mem, pc, c)?;
+        self.frees += 1;
+        Ok(kind)
+    }
+
+    /// Walk the heap's boundary tags from the base, returning each chunk as
+    /// `(addr, whole_size, in_use)`. Stops (returning what it has plus an
+    /// error flag) when a tag is inconsistent — used by core-dump analysis.
+    pub fn walk(&self, mem: &Mem) -> (Vec<(u32, u32, bool)>, bool) {
+        let mut out = Vec::new();
+        let mut c = self.base;
+        while c + HEADER_SIZE <= self.brk {
+            let size_word = match mem.read_u32(0, c + 4) {
+                Ok(w) => w,
+                Err(_) => return (out, false),
+            };
+            let size = size_word & !IN_USE;
+            if size < MIN_CHUNK.min(HEADER_SIZE + 16)
+                || !size.is_multiple_of(8)
+                || c + size > self.brk
+            {
+                return (out, false);
+            }
+            out.push((c, size, size_word & IN_USE != 0));
+            c += size;
+        }
+        (out, c == self.brk)
+    }
+
+    /// Whether `addr` lies within the payload of a live (in-use) chunk; if
+    /// so, returns `(payload_start, payload_len)`.
+    pub fn live_chunk_containing(&self, mem: &Mem, addr: u32) -> Option<(u32, u32)> {
+        let (chunks, _) = self.walk(mem);
+        for (c, size, in_use) in chunks {
+            let pay = c + HEADER_SIZE;
+            let pay_len = size - HEADER_SIZE;
+            if in_use && addr >= pay && addr < pay + pay_len {
+                return Some((pay, pay_len));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Perm;
+
+    const BASE: u32 = 0x10_000;
+    const SIZE: u32 = 0x10_000;
+
+    fn heap() -> (Mem, HeapState) {
+        let mut mem = Mem::new();
+        mem.map(BASE, SIZE, Perm::RW, "heap").expect("map");
+        (mem, HeapState::new(BASE, SIZE))
+    }
+
+    #[test]
+    fn alloc_returns_aligned_disjoint_payloads() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 10).expect("a");
+        let b = h.alloc(&mut mem, 0, 100).expect("b");
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_eq!(a % 8, 0);
+        assert!(b >= a + 16, "payloads must not overlap");
+        mem.write_u32(0, a, 0x11111111).expect("w");
+        mem.write_u32(0, b, 0x22222222).expect("w");
+        assert_eq!(mem.read_u32(0, a).expect("r"), 0x11111111);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_chunk() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let _b = h.alloc(&mut mem, 0, 32).expect("b");
+        assert_eq!(h.free(&mut mem, 0, a).expect("free"), FreeKind::Normal);
+        let c = h.alloc(&mut mem, 0, 32).expect("c");
+        assert_eq!(c, a, "freed chunk is reused");
+    }
+
+    #[test]
+    fn oom_returns_null() {
+        let (mut mem, mut h) = heap();
+        assert_eq!(h.alloc(&mut mem, 0, SIZE).expect("big"), 0);
+        // And normal allocation still works afterwards.
+        assert_ne!(h.alloc(&mut mem, 0, 64).expect("small"), 0);
+    }
+
+    #[test]
+    fn split_returns_remainder() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 1000).expect("a");
+        h.free(&mut mem, 0, a).expect("free");
+        let b = h.alloc(&mut mem, 0, 16).expect("b");
+        assert_eq!(b, a, "first-fit reuses the big chunk");
+        let c = h.alloc(&mut mem, 0, 16).expect("c");
+        assert!(
+            c > b && c < a + 1008,
+            "second alloc carved from the remainder"
+        );
+    }
+
+    #[test]
+    fn walk_reports_consistent_heap() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 24).expect("a");
+        let _b = h.alloc(&mut mem, 0, 40).expect("b");
+        h.free(&mut mem, 0, a).expect("free");
+        let (chunks, ok) = h.walk(&mem);
+        assert!(ok);
+        assert_eq!(chunks.len(), 2);
+        assert!(!chunks[0].2, "first chunk is free");
+        assert!(chunks[1].2, "second chunk is live");
+    }
+
+    #[test]
+    fn walk_detects_corrupted_size() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 24).expect("a");
+        let _b = h.alloc(&mut mem, 0, 24).expect("b");
+        // Simulate an overflow trashing the next chunk's size word.
+        let next = a - HEADER_SIZE + 32; // 24 -> need 16+8 = wait, alignment
+        let _ = next;
+        // Find b's header via walk, then corrupt it.
+        let (chunks, ok) = h.walk(&mem);
+        assert!(ok);
+        mem.write_u32(0, chunks[1].0 + 4, 0xfff1).expect("corrupt");
+        let (_, ok2) = h.walk(&mem);
+        assert!(!ok2, "corruption detected");
+    }
+
+    #[test]
+    fn double_free_is_reported_but_performed() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        assert_eq!(h.free(&mut mem, 0, a).expect("f1"), FreeKind::Normal);
+        assert_eq!(h.free(&mut mem, 0, a).expect("f2"), FreeKind::DoubleFree);
+        // The classic consequence: the same chunk is handed out twice.
+        let x = h.alloc(&mut mem, 0, 32).expect("x");
+        let y = h.alloc(&mut mem, 0, 32).expect("y");
+        assert_eq!(
+            x, y,
+            "double free corrupts the free list into double allocation"
+        );
+    }
+
+    #[test]
+    fn unlink_with_corrupted_fd_writes_arbitrarily() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let b = h.alloc(&mut mem, 0, 32).expect("b");
+        let _guard = h.alloc(&mut mem, 0, 32).expect("guard");
+        h.free(&mut mem, 0, b).expect("free b");
+        // Overflow from `a` rewrites free chunk b's fd/bk words. In the
+        // classic unlink attack both fd and bk must point at writable
+        // memory; the payoff is `*(fd+12) = bk` and `*(bk+8) = fd`.
+        let b_chunk = b - HEADER_SIZE;
+        let fd_target = BASE + 0x8000; // Attacker-chosen addresses.
+        let bk_target = BASE + 0x9000;
+        mem.write_u32(0, b_chunk + 8, fd_target).expect("fd");
+        mem.write_u32(0, b_chunk + 12, bk_target).expect("bk");
+        // Allocation that reuses b triggers unlink.
+        let c = h.alloc(&mut mem, 0, 32).expect("c");
+        assert_eq!(c, b);
+        assert_eq!(
+            mem.read_u32(0, fd_target + 12).expect("r"),
+            bk_target,
+            "fd->bk = bk landed"
+        );
+        assert_eq!(
+            mem.read_u32(0, bk_target + 8).expect("r"),
+            fd_target,
+            "bk->fd = fd landed"
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn unlink_with_unmapped_fd_faults() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let b = h.alloc(&mut mem, 0, 32).expect("b");
+        h.free(&mut mem, 0, b).expect("free b");
+        let b_chunk = b - HEADER_SIZE;
+        mem.write_u32(0, b_chunk + 8, 0x6666_0000)
+            .expect("fd -> unmapped");
+        mem.write_u32(0, b_chunk + 12, 0x7777_0000)
+            .expect("bk -> unmapped");
+        let err = h.alloc(&mut mem, 0x1234, 32).unwrap_err();
+        assert_eq!(err.pc(), 0x1234, "fault attributed to the alloc callsite");
+        let _ = a;
+    }
+
+    #[test]
+    fn free_with_trashed_next_header_aborts() {
+        // The Squid-style detection signal: an overflow writes ASCII
+        // garbage over the next chunk's size word; the following free()
+        // aborts like glibc's "invalid next size".
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let b = h.alloc(&mut mem, 0, 32).expect("b");
+        let b_chunk = b - HEADER_SIZE;
+        // Simulated overflow from `a` trashing b's header.
+        mem.write_u32(0, b_chunk + 4, u32::from_le_bytes(*b"%7e%"))
+            .expect("trash");
+        let err = h.free(&mut mem, 0x99, a).unwrap_err();
+        assert_eq!(
+            err,
+            Fault::HeapAbort {
+                pc: 0x99,
+                chunk: b_chunk
+            }
+        );
+    }
+
+    #[test]
+    fn free_with_trashed_own_header_aborts() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        mem.write_u32(0, a - 4, 0x0000_000d).expect("trash"); // Unaligned size.
+        assert!(matches!(
+            h.free(&mut mem, 0, a),
+            Err(Fault::HeapAbort { .. })
+        ));
+    }
+
+    #[test]
+    fn alloc_walk_over_corrupt_free_chunk_aborts() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let _b = h.alloc(&mut mem, 0, 32).expect("b");
+        h.free(&mut mem, 0, a).expect("free");
+        mem.write_u32(0, a - 4, 7).expect("trash listed chunk size");
+        assert!(matches!(
+            h.alloc(&mut mem, 0, 32),
+            Err(Fault::HeapAbort { .. })
+        ));
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let b = h.alloc(&mut mem, 0, 32).expect("b");
+        let _guard = h.alloc(&mut mem, 0, 32).expect("guard");
+        h.free(&mut mem, 0, b).expect("free b");
+        h.free(&mut mem, 0, a).expect("free a coalesces with b");
+        let big = h.alloc(&mut mem, 0, 64).expect("big");
+        assert_eq!(
+            big, a,
+            "coalesced chunk satisfies a larger request in place"
+        );
+    }
+
+    #[test]
+    fn live_chunk_containing_bounds() {
+        let (mut mem, mut h) = heap();
+        let a = h.alloc(&mut mem, 0, 32).expect("a");
+        let (pay, len) = h.live_chunk_containing(&mem, a + 5).expect("live");
+        assert_eq!(pay, a);
+        assert!(len >= 32);
+        assert!(
+            h.live_chunk_containing(&mem, a + len).is_none(),
+            "one past end"
+        );
+        h.free(&mut mem, 0, a).expect("free");
+        assert!(
+            h.live_chunk_containing(&mem, a).is_none(),
+            "freed chunk not live"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! CPU register file and flags.
+
+use crate::isa::{Cond, Reg, NUM_REGS};
+
+/// Comparison flags (set by `cmp`/`cmpi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Operands were equal.
+    pub zero: bool,
+    /// First operand was (unsigned) below the second.
+    pub below: bool,
+}
+
+impl Flags {
+    /// Evaluate a branch condition against the current flags.
+    pub fn holds(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::Eq => self.zero,
+            Cond::Ne => !self.zero,
+            Cond::Lt => self.below,
+            Cond::Le => self.below || self.zero,
+            Cond::Gt => !self.below && !self.zero,
+            Cond::Ge => !self.below,
+        }
+    }
+
+    /// Set flags from an unsigned comparison of `a` against `b`.
+    pub fn set_cmp(&mut self, a: u32, b: u32) {
+        self.zero = a == b;
+        self.below = a < b;
+    }
+}
+
+/// The architectural register state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    /// General-purpose registers (r0..r12, fp, sp).
+    pub regs: [u32; NUM_REGS],
+    /// Program counter.
+    pub pc: u32,
+    /// Comparison flags.
+    pub flags: Flags,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// A zeroed CPU.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            flags: Flags::default(),
+        }
+    }
+
+    /// Read a register.
+    pub fn get(&self, r: Reg) -> u32 {
+        self.regs[r.idx()]
+    }
+
+    /// Write a register.
+    pub fn set(&mut self, r: Reg, v: u32) {
+        self.regs[r.idx()] = v;
+    }
+
+    /// The stack pointer.
+    pub fn sp(&self) -> u32 {
+        self.get(Reg::SP)
+    }
+
+    /// The frame pointer.
+    pub fn fp(&self) -> u32 {
+        self.get(Reg::FP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_conditions() {
+        let mut f = Flags::default();
+        f.set_cmp(3, 3);
+        assert!(f.holds(Cond::Eq) && f.holds(Cond::Le) && f.holds(Cond::Ge));
+        assert!(!f.holds(Cond::Ne) && !f.holds(Cond::Lt) && !f.holds(Cond::Gt));
+        f.set_cmp(2, 5);
+        assert!(f.holds(Cond::Lt) && f.holds(Cond::Le) && f.holds(Cond::Ne));
+        assert!(!f.holds(Cond::Ge));
+        f.set_cmp(9, 5);
+        assert!(f.holds(Cond::Gt) && f.holds(Cond::Ge));
+        // Comparisons are unsigned: -1 as u32 is large.
+        f.set_cmp(u32::MAX, 0);
+        assert!(f.holds(Cond::Gt));
+    }
+
+    #[test]
+    fn register_access() {
+        let mut c = Cpu::new();
+        c.set(Reg(5), 42);
+        c.set(Reg::SP, 0x9000);
+        assert_eq!(c.get(Reg(5)), 42);
+        assert_eq!(c.sp(), 0x9000);
+        assert_eq!(c.fp(), 0);
+    }
+}

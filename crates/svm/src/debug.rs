@@ -1,0 +1,146 @@
+//! Machine-state dumps for forensic output and debugging.
+//!
+//! Renders the architectural state — registers, a stack window, the
+//! region table, allocator statistics, and a disassembly window around
+//! the program counter — as the textual "core dump" a human reads next
+//! to the automated analyses.
+
+use crate::disasm::crash_context;
+use crate::isa::Reg;
+use crate::machine::Machine;
+
+/// Render the register file.
+pub fn dump_registers(m: &Machine) -> String {
+    let mut s = String::new();
+    for chunk in (0..13u8).collect::<Vec<_>>().chunks(4) {
+        for &r in chunk {
+            s.push_str(&format!("r{r:<2} = {:#010x}  ", m.cpu.get(Reg(r))));
+        }
+        s.push('\n');
+    }
+    s.push_str(&format!(
+        "fp  = {:#010x}  sp  = {:#010x}  pc  = {:#010x}  flags = z:{} b:{}\n",
+        m.cpu.fp(),
+        m.cpu.sp(),
+        m.cpu.pc,
+        m.cpu.flags.zero as u8,
+        m.cpu.flags.below as u8,
+    ));
+    s
+}
+
+/// Render a window of stack words around `sp`, annotating values that
+/// point into loaded segments.
+pub fn dump_stack(m: &Machine, words: usize) -> String {
+    let sp = m.cpu.sp();
+    let mut s = String::new();
+    for i in 0..words as u32 {
+        let addr = sp.wrapping_add(i * 4);
+        let Ok(v) = m.mem.read_u32(0, addr) else {
+            break;
+        };
+        let note = if m.symbols.in_bounds(v) {
+            format!("  -> {}", m.symbols.render(v))
+        } else {
+            String::new()
+        };
+        s.push_str(&format!(
+            "[sp+{:<3}] {addr:#010x}: {v:#010x}{note}\n",
+            i * 4
+        ));
+    }
+    s
+}
+
+/// Render the memory map.
+pub fn dump_regions(m: &Machine) -> String {
+    let mut s = String::new();
+    for r in m.mem.regions() {
+        s.push_str(&format!(
+            "{:#010x}-{:#010x} {}{}{} {}\n",
+            r.start,
+            r.end(),
+            if r.perm.r { 'r' } else { '-' },
+            if r.perm.w { 'w' } else { '-' },
+            if r.perm.x { 'x' } else { '-' },
+            r.name,
+        ));
+    }
+    s
+}
+
+/// The full forensic dump: registers, code context, stack, regions, heap.
+pub fn dump(m: &Machine) -> String {
+    let mut s = String::new();
+    s.push_str("-- registers --\n");
+    s.push_str(&dump_registers(m));
+    s.push_str("-- code --\n");
+    s.push_str(&crash_context(&m.mem, &m.symbols, m.cpu.pc, 2, 2));
+    s.push_str("-- stack --\n");
+    s.push_str(&dump_stack(m, 8));
+    s.push_str("-- regions --\n");
+    s.push_str(&dump_regions(m));
+    let (chunks, ok) = m.heap.walk(&m.mem);
+    s.push_str(&format!(
+        "-- heap -- {} chunks, boundary tags {}; {} allocs, {} frees\n",
+        chunks.len(),
+        if ok { "consistent" } else { "INCONSISTENT" },
+        m.heap.allocs,
+        m.heap.frees,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::loader::Aslr;
+    use crate::NopHook;
+
+    fn machine() -> Machine {
+        let prog = assemble(
+            ".text\nmain:\n movi r5, 0x1234\n movi r0, 32\n sys alloc\n call f\n halt\nf:\n ret\n",
+        )
+        .expect("asm");
+        let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        m.run(&mut NopHook, 10_000);
+        m
+    }
+
+    #[test]
+    fn register_dump_shows_values() {
+        let m = machine();
+        let d = dump_registers(&m);
+        assert!(d.contains("0x00001234"), "{d}");
+        assert!(d.contains("pc  ="));
+    }
+
+    #[test]
+    fn full_dump_has_all_sections() {
+        let m = machine();
+        let d = dump(&m);
+        for section in [
+            "-- registers --",
+            "-- code --",
+            "-- stack --",
+            "-- regions --",
+            "-- heap --",
+        ] {
+            assert!(d.contains(section), "missing {section}:\n{d}");
+        }
+        assert!(d.contains("code") && d.contains("heap") && d.contains("stack"));
+        assert!(d.contains("1 allocs"));
+    }
+
+    #[test]
+    fn stack_dump_annotates_code_pointers() {
+        // Stop inside f: the return address into main sits at [sp].
+        let prog = assemble(".text\nmain:\n call f\n halt\nf:\n nop\n ret\n").expect("asm");
+        let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        m.step(); // call
+        let d = dump_stack(&m, 2);
+        assert!(d.contains("-> "), "return address annotated: {d}");
+        assert!(d.contains("main+"), "{d}");
+    }
+}

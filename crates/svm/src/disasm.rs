@@ -1,0 +1,250 @@
+//! Disassembly: render instructions and code regions as readable text.
+//!
+//! Used by the forensic reports ("the faulting instruction was
+//! `stb [r0, 0], r2` inside `strcat`") and by debugging utilities.
+
+use crate::isa::{AluOp, Cond, Op, Syscall, INSN_SIZE};
+use crate::loader::SymbolMap;
+use crate::mem::Mem;
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+    }
+}
+
+fn cond_mnemonic(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "jz",
+        Cond::Ne => "jnz",
+        Cond::Lt => "jlt",
+        Cond::Le => "jle",
+        Cond::Gt => "jgt",
+        Cond::Ge => "jge",
+    }
+}
+
+/// Render one instruction in assembler syntax. When `symbols` is given,
+/// absolute branch targets are annotated with their symbol.
+pub fn render(op: &Op, symbols: Option<&SymbolMap>) -> String {
+    let sym = |addr: u32| -> String {
+        match symbols {
+            Some(map) => map.render(addr),
+            None => format!("{addr:#010x}"),
+        }
+    };
+    match *op {
+        Op::Nop => "nop".into(),
+        Op::Halt => "halt".into(),
+        Op::MovI { rd, imm } => format!("movi {rd}, {imm:#x}"),
+        Op::Mov { rd, rs } => format!("mov {rd}, {rs}"),
+        Op::Ld { rd, rs, off } => format!("ld {rd}, [{rs}, {off}]"),
+        Op::St { rd, rs, off } => format!("st [{rd}, {off}], {rs}"),
+        Op::LdB { rd, rs, off } => format!("ldb {rd}, [{rs}, {off}]"),
+        Op::StB { rd, rs, off } => format!("stb [{rd}, {off}], {rs}"),
+        Op::Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", alu_mnemonic(op)),
+        Op::AluI { op, rd, rs1, imm } => format!("{}i {rd}, {rs1}, {imm}", alu_mnemonic(op)),
+        Op::Cmp { rs1, rs2 } => format!("cmp {rs1}, {rs2}"),
+        Op::CmpI { rs1, imm } => format!("cmpi {rs1}, {imm:#x}"),
+        Op::Jmp { target } => format!("jmp {}", sym(target)),
+        Op::JCond { cond, target } => format!("{} {}", cond_mnemonic(cond), sym(target)),
+        Op::JmpR { rs } => format!("jmpr {rs}"),
+        Op::Call { target } => format!("call {}", sym(target)),
+        Op::CallR { rs } => format!("callr {rs}"),
+        Op::Ret => "ret".into(),
+        Op::Push { rs } => format!("push {rs}"),
+        Op::Pop { rd } => format!("pop {rd}"),
+        Op::Sys { num } => match Syscall::from_num(num) {
+            Some(Syscall::Exit) => "sys exit".into(),
+            Some(Syscall::Accept) => "sys accept".into(),
+            Some(Syscall::Read) => "sys read".into(),
+            Some(Syscall::Write) => "sys write".into(),
+            Some(Syscall::Close) => "sys close".into(),
+            Some(Syscall::Alloc) => "sys alloc".into(),
+            Some(Syscall::Free) => "sys free".into(),
+            Some(Syscall::Time) => "sys time".into(),
+            Some(Syscall::Rand) => "sys rand".into(),
+            Some(Syscall::Log) => "sys log".into(),
+            None => format!("sys {num:#x} (?)"),
+        },
+    }
+}
+
+/// One disassembled line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: u32,
+    /// Decoded instruction, if the bytes decode.
+    pub op: Option<Op>,
+    /// Rendered text (`<bad opcode 0x..>` for undecodable words).
+    pub text: String,
+}
+
+/// Disassemble `count` instructions starting at `addr`.
+///
+/// Stops early at unmapped memory. Undecodable words become explicit
+/// `<bad opcode>` lines rather than errors — a disassembler must be able
+/// to walk attacker-corrupted code.
+pub fn disasm(mem: &Mem, symbols: Option<&SymbolMap>, addr: u32, count: usize) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pc = addr;
+    for _ in 0..count {
+        let Ok(word) = mem.fetch(pc) else { break };
+        let line = match Op::decode(word, pc) {
+            Ok(op) => DisasmLine {
+                addr: pc,
+                op: Some(op),
+                text: render(&op, symbols),
+            },
+            Err(_) => DisasmLine {
+                addr: pc,
+                op: None,
+                text: format!("<bad opcode {:#04x}>", word[0]),
+            },
+        };
+        out.push(line);
+        pc = pc.wrapping_add(INSN_SIZE);
+    }
+    out
+}
+
+/// Render a window of instructions around a faulting pc, marking it —
+/// the forensic "crash context" view.
+pub fn crash_context(
+    mem: &Mem,
+    symbols: &SymbolMap,
+    fault_pc: u32,
+    before: usize,
+    after: usize,
+) -> String {
+    let start = fault_pc.wrapping_sub((before as u32) * INSN_SIZE);
+    let mut s = String::new();
+    for line in disasm(mem, Some(symbols), start, before + 1 + after) {
+        let marker = if line.addr == fault_pc { "=> " } else { "   " };
+        s.push_str(&format!(
+            "{marker}{}: {}\n",
+            symbols.render(line.addr),
+            line.text
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::isa::Reg;
+    use crate::loader::{load, Layout};
+
+    #[test]
+    fn renders_every_form() {
+        let cases = [
+            (Op::Nop, "nop"),
+            (
+                Op::MovI {
+                    rd: Reg(3),
+                    imm: 255,
+                },
+                "movi r3, 0xff",
+            ),
+            (
+                Op::Ld {
+                    rd: Reg(1),
+                    rs: Reg::FP,
+                    off: -8,
+                },
+                "ld r1, [fp, -8]",
+            ),
+            (
+                Op::StB {
+                    rd: Reg(2),
+                    rs: Reg(3),
+                    off: 4,
+                },
+                "stb [r2, 4], r3",
+            ),
+            (
+                Op::Alu {
+                    op: AluOp::Xor,
+                    rd: Reg(0),
+                    rs1: Reg(1),
+                    rs2: Reg(2),
+                },
+                "xor r0, r1, r2",
+            ),
+            (
+                Op::AluI {
+                    op: AluOp::Add,
+                    rd: Reg(0),
+                    rs1: Reg(0),
+                    imm: -4,
+                },
+                "addi r0, r0, -4",
+            ),
+            (
+                Op::JCond {
+                    cond: Cond::Ne,
+                    target: 0x40,
+                },
+                "jnz 0x00000040",
+            ),
+            (
+                Op::Sys {
+                    num: Syscall::Read.num(),
+                },
+                "sys read",
+            ),
+            (Op::Ret, "ret"),
+        ];
+        for (op, want) in cases {
+            assert_eq!(render(&op, None), want);
+        }
+    }
+
+    #[test]
+    fn disasm_walks_real_code_with_symbols() {
+        let prog = assemble(".text\nmain:\n movi r0, 5\n call helper\n halt\nhelper:\n ret\n")
+            .expect("asm");
+        let img = load(&prog, Layout::nominal()).expect("load");
+        let lines = disasm(&img.mem, Some(&img.symbols), img.entry, 4);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].text, "movi r0, 0x5");
+        assert!(lines[1].text.contains("(helper)"), "{}", lines[1].text);
+        assert_eq!(lines[2].text, "halt");
+        assert_eq!(lines[3].text, "ret");
+    }
+
+    #[test]
+    fn disasm_survives_garbage_and_unmapped() {
+        let prog = assemble(".text\nmain:\n halt\n.data\njunk: .byte 0xff, 1, 2, 3, 4, 5, 6, 7\n")
+            .expect("asm");
+        let img = load(&prog, Layout::nominal()).expect("load");
+        let junk = img.symbols.addr_of("junk").expect("junk");
+        let lines = disasm(&img.mem, None, junk, 2);
+        assert!(lines[0].text.starts_with("<bad opcode"));
+        // Unmapped start yields nothing rather than panicking.
+        assert!(disasm(&img.mem, None, 0x6666_0000, 4).is_empty());
+    }
+
+    #[test]
+    fn crash_context_marks_the_fault() {
+        let prog = assemble(".text\nmain:\n movi r0, 1\n movi r1, 2\n halt\n").expect("asm");
+        let img = load(&prog, Layout::nominal()).expect("load");
+        let ctx = crash_context(&img.mem, &img.symbols, img.entry + 8, 1, 1);
+        let lines: Vec<&str> = ctx.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("=> "));
+        assert!(lines[1].contains("movi r1"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Fault and error types for the virtual machine.
+//!
+//! Guest misbehaviour (wild pointers, bad opcodes, heap corruption that
+//! escapes the allocator) must be *contained*: it surfaces as a [`Fault`]
+//! value that the embedding host inspects, never as a host panic. This is
+//! the property Sweeper's lightweight monitoring relies on — under address
+//! space randomization an exploit's hard-coded addresses miss, the guest
+//! faults, and the fault is the detection signal.
+
+use core::fmt;
+
+/// The kind of memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch.
+    Exec,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+            Access::Exec => write!(f, "exec"),
+        }
+    }
+}
+
+/// A hardware-level fault raised by the guest.
+///
+/// Faults carry the program counter of the faulting instruction and enough
+/// detail for the post-attack analyses (core-dump analysis in particular)
+/// to classify the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Access to an unmapped address.
+    Unmapped {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The offending address.
+        addr: u32,
+        /// What kind of access was attempted.
+        access: Access,
+    },
+    /// Access violating page permissions (e.g. write to code, exec of
+    /// non-executable data when NX is enabled).
+    Protection {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The offending address.
+        addr: u32,
+        /// What kind of access was attempted.
+        access: Access,
+    },
+    /// An instruction word that does not decode.
+    BadOpcode {
+        /// Program counter of the undecodable word.
+        pc: u32,
+        /// The raw opcode byte.
+        opcode: u8,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// The stack pointer left the stack region (guard-page hit).
+    StackOverflow {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The stack pointer value at the time of the fault.
+        sp: u32,
+    },
+    /// The runtime allocator detected metadata corruption it could not
+    /// survive (the analogue of glibc aborting on an inconsistent arena).
+    HeapAbort {
+        /// Program counter of the `alloc`/`free` call that tripped it.
+        pc: u32,
+        /// Address of the corrupt chunk.
+        chunk: u32,
+    },
+}
+
+impl Fault {
+    /// Program counter at which the fault was raised.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            Fault::Unmapped { pc, .. }
+            | Fault::Protection { pc, .. }
+            | Fault::BadOpcode { pc, .. }
+            | Fault::DivByZero { pc }
+            | Fault::StackOverflow { pc, .. }
+            | Fault::HeapAbort { pc, .. } => pc,
+        }
+    }
+
+    /// The address the fault concerns, if it is an addressing fault.
+    pub fn fault_addr(&self) -> Option<u32> {
+        match *self {
+            Fault::Unmapped { addr, .. } | Fault::Protection { addr, .. } => Some(addr),
+            Fault::HeapAbort { chunk, .. } => Some(chunk),
+            Fault::StackOverflow { sp, .. } => Some(sp),
+            _ => None,
+        }
+    }
+
+    /// Whether this looks like a NULL-pointer dereference (address in the
+    /// first, never-mapped page).
+    pub fn is_null_deref(&self) -> bool {
+        matches!(
+            *self,
+            Fault::Unmapped { addr, .. } if addr < crate::mem::PAGE_SIZE as u32
+        )
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::Unmapped { pc, addr, access } => {
+                write!(
+                    f,
+                    "segfault: {access} of unmapped {addr:#010x} at pc {pc:#010x}"
+                )
+            }
+            Fault::Protection { pc, addr, access } => {
+                write!(
+                    f,
+                    "protection fault: {access} of {addr:#010x} at pc {pc:#010x}"
+                )
+            }
+            Fault::BadOpcode { pc, opcode } => {
+                write!(f, "illegal instruction {opcode:#04x} at pc {pc:#010x}")
+            }
+            Fault::DivByZero { pc } => write!(f, "division by zero at pc {pc:#010x}"),
+            Fault::StackOverflow { pc, sp } => {
+                write!(f, "stack overflow (sp {sp:#010x}) at pc {pc:#010x}")
+            }
+            Fault::HeapAbort { pc, chunk } => {
+                write!(
+                    f,
+                    "heap metadata abort (chunk {chunk:#010x}) at pc {pc:#010x}"
+                )
+            }
+        }
+    }
+}
+
+/// Errors produced while building or loading guest programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvmError {
+    /// The assembler rejected the source.
+    Asm {
+        /// 1-based source line of the error.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A program segment does not fit the requested layout.
+    Layout(String),
+    /// A host-side configuration error (bad connection id, etc.).
+    Config(String),
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::Asm { line, msg } => write!(f, "asm error at line {line}: {msg}"),
+            SvmError::Layout(msg) => write!(f, "layout error: {msg}"),
+            SvmError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_pc_is_preserved() {
+        let f = Fault::Unmapped {
+            pc: 0x1000,
+            addr: 4,
+            access: Access::Write,
+        };
+        assert_eq!(f.pc(), 0x1000);
+        assert_eq!(f.fault_addr(), Some(4));
+    }
+
+    #[test]
+    fn null_deref_classification() {
+        let low = Fault::Unmapped {
+            pc: 0,
+            addr: 12,
+            access: Access::Read,
+        };
+        let high = Fault::Unmapped {
+            pc: 0,
+            addr: 0x8000_0000,
+            access: Access::Read,
+        };
+        assert!(low.is_null_deref());
+        assert!(!high.is_null_deref());
+        let prot = Fault::Protection {
+            pc: 0,
+            addr: 12,
+            access: Access::Read,
+        };
+        assert!(!prot.is_null_deref());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = Fault::BadOpcode {
+            pc: 0x44,
+            opcode: 0xff,
+        };
+        let s = f.to_string();
+        assert!(s.contains("0xff") && s.contains("0x00000044"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # svm — the Sweeper virtual machine substrate
+//!
+//! A deterministic, fault-containing user-level virtual machine that stands
+//! in for the paper's x86/Linux/PIN substrate (see `DESIGN.md` §2 for the
+//! substitution argument). It provides:
+//!
+//! - a small fixed-width RISC-like ISA ([`isa`]) with an assembler
+//!   ([`asm`]) and loader ([`loader`]) supporting address-space
+//!   randomization;
+//! - paged, permission-checked, copy-on-write guest memory ([`mem`]);
+//! - a deliberately vulnerable in-guest-memory heap allocator ([`alloc`])
+//!   with glibc-style inline boundary tags and unlink semantics;
+//! - a connection-oriented network endpoint ([`net`]) whose reads carry
+//!   input-stream offsets (the taint source);
+//! - instruction-level instrumentation hooks ([`hook`]) that the `dbi`
+//!   crate turns into PIN-style dynamic instrumentation;
+//! - a virtual clock with an explicit cost model ([`clock`]) so overhead
+//!   experiments are deterministic.
+//!
+//! Cloning a [`machine::Machine`] is an O(pages) copy-on-write checkpoint;
+//! execution is fully deterministic given the same inputs, which is what
+//! makes Sweeper's rollback/re-execute analysis loop possible.
+
+pub mod alloc;
+pub mod asm;
+pub mod clock;
+pub mod cpu;
+pub mod debug;
+pub mod disasm;
+pub mod error;
+pub mod hook;
+pub mod isa;
+pub mod loader;
+pub mod machine;
+pub mod mem;
+pub mod net;
+pub mod rng;
+pub mod stdlib;
+
+pub use error::{Access, Fault, SvmError};
+pub use hook::{Hook, NopHook};
+pub use machine::{Machine, Status};

@@ -1,0 +1,663 @@
+//! The virtual machine: fetch/decode/execute loop, syscalls, and status.
+//!
+//! The machine is a plain value: cloning it (cheaply, thanks to COW pages)
+//! *is* a checkpoint, and assigning a clone back *is* a rollback. The
+//! `checkpoint` crate wraps this with interval policy, input logging, and
+//! replay; here we only guarantee deterministic, fault-containing
+//! execution.
+
+use crate::alloc::HeapState;
+use crate::asm::Program;
+use crate::clock::{cost, Clock};
+use crate::cpu::Cpu;
+use crate::error::{Fault, SvmError};
+use crate::hook::{Hook, NopHook};
+use crate::isa::{AluOp, Op, Reg, Syscall, INSN_SIZE};
+use crate::loader::{self, Aslr, Layout, SymbolMap};
+use crate::mem::Mem;
+use crate::net::{BlockedOn, NetState};
+use crate::rng::XorShift64;
+
+/// Execution status after a step or run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// More instructions to run.
+    Running,
+    /// The guest executed `halt` or `sys exit`; code in the payload.
+    Halted(u32),
+    /// The guest is blocked on network input.
+    Blocked(BlockedOn),
+    /// The guest faulted; the machine is frozen at the faulting state.
+    Faulted(Fault),
+}
+
+impl Status {
+    /// Whether the machine can make further progress without host action.
+    pub fn is_running(&self) -> bool {
+        matches!(self, Status::Running)
+    }
+}
+
+/// A loaded guest process.
+#[derive(Clone)]
+pub struct Machine {
+    /// Architectural registers.
+    pub cpu: Cpu,
+    /// Paged address space.
+    pub mem: Mem,
+    /// Heap allocator state (metadata itself lives in `mem`).
+    pub heap: HeapState,
+    /// Network endpoint.
+    pub net: NetState,
+    /// Deterministic guest RNG.
+    pub rng: XorShift64,
+    /// Virtual clock.
+    pub clock: Clock,
+    /// Chosen address-space layout.
+    pub layout: Layout,
+    /// Symbol map for diagnostics (shared, not mutated).
+    pub symbols: SymbolMap,
+    /// Count of executed instructions.
+    pub insns_retired: u64,
+    status: Status,
+}
+
+impl Machine {
+    /// Load `prog` under the given randomization policy.
+    pub fn boot(prog: &Program, aslr: Aslr) -> Result<Machine, SvmError> {
+        let layout = Layout::randomized(aslr);
+        Machine::boot_with_layout(prog, layout)
+    }
+
+    /// Load `prog` at an explicit layout (used to model an attacker's
+    /// assumed layout or a lucky guess).
+    pub fn boot_with_layout(prog: &Program, layout: Layout) -> Result<Machine, SvmError> {
+        let img = loader::load(prog, layout)?;
+        let mut cpu = Cpu::new();
+        cpu.pc = img.entry;
+        cpu.set(Reg::SP, img.initial_sp);
+        cpu.set(Reg::FP, img.initial_sp);
+        Ok(Machine {
+            cpu,
+            mem: img.mem,
+            heap: HeapState::new(layout.heap_base, layout.heap_size),
+            net: NetState::new(),
+            rng: XorShift64::new(0x5eed ^ layout.code_base as u64),
+            clock: Clock::new(),
+            layout,
+            symbols: img.symbols,
+            insns_retired: 0,
+            status: Status::Running,
+        })
+    }
+
+    /// Current status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Clear a `Blocked` status so stepping retries the blocked syscall
+    /// (call after supplying input).
+    pub fn unblock(&mut self) {
+        if matches!(self.status, Status::Blocked(_)) {
+            self.status = Status::Running;
+        }
+    }
+
+    /// Execute one instruction without instrumentation.
+    pub fn step(&mut self) -> Status {
+        self.step_hooked(&mut NopHook)
+    }
+
+    /// Execute one instruction, delivering events to `hook`.
+    pub fn step_hooked(&mut self, hook: &mut dyn Hook) -> Status {
+        match self.status {
+            Status::Running => {}
+            s @ (Status::Halted(_) | Status::Faulted(_)) => return s,
+            Status::Blocked(_) => return self.status, // Host must unblock.
+        }
+        let pc = self.cpu.pc;
+        let status = match self.exec_one(pc, hook) {
+            Ok(s) => s,
+            Err(f) => Status::Faulted(f),
+        };
+        self.status = status;
+        status
+    }
+
+    /// Run until the status leaves `Running` or `max_cycles` elapse.
+    ///
+    /// Returns the final status; on cycle exhaustion the status remains
+    /// `Running` (the machine is preemptible).
+    pub fn run(&mut self, hook: &mut dyn Hook, max_cycles: u64) -> Status {
+        let deadline = self.clock.cycles().saturating_add(max_cycles);
+        loop {
+            let s = self.step_hooked(hook);
+            if !s.is_running() || self.clock.cycles() >= deadline {
+                return s;
+            }
+        }
+    }
+
+    fn exec_one(&mut self, pc: u32, hook: &mut dyn Hook) -> Result<Status, Fault> {
+        let word = self.mem.fetch(pc)?;
+        let op = Op::decode(word, pc)?;
+        hook.on_insn(self, pc, &op);
+        self.insns_retired += 1;
+        self.clock.tick(cost::INSN);
+        let mut next_pc = pc.wrapping_add(INSN_SIZE);
+        match op {
+            Op::Nop => {}
+            Op::Halt => return Ok(Status::Halted(self.cpu.get(Reg::R0))),
+            Op::MovI { rd, imm } => self.cpu.set(rd, imm),
+            Op::Mov { rd, rs } => {
+                let v = self.cpu.get(rs);
+                self.cpu.set(rd, v);
+            }
+            Op::Ld { rd, rs, off } => {
+                self.clock.tick(cost::MEM);
+                let addr = self.cpu.get(rs).wrapping_add(off as u32);
+                let v = self.mem.read_u32(pc, addr)?;
+                hook.on_mem_read(self, pc, addr, 4, v);
+                self.cpu.set(rd, v);
+            }
+            Op::LdB { rd, rs, off } => {
+                self.clock.tick(cost::MEM);
+                let addr = self.cpu.get(rs).wrapping_add(off as u32);
+                let v = self.mem.read_u8(pc, addr)? as u32;
+                hook.on_mem_read(self, pc, addr, 1, v);
+                self.cpu.set(rd, v);
+            }
+            Op::St { rd, rs, off } => {
+                self.clock.tick(cost::MEM);
+                let addr = self.cpu.get(rd).wrapping_add(off as u32);
+                let v = self.cpu.get(rs);
+                hook.on_mem_write(self, pc, addr, 4, v);
+                self.mem.write_u32(pc, addr, v)?;
+            }
+            Op::StB { rd, rs, off } => {
+                self.clock.tick(cost::MEM);
+                let addr = self.cpu.get(rd).wrapping_add(off as u32);
+                let v = self.cpu.get(rs) & 0xff;
+                hook.on_mem_write(self, pc, addr, 1, v);
+                self.mem.write_u8(pc, addr, v as u8)?;
+            }
+            Op::Alu { op, rd, rs1, rs2 } => {
+                let a = self.cpu.get(rs1);
+                let b = self.cpu.get(rs2);
+                self.cpu.set(rd, alu_eval(op, a, b, pc)?);
+            }
+            Op::AluI { op, rd, rs1, imm } => {
+                let a = self.cpu.get(rs1);
+                self.cpu.set(rd, alu_eval(op, a, imm as u32, pc)?);
+            }
+            Op::Cmp { rs1, rs2 } => {
+                let (a, b) = (self.cpu.get(rs1), self.cpu.get(rs2));
+                self.cpu.flags.set_cmp(a, b);
+            }
+            Op::CmpI { rs1, imm } => {
+                let a = self.cpu.get(rs1);
+                self.cpu.flags.set_cmp(a, imm);
+            }
+            Op::Jmp { target } => next_pc = target,
+            Op::JCond { cond, target } => {
+                if self.cpu.flags.holds(cond) {
+                    next_pc = target;
+                }
+            }
+            Op::JmpR { rs } => next_pc = self.cpu.get(rs),
+            Op::Call { target } => {
+                next_pc = self.do_call(pc, target, hook)?;
+            }
+            Op::CallR { rs } => {
+                let target = self.cpu.get(rs);
+                next_pc = self.do_call(pc, target, hook)?;
+            }
+            Op::Ret => {
+                self.clock.tick(cost::MEM);
+                let sp = self.cpu.sp();
+                let ret = self.mem.read_u32(pc, sp)?;
+                hook.on_ret(self, pc, ret, sp);
+                self.cpu.set(Reg::SP, sp.wrapping_add(4));
+                next_pc = ret;
+            }
+            Op::Push { rs } => {
+                self.clock.tick(cost::MEM);
+                let sp = self.cpu.sp().wrapping_sub(4);
+                self.check_stack(pc, sp)?;
+                let v = self.cpu.get(rs);
+                hook.on_mem_write(self, pc, sp, 4, v);
+                self.mem.write_u32(pc, sp, v)?;
+                self.cpu.set(Reg::SP, sp);
+            }
+            Op::Pop { rd } => {
+                self.clock.tick(cost::MEM);
+                let sp = self.cpu.sp();
+                let v = self.mem.read_u32(pc, sp)?;
+                hook.on_mem_read(self, pc, sp, 4, v);
+                self.cpu.set(rd, v);
+                self.cpu.set(Reg::SP, sp.wrapping_add(4));
+            }
+            Op::Sys { num } => {
+                let sc = Syscall::from_num(num).ok_or(Fault::BadOpcode { pc, opcode: num })?;
+                match self.do_syscall(pc, sc, hook)? {
+                    SysOutcome::Done => {}
+                    SysOutcome::Halt(code) => return Ok(Status::Halted(code)),
+                    SysOutcome::Block(b) => {
+                        // Do not advance the pc: re-stepping after
+                        // `unblock()` retries the syscall.
+                        return Ok(Status::Blocked(b));
+                    }
+                }
+            }
+        }
+        self.cpu.pc = next_pc;
+        Ok(Status::Running)
+    }
+
+    fn do_call(&mut self, pc: u32, target: u32, hook: &mut dyn Hook) -> Result<u32, Fault> {
+        self.clock.tick(cost::MEM);
+        let ret_addr = pc.wrapping_add(INSN_SIZE);
+        let sp = self.cpu.sp().wrapping_sub(4);
+        self.check_stack(pc, sp)?;
+        hook.on_call(self, pc, target, ret_addr, sp);
+        self.mem.write_u32(pc, sp, ret_addr)?;
+        self.cpu.set(Reg::SP, sp);
+        Ok(target)
+    }
+
+    fn check_stack(&self, pc: u32, sp: u32) -> Result<(), Fault> {
+        let stack_base = self.layout.stack_top - self.layout.stack_size;
+        if sp < stack_base || sp >= self.layout.stack_top {
+            return Err(Fault::StackOverflow { pc, sp });
+        }
+        Ok(())
+    }
+
+    fn do_syscall(
+        &mut self,
+        pc: u32,
+        sc: Syscall,
+        hook: &mut dyn Hook,
+    ) -> Result<SysOutcome, Fault> {
+        self.clock.tick(cost::SYSCALL);
+        let args = [
+            self.cpu.get(Reg::R0),
+            self.cpu.get(Reg::R1),
+            self.cpu.get(Reg::R2),
+            self.cpu.get(Reg::R3),
+        ];
+        let ret: u32 = match sc {
+            Syscall::Exit => return Ok(SysOutcome::Halt(args[0])),
+            Syscall::Accept => match self.net.accept() {
+                Some(id) => {
+                    self.clock.tick(cost::NET_RTT);
+                    id
+                }
+                None => return Ok(SysOutcome::Block(BlockedOn::Accept)),
+            },
+            Syscall::Read => {
+                let (conn, buf, len) = (args[0], args[1], args[2]);
+                match self.net.read(conn, len as usize) {
+                    Ok(Some((off, data))) => {
+                        self.clock.tick(cost::IO_BYTE * data.len() as u64);
+                        for (i, b) in data.iter().enumerate() {
+                            self.mem.write_u8(pc, buf.wrapping_add(i as u32), *b)?;
+                        }
+                        hook.on_input(self, conn, off as u32, buf, &data);
+                        data.len() as u32
+                    }
+                    Ok(None) => return Ok(SysOutcome::Block(BlockedOn::Read { conn })),
+                    Err(_) => u32::MAX, // -1: bad fd or closed.
+                }
+            }
+            Syscall::Write => {
+                let (conn, buf, len) = (args[0], args[1], args[2]);
+                let data = self.mem.read_bytes(buf, len)?;
+                self.clock.tick(cost::IO_BYTE * data.len() as u64);
+                match self.net.write(conn, &data) {
+                    Ok(n) => n as u32,
+                    Err(_) => u32::MAX,
+                }
+            }
+            Syscall::Close => match self.net.close(args[0]) {
+                Ok(()) => 0,
+                Err(_) => u32::MAX,
+            },
+            Syscall::Alloc => {
+                self.clock.tick(cost::ALLOC);
+                let ptr = self.heap.alloc(&mut self.mem, pc, args[0])?;
+                if ptr != 0 {
+                    hook.on_alloc(self, pc, args[0], ptr);
+                }
+                ptr
+            }
+            Syscall::Free => {
+                self.clock.tick(cost::ALLOC);
+                let kind = self.heap.free(&mut self.mem, pc, args[0])?;
+                hook.on_free(self, pc, args[0], kind);
+                0
+            }
+            Syscall::Time => self.clock.micros() as u32,
+            Syscall::Rand => self.rng.next_u32(),
+            Syscall::Log => {
+                let data = self.mem.read_bytes(args[0], args[1])?;
+                self.net.log.extend_from_slice(&data);
+                args[1]
+            }
+        };
+        self.cpu.set(Reg::R0, ret);
+        hook.on_syscall(self, pc, sc, args, ret);
+        Ok(SysOutcome::Done)
+    }
+}
+
+enum SysOutcome {
+    Done,
+    Halt(u32),
+    Block(BlockedOn),
+}
+
+fn alu_eval(op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, Fault> {
+    Ok(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return Err(Fault::DivByZero { pc });
+            }
+            a / b
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                return Err(Fault::DivByZero { pc });
+            }
+            a % b
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b),
+        AluOp::Shr => a.wrapping_shr(b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn boot(src: &str) -> Machine {
+        let prog = assemble(src).expect("asm");
+        Machine::boot(&prog, Aslr::off()).expect("boot")
+    }
+
+    fn run_to_halt(m: &mut Machine) -> u32 {
+        match m.run(&mut NopHook, 10_000_000) {
+            Status::Halted(code) => code,
+            other => panic!("did not halt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut m = boot(".text\nmain:\n movi r0, 6\n movi r1, 7\n mul r0, r0, r1\n halt\n");
+        assert_eq!(run_to_halt(&mut m), 42);
+    }
+
+    #[test]
+    fn loop_and_memory() {
+        // Sum bytes of a string.
+        let mut m = boot(
+            "
+.text
+main:
+    movi r1, s
+    movi r0, 0
+loop:
+    ldb r2, [r1, 0]
+    cmpi r2, 0
+    jz done
+    add r0, r0, r2
+    addi r1, r1, 1
+    jmp loop
+done:
+    halt
+.data
+s: .string \"abc\"
+",
+        );
+        assert_eq!(run_to_halt(&mut m), b'a' as u32 + b'b' as u32 + b'c' as u32);
+    }
+
+    #[test]
+    fn call_ret_and_stack() {
+        let mut m = boot(
+            "
+.text
+main:
+    movi r0, 5
+    call double
+    call double
+    halt
+double:
+    add r0, r0, r0
+    ret
+",
+        );
+        assert_eq!(run_to_halt(&mut m), 20);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut m = boot(".text\nmain:\n movi r0, 4\n movi r1, 0\n div r0, r0, r1\n halt\n");
+        match m.run(&mut NopHook, 1000) {
+            Status::Faulted(Fault::DivByZero { .. }) => {}
+            other => panic!("expected div fault, got {other:?}"),
+        }
+        // A faulted machine stays faulted.
+        assert!(matches!(m.step(), Status::Faulted(_)));
+    }
+
+    #[test]
+    fn wild_store_faults_and_freezes_state() {
+        let mut m = boot(".text\nmain:\n movi r1, 0x600000\n movi r2, 9\n st [r1, 0], r2\n halt\n");
+        let pc_before = m.cpu.pc;
+        match m.run(&mut NopHook, 1000) {
+            Status::Faulted(Fault::Unmapped {
+                pc,
+                addr: 0x0060_0000,
+                ..
+            }) => {
+                assert_eq!(pc, pc_before + 16, "fault at the store instruction");
+            }
+            other => panic!("expected segv, got {other:?}"),
+        }
+        // Registers are frozen at the faulting state for core-dump analysis.
+        assert_eq!(m.cpu.get(Reg(2)), 9);
+    }
+
+    #[test]
+    fn null_deref_classification_end_to_end() {
+        let mut m = boot(".text\nmain:\n movi r1, 0\n ld r0, [r1, 8]\n halt\n");
+        match m.run(&mut NopHook, 1000) {
+            Status::Faulted(f) => assert!(f.is_null_deref()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_server_blocks_then_serves() {
+        let mut m = boot(
+            "
+.text
+main:
+    sys accept
+    mov r4, r0          ; conn
+    mov r0, r4
+    movi r1, buf
+    movi r2, 64
+    sys read
+    mov r3, r0          ; n
+    mov r0, r4
+    movi r1, buf
+    mov r2, r3
+    sys write
+    mov r0, r3
+    halt
+.data
+buf: .space 64
+",
+        );
+        // No connection yet: blocks on accept without advancing.
+        assert_eq!(
+            m.run(&mut NopHook, 100_000),
+            Status::Blocked(BlockedOn::Accept)
+        );
+        m.net.push_connection(b"ping".to_vec());
+        m.unblock();
+        assert_eq!(run_to_halt(&mut m), 4);
+        assert_eq!(m.net.conn(0).expect("conn").output, b"ping");
+    }
+
+    #[test]
+    fn read_blocks_on_streaming_connection() {
+        let mut m = boot(
+            "
+.text
+main:
+    sys accept
+    movi r1, buf
+    movi r2, 8
+    sys read
+    halt
+.data
+buf: .space 8
+",
+        );
+        let c = m.net.push_streaming_connection(Vec::new());
+        assert_eq!(
+            m.run(&mut NopHook, 10_000_000),
+            Status::Blocked(BlockedOn::Read { conn: c })
+        );
+        m.net.append_input(c, b"hi").expect("append");
+        m.unblock();
+        assert_eq!(run_to_halt(&mut m), 2);
+    }
+
+    #[test]
+    fn alloc_free_via_syscalls() {
+        let mut m = boot(
+            "
+.text
+main:
+    movi r0, 100
+    sys alloc
+    mov r5, r0
+    movi r1, 0x1234
+    st [r5, 0], r1
+    mov r0, r5
+    sys free
+    mov r0, r5
+    halt
+",
+        );
+        let ptr = run_to_halt(&mut m);
+        assert!(ptr >= m.layout.heap_base && ptr < m.layout.heap_base + m.layout.heap_size);
+        assert_eq!(m.heap.allocs, 1);
+        assert_eq!(m.heap.frees, 1);
+    }
+
+    #[test]
+    fn machine_clone_is_checkpoint() {
+        let mut m = boot(
+            ".text\nmain:\n movi r0, 1\n movi r1, v\n st [r1, 0], r0\n add r0, r0, r0\n halt\n.data\nv: .word 0\n",
+        );
+        m.step(); // movi r0,1
+        let snap = m.clone();
+        run_to_halt(&mut m);
+        assert_eq!(m.cpu.get(Reg(0)), 2);
+        // Rollback.
+        let mut m = snap;
+        assert_eq!(m.cpu.get(Reg(0)), 1);
+        assert_eq!(run_to_halt(&mut m), 2, "replay reaches the same result");
+    }
+
+    #[test]
+    fn deterministic_replay_includes_rng_and_clock() {
+        let src = ".text\nmain:\n sys rand\n mov r5, r0\n sys time\n add r0, r0, r5\n halt\n";
+        let mut a = boot(src);
+        let mut b = boot(src);
+        assert_eq!(run_to_halt(&mut a), run_to_halt(&mut b));
+        assert_eq!(a.clock.cycles(), b.clock.cycles());
+    }
+
+    #[test]
+    fn stack_overflow_is_caught() {
+        let mut m = boot(".text\nmain:\n call main\n halt\n");
+        match m.run(&mut NopHook, 100_000_000) {
+            Status::Faulted(Fault::StackOverflow { .. }) => {}
+            other => panic!("expected stack overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ret_to_attacker_address_faults_under_aslr_style_miss() {
+        // Simulate a smashed return address pointing at unmapped memory.
+        let mut m = boot(".text\nmain:\n movi r1, 0x66660000\n push r1\n ret\n");
+        match m.run(&mut NopHook, 1000) {
+            Status::Faulted(Fault::Unmapped {
+                addr: 0x6666_0000, ..
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shellcode_on_stack_executes_when_nx_off() {
+        // Write encoded instructions into the data segment and jump there.
+        let mut m = boot(
+            "
+.text
+main:
+    movi r1, sc
+    jmpr r1
+.data
+sc: .space 16
+",
+        );
+        let sc_addr = m.symbols.addr_of("sc").expect("sc");
+        let mut shell = Vec::new();
+        shell.extend_from_slice(
+            &Op::MovI {
+                rd: Reg(0),
+                imm: 0x77,
+            }
+            .encode(),
+        );
+        shell.extend_from_slice(&Op::Halt.encode());
+        m.mem.write_bytes_host(sc_addr, &shell).expect("inject");
+        assert_eq!(
+            run_to_halt(&mut m),
+            0x77,
+            "data-segment shellcode ran (pre-NX)"
+        );
+        // With NX the same jump faults.
+        let mut m2 = boot(".text\nmain:\n movi r1, sc\n jmpr r1\n.data\nsc: .space 16\n");
+        m2.mem.write_bytes_host(sc_addr, &shell).expect("inject");
+        m2.mem.nx = true;
+        assert!(matches!(
+            m2.run(&mut NopHook, 1000),
+            Status::Faulted(Fault::Protection { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_budget_preempts() {
+        let mut m = boot(".text\nmain:\n jmp main\n");
+        let s = m.run(&mut NopHook, 1000);
+        assert_eq!(s, Status::Running, "preempted, not stuck");
+        assert!(m.clock.cycles() >= 1000);
+    }
+}

@@ -1,0 +1,414 @@
+//! Paged guest memory with copy-on-write snapshot support.
+//!
+//! Pages are reference-counted: taking a checkpoint clones the page table
+//! (bumping `Arc` counts) in O(mapped pages) without copying data, and the
+//! first write to a shared page copies it — the same asymptotics as the
+//! `fork()`-based shadow-process checkpoints of Rx/Flashback that Sweeper
+//! builds on.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::{Access, Fault};
+
+/// Size in bytes of one page.
+pub const PAGE_SIZE: usize = 4096;
+
+/// One page of guest memory.
+#[derive(Clone)]
+pub struct Page(pub Box<[u8; PAGE_SIZE]>);
+
+impl Page {
+    /// A fresh zeroed page.
+    pub fn zeroed() -> Page {
+        Page(Box::new([0u8; PAGE_SIZE]))
+    }
+}
+
+/// Page permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perm {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perm {
+    /// Read-only data.
+    pub const R: Perm = Perm {
+        r: true,
+        w: false,
+        x: false,
+    };
+    /// Read-write data.
+    pub const RW: Perm = Perm {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-execute (code).
+    pub const RX: Perm = Perm {
+        r: true,
+        w: false,
+        x: true,
+    };
+    /// Read-write-execute (pre-NX data segments, 2003-era realism).
+    pub const RWX: Perm = Perm {
+        r: true,
+        w: true,
+        x: true,
+    };
+
+    fn allows(&self, access: Access) -> bool {
+        match access {
+            Access::Read => self.r,
+            Access::Write => self.w,
+            Access::Exec => self.x,
+        }
+    }
+}
+
+/// A named mapped region, for core-dump analysis and layout queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Inclusive start address (page aligned).
+    pub start: u32,
+    /// Length in bytes (page aligned).
+    pub len: u32,
+    /// Permissions applying to every page of the region.
+    pub perm: Perm,
+    /// Human-readable name (`code`, `lib`, `heap`, `stack`, ...).
+    pub name: String,
+}
+
+impl Region {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && (addr - self.start) < self.len
+    }
+
+    /// Exclusive end address.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+}
+
+/// The guest address space.
+#[derive(Clone)]
+pub struct Mem {
+    pages: BTreeMap<u32, Arc<Page>>,
+    perms: BTreeMap<u32, Perm>,
+    regions: Vec<Region>,
+    /// When true, exec permission is enforced (NX). The paper's 2003-era
+    /// targets predate NX, so the default is `false` (data is executable).
+    pub nx: bool,
+}
+
+impl Default for Mem {
+    fn default() -> Self {
+        Mem::new()
+    }
+}
+
+impl Mem {
+    /// An empty address space with NX disabled (period-accurate default).
+    pub fn new() -> Mem {
+        Mem {
+            pages: BTreeMap::new(),
+            perms: BTreeMap::new(),
+            regions: Vec::new(),
+            nx: false,
+        }
+    }
+
+    fn page_of(addr: u32) -> u32 {
+        addr / PAGE_SIZE as u32
+    }
+
+    /// Map a region of `len` bytes at `start` (both page-aligned) with the
+    /// given permissions. Overlapping an existing mapping is an error.
+    pub fn map(&mut self, start: u32, len: u32, perm: Perm, name: &str) -> Result<(), String> {
+        if !start.is_multiple_of(PAGE_SIZE as u32)
+            || !len.is_multiple_of(PAGE_SIZE as u32)
+            || len == 0
+        {
+            return Err(format!("unaligned mapping {start:#x}+{len:#x}"));
+        }
+        if start.checked_add(len).is_none() {
+            return Err(format!(
+                "mapping {start:#x}+{len:#x} wraps the address space"
+            ));
+        }
+        let first = Self::page_of(start);
+        let count = len / PAGE_SIZE as u32;
+        for p in first..first + count {
+            if self.pages.contains_key(&p) {
+                return Err(format!("page {:#x} already mapped", p * PAGE_SIZE as u32));
+            }
+        }
+        for p in first..first + count {
+            self.pages.insert(p, Arc::new(Page::zeroed()));
+            self.perms.insert(p, perm);
+        }
+        self.regions.push(Region {
+            start,
+            len,
+            perm,
+            name: to_owned(name),
+        });
+        Ok(())
+    }
+
+    /// The region table (sorted by creation order).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Find the region containing `addr`, if any.
+    pub fn region_of(&self, addr: u32) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of pages whose storage is shared with a snapshot (`Arc`
+    /// strong count > 1). Used by the checkpoint cost model.
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    /// Identity of each page's backing storage (for copy-on-write
+    /// accounting): two address spaces hold the same physical page iff
+    /// the identities are equal.
+    pub fn page_storage_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pages.values().map(|p| Arc::as_ptr(p) as usize)
+    }
+
+    fn check(&self, pc: u32, addr: u32, access: Access) -> Result<(u32, usize), Fault> {
+        let pno = Self::page_of(addr);
+        let perm = match self.perms.get(&pno) {
+            Some(p) => *p,
+            None => return Err(Fault::Unmapped { pc, addr, access }),
+        };
+        let effective_allows = if access == Access::Exec && !self.nx {
+            perm.r
+        } else {
+            perm.allows(access)
+        };
+        if !effective_allows {
+            return Err(Fault::Protection { pc, addr, access });
+        }
+        Ok((pno, (addr % PAGE_SIZE as u32) as usize))
+    }
+
+    /// Read one byte; `pc` is the faulting instruction for diagnostics.
+    pub fn read_u8(&self, pc: u32, addr: u32) -> Result<u8, Fault> {
+        let (pno, off) = self.check(pc, addr, Access::Read)?;
+        Ok(self.pages[&pno].0[off])
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, pc: u32, addr: u32, val: u8) -> Result<(), Fault> {
+        let (pno, off) = self.check(pc, addr, Access::Write)?;
+        let page = self.pages.get_mut(&pno).expect("checked");
+        Arc::make_mut(page).0[off] = val;
+        Ok(())
+    }
+
+    /// Read a little-endian 32-bit word (may straddle pages).
+    pub fn read_u32(&self, pc: u32, addr: u32) -> Result<u32, Fault> {
+        let mut b = [0u8; 4];
+        for (i, out) in b.iter_mut().enumerate() {
+            *out = self.read_u8(pc, addr.wrapping_add(i as u32))?;
+        }
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Write a little-endian 32-bit word (may straddle pages).
+    pub fn write_u32(&mut self, pc: u32, addr: u32, val: u32) -> Result<(), Fault> {
+        for (i, byte) in val.to_le_bytes().iter().enumerate() {
+            self.write_u8(pc, addr.wrapping_add(i as u32), *byte)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch 8 instruction bytes, honouring exec permission.
+    pub fn fetch(&self, pc: u32) -> Result<[u8; 8], Fault> {
+        let mut b = [0u8; 8];
+        for (i, out) in b.iter_mut().enumerate() {
+            let addr = pc.wrapping_add(i as u32);
+            let (pno, off) = self.check(pc, addr, Access::Exec)?;
+            *out = self.pages[&pno].0[off];
+        }
+        Ok(b)
+    }
+
+    /// Bulk read for the host (analysis tools); faults like a guest read.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, Fault> {
+        let mut v = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            v.push(self.read_u8(0, addr.wrapping_add(i))?);
+        }
+        Ok(v)
+    }
+
+    /// Bulk write for the host (loader); faults like a guest write but
+    /// bypasses write permission (the loader fills code pages).
+    pub fn write_bytes_host(&mut self, addr: u32, data: &[u8]) -> Result<(), Fault> {
+        for (i, b) in data.iter().enumerate() {
+            let a = addr.wrapping_add(i as u32);
+            let pno = Self::page_of(a);
+            if !self.perms.contains_key(&pno) {
+                return Err(Fault::Unmapped {
+                    pc: 0,
+                    addr: a,
+                    access: Access::Write,
+                });
+            }
+            let page = self.pages.get_mut(&pno).expect("checked");
+            Arc::make_mut(page).0[(a % PAGE_SIZE as u32) as usize] = *b;
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated guest string (bounded at `max` bytes).
+    pub fn read_cstr(&self, addr: u32, max: u32) -> Result<Vec<u8>, Fault> {
+        let mut v = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(0, addr.wrapping_add(i))?;
+            if b == 0 {
+                break;
+            }
+            v.push(b);
+        }
+        Ok(v)
+    }
+
+    /// Snapshot the page table: O(pages) `Arc` clones, no data copies.
+    pub fn snapshot(&self) -> Mem {
+        self.clone()
+    }
+}
+
+fn to_owned(s: &str) -> String {
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with(start: u32, pages: u32, perm: Perm) -> Mem {
+        let mut m = Mem::new();
+        m.map(start, pages * PAGE_SIZE as u32, perm, "t")
+            .expect("map");
+        m
+    }
+
+    #[test]
+    fn map_rejects_unaligned_and_overlap() {
+        let mut m = Mem::new();
+        assert!(m.map(10, PAGE_SIZE as u32, Perm::RW, "a").is_err());
+        assert!(m.map(0x1000, 100, Perm::RW, "a").is_err());
+        m.map(0x1000, 0x2000, Perm::RW, "a").expect("map");
+        assert!(m.map(0x2000, 0x1000, Perm::RW, "b").is_err());
+        assert!(m.map(0xffff_f000, 0x2000, Perm::RW, "wrap").is_err());
+    }
+
+    #[test]
+    fn read_write_roundtrip_and_straddle() {
+        let mut m = mem_with(0x1000, 2, Perm::RW);
+        m.write_u32(0, 0x1ffe, 0xa1b2_c3d4)
+            .expect("straddling write");
+        assert_eq!(m.read_u32(0, 0x1ffe).expect("read"), 0xa1b2_c3d4);
+        assert_eq!(m.read_u8(0, 0x1ffe).expect("read"), 0xd4);
+    }
+
+    #[test]
+    fn unmapped_access_faults_with_pc() {
+        let m = mem_with(0x1000, 1, Perm::RW);
+        match m.read_u8(0x40, 0x5000) {
+            Err(Fault::Unmapped {
+                pc: 0x40,
+                addr: 0x5000,
+                access: Access::Read,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut m = mem_with(0x1000, 1, Perm::R);
+        assert!(matches!(
+            m.write_u8(0, 0x1000, 1),
+            Err(Fault::Protection {
+                access: Access::Write,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn nx_disabled_allows_exec_of_data() {
+        let mut m = mem_with(0x1000, 1, Perm::RW);
+        assert!(
+            m.fetch(0x1000).is_ok(),
+            "pre-NX default: data is executable"
+        );
+        m.nx = true;
+        assert!(matches!(
+            m.fetch(0x1000),
+            Err(Fault::Protection {
+                access: Access::Exec,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_cow() {
+        let mut m = mem_with(0x1000, 4, Perm::RW);
+        m.write_u8(0, 0x1000, 7).expect("w");
+        let snap = m.snapshot();
+        assert_eq!(m.shared_pages(), 4);
+        m.write_u8(0, 0x1004, 9).expect("w");
+        // The written page was copied; the other three remain shared.
+        assert_eq!(m.shared_pages(), 3);
+        assert_eq!(
+            snap.read_u8(0, 0x1004).expect("r"),
+            0,
+            "snapshot unaffected"
+        );
+        assert_eq!(m.read_u8(0, 0x1004).expect("r"), 9);
+        assert_eq!(snap.read_u8(0, 0x1000).expect("r"), 7);
+    }
+
+    #[test]
+    fn region_lookup() {
+        let mut m = Mem::new();
+        m.map(0x1000, 0x1000, Perm::RX, "code").expect("map");
+        m.map(0x8000, 0x2000, Perm::RW, "heap").expect("map");
+        assert_eq!(m.region_of(0x1800).map(|r| r.name.as_str()), Some("code"));
+        assert_eq!(m.region_of(0x9fff).map(|r| r.name.as_str()), Some("heap"));
+        assert!(m.region_of(0x4000).is_none());
+        assert_eq!(m.region_of(0x8000).map(|r| r.end()), Some(0xa000));
+    }
+
+    #[test]
+    fn cstr_reading_is_bounded() {
+        let mut m = mem_with(0x1000, 1, Perm::RW);
+        m.write_bytes_host(0x1000, b"hi\0there").expect("w");
+        assert_eq!(m.read_cstr(0x1000, 64).expect("r"), b"hi");
+        assert_eq!(m.read_cstr(0x1003, 3).expect("r"), b"the", "bounded");
+    }
+}

@@ -1,0 +1,450 @@
+//! The guest "libc": string/memory routines in SVM assembly.
+//!
+//! Placed in the `.lib` segment so they load at the separately-randomized
+//! library base, mirroring the paper's analysis output where the Squid
+//! overflow is attributed to "`0x4f0f0907` in library `strcat`, called by
+//! `ftpBuildTitleUrl`". `strcpy`/`strcat` are deliberately unbounded —
+//! they are the vulnerable copy primitives the evaluated CVEs abused.
+//!
+//! Calling convention: arguments in `r0..r3`, result in `r0`; `r0..r3`
+//! are caller-saved, `r4..r12`/`fp` callee-saved.
+
+/// Assembly source of the guest standard library (`.lib` segment).
+///
+/// Append this to an application's source before assembling:
+///
+/// ```
+/// use svm::{asm::assemble, stdlib::LIB_ASM};
+/// let src = format!(".text\nmain:\n movi r0, s\n call strlen\n halt\n.data\ns: .string \"abcd\"\n{LIB_ASM}");
+/// let prog = assemble(&src).expect("assembles");
+/// assert!(prog.symbols.contains_key("strcat"));
+/// ```
+pub const LIB_ASM: &str = r#"
+.lib
+; --- strlen(s) -> len -------------------------------------------------
+strlen:
+    mov r1, r0
+    movi r0, 0
+strlen_loop:
+    ldb r2, [r1, 0]
+    cmpi r2, 0
+    jz strlen_done
+    addi r0, r0, 1
+    addi r1, r1, 1
+    jmp strlen_loop
+strlen_done:
+    ret
+
+; --- strcpy(dst, src) -> dst  (UNBOUNDED, vulnerable by design) -------
+strcpy:
+    push r4
+    mov r4, r0
+strcpy_loop:
+    ldb r3, [r1, 0]
+    stb [r0, 0], r3
+    cmpi r3, 0
+    jz strcpy_done
+    addi r0, r0, 1
+    addi r1, r1, 1
+    jmp strcpy_loop
+strcpy_done:
+    mov r0, r4
+    pop r4
+    ret
+
+; --- strcat(dst, src) -> dst  (UNBOUNDED, the Squid CVE path) ---------
+strcat:
+    push r4
+    mov r4, r0
+strcat_seek:
+    ldb r2, [r0, 0]
+    cmpi r2, 0
+    jz strcat_copy
+    addi r0, r0, 1
+    jmp strcat_seek
+strcat_copy:
+    ldb r2, [r1, 0]
+    stb [r0, 0], r2
+    cmpi r2, 0
+    jz strcat_done
+    addi r0, r0, 1
+    addi r1, r1, 1
+    jmp strcat_copy
+strcat_done:
+    mov r0, r4
+    pop r4
+    ret
+
+; --- memcpy(dst, src, n) -> dst ---------------------------------------
+memcpy:
+    push r4
+    mov r4, r0
+memcpy_loop:
+    cmpi r2, 0
+    jz memcpy_done
+    ldb r3, [r1, 0]
+    stb [r0, 0], r3
+    addi r0, r0, 1
+    addi r1, r1, 1
+    subi r2, r2, 1
+    jmp memcpy_loop
+memcpy_done:
+    mov r0, r4
+    pop r4
+    ret
+
+; --- memset(dst, c, n) -> dst ------------------------------------------
+memset:
+    push r4
+    mov r4, r0
+memset_loop:
+    cmpi r2, 0
+    jz memset_done
+    stb [r0, 0], r1
+    addi r0, r0, 1
+    subi r2, r2, 1
+    jmp memset_loop
+memset_done:
+    mov r0, r4
+    pop r4
+    ret
+
+; --- strncpy(dst, src, n) -> dst (bounded, NUL-pads like libc) --------
+strncpy:
+    push r4
+    mov r4, r0
+strncpy_loop:
+    cmpi r2, 0
+    jz strncpy_done
+    ldb r3, [r1, 0]
+    stb [r0, 0], r3
+    addi r0, r0, 1
+    subi r2, r2, 1
+    cmpi r3, 0
+    jz strncpy_pad
+    addi r1, r1, 1
+    jmp strncpy_loop
+strncpy_pad:
+    cmpi r2, 0
+    jz strncpy_done
+    movi r3, 0
+    stb [r0, 0], r3
+    addi r0, r0, 1
+    subi r2, r2, 1
+    jmp strncpy_pad
+strncpy_done:
+    mov r0, r4
+    pop r4
+    ret
+
+; --- memcmp(a, b, n) -> 0 eq / 1 gt / -1 lt ------------------------------
+memcmp:
+    push r4
+memcmp_loop:
+    cmpi r2, 0
+    jz memcmp_eq
+    ldb r3, [r0, 0]
+    ldb r4, [r1, 0]
+    cmp r3, r4
+    jne memcmp_diff
+    addi r0, r0, 1
+    addi r1, r1, 1
+    subi r2, r2, 1
+    jmp memcmp_loop
+memcmp_eq:
+    movi r0, 0
+    pop r4
+    ret
+memcmp_diff:
+    jlt memcmp_lt
+    movi r0, 1
+    pop r4
+    ret
+memcmp_lt:
+    movi r0, -1
+    pop r4
+    ret
+
+; --- strcmp(a, b) -> 0 eq / 1 gt / -1 lt --------------------------------
+strcmp:
+strcmp_loop:
+    ldb r2, [r0, 0]
+    ldb r3, [r1, 0]
+    cmp r2, r3
+    jne strcmp_diff
+    cmpi r2, 0
+    jz strcmp_eq
+    addi r0, r0, 1
+    addi r1, r1, 1
+    jmp strcmp_loop
+strcmp_eq:
+    movi r0, 0
+    ret
+strcmp_diff:
+    jlt strcmp_lt
+    movi r0, 1
+    ret
+strcmp_lt:
+    movi r0, -1
+    ret
+
+; --- strncmp(a, b, n) -> 0 eq / 1 ne ------------------------------------
+strncmp:
+    push r4
+strncmp_loop:
+    cmpi r2, 0
+    jz strncmp_eq
+    ldb r3, [r0, 0]
+    ldb r4, [r1, 0]
+    cmp r3, r4
+    jne strncmp_ne
+    cmpi r3, 0
+    jz strncmp_eq
+    addi r0, r0, 1
+    addi r1, r1, 1
+    subi r2, r2, 1
+    jmp strncmp_loop
+strncmp_eq:
+    movi r0, 0
+    pop r4
+    ret
+strncmp_ne:
+    movi r0, 1
+    pop r4
+    ret
+
+; --- strchr(s, c) -> ptr or 0 --------------------------------------------
+strchr:
+strchr_loop:
+    ldb r2, [r0, 0]
+    cmp r2, r1
+    je strchr_found
+    cmpi r2, 0
+    jz strchr_nf
+    addi r0, r0, 1
+    jmp strchr_loop
+strchr_found:
+    ret
+strchr_nf:
+    movi r0, 0
+    ret
+
+; --- parse_uint(s) -> value (stops at first non-digit) -------------------
+parse_uint:
+    mov r1, r0
+    movi r0, 0
+parse_uint_loop:
+    ldb r2, [r1, 0]
+    cmpi r2, '0'
+    jlt parse_uint_done
+    cmpi r2, '9'
+    jgt parse_uint_done
+    movi r3, 10
+    mul r0, r0, r3
+    subi r2, r2, '0'
+    add r0, r0, r2
+    addi r1, r1, 1
+    jmp parse_uint_loop
+parse_uint_done:
+    ret
+
+; --- write_cstr(conn, s) -> bytes written --------------------------------
+write_cstr:
+    push r4
+    push r5
+    mov r4, r0
+    mov r5, r1
+    mov r0, r1
+    call strlen
+    mov r2, r0
+    mov r0, r4
+    mov r1, r5
+    sys write
+    pop r5
+    pop r4
+    ret
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::hook::NopHook;
+    use crate::loader::Aslr;
+    use crate::machine::{Machine, Status};
+
+    fn run_lib(main: &str, data: &str) -> Machine {
+        let src = format!(".text\nmain:\n{main}\n.data\n{data}\n{LIB_ASM}");
+        let prog = assemble(&src).expect("asm");
+        let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        match m.run(&mut NopHook, 50_000_000) {
+            Status::Halted(_) => m,
+            other => panic!("did not halt: {other:?}"),
+        }
+    }
+
+    fn r0(m: &Machine) -> u32 {
+        m.cpu.get(crate::isa::Reg::R0)
+    }
+
+    #[test]
+    fn strlen_works() {
+        let m = run_lib("movi r0, s\ncall strlen\nhalt", "s: .string \"hello!\"");
+        assert_eq!(r0(&m), 6);
+        let m = run_lib("movi r0, s\ncall strlen\nhalt", "s: .string \"\"");
+        assert_eq!(r0(&m), 0);
+    }
+
+    #[test]
+    fn strcpy_copies_and_returns_dst() {
+        let m = run_lib(
+            "movi r0, dst\nmovi r1, src\ncall strcpy\nhalt",
+            "src: .string \"copy me\"\ndst: .space 32",
+        );
+        let dst = m.symbols.addr_of("dst").expect("dst");
+        assert_eq!(r0(&m), dst);
+        assert_eq!(m.mem.read_cstr(dst, 32).expect("read"), b"copy me");
+    }
+
+    #[test]
+    fn strcat_appends() {
+        let m = run_lib(
+            "movi r0, dst\nmovi r1, a\ncall strcpy\nmovi r0, dst\nmovi r1, b\ncall strcat\nhalt",
+            "a: .string \"foo\"\nb: .string \"bar\"\ndst: .space 32",
+        );
+        let dst = m.symbols.addr_of("dst").expect("dst");
+        assert_eq!(m.mem.read_cstr(dst, 32).expect("read"), b"foobar");
+    }
+
+    #[test]
+    fn memcpy_memset() {
+        let m = run_lib(
+            "movi r0, dst\nmovi r1, 'x'\nmovi r2, 4\ncall memset\nmovi r0, dst\nmovi r1, src\nmovi r2, 2\ncall memcpy\nhalt",
+            "src: .string \"AB\"\ndst: .space 8",
+        );
+        let dst = m.symbols.addr_of("dst").expect("dst");
+        assert_eq!(m.mem.read_bytes(dst, 4).expect("read"), b"ABxx");
+    }
+
+    #[test]
+    fn strncpy_bounds_and_pads() {
+        let m = run_lib(
+            "movi r0, dst\nmovi r1, src\nmovi r2, 8\ncall strncpy\nhalt",
+            "src: .string \"hi\"\ndst: .byte 'x','x','x','x','x','x','x','x','x'",
+        );
+        let dst = m.symbols.addr_of("dst").expect("dst");
+        // Copied "hi", then NUL-padded to n=8; byte 8 untouched.
+        assert_eq!(m.mem.read_bytes(dst, 9).expect("r"), b"hi\0\0\0\0\0\0x");
+        // Truncating copy: no terminator, exactly n bytes.
+        let m = run_lib(
+            "movi r0, dst\nmovi r1, src\nmovi r2, 3\ncall strncpy\nhalt",
+            "src: .string \"abcdef\"\ndst: .byte 'x','x','x','x'",
+        );
+        let dst = m.symbols.addr_of("dst").expect("dst");
+        assert_eq!(m.mem.read_bytes(dst, 4).expect("r"), b"abcx");
+    }
+
+    #[test]
+    fn memcmp_orders_bytes() {
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\nmovi r2, 4\ncall memcmp\nhalt",
+            "a: .byte 1, 2, 3, 4\nb: .byte 1, 2, 3, 4",
+        );
+        assert_eq!(r0(&m), 0);
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\nmovi r2, 4\ncall memcmp\nhalt",
+            "a: .byte 1, 2, 9, 4\nb: .byte 1, 2, 3, 4",
+        );
+        assert_eq!(r0(&m), 1);
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\nmovi r2, 2\ncall memcmp\nhalt",
+            "a: .byte 1, 2, 9, 4\nb: .byte 1, 2, 3, 4",
+        );
+        assert_eq!(r0(&m), 0, "comparison bounded at n");
+    }
+
+    #[test]
+    fn strcmp_orders() {
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\ncall strcmp\nhalt",
+            "a: .string \"abc\"\nb: .string \"abc\"",
+        );
+        assert_eq!(r0(&m), 0);
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\ncall strcmp\nhalt",
+            "a: .string \"abd\"\nb: .string \"abc\"",
+        );
+        assert_eq!(r0(&m), 1);
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\ncall strcmp\nhalt",
+            "a: .string \"ab\"\nb: .string \"abc\"",
+        );
+        assert_eq!(r0(&m), u32::MAX);
+    }
+
+    #[test]
+    fn strncmp_prefix() {
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\nmovi r2, 4\ncall strncmp\nhalt",
+            "a: .string \"GET /x\"\nb: .string \"GET \"",
+        );
+        // Compares only 4 bytes; but b ends at 4 -> equal over the prefix.
+        assert_eq!(r0(&m), 0);
+        let m = run_lib(
+            "movi r0, a\nmovi r1, b\nmovi r2, 4\ncall strncmp\nhalt",
+            "a: .string \"POST\"\nb: .string \"GET \"",
+        );
+        assert_eq!(r0(&m), 1);
+    }
+
+    #[test]
+    fn strchr_finds() {
+        let m = run_lib(
+            "movi r0, s\nmovi r1, '/'\ncall strchr\nhalt",
+            "s: .string \"GET /index\"",
+        );
+        let s = m.symbols.addr_of("s").expect("s");
+        assert_eq!(r0(&m), s + 4);
+        let m = run_lib(
+            "movi r0, s\nmovi r1, 'z'\ncall strchr\nhalt",
+            "s: .string \"abc\"",
+        );
+        assert_eq!(r0(&m), 0);
+    }
+
+    #[test]
+    fn parse_uint_parses() {
+        let m = run_lib("movi r0, s\ncall parse_uint\nhalt", "s: .string \"1234x\"");
+        assert_eq!(r0(&m), 1234);
+        let m = run_lib("movi r0, s\ncall parse_uint\nhalt", "s: .string \"x\"");
+        assert_eq!(r0(&m), 0);
+    }
+
+    #[test]
+    fn write_cstr_sends() {
+        let src = format!(
+            ".text\nmain:\n sys accept\n movi r1, s\n call write_cstr\n halt\n.data\ns: .string \"hi there\"\n{LIB_ASM}"
+        );
+        let prog = assemble(&src).expect("asm");
+        let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        m.net.push_connection(Vec::new());
+        match m.run(&mut NopHook, 10_000_000) {
+            Status::Halted(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.net.conn(0).expect("c").output, b"hi there");
+    }
+
+    #[test]
+    fn stdlib_lands_in_lib_segment() {
+        let src = format!(".text\nmain:\n halt\n{LIB_ASM}");
+        let prog = assemble(&src).expect("asm");
+        let m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        let strcat = m.symbols.addr_of("strcat").expect("strcat");
+        assert!(m
+            .mem
+            .region_of(strcat)
+            .map(|r| r.name == "lib")
+            .unwrap_or(false));
+    }
+}

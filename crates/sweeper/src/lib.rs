@@ -1,0 +1,28 @@
+//! # sweeper — the end-to-end defence system (the paper's contribution)
+//!
+//! Ties the substrates together into the full loop of paper §2:
+//!
+//! - **[`runtime`]** — the protected-process wrapper: lightweight
+//!   monitoring (ASLR faults + deployed VSEFs), periodic in-memory
+//!   checkpoints, signature filtering at the network proxy, attack
+//!   handling, and rollback-based recovery with restart fallback.
+//! - **[`pipeline`]** — the post-attack analysis: rollback and re-execute
+//!   repeatedly with progressively heavier instrumentation (memory-state
+//!   → memory-bug → taint/isolation → backward slicing), emitting
+//!   timestamped antibody releases for piecemeal distribution.
+//! - **[`timeline`]** — the monotone global event log behind Table 3 and
+//!   Figure 5.
+//! - **[`config`]** — deployment knobs (checkpoint interval, producer vs
+//!   consumer role, slicing toggle).
+//! - **[`report`]** — Table 2/3-style rendering of attack reports.
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod runtime;
+pub mod timeline;
+
+pub use config::{Config, Role};
+pub use pipeline::{analyze_attack, AnalysisReport, InputFinding, SliceVerdict, StepTimings};
+pub use runtime::{AttackReport, HostStatus, RequestOutcome, Sweeper};
+pub use timeline::{Event, Stamped, Timeline};

@@ -1,0 +1,438 @@
+//! The post-attack analysis pipeline (paper §2.2 / §3.2).
+//!
+//! After the lightweight monitor trips, Sweeper repeatedly rolls back and
+//! re-executes, each time attaching a heavier tool:
+//!
+//! 1. **Memory-state analysis** of the faulted image (milliseconds) →
+//!    the *initial* VSEF, released immediately.
+//! 2. **Memory-bug detection** on a replay → the *refined* VSEF.
+//! 3. **Taint analysis** on a replay → the responsible input (falling
+//!    back to one-request-at-a-time isolation, as §5.1 measures) → the
+//!    input signature and the recovery drop set.
+//! 4. **Backward slicing** on a traced replay → cross-verification of
+//!    steps 2–3 ("if they identify an issue which is not in the slice,
+//!    then they are incorrect").
+//!
+//! Every step's (virtual) latency is charged to the timeline, and every
+//! produced antibody item is timestamped for piecemeal distribution.
+
+use analysis::{backward_slice, CoreDumpReport, MemBugDetector, MemBugKind, TaintTool};
+use antibody::{exact_from, substring_from_taint, Antibody, AntibodyItem, VsefSpec};
+use checkpoint::{CheckpointManager, CkptId, Proxy, ReplayEnd, ReplaySession};
+use dbi::{Instrumenter, TraceRecorder};
+use svm::clock::cycles_to_secs;
+use svm::loader::Layout;
+use svm::Machine;
+
+use crate::timeline::{Event, Timeline};
+
+/// Fixed cost of dynamically attaching an instrumentation tool to a
+/// process (the PIN-attach analogue); dominates the first-VSEF latency.
+pub const ATTACH_COST_CYCLES: u64 = 60_000_000; // 25 ms at 2.4 GHz.
+
+/// Cost of the static memory-state walk (stack scan + heap walk).
+pub const CORE_DUMP_CYCLES: u64 = 96_000_000; // 40 ms (paper: first VSEF at 40-60 ms).
+
+/// Per-step timing for Table 3.
+#[derive(Debug, Clone, Default)]
+pub struct StepTimings {
+    /// Memory-state analysis duration (ms).
+    pub memory_state_ms: f64,
+    /// Memory-bug detection duration (ms).
+    pub memory_bug_ms: f64,
+    /// Taint / input-isolation duration (ms).
+    pub taint_ms: f64,
+    /// Slicing duration (ms).
+    pub slicing_ms: f64,
+    /// Detection -> first VSEF (ms).
+    pub first_vsef_ms: f64,
+    /// Detection -> best VSEF (ms).
+    pub best_vsef_ms: f64,
+    /// Detection -> VSEFs + input isolated (ms) ("initial analysis").
+    pub initial_ms: f64,
+    /// Detection -> everything including slicing (ms).
+    pub total_ms: f64,
+}
+
+/// What taint/isolation concluded about the attack input.
+#[derive(Debug, Clone, Default)]
+pub struct InputFinding {
+    /// Proxy log ids of the connections implicated.
+    pub attack_log_ids: Vec<usize>,
+    /// Byte offsets implicated within the primary attack connection.
+    pub offsets: Vec<u32>,
+    /// Whether taint found it (vs. one-at-a-time isolation).
+    pub via_taint: bool,
+}
+
+/// Cross-verification results from slicing.
+#[derive(Debug, Clone, Default)]
+pub struct SliceVerdict {
+    /// Dynamic slice size (instructions).
+    pub slice_len: usize,
+    /// Whether the memory-bug finding's pc is inside the slice.
+    pub membug_verified: Option<bool>,
+    /// Whether the taint source bytes appear among the slice's inputs.
+    pub taint_verified: Option<bool>,
+}
+
+/// The complete pipeline output.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Step 1 output.
+    pub core: CoreDumpReport,
+    /// Step 2 findings.
+    pub membug: Vec<analysis::MemBugFinding>,
+    /// Step 3 conclusion.
+    pub input: InputFinding,
+    /// Step 4 verdict (absent when slicing is disabled).
+    pub slice: Option<SliceVerdict>,
+    /// The assembled antibody (releases timestamped from detection).
+    pub antibody: Antibody,
+    /// Timings for Table 3.
+    pub timings: StepTimings,
+    /// The checkpoint the analysis replayed from.
+    pub ckpt: CkptId,
+    /// Symbol map of the attacked process (captured at analysis time; the
+    /// live machine may later restart under a different layout).
+    pub symbols: svm::loader::SymbolMap,
+}
+
+/// Find the most recent retained checkpoint whose replay reproduces the
+/// fault (stepping further back if the window is too short).
+pub fn find_reproducing_checkpoint(
+    mgr: &CheckpointManager,
+    proxy: &Proxy,
+    budget: u64,
+) -> Option<CkptId> {
+    let mut candidate = mgr.latest().map(|c| c.id)?;
+    loop {
+        let out = ReplaySession::new(mgr, proxy, candidate)?
+            .with_budget(budget)
+            .run(&mut svm::NopHook);
+        if matches!(out.end, ReplayEnd::Faulted(_)) {
+            return Some(candidate);
+        }
+        // Step back one checkpoint.
+        let prev = CkptId(candidate.0.checked_sub(1)?);
+        mgr.get(prev)?;
+        candidate = prev;
+    }
+}
+
+/// Run the full pipeline on a detected attack.
+///
+/// `live` is the faulted (or VSEF-stopped) machine; `timeline` must have
+/// an `AttackDetected` event already recorded at the current time. VSEF
+/// addresses in the produced antibody are normalized to the nominal
+/// layout for distribution.
+pub fn analyze_attack(
+    live: &Machine,
+    mgr: &CheckpointManager,
+    proxy: &Proxy,
+    timeline: &mut Timeline,
+    run_slicing: bool,
+    replay_budget: u64,
+) -> Option<AnalysisReport> {
+    let detection_at = timeline.now();
+    let nominal = Layout::nominal();
+    let host = live.layout;
+    let norm = |spec: VsefSpec| spec.rebase(&host, &nominal);
+    let mut antibody = Antibody::new();
+    let mut timings = StepTimings::default();
+    let ms_since_detect = |tl: &Timeline| cycles_to_secs(tl.now() - detection_at) * 1e3;
+
+    // ---- Step 1: memory-state analysis of the faulted image. ----------
+    let core = analysis::analyze(live)?;
+    timeline.advance_by(CORE_DUMP_CYCLES);
+    timings.memory_state_ms = cycles_to_secs(CORE_DUMP_CYCLES) * 1e3;
+    timeline.record(Event::AnalysisStep {
+        step: "memory-state",
+        duration_ms: timings.memory_state_ms,
+    });
+    let initial_vsefs = initial_vsefs(&core);
+    for v in &initial_vsefs {
+        antibody.push(
+            AntibodyItem::Vsef(norm(v.clone())),
+            ms_since_detect(timeline),
+        );
+        timeline.record(Event::AntibodyReleased {
+            what: format!("initial VSEF: {}", v.kind()),
+        });
+    }
+    timings.first_vsef_ms = ms_since_detect(timeline);
+    timings.best_vsef_ms = timings.first_vsef_ms;
+
+    // Locate a checkpoint that reproduces the attack.
+    let ckpt = find_reproducing_checkpoint(mgr, proxy, replay_budget)?;
+
+    // ---- Step 2: memory-bug detection on a replay. ---------------------
+    let ckpt_machine = &mgr.get(ckpt)?.machine;
+    let det = MemBugDetector::attach_to(ckpt_machine);
+    let mut ins = Instrumenter::new();
+    let det_id = ins.attach(Box::new(det));
+    let out = ReplaySession::new(mgr, proxy, ckpt)?
+        .with_budget(replay_budget)
+        .run(&mut ins);
+    let step2_cycles = ATTACH_COST_CYCLES + out.cycles + ins.take_overhead();
+    timeline.advance_by(step2_cycles);
+    timings.memory_bug_ms = cycles_to_secs(step2_cycles) * 1e3;
+    timeline.record(Event::AnalysisStep {
+        step: "memory-bug",
+        duration_ms: timings.memory_bug_ms,
+    });
+    let membug: Vec<analysis::MemBugFinding> = ins
+        .get::<MemBugDetector>(det_id)
+        .map(|d| d.findings().to_vec())
+        .unwrap_or_default();
+    let refined = refined_vsefs(&membug);
+    for v in &refined {
+        antibody.push(
+            AntibodyItem::Vsef(norm(v.clone())),
+            ms_since_detect(timeline),
+        );
+        timeline.record(Event::AntibodyReleased {
+            what: format!("refined VSEF: {}", v.kind()),
+        });
+        timings.best_vsef_ms = ms_since_detect(timeline);
+    }
+
+    // ---- Step 3: taint analysis (with isolation fallback). -------------
+    let mut ins3 = Instrumenter::new();
+    let taint_id = ins3.attach(Box::new(TaintTool::new()));
+    let out3 = ReplaySession::new(mgr, proxy, ckpt)?
+        .with_budget(replay_budget)
+        .run(&mut ins3);
+    let mut step3_cycles = ATTACH_COST_CYCLES + out3.cycles + ins3.take_overhead();
+    let conns_at = mgr.get(ckpt)?.conns_at;
+    let replayed_machine = &out3.machine;
+    let mut input = InputFinding::default();
+    if let Some(taint) = ins3.get::<TaintTool>(taint_id) {
+        // Prefer a control-transfer alert; otherwise query taint at the
+        // corrupt location the fault names (heap attacks).
+        let mut sources = taint
+            .alerts()
+            .first()
+            .map(|a| a.sources.clone())
+            .unwrap_or_default();
+        if sources.is_empty() {
+            if let svm::Status::Faulted(f) = replayed_machine.status() {
+                if let Some(addr) = f.fault_addr() {
+                    // The corrupt chunk header (HeapAbort) or the slot the
+                    // allocator was about to dereference.
+                    sources = taint.taint_of_mem(addr, 8);
+                    if sources.is_empty() {
+                        sources = taint.taint_of_mem(addr.wrapping_sub(8), 16);
+                    }
+                }
+            }
+        }
+        if !sources.is_empty() {
+            input.via_taint = true;
+            // Map replay guest conn ids back to proxy log ids.
+            let replay_map: Vec<usize> = guest_to_log_map(proxy, conns_at, &[]);
+            let mut ids: Vec<usize> = sources
+                .iter()
+                .filter_map(|(c, _)| replay_map.get(*c as usize).copied())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let primary_guest = sources.iter().next().map(|(c, _)| *c).unwrap_or_default();
+            input.offsets = sources
+                .iter()
+                .filter(|(c, _)| *c == primary_guest)
+                .map(|(_, o)| *o)
+                .collect();
+            input.attack_log_ids = ids;
+        }
+    }
+    // Also add taint-filter VSEF material when taint implicated input.
+    if input.via_taint {
+        if let Some(taint) = ins3.get::<TaintTool>(taint_id) {
+            if let Some(alert) = taint.alerts().first() {
+                let mut prop: Vec<u32> = taint.propagation_pcs().iter().copied().collect();
+                prop.truncate(64);
+                let spec = VsefSpec::TaintFilter {
+                    prop_pcs: prop,
+                    sink_pc: alert.pc,
+                };
+                timeline.advance_by(1_000_000);
+                antibody.push(AntibodyItem::Vsef(norm(spec)), ms_since_detect(timeline));
+                timeline.record(Event::AntibodyReleased {
+                    what: "taint-filter VSEF".into(),
+                });
+            }
+        }
+    }
+    if input.attack_log_ids.is_empty() {
+        // Isolation fallback: replay each post-checkpoint connection
+        // alone; the one that reproduces the fault is the attack. (§5.1:
+        // "we measure the time to isolate the exploit input by sending
+        // the potentially suspicious requests one at a time".)
+        let candidates: Vec<usize> = proxy
+            .replay_set(conns_at, &[])
+            .iter()
+            .map(|c| c.log_id)
+            .collect();
+        for &cand in &candidates {
+            let others: Vec<usize> = candidates.iter().copied().filter(|&x| x != cand).collect();
+            let Some(sess) = ReplaySession::new(mgr, proxy, ckpt) else {
+                break;
+            };
+            let solo = sess
+                .dropping(&others)
+                .with_budget(replay_budget)
+                .run(&mut svm::NopHook);
+            step3_cycles += ATTACH_COST_CYCLES / 4 + solo.cycles;
+            if matches!(solo.end, ReplayEnd::Faulted(_)) {
+                input.attack_log_ids = vec![cand];
+                break;
+            }
+        }
+    }
+    timeline.advance_by(step3_cycles);
+    timings.taint_ms = cycles_to_secs(step3_cycles) * 1e3;
+    timeline.record(Event::AnalysisStep {
+        step: "taint",
+        duration_ms: timings.taint_ms,
+    });
+
+    // Release the signature + exploit input.
+    if let Some(&primary) = input.attack_log_ids.first() {
+        if let Some(lc) = proxy.get(primary) {
+            antibody.push(
+                AntibodyItem::Signature(exact_from(&lc.input)),
+                ms_since_detect(timeline),
+            );
+            timeline.record(Event::AntibodyReleased {
+                what: "exact input signature".into(),
+            });
+            if let Some(sig) = substring_from_taint(&lc.input, &input.offsets, 6) {
+                antibody.push(AntibodyItem::Signature(sig), ms_since_detect(timeline));
+                timeline.record(Event::AntibodyReleased {
+                    what: "substring signature".into(),
+                });
+            }
+            antibody.push(
+                AntibodyItem::ExploitInput(lc.input.clone()),
+                ms_since_detect(timeline),
+            );
+            timeline.record(Event::AntibodyReleased {
+                what: "exploit input".into(),
+            });
+        }
+    }
+    timings.initial_ms = ms_since_detect(timeline);
+
+    // ---- Step 4: backward slicing (verification). -----------------------
+    let slice = if run_slicing {
+        let mut ins4 = Instrumenter::new();
+        let tr_id = ins4.attach(Box::new(TraceRecorder::new()));
+        let out4 = ReplaySession::new(mgr, proxy, ckpt)?
+            .with_budget(replay_budget)
+            .run(&mut ins4);
+        let step4_cycles = ATTACH_COST_CYCLES + out4.cycles + ins4.take_overhead();
+        timeline.advance_by(step4_cycles);
+        timings.slicing_ms = cycles_to_secs(step4_cycles) * 1e3;
+        timeline.record(Event::AnalysisStep {
+            step: "slicing",
+            duration_ms: timings.slicing_ms,
+        });
+        let verdict = ins4.get::<TraceRecorder>(tr_id).map(|trace| {
+            let crit = trace.len().saturating_sub(1);
+            let slice = backward_slice(trace, crit, true);
+            // Double-free findings flow through allocator-internal
+            // metadata the instruction trace cannot see; they are not
+            // slice-verifiable (the paper's tools share this blind spot
+            // for libc-internal dataflow).
+            let membug_verified = membug
+                .iter()
+                .find(|f| f.kind != MemBugKind::DoubleFree)
+                .map(|f| slice.contains_pc(f.pc));
+            let taint_verified = if input.via_taint && !input.offsets.is_empty() {
+                Some(
+                    input
+                        .offsets
+                        .iter()
+                        .any(|o| slice.input_deps.iter().any(|(_, so)| so == o)),
+                )
+            } else {
+                None
+            };
+            SliceVerdict {
+                slice_len: slice.len(),
+                membug_verified,
+                taint_verified,
+            }
+        });
+        verdict
+    } else {
+        None
+    };
+    timings.total_ms = ms_since_detect(timeline);
+
+    Some(AnalysisReport {
+        core,
+        membug,
+        input,
+        slice,
+        antibody,
+        timings,
+        ckpt,
+        symbols: live.symbols.clone(),
+    })
+}
+
+/// Map replay guest connection ids to proxy log ids.
+fn guest_to_log_map(proxy: &Proxy, conns_at: usize, drop: &[usize]) -> Vec<usize> {
+    let mut map: Vec<usize> = proxy
+        .log()
+        .iter()
+        .filter(|c| !c.filtered)
+        .take(conns_at)
+        .map(|c| c.log_id)
+        .collect();
+    map.extend(proxy.replay_set(conns_at, drop).iter().map(|c| c.log_id));
+    map
+}
+
+/// Initial VSEFs from the memory-state recommendation.
+fn initial_vsefs(core: &CoreDumpReport) -> Vec<VsefSpec> {
+    use analysis::InitialRecommendation as R;
+    match &core.recommendation {
+        R::RetAddrGuard { func, func_name } => {
+            vec![VsefSpec::RetAddrGuard {
+                func: *func,
+                func_name: func_name.clone(),
+            }]
+        }
+        R::NullCheck { insn } => vec![VsefSpec::NullCheck { insn_pc: *insn }],
+        R::HeapIntegrityGuard { insn, .. } => {
+            vec![
+                VsefSpec::HeapIntegrityGuard { sites: vec![*insn] },
+                VsefSpec::DoubleFreeGuard { free_pc: *insn },
+            ]
+        }
+        R::Generic => Vec::new(),
+    }
+}
+
+/// Refined VSEFs from memory-bug findings.
+fn refined_vsefs(findings: &[analysis::MemBugFinding]) -> Vec<VsefSpec> {
+    let mut out = Vec::new();
+    for f in findings {
+        let spec = match f.kind {
+            MemBugKind::StackSmash => VsefSpec::StoreSmashGuard { store_pc: f.pc },
+            MemBugKind::HeapOverflow => VsefSpec::HeapBoundsCheck {
+                store_pc: f.pc,
+                caller: None,
+            },
+            MemBugKind::DoubleFree => VsefSpec::DoubleFreeGuard { free_pc: f.pc },
+            MemBugKind::DanglingWrite => continue,
+        };
+        if !out.contains(&spec) {
+            out.push(spec);
+        }
+    }
+    out
+}

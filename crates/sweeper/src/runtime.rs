@@ -1,0 +1,952 @@
+//! The Sweeper runtime: a protected server process end to end.
+//!
+//! Wraps a guest server with the full defence loop of paper §2.1:
+//! lightweight monitoring (ASLR faults + deployed VSEFs), periodic
+//! lightweight checkpoints, signature filtering at the proxy, post-attack
+//! analysis via the [`pipeline`](crate::pipeline), antibody deployment,
+//! and rollback-based recovery (falling back to restart).
+
+use analysis::TaintTool;
+use antibody::{Antibody, AntibodyItem, SignatureSet, VsefRuntime, VsefSpec};
+use apps::App;
+use checkpoint::{recover, CheckpointManager, InputFilter, Proxy, RecoveryOutcome};
+use dbi::{Instrumenter, ToolId};
+use svm::clock::cycles_to_secs;
+use svm::hook::Pair;
+use svm::loader::Layout;
+use svm::net::BlockedOn;
+use svm::rng::XorShift64;
+use svm::{Machine, Status, SvmError};
+
+use crate::config::{Config, Role};
+use crate::pipeline::{analyze_attack, AnalysisReport};
+use crate::timeline::{Event, Timeline};
+
+/// Outcome of offering one request to a protected server.
+#[derive(Debug)]
+pub enum RequestOutcome {
+    /// Served normally; response bytes released.
+    Served {
+        /// Proxy log id.
+        log_id: usize,
+        /// Released bytes.
+        bytes: usize,
+    },
+    /// Dropped by a deployed input signature.
+    Filtered {
+        /// Proxy log id.
+        log_id: usize,
+    },
+    /// An attack was detected (and, for producers, analyzed + recovered).
+    Attack(Box<AttackReport>),
+}
+
+/// Everything Sweeper did about one attack.
+#[derive(Debug)]
+pub struct AttackReport {
+    /// What tripped: `fault: ...` or `vsef: ...`.
+    pub cause: String,
+    /// The analysis output (None for consumers, which do not analyze).
+    pub analysis: Option<AnalysisReport>,
+    /// How service was restored.
+    pub recovery_method: &'static str,
+    /// Service pause in virtual milliseconds (analysis + recovery).
+    pub pause_ms: f64,
+    /// Whether the attacker's shellcode ran before detection (should
+    /// always be false for ASLR misses; true means compromise).
+    pub compromised: bool,
+}
+
+/// Operator-facing summary of a protected host (see [`Sweeper::status`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostStatus {
+    /// Protected application name.
+    pub app: String,
+    /// Global virtual uptime in seconds.
+    pub uptime_secs: f64,
+    /// Requests served.
+    pub requests_served: u64,
+    /// Requests run under §4.2 sampling.
+    pub requests_sampled: u64,
+    /// Attacks detected (faults, VSEF hits, sampling hits, anomalies).
+    pub attacks_detected: u64,
+    /// Requests dropped at the proxy by signatures.
+    pub requests_filtered: u64,
+    /// Deployed VSEF count.
+    pub deployed_vsefs: usize,
+    /// Deployed signature count.
+    pub deployed_signatures: usize,
+    /// Checkpoints currently retained.
+    pub checkpoints_retained: usize,
+    /// Checkpoints taken over the host's lifetime.
+    pub checkpoints_taken: u64,
+    /// Extra pages uniquely held by retained checkpoints (COW-deduped).
+    pub checkpoint_pages: usize,
+    /// Whether the protected process is currently serviceable.
+    pub healthy: bool,
+}
+
+impl core::fmt::Display for HostStatus {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] up {:.2}s: {} served ({} sampled), {} attacks, {} filtered",
+            self.app,
+            if self.healthy { "healthy" } else { "DOWN" },
+            self.uptime_secs,
+            self.requests_served,
+            self.requests_sampled,
+            self.attacks_detected,
+            self.requests_filtered,
+        )?;
+        write!(
+            f,
+            "antibodies: {} VSEFs, {} signatures; checkpoints: {}/{} retained ({} private pages)",
+            self.deployed_vsefs,
+            self.deployed_signatures,
+            self.checkpoints_retained,
+            self.checkpoints_taken,
+            self.checkpoint_pages,
+        )
+    }
+}
+
+struct SigFilter<'a>(&'a SignatureSet);
+
+impl InputFilter for SigFilter<'_> {
+    fn blocks(&self, input: &[u8]) -> bool {
+        self.0.matches(input)
+    }
+    fn name(&self) -> &str {
+        "signature-set"
+    }
+}
+
+/// A Sweeper-protected server instance.
+pub struct Sweeper {
+    /// Application name.
+    pub app_name: String,
+    program: svm::asm::Program,
+    /// The live protected machine.
+    pub machine: Machine,
+    /// Checkpoint storage/policy.
+    pub mgr: CheckpointManager,
+    /// Logging/filtering proxy.
+    pub proxy: Proxy,
+    /// Deployed input signatures.
+    pub signatures: SignatureSet,
+    vsef_instr: Instrumenter,
+    vsef_id: ToolId,
+    /// Monotone global event log.
+    pub timeline: Timeline,
+    /// Configuration.
+    pub config: Config,
+    /// Attacks detected so far.
+    pub attacks_detected: u64,
+    /// Requests served so far.
+    pub requests_served: u64,
+    /// Requests that were run under full sampling instrumentation (§4.2).
+    pub requests_sampled: u64,
+    sample_rng: XorShift64,
+    /// Exploit inputs captured so far (one per detected attack); when
+    /// VSEFs catch polymorphic variants of a vulnerability, these samples
+    /// feed token-sequence signature generalization (Polygraph-style,
+    /// paper §3.3 "Polymorphic signatures are also feasible").
+    attack_samples: Vec<Vec<u8>>,
+}
+
+impl Sweeper {
+    /// Protect an application.
+    pub fn protect(app: &App, config: Config) -> Result<Sweeper, SvmError> {
+        let mut machine = app.boot(config.aslr)?;
+        machine.mem.nx = config.nx;
+        let mgr = CheckpointManager::new(config.checkpoint_interval, config.retained_checkpoints);
+        let mut vsef_instr = Instrumenter::new();
+        let vsef_id = vsef_instr.attach(Box::new(VsefRuntime::new(Vec::new())));
+        let mut s = Sweeper {
+            app_name: app.name.to_string(),
+            program: app.program.clone(),
+            machine,
+            mgr,
+            proxy: Proxy::new(),
+            signatures: SignatureSet::new(),
+            vsef_instr,
+            vsef_id,
+            timeline: Timeline::new(),
+            sample_rng: XorShift64::new(config.aslr.seed ^ 0x5a3b_17ee),
+            config,
+            attacks_detected: 0,
+            requests_served: 0,
+            requests_sampled: 0,
+            attack_samples: Vec::new(),
+        };
+        // Boot to quiescence and take the initial checkpoint.
+        s.run_until_idle();
+        let id = s.mgr.take(&mut s.machine);
+        s.sync_time();
+        s.timeline.record(Event::Checkpoint { id: id.0 });
+        Ok(s)
+    }
+
+    /// Deploy an antibody received from the community (or produced
+    /// locally): signatures to the proxy filter, VSEFs (rebased from the
+    /// nominal distribution layout to this host's layout) to the
+    /// instrumenter.
+    pub fn deploy_antibody(&mut self, antibody: &Antibody) {
+        for sig in antibody.signatures().all() {
+            self.signatures.add(sig.clone());
+        }
+        let nominal = Layout::nominal();
+        let host = self.machine.layout;
+        let existing: Vec<VsefSpec> = self
+            .vsef_instr
+            .get::<VsefRuntime>(self.vsef_id)
+            .map(|v| v.specs().to_vec())
+            .unwrap_or_default();
+        if let Some(rt) = self.vsef_instr.get_mut::<VsefRuntime>(self.vsef_id) {
+            for spec in antibody.vsefs() {
+                let rebased = spec.rebase(&nominal, &host);
+                if !existing.contains(&rebased) {
+                    rt.add(rebased);
+                }
+            }
+        }
+        self.vsef_instr.refresh(self.vsef_id);
+    }
+
+    /// Deployed VSEF count.
+    pub fn deployed_vsefs(&self) -> usize {
+        self.vsef_instr
+            .get::<VsefRuntime>(self.vsef_id)
+            .map(|v| v.specs().len())
+            .unwrap_or(0)
+    }
+
+    /// Advance the global timeline to the machine's clock.
+    fn sync_time(&mut self) {
+        self.timeline.advance_to(self.machine.clock.cycles());
+    }
+
+    /// Run the machine until it blocks on `accept` (idle), faults, or a
+    /// VSEF detection fires. Returns the stop condition.
+    fn run_until_idle(&mut self) -> Status {
+        loop {
+            let status = self.machine.run(&mut self.vsef_instr, 2_000_000);
+            self.vsef_instr.charge(&mut self.machine);
+            self.sync_time();
+            let vsef_fired = self
+                .vsef_instr
+                .get::<VsefRuntime>(self.vsef_id)
+                .map(|v| !v.detections().is_empty())
+                .unwrap_or(false);
+            if vsef_fired {
+                return status;
+            }
+            match status {
+                Status::Running => continue,
+                Status::Blocked(BlockedOn::Read { .. }) => return status,
+                Status::Blocked(BlockedOn::Accept) | Status::Halted(_) | Status::Faulted(_) => {
+                    return status
+                }
+            }
+        }
+    }
+
+    /// Offer one client request to the protected server.
+    pub fn offer_request(&mut self, input: Vec<u8>) -> RequestOutcome {
+        // Checkpoint if due (taken at request boundaries, like Rx).
+        if self.mgr.due(&self.machine) {
+            let id = self.mgr.take(&mut self.machine);
+            self.sync_time();
+            self.timeline.record(Event::Checkpoint { id: id.0 });
+        }
+        let sig_holder = self.signatures.clone();
+        let filter = SigFilter(&sig_holder);
+        let (log_id, delivered) =
+            self.proxy
+                .offer(&mut self.machine, input, &[&filter as &dyn InputFilter]);
+        if !delivered {
+            self.timeline.record(Event::RequestFiltered { log_id });
+            return RequestOutcome::Filtered { log_id };
+        }
+        // §4.2 sampling: run this request under full taint analysis with
+        // probability `sample_rate`. The sampled path catches attacks the
+        // probabilistic monitors can miss (a worm that guessed the
+        // layout), *before* the tainted control transfer executes.
+        let sampled =
+            self.config.sample_rate > 0.0 && self.sample_rng.next_f64() < self.config.sample_rate;
+        let status = if sampled {
+            self.requests_sampled += 1;
+            match self.run_sampled(log_id) {
+                Ok(status) => status,
+                Err(report) => return RequestOutcome::Attack(report),
+            }
+        } else {
+            self.run_until_idle()
+        };
+        let vsef_detection = self
+            .vsef_instr
+            .get_mut::<VsefRuntime>(self.vsef_id)
+            .map(|v| v.take_detections())
+            .unwrap_or_default();
+        if let Some(d) = vsef_detection.first() {
+            let cause = format!("vsef: {} at {:#010x} ({})", d.vsef_kind, d.pc, d.detail);
+            return RequestOutcome::Attack(Box::new(self.handle_attack(cause, true)));
+        }
+        match status {
+            Status::Faulted(f) => {
+                let cause = format!("fault: {f}");
+                RequestOutcome::Attack(Box::new(self.handle_attack(cause, false)))
+            }
+            Status::Halted(code) => {
+                // A server process has no legitimate reason to exit while
+                // serving: treat an unexpected exit (e.g. shellcode
+                // calling exit) as an anomaly and recover.
+                let cause = format!("anomaly: server exited with code {code:#x}");
+                RequestOutcome::Attack(Box::new(self.handle_attack(cause, false)))
+            }
+            _ => {
+                let released = self.proxy.release_outputs(&self.machine);
+                let bytes: usize = released.iter().map(|(_, b)| b.len()).sum();
+                self.requests_served += 1;
+                self.timeline.record(Event::RequestServed { log_id, bytes });
+                RequestOutcome::Served { log_id, bytes }
+            }
+        }
+    }
+
+    /// Handle a detected attack: analyze (producers), deploy antibodies,
+    /// recover.
+    fn handle_attack(&mut self, cause: String, via_vsef: bool) -> AttackReport {
+        self.attacks_detected += 1;
+        self.sync_time();
+        let detection_at = self.timeline.now();
+        let compromised = apps::is_compromised(&self.machine);
+        self.timeline.record(Event::AttackDetected {
+            cause: cause.clone(),
+        });
+
+        // Producers run the full analysis (skipped when a deployed VSEF
+        // caught a known vulnerability — the antibody already exists).
+        let analysis = if self.config.role == Role::Producer && !via_vsef {
+            analyze_attack(
+                &self.machine,
+                &self.mgr,
+                &self.proxy,
+                &mut self.timeline,
+                self.config.run_slicing,
+                self.config.replay_budget,
+            )
+        } else {
+            None
+        };
+
+        // Deploy our own antibody locally.
+        let drop_ids: Vec<usize> = if let Some(rep) = &analysis {
+            self.deploy_antibody(&rep.antibody.clone());
+            if rep.input.attack_log_ids.is_empty() {
+                self.last_conn_fallback()
+            } else {
+                rep.input.attack_log_ids.clone()
+            }
+        } else {
+            self.last_conn_fallback()
+        };
+
+        // Polygraph-style signature generalization: accumulate captured
+        // exploit samples; once two or more polymorphic variants of the
+        // vulnerability have been seen (e.g. caught by a VSEF after the
+        // exact signature missed), derive an ordered token-sequence
+        // signature that drops future byte-level-different variants at
+        // the proxy. VSEFs remain the safety net against mistraining.
+        for &id in &drop_ids {
+            if let Some(lc) = self.proxy.get(id) {
+                if !self.attack_samples.contains(&lc.input) {
+                    self.attack_samples.push(lc.input.clone());
+                }
+            }
+        }
+        if self.attack_samples.len() >= 2 {
+            let samples: Vec<&[u8]> = self.attack_samples.iter().map(|s| s.as_slice()).collect();
+            if let Some(sig) = antibody::tokens_from_samples(&samples, 4) {
+                // Mistraining guard (the Paragraph-attack concern the
+                // paper cites): only deploy a generalization when this
+                // host has *negative examples* — served benign inputs —
+                // and the candidate matches none of them. Without a
+                // benign corpus, generalizing is unsafe (the common
+                // tokens may be pure protocol framing); the exact and
+                // substring signatures plus VSEFs carry the load.
+                let benign: Vec<&[u8]> = self
+                    .proxy
+                    .log()
+                    .iter()
+                    .filter(|c| !c.filtered && !self.attack_samples.contains(&c.input))
+                    .map(|c| c.input.as_slice())
+                    .collect();
+                if !benign.is_empty() && !benign.iter().any(|b| sig.matches(b)) {
+                    self.signatures.add(sig);
+                }
+            }
+        }
+
+        // Recovery: roll back and re-execute without the attack.
+        let recover_from = self
+            .mgr
+            .latest_before(
+                drop_ids
+                    .iter()
+                    .filter_map(|&id| self.proxy.get(id))
+                    .map(|c| c.arrival_cycles)
+                    .min()
+                    .unwrap_or(u64::MAX),
+            )
+            .or_else(|| self.mgr.oldest())
+            .map(|c| c.id);
+        let mut method: &'static str = "restart";
+        if let Some(ck) = recover_from {
+            match recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &drop_ids) {
+                RecoveryOutcome::Resumed { pause_cycles, .. } => {
+                    method = "rollback-replay";
+                    self.timeline.advance_by(pause_cycles);
+                }
+                RecoveryOutcome::ReplayFaulted(_) | RecoveryOutcome::RestartRequired { .. } => {
+                    method = "restart";
+                }
+            }
+        }
+        if method == "restart" {
+            self.restart(&drop_ids);
+        }
+        // The VSEF instrumentation is logically re-attached to the
+        // recovered (or restarted) execution: clear its shadow state.
+        if let Some(rt) = self.vsef_instr.get_mut::<VsefRuntime>(self.vsef_id) {
+            rt.reset_state();
+        }
+        // The recovered machine's clock rewound; wall time did not.
+        // Re-anchor the machine clock at the monotone global time.
+        let now = self.timeline.now();
+        if self.machine.clock.cycles() < now {
+            self.machine.clock.tick(now - self.machine.clock.cycles());
+        }
+        let pause_ms = cycles_to_secs(self.timeline.now() - detection_at) * 1e3;
+        self.timeline.record(Event::Recovered { method, pause_ms });
+        // Fresh checkpoint of the recovered state.
+        let id = self.mgr.take(&mut self.machine);
+        self.sync_time();
+        self.timeline.record(Event::Checkpoint { id: id.0 });
+        AttackReport {
+            cause,
+            analysis,
+            recovery_method: method,
+            pause_ms,
+            compromised,
+        }
+    }
+
+    /// Run one request under full sampling instrumentation (taint paired
+    /// with the deployed VSEFs). On a taint alert — tainted data about to
+    /// be used as a control-transfer target — the request is treated as
+    /// an attack *before the hijack executes*: the antibody is derived
+    /// directly from the sampling tool's findings (the heavyweight
+    /// analysis already ran; it was the monitoring).
+    fn run_sampled(&mut self, log_id: usize) -> Result<Status, Box<AttackReport>> {
+        let mut sampler = Instrumenter::new();
+        let taint_id = sampler.attach(Box::new(TaintTool::new()));
+        let status = loop {
+            // Sampled requests are driven one instruction at a time so
+            // that a taint alert stops execution *before* the flagged
+            // control transfer runs — detection must precede damage.
+            let status = {
+                let Sweeper {
+                    machine,
+                    vsef_instr,
+                    ..
+                } = self;
+                machine.step_hooked(&mut Pair(vsef_instr, &mut sampler))
+            };
+            let alerted = sampler
+                .get::<TaintTool>(taint_id)
+                .map(|t| !t.alerts().is_empty())
+                .unwrap_or(false);
+            if !alerted && status.is_running() {
+                continue;
+            }
+            // Sampling is the expensive path: its instrumentation cost is
+            // charged to the live clock (the §4.2 trade-off).
+            sampler.charge(&mut self.machine);
+            self.vsef_instr.charge(&mut self.machine);
+            self.sync_time();
+            let alert = sampler
+                .get::<TaintTool>(taint_id)
+                .and_then(|t| t.alerts().first().cloned());
+            if let Some(a) = alert {
+                let cause = format!(
+                    "sampling: tainted control transfer to {:#010x} at {:#010x}",
+                    a.target, a.pc
+                );
+                let taint = sampler.get::<TaintTool>(taint_id).expect("tool");
+                let mut prop: Vec<u32> = taint.propagation_pcs().iter().copied().collect();
+                prop.truncate(64);
+                let spec = VsefSpec::TaintFilter {
+                    prop_pcs: prop,
+                    sink_pc: a.pc,
+                };
+                return Err(Box::new(self.handle_sampled_attack(cause, spec, log_id)));
+            }
+            let vsef_fired = self
+                .vsef_instr
+                .get::<VsefRuntime>(self.vsef_id)
+                .map(|v| !v.detections().is_empty())
+                .unwrap_or(false);
+            if vsef_fired || !status.is_running() {
+                break status;
+            }
+        };
+        Ok(status)
+    }
+
+    /// Handle an attack caught by sampling: deploy the taint-derived
+    /// antibody and recover by dropping the sampled connection.
+    fn handle_sampled_attack(
+        &mut self,
+        cause: String,
+        spec: VsefSpec,
+        log_id: usize,
+    ) -> AttackReport {
+        self.attacks_detected += 1;
+        self.sync_time();
+        let detection_at = self.timeline.now();
+        let compromised = apps::is_compromised(&self.machine);
+        self.timeline.record(Event::AttackDetected {
+            cause: cause.clone(),
+        });
+        // Build the antibody from the live sampling findings.
+        let nominal = Layout::nominal();
+        let mut antibody = Antibody::new();
+        antibody.push(
+            AntibodyItem::Vsef(spec.rebase(&self.machine.layout, &nominal)),
+            1.0,
+        );
+        if let Some(lc) = self.proxy.get(log_id) {
+            antibody.push(
+                AntibodyItem::Signature(antibody::exact_from(&lc.input)),
+                2.0,
+            );
+            antibody.push(AntibodyItem::ExploitInput(lc.input.clone()), 3.0);
+        }
+        self.deploy_antibody(&antibody);
+        // Recover: roll back to before this connection and drop it.
+        let arrival = self
+            .proxy
+            .get(log_id)
+            .map(|c| c.arrival_cycles)
+            .unwrap_or(u64::MAX);
+        let recover_from = self
+            .mgr
+            .latest_before(arrival)
+            .or_else(|| self.mgr.oldest())
+            .map(|c| c.id);
+        let mut method: &'static str = "restart";
+        if let Some(ck) = recover_from {
+            if let RecoveryOutcome::Resumed { pause_cycles, .. } =
+                recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &[log_id])
+            {
+                method = "rollback-replay";
+                self.timeline.advance_by(pause_cycles);
+            }
+        }
+        if method == "restart" {
+            self.restart(&[log_id]);
+        }
+        if let Some(rt) = self.vsef_instr.get_mut::<VsefRuntime>(self.vsef_id) {
+            rt.reset_state();
+        }
+        let now = self.timeline.now();
+        if self.machine.clock.cycles() < now {
+            self.machine.clock.tick(now - self.machine.clock.cycles());
+        }
+        let pause_ms = cycles_to_secs(self.timeline.now() - detection_at) * 1e3;
+        self.timeline.record(Event::Recovered { method, pause_ms });
+        let id = self.mgr.take(&mut self.machine);
+        self.sync_time();
+        self.timeline.record(Event::Checkpoint { id: id.0 });
+        AttackReport {
+            cause,
+            analysis: None,
+            recovery_method: method,
+            pause_ms,
+            compromised,
+        }
+    }
+
+    /// A point-in-time operator summary of the protected host.
+    pub fn status(&self) -> HostStatus {
+        HostStatus {
+            app: self.app_name.clone(),
+            uptime_secs: self.timeline.now_secs(),
+            requests_served: self.requests_served,
+            requests_sampled: self.requests_sampled,
+            attacks_detected: self.attacks_detected,
+            requests_filtered: self.proxy.filtered_total,
+            deployed_vsefs: self.deployed_vsefs(),
+            deployed_signatures: self.signatures.len(),
+            checkpoints_retained: self.mgr.retained(),
+            checkpoints_taken: self.mgr.taken_total,
+            checkpoint_pages: self.mgr.retained_unique_pages(&self.machine),
+            healthy: !matches!(
+                self.machine.status(),
+                Status::Faulted(_) | Status::Halted(_)
+            ),
+        }
+    }
+
+    fn last_conn_fallback(&self) -> Vec<usize> {
+        self.proxy
+            .last_delivered_before(u64::MAX)
+            .map(|id| vec![id])
+            .unwrap_or_default()
+    }
+
+    /// Full restart: boot a fresh instance (new ASLR draw), mark the
+    /// attack connections dropped, charge the restart penalty.
+    fn restart(&mut self, drop_ids: &[usize]) {
+        let mut aslr = self.config.aslr;
+        aslr.seed = aslr.seed.wrapping_add(self.attacks_detected);
+        if let Ok(mut fresh) = Machine::boot(&self.program, aslr) {
+            fresh
+                .clock
+                .tick(self.machine.clock.cycles() + self.config.restart_cycles);
+            self.machine = fresh;
+            for &id in drop_ids {
+                self.proxy.mark_dropped(id);
+            }
+            // Pending (unserved) connections are lost on restart: drop
+            // every log entry newer than the last served one.
+            self.timeline.advance_by(self.config.restart_cycles);
+            self.run_until_idle();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::{httpd1, httpd2, squid};
+
+    fn served(out: &RequestOutcome) -> bool {
+        matches!(out, RequestOutcome::Served { .. })
+    }
+
+    #[test]
+    fn serves_benign_traffic_and_checkpoints() {
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(1)).expect("protect");
+        for i in 0..10 {
+            let out = s.offer_request(httpd1::benign_request(&format!("p{i}.html")));
+            assert!(served(&out), "request {i}");
+        }
+        assert_eq!(s.requests_served, 10);
+        assert!(s.mgr.taken_total >= 1);
+        assert_eq!(s.attacks_detected, 0);
+    }
+
+    #[test]
+    fn detects_analyzes_and_recovers_from_stack_smash() {
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(2)).expect("protect");
+        assert!(served(&s.offer_request(httpd1::benign_request("a.html"))));
+        let out = s.offer_request(httpd1::exploit_crash(&app).input);
+        let RequestOutcome::Attack(report) = out else {
+            panic!("expected attack")
+        };
+        assert!(report.cause.starts_with("fault:"), "{}", report.cause);
+        assert!(!report.compromised);
+        let analysis = report.analysis.as_ref().expect("producer analyzed");
+        assert!(analysis.antibody.first_vsef_ms().is_some(), "VSEF produced");
+        assert!(
+            !analysis.input.attack_log_ids.is_empty(),
+            "input identified"
+        );
+        assert_eq!(report.recovery_method, "rollback-replay");
+        // Service continues.
+        assert!(served(&s.offer_request(httpd1::benign_request("b.html"))));
+        // The same exploit again is now filtered by the exact signature.
+        let again = s.offer_request(httpd1::exploit_crash(&app).input);
+        assert!(
+            matches!(again, RequestOutcome::Filtered { .. }),
+            "signature blocks repeat"
+        );
+    }
+
+    #[test]
+    fn polymorphic_variant_caught_by_vsef_not_signature() {
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(3)).expect("protect");
+        let first = s.offer_request(httpd1::exploit_crash(&app).input);
+        assert!(matches!(first, RequestOutcome::Attack(_)));
+        assert!(s.deployed_vsefs() > 0);
+        // A byte-level different exploit of the same vulnerability: the
+        // exact signature misses, but the deployed VSEF catches it
+        // *before* the fault.
+        let poly = s.offer_request(httpd1::exploit_crash_poly(&app, 9).input);
+        let RequestOutcome::Attack(report) = poly else {
+            panic!("expected attack")
+        };
+        assert!(
+            report.cause.starts_with("vsef:"),
+            "caught by VSEF: {}",
+            report.cause
+        );
+        assert!(
+            report.analysis.is_none(),
+            "known vulnerability: no re-analysis"
+        );
+        // And the server still works.
+        assert!(served(&s.offer_request(httpd1::benign_request("ok.html"))));
+    }
+
+    #[test]
+    fn null_deref_dos_is_detected_and_service_recovers() {
+        let app = httpd2::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(4)).expect("protect");
+        assert!(served(&s.offer_request(httpd2::benign_request("x", None))));
+        let out = s.offer_request(httpd2::exploit_crash(&app).input);
+        let RequestOutcome::Attack(report) = out else {
+            panic!("expected attack")
+        };
+        let analysis = report.analysis.as_ref().expect("analysis");
+        assert!(matches!(
+            analysis.core.class,
+            analysis::CrashClass::NullDeref
+        ));
+        assert!(served(
+            &s.offer_request(httpd2::benign_request("y", Some("http://ok/")))
+        ));
+    }
+
+    #[test]
+    fn layout_guessing_compromise_damages_without_sampling() {
+        // The attacker guessed the layout (ASLR disabled here stands in
+        // for the 2^-12 lucky draw): the shellcode runs — damage done —
+        // before any monitor can react. The runtime still notices the
+        // anomalous exit and recovers, but `compromised` is true.
+        let app = httpd1::app().expect("app");
+        let cfg = Config {
+            aslr: svm::loader::Aslr::off(),
+            ..Config::default()
+        };
+        let mut s = Sweeper::protect(&app, cfg).expect("protect");
+        let ex = httpd1::exploit_compromise(&app, &svm::loader::Layout::nominal());
+        let RequestOutcome::Attack(report) = s.offer_request(ex.input) else {
+            panic!("anomalous exit not flagged")
+        };
+        assert!(report.compromised, "shellcode ran: {:?}", report.cause);
+        // Service still recovers.
+        assert!(served(
+            &s.offer_request(httpd1::benign_request("next.html"))
+        ));
+    }
+
+    #[test]
+    fn sampling_catches_layout_guessing_worm_before_damage() {
+        // §4.2: the same lucky-layout compromise is caught by sampled
+        // taint analysis at the ret — *before* the hijack executes.
+        let app = httpd1::app().expect("app");
+        let cfg = Config {
+            aslr: svm::loader::Aslr::off(),
+            ..Config::default()
+        }
+        .with_sampling(1.0);
+        let mut s = Sweeper::protect(&app, cfg).expect("protect");
+        let ex = httpd1::exploit_compromise(&app, &svm::loader::Layout::nominal());
+        let RequestOutcome::Attack(report) = s.offer_request(ex.input) else {
+            panic!("sampling missed the attack")
+        };
+        assert!(report.cause.starts_with("sampling:"), "{}", report.cause);
+        assert!(!report.compromised, "caught before the shellcode ran");
+        assert_eq!(s.requests_sampled, 1);
+        // The derived antibody now protects future (unsampled) requests.
+        assert!(s.deployed_vsefs() > 0);
+        assert!(served(&s.offer_request(httpd1::benign_request("ok.html"))));
+        let again = s
+            .offer_request(httpd1::exploit_compromise(&app, &svm::loader::Layout::nominal()).input);
+        assert!(
+            matches!(again, RequestOutcome::Filtered { .. }),
+            "signature blocks the repeat: {again:?}"
+        );
+    }
+
+    #[test]
+    fn sampling_rate_controls_coverage_and_cost() {
+        let app = httpd1::app().expect("app");
+        // Full sampling is strictly slower than none (heavyweight path).
+        let mut full =
+            Sweeper::protect(&app, Config::producer(9).with_sampling(1.0)).expect("protect");
+        let mut none = Sweeper::protect(&app, Config::producer(9)).expect("protect");
+        let reqs: Vec<Vec<u8>> = (0..10)
+            .map(|i| httpd1::benign_request(&format!("p{i}.html")))
+            .collect();
+        let t0 = full.timeline.now();
+        for r in &reqs {
+            assert!(served(&full.offer_request(r.clone())));
+        }
+        let full_cycles = full.timeline.now() - t0;
+        let t0 = none.timeline.now();
+        for r in &reqs {
+            assert!(served(&none.offer_request(r.clone())));
+        }
+        let none_cycles = none.timeline.now() - t0;
+        assert_eq!(full.requests_sampled, 10);
+        assert_eq!(none.requests_sampled, 0);
+        // Sampling charges per-instruction taint overhead; the absolute
+        // delta is modest per request (network RTTs dominate request
+        // cost) but must be strictly and visibly positive.
+        assert!(
+            full_cycles > none_cycles + 100_000,
+            "sampling must be measurably heavyweight: {full_cycles} vs {none_cycles}"
+        );
+        // Fractional sampling samples roughly that fraction.
+        let mut half =
+            Sweeper::protect(&app, Config::producer(10).with_sampling(0.5)).expect("protect");
+        for i in 0..40 {
+            half.offer_request(httpd1::benign_request(&format!("q{i}.html")));
+        }
+        assert!(
+            (8..=32).contains(&half.requests_sampled),
+            "~half sampled: {}",
+            half.requests_sampled
+        );
+    }
+
+    #[test]
+    fn signatures_generalize_after_two_variants() {
+        // Fully polymorphic variants: per-variant filler, fake fp, AND
+        // return address, so neither the exact nor the taint-substring
+        // signature from variant 1 matches variant 2. Only the shared
+        // attack *structure* survives; after two captured samples the
+        // host derives a token-sequence signature and drops variant 3 at
+        // the proxy.
+        fn variant(salt: u8) -> Vec<u8> {
+            let mut v = b"GET /cgi-bin/vuln?arg=".to_vec();
+            v.extend(std::iter::repeat_n(b'a' + salt, 46)); // 18+46 = 64-byte URI fill
+            v.extend((0x4343_4341u32 + salt as u32).to_le_bytes()); // fake fp
+            v.extend((0x6666_6601u32 + (salt as u32) * 0x10).to_le_bytes()); // ret
+            v.extend_from_slice(b" HTTP/1.0\n");
+            v
+        }
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(0x9e4)).expect("protect");
+        // Benign corpus first: the mistraining guard requires negative
+        // examples before any generalization is deployed.
+        for i in 0..3 {
+            assert!(served(
+                &s.offer_request(httpd1::benign_request(&format!("b{i}.html")))
+            ));
+        }
+        let RequestOutcome::Attack(_) = s.offer_request(variant(1)) else {
+            panic!("variant 1 undetected")
+        };
+        let RequestOutcome::Attack(r2) = s.offer_request(variant(2)) else {
+            panic!("variant 2 should evade the byte-level signatures and hit the VSEF")
+        };
+        assert!(r2.cause.starts_with("vsef:"), "{}", r2.cause);
+        // Variant 3: dropped at the proxy by the generalized signature.
+        let out = s.offer_request(variant(3));
+        assert!(
+            matches!(out, RequestOutcome::Filtered { .. }),
+            "token signature generalizes: {out:?}"
+        );
+        // And benign traffic still flows (no mistraining).
+        assert!(served(
+            &s.offer_request(httpd1::benign_request("still-ok.html"))
+        ));
+    }
+
+    #[test]
+    fn generalization_requires_a_benign_corpus() {
+        // With no served traffic, common tokens are protocol framing; the
+        // guard must refuse to deploy them.
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(0x9e5)).expect("protect");
+        s.offer_request(httpd1::exploit_crash(&app).input);
+        s.offer_request(httpd1::exploit_crash_poly(&app, 9).input);
+        // Benign traffic must not be filtered by an over-general token
+        // signature derived without negative examples.
+        assert!(served(
+            &s.offer_request(httpd1::benign_request("fresh.html"))
+        ));
+    }
+
+    #[test]
+    fn consumer_detects_but_does_not_analyze() {
+        let app = squid::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::consumer(5)).expect("protect");
+        let out = s.offer_request(squid::exploit_crash(&app).input);
+        let RequestOutcome::Attack(report) = out else {
+            panic!("expected attack")
+        };
+        assert!(report.analysis.is_none(), "consumers do not analyze");
+        // Consumer still recovers (drop-last heuristic).
+        assert!(served(&s.offer_request(squid::benign_request("bob", "h"))));
+    }
+
+    #[test]
+    fn consumer_is_protected_by_received_antibody() {
+        // Producer analyzes; consumer deploys the antibody and then
+        // blocks/catches the same exploit.
+        let app = squid::app().expect("app");
+        let mut producer = Sweeper::protect(&app, Config::producer(6)).expect("p");
+        let out = producer.offer_request(squid::exploit_crash(&app).input);
+        let RequestOutcome::Attack(report) = out else {
+            panic!("expected attack")
+        };
+        let antibody = report.analysis.as_ref().expect("analysis").antibody.clone();
+
+        let mut consumer = Sweeper::protect(&app, Config::consumer(7)).expect("c");
+        consumer.deploy_antibody(&antibody);
+        assert!(consumer.deployed_vsefs() > 0);
+        let again = consumer.offer_request(squid::exploit_crash(&app).input);
+        match again {
+            RequestOutcome::Filtered { .. } => {}
+            RequestOutcome::Attack(r) => {
+                assert!(
+                    r.cause.starts_with("vsef:"),
+                    "caught early by VSEF: {}",
+                    r.cause
+                )
+            }
+            other => panic!("consumer unprotected: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod status_tests {
+    use super::*;
+    use apps::httpd1;
+
+    #[test]
+    fn status_tracks_the_host_lifecycle() {
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(123)).expect("protect");
+        let fresh = s.status();
+        assert!(fresh.healthy);
+        assert_eq!(fresh.requests_served, 0);
+        assert_eq!(fresh.checkpoints_retained, 1, "initial checkpoint");
+        for i in 0..4 {
+            s.offer_request(httpd1::benign_request(&format!("p{i}.html")));
+        }
+        s.offer_request(httpd1::exploit_crash(&app).input);
+        s.offer_request(httpd1::exploit_crash(&app).input); // filtered
+        let st = s.status();
+        assert!(st.healthy, "recovered");
+        assert_eq!(st.requests_served, 4);
+        assert_eq!(st.attacks_detected, 1);
+        assert_eq!(st.requests_filtered, 1);
+        assert!(st.deployed_vsefs >= 2);
+        assert!(st.deployed_signatures >= 1);
+        assert!(st.uptime_secs > 0.0);
+        let text = st.to_string();
+        assert!(text.contains("healthy") && text.contains("VSEFs"), "{text}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Worm outbreak across a small network of real Sweeper hosts.
+//!
+//! A hit-list worm walks a list of CVS servers firing the real
+//! unlink-hijack exploit (CVE-2003-0015 analogue). Unprotected hosts with
+//! predictable layouts are compromised outright; Sweeper hosts randomize
+//! their layouts (the exploit faults), the first producer analyzes the
+//! attack, and its antibody — distributed to every remaining host —
+//! stops the rest of the hit list cold.
+//!
+//! ```sh
+//! cargo run --example worm_outbreak
+//! ```
+
+use sweeper_repro::apps::{cvs, is_compromised};
+use sweeper_repro::svm::loader::Layout;
+use sweeper_repro::svm::{loader::Aslr, NopHook};
+use sweeper_repro::sweeper::{Config, RequestOutcome, Sweeper};
+
+fn main() {
+    let app = cvs::app().expect("assemble mini-cvs");
+    // The worm computes its unlink addresses against the well-known
+    // (unrandomized) layout — exactly what real 2003 exploits did.
+    let exploit = cvs::exploit_compromise(&app, &Layout::nominal());
+    println!(
+        "Worm targets {} ({});\nhit list: 10 hosts\n",
+        app.name, app.cve
+    );
+
+    // --- Scenario A: nobody runs Sweeper (no ASLR, no analysis). -------
+    let mut owned = 0;
+    for host in 0..10 {
+        let mut m = app.boot(Aslr::off()).expect("boot");
+        m.net.push_connection(exploit.input.clone());
+        m.run(&mut NopHook, 400_000_000);
+        if is_compromised(&m) {
+            owned += 1;
+            println!("[no defense] host {host}: COMPROMISED (shellcode ran)");
+        }
+    }
+    println!("[no defense] {owned}/10 hosts compromised\n");
+
+    // --- Scenario B: one producer, nine consumers. ----------------------
+    // Host 0 runs full Sweeper; hosts 1..9 deploy antibodies they receive.
+    let mut producer = Sweeper::protect(&app, Config::producer(1000)).expect("protect");
+    println!("[sweeper] host 0 (producer) is attacked first...");
+    let antibody = match producer.offer_request(exploit.input.clone()) {
+        RequestOutcome::Attack(report) => {
+            println!("[sweeper] host 0: detected ({})", report.cause);
+            let analysis = report.analysis.expect("analysis");
+            println!(
+                "[sweeper] host 0: first VSEF after {:.1} ms; antibody released",
+                analysis.timings.first_vsef_ms
+            );
+            analysis.antibody
+        }
+        other => panic!("producer missed the attack: {other:?}"),
+    };
+
+    let mut survived = 0;
+    for host in 1..10 {
+        let mut consumer = Sweeper::protect(&app, Config::consumer(1000 + host)).expect("protect");
+        consumer.deploy_antibody(&antibody);
+        match consumer.offer_request(exploit.input.clone()) {
+            RequestOutcome::Filtered { .. } => {
+                survived += 1;
+                println!("[sweeper] host {host}: exploit dropped by input signature");
+            }
+            RequestOutcome::Attack(r) if r.cause.starts_with("vsef") => {
+                survived += 1;
+                println!("[sweeper] host {host}: exploit caught by deployed VSEF");
+            }
+            RequestOutcome::Attack(r) => {
+                survived += 1;
+                println!(
+                    "[sweeper] host {host}: exploit crashed against ASLR ({})",
+                    r.cause
+                );
+            }
+            other => println!("[sweeper] host {host}: {other:?}"),
+        }
+    }
+    println!(
+        "\n[sweeper] 0/10 hosts compromised; {survived}/9 consumers protected by the antibody"
+    );
+}

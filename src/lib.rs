@@ -1,0 +1,15 @@
+//! Meta crate for the Sweeper (EuroSys 2007) reproduction workspace.
+//!
+//! Re-exports every member crate so that examples and integration tests can
+//! depend on a single package. See `DESIGN.md` at the repository root for the
+//! full system inventory and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use analysis;
+pub use antibody;
+pub use apps;
+pub use checkpoint;
+pub use dbi;
+pub use epidemic;
+pub use svm;
+pub use sweeper;

@@ -1,0 +1,268 @@
+//! Cross-crate integration: every Table 1 exploit through the full
+//! Sweeper loop, asserting the Table 2/3 invariants end to end.
+
+use sweeper_repro::analysis::{CrashClass, MemBugKind};
+use sweeper_repro::apps::{all_crash_exploits, cvs, httpd1, httpd2, squid, BugType};
+use sweeper_repro::sweeper::{Config, RequestOutcome, Sweeper};
+
+fn attack(
+    app: &sweeper_repro::apps::App,
+    exploit: Vec<u8>,
+    seed: u64,
+) -> sweeper_repro::sweeper::AttackReport {
+    let mut s = Sweeper::protect(app, Config::producer(seed)).expect("protect");
+    // Benign warm-up so the replay window is non-trivial.
+    let warm: Vec<Vec<u8>> = match app.bug {
+        BugType::StackSmash => (0..3)
+            .map(|i| httpd1::benign_request(&format!("w{i}")))
+            .collect(),
+        BugType::NullDeref => (0..3)
+            .map(|i| httpd2::benign_request(&format!("w{i}"), None))
+            .collect(),
+        BugType::DoubleFree => vec![cvs::benign_session(&["warm"])],
+        BugType::HeapOverflow => (0..3)
+            .map(|i| squid::benign_request(&format!("w{i}"), "h"))
+            .collect(),
+    };
+    for r in warm {
+        assert!(matches!(s.offer_request(r), RequestOutcome::Served { .. }));
+    }
+    match s.offer_request(exploit) {
+        RequestOutcome::Attack(r) => *r,
+        other => panic!("{}: exploit not detected: {other:?}", app.name),
+    }
+}
+
+#[test]
+fn every_exploit_is_detected_analyzed_and_recovered() {
+    for (app, exploit) in all_crash_exploits().expect("exploits") {
+        let report = attack(&app, exploit.input, 0xabcd);
+        assert!(!report.compromised, "{}: shellcode must not run", app.name);
+        let a = report
+            .analysis
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: analysis", app.name));
+        // An antibody with at least one VSEF exists for every exploit.
+        assert!(!a.antibody.vsefs().is_empty(), "{}: no VSEF", app.name);
+        // The attack input was identified and packaged.
+        assert!(!a.input.attack_log_ids.is_empty(), "{}: no input", app.name);
+        assert!(
+            a.antibody.exploit_input().is_some(),
+            "{}: input not packaged",
+            app.name
+        );
+        // Recovery restored service without restart.
+        assert_eq!(report.recovery_method, "rollback-replay", "{}", app.name);
+    }
+}
+
+#[test]
+fn table2_per_exploit_findings_match_the_paper() {
+    // Apache1: wild jump, stack inconsistent, StackSmash in the copy loop.
+    let a1 = httpd1::app().expect("a1");
+    let r = attack(&a1, httpd1::exploit_crash(&a1).input, 1);
+    let a = r.analysis.expect("analysis");
+    assert_eq!(a.core.class, CrashClass::WildJump);
+    assert!(!a.core.stack_consistent, "stack inconsistent");
+    let f = a
+        .membug
+        .iter()
+        .find(|f| f.kind == MemBugKind::StackSmash)
+        .expect("smash");
+    assert_eq!(a.symbols.resolve(f.pc).expect("sym").name, "tal_copy");
+    assert_eq!(a.slice.as_ref().and_then(|s| s.membug_verified), Some(true));
+
+    // Apache2: NULL deref at is_ip, *no* memory bug (paper's exact row).
+    let a2 = httpd2::app().expect("a2");
+    let r = attack(&a2, httpd2::exploit_crash(&a2).input, 2);
+    let a = r.analysis.expect("analysis");
+    assert_eq!(a.core.class, CrashClass::NullDeref);
+    assert!(a.core.fault_site.contains("is_ip"));
+    assert!(
+        a.membug.is_empty(),
+        "no memory bug, just a NULL pointer dereference"
+    );
+
+    // CVS: heap inconsistent, DoubleFree attributed to dirswitch's free.
+    let ac = cvs::app().expect("cvs");
+    let r = attack(&ac, cvs::exploit_crash(&ac).input, 3);
+    let a = r.analysis.expect("analysis");
+    assert!(!a.core.heap_consistent, "heap inconsistent");
+    let f = a
+        .membug
+        .iter()
+        .find(|f| f.kind == MemBugKind::DoubleFree)
+        .expect("double free");
+    let caller = a
+        .symbols
+        .resolve(f.caller_pc.expect("caller"))
+        .expect("sym");
+    assert!(
+        caller.name.starts_with("dirswitch"),
+        "caller {}",
+        caller.name
+    );
+
+    // Squid: heap inconsistent, HeapOverflow in strcat called by
+    // ftp_build_title_url — the paper's headline VSEF.
+    let asq = squid::app().expect("squid");
+    let r = attack(&asq, squid::exploit_crash(&asq).input, 4);
+    let a = r.analysis.expect("analysis");
+    assert!(!a.core.heap_consistent);
+    let f = a
+        .membug
+        .iter()
+        .find(|f| f.kind == MemBugKind::HeapOverflow)
+        .expect("overflow");
+    assert!(a
+        .symbols
+        .resolve(f.pc)
+        .expect("sym")
+        .name
+        .starts_with("strcat"));
+    let caller = a
+        .symbols
+        .resolve(f.caller_pc.expect("caller"))
+        .expect("sym");
+    assert_eq!(caller.name, "ftp_build_title_url");
+    assert!(a.input.via_taint, "taint identifies the squid input");
+    assert_eq!(a.slice.as_ref().and_then(|s| s.membug_verified), Some(true));
+    assert_eq!(a.slice.as_ref().and_then(|s| s.taint_verified), Some(true));
+}
+
+#[test]
+fn fnptr_variant_defeats_the_initial_vsef_but_not_the_taint_vsef() {
+    // Paper §5.2: "the specific buffer overflow may also be exploitable
+    // by overwriting a stack function pointer; the initial VSEF won't
+    // catch this." Reproduced end to end with the /rw/ fn-pointer path.
+    let app = httpd1::app().expect("app");
+
+    // 1. The fn-pointer attack against a host protected only by the
+    //    *initial* (ret-addr-guard) antibody from the classic smash:
+    //    the VSEF stays silent; only the ASLR crash saves the host.
+    let mut producer = Sweeper::protect(&app, Config::producer(0x901)).expect("p");
+    let RequestOutcome::Attack(classic) = producer.offer_request(httpd1::exploit_crash(&app).input)
+    else {
+        panic!("classic smash not detected")
+    };
+    let classic_ab = classic.analysis.expect("analysis").antibody;
+    let initial_only = classic_ab.available_at(classic_ab.first_vsef_ms().expect("vsef") + 0.1);
+    let mut guarded = Sweeper::protect(&app, Config::consumer(0x902)).expect("c");
+    guarded.deploy_antibody(&initial_only);
+    let RequestOutcome::Attack(r) = guarded.offer_request(httpd1::exploit_fnptr_crash(&app).input)
+    else {
+        panic!("fnptr variant not detected at all")
+    };
+    assert!(
+        r.cause.starts_with("fault:"),
+        "initial VSEF must NOT be what catches the fn-pointer variant: {}",
+        r.cause
+    );
+
+    // 2. A full producer analyzing the fn-pointer attack: the memory
+    //    state looks clean-ish (stack consistent), but taint flags the
+    //    hijacked callr and identifies the input.
+    let mut producer2 = Sweeper::protect(&app, Config::producer(0x903)).expect("p2");
+    let RequestOutcome::Attack(rep) =
+        producer2.offer_request(httpd1::exploit_fnptr_crash(&app).input)
+    else {
+        panic!("not detected")
+    };
+    let a = rep.analysis.expect("analysis");
+    assert!(
+        a.core.stack_consistent,
+        "fp chain intact: static view is weak here"
+    );
+    assert!(a.input.via_taint, "taint pinpoints the hijack");
+    let ab = a.antibody.clone();
+    assert!(
+        ab.vsefs().iter().any(|v| v.kind() == "taint-filter"),
+        "a taint-filter VSEF was derived: {:?}",
+        ab.vsefs().iter().map(|v| v.kind()).collect::<Vec<_>>()
+    );
+
+    // 3. That antibody protects a consumer against a *different* fn-ptr
+    //    variant (different target, different filler) — pre-fault.
+    let mut consumer = Sweeper::protect(&app, Config::consumer(0x904)).expect("c2");
+    consumer.deploy_antibody(&ab);
+    let mut variant = httpd1::exploit_fnptr_crash(&app).input;
+    // Mutate filler + target to dodge the exact signature.
+    for b in variant.iter_mut().filter(|b| **b == b'F') {
+        *b = b'G';
+    }
+    let n = variant.len();
+    variant[n - 14] = 0x68; // different (still unmapped) target byte
+    match consumer.offer_request(variant) {
+        RequestOutcome::Attack(r) => {
+            assert!(
+                r.cause.starts_with("vsef: taint-filter"),
+                "taint VSEF catches the variant before the wild call: {}",
+                r.cause
+            );
+        }
+        other => panic!("variant outcome: {other:?}"),
+    }
+}
+
+#[test]
+fn detection_is_robust_across_aslr_seeds() {
+    let app = httpd1::app().expect("app");
+    for seed in [11u64, 222, 3333, 44444] {
+        let mut s = Sweeper::protect(&app, Config::producer(seed)).expect("protect");
+        let out = s.offer_request(httpd1::exploit_crash(&app).input);
+        assert!(matches!(out, RequestOutcome::Attack(_)), "seed {seed}");
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("after.html")),
+            RequestOutcome::Served { .. }
+        ));
+    }
+}
+
+#[test]
+fn attacks_interleaved_with_load_leave_no_corruption() {
+    let app = squid::app().expect("app");
+    let mut s = Sweeper::protect(&app, Config::producer(77)).expect("protect");
+    let mut served = 0;
+    for round in 0..3 {
+        for i in 0..5 {
+            if matches!(
+                s.offer_request(squid::benign_request(&format!("r{round}u{i}"), "h")),
+                RequestOutcome::Served { .. }
+            ) {
+                served += 1;
+            }
+        }
+        let out = s.offer_request(squid::exploit_crash_poly(&app, round).input);
+        match out {
+            RequestOutcome::Attack(_) | RequestOutcome::Filtered { .. } => {}
+            other => panic!("round {round}: {other:?}"),
+        }
+    }
+    assert_eq!(served, 15, "every benign request across all rounds served");
+    // The live heap is consistent after three attack/recovery cycles.
+    let (_, ok) = s.machine.heap.walk(&s.machine.mem);
+    assert!(ok, "heap healthy after repeated recoveries");
+}
+
+#[test]
+fn timings_scale_sanely_with_window_size() {
+    // A longer pre-attack window (more logged connections since the
+    // checkpoint) must make replay-based steps cost more.
+    let app = squid::app().expect("app");
+    let short = attack(&app, squid::exploit_crash(&app).input, 5);
+    let mut s = Sweeper::protect(&app, Config::producer(5)).expect("protect");
+    for i in 0..40 {
+        s.offer_request(squid::benign_request(&format!("u{i}"), "h"));
+    }
+    let RequestOutcome::Attack(long) = s.offer_request(squid::exploit_crash(&app).input) else {
+        panic!("no attack")
+    };
+    let ts = short.analysis.expect("short").timings;
+    let tl = long.analysis.expect("long").timings;
+    assert!(
+        tl.slicing_ms > ts.slicing_ms,
+        "longer window, costlier slicing: {:.2} vs {:.2}",
+        tl.slicing_ms,
+        ts.slicing_ms
+    );
+}

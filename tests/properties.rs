@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) on the core substrates' invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sweeper_repro::antibody::{Signature, SignatureSet};
+use sweeper_repro::svm::alloc::{FreeKind, HeapState, HEADER_SIZE};
+use sweeper_repro::svm::isa::{AluOp, Cond, Op, Reg, Syscall};
+use sweeper_repro::svm::mem::{Mem, Perm, PAGE_SIZE};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..15).prop_map(Reg)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Nop),
+        Just(Op::Halt),
+        Just(Op::Ret),
+        (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Op::MovI { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Op::Mov { rd, rs }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, off)| Op::Ld { rd, rs, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, off)| Op::St { rd, rs, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, off)| Op::LdB { rd, rs, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, off)| Op::StB { rd, rs, off }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Op::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_alu(), arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| Op::AluI {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| Op::Cmp { rs1, rs2 }),
+        (arb_reg(), any::<u32>()).prop_map(|(rs1, imm)| Op::CmpI { rs1, imm }),
+        any::<u32>().prop_map(|target| Op::Jmp { target }),
+        (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Op::JCond { cond, target }),
+        arb_reg().prop_map(|rs| Op::JmpR { rs }),
+        any::<u32>().prop_map(|target| Op::Call { target }),
+        arb_reg().prop_map(|rs| Op::CallR { rs }),
+        arb_reg().prop_map(|rs| Op::Push { rs }),
+        arb_reg().prop_map(|rd| Op::Pop { rd }),
+        (0u8..10).prop_map(|n| Op::Sys {
+            num: Syscall::from_num(n).expect("valid").num()
+        }),
+    ]
+}
+
+proptest! {
+    /// Every instruction round-trips through its encoding.
+    #[test]
+    fn isa_encode_decode_roundtrip(op in arb_op()) {
+        let enc = op.encode();
+        let dec = Op::decode(enc, 0).expect("decode");
+        prop_assert_eq!(op, dec);
+    }
+
+    /// Memory: byte writes read back, and foreign bytes are untouched.
+    #[test]
+    fn memory_writes_are_isolated(
+        writes in vec((0u32..8192, any::<u8>()), 1..64),
+        probe in 0u32..8192,
+    ) {
+        let mut mem = Mem::new();
+        mem.map(0x1000, 2 * PAGE_SIZE as u32, Perm::RW, "t").expect("map");
+        let mut model = std::collections::HashMap::new();
+        for (off, val) in &writes {
+            mem.write_u8(0, 0x1000 + off, *val).expect("write");
+            model.insert(*off, *val);
+        }
+        let got = mem.read_u8(0, 0x1000 + probe).expect("read");
+        let want = model.get(&probe).copied().unwrap_or(0);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Snapshots are immutable under any subsequent write pattern.
+    #[test]
+    fn cow_snapshot_immutability(
+        before in vec((0u32..4096, any::<u8>()), 1..32),
+        after in vec((0u32..4096, any::<u8>()), 1..32),
+    ) {
+        let mut mem = Mem::new();
+        mem.map(0x1000, PAGE_SIZE as u32, Perm::RW, "t").expect("map");
+        for (off, val) in &before {
+            mem.write_u8(0, 0x1000 + off, *val).expect("w");
+        }
+        let snap = mem.snapshot();
+        let frozen: Vec<u8> = (0..4096u32)
+            .map(|i| snap.read_u8(0, 0x1000 + i).expect("r"))
+            .collect();
+        for (off, val) in &after {
+            mem.write_u8(0, 0x1000 + off, *val).expect("w");
+        }
+        for (i, b) in frozen.iter().enumerate() {
+            prop_assert_eq!(snap.read_u8(0, 0x1000 + i as u32).expect("r"), *b);
+        }
+    }
+
+    /// Allocator: random alloc/free sequences keep the heap walkable,
+    /// payloads disjoint, and free reported correctly.
+    #[test]
+    fn allocator_invariants(ops in vec((any::<bool>(), 1u32..200), 1..60)) {
+        let mut mem = Mem::new();
+        mem.map(0x10000, 0x40000, Perm::RW, "heap").expect("map");
+        let mut heap = HeapState::new(0x10000, 0x40000);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for (i, (do_alloc, size)) in ops.iter().enumerate() {
+            if *do_alloc || live.is_empty() {
+                let p = heap.alloc(&mut mem, 0, *size).expect("alloc");
+                if p != 0 {
+                    // Disjoint from every live payload.
+                    for (q, qs) in &live {
+                        prop_assert!(p + size <= *q || *q + qs <= p,
+                            "overlap at step {i}: [{p:#x},{:#x}) vs [{q:#x},{:#x})",
+                            p + size, q + qs);
+                    }
+                    live.push((p, *size));
+                }
+            } else {
+                let idx = (*size as usize) % live.len();
+                let (p, _) = live.swap_remove(idx);
+                let kind = heap.free(&mut mem, 0, p).expect("free");
+                prop_assert_eq!(kind, FreeKind::Normal);
+            }
+            let (_chunks, ok) = heap.walk(&mem);
+            prop_assert!(ok, "heap walk broke at step {i}");
+        }
+        // Every live pointer is found by the chunk query.
+        for (p, s) in &live {
+            let (pay, len) = heap.live_chunk_containing(&mem, *p).expect("live");
+            prop_assert!(pay == *p && len >= *s);
+        }
+        let _ = HEADER_SIZE;
+    }
+
+    /// Exact signatures match exactly themselves; substrings match any
+    /// superstring embedding.
+    #[test]
+    fn signature_semantics(
+        body in vec(any::<u8>(), 1..64),
+        prefix in vec(any::<u8>(), 0..32),
+        suffix in vec(any::<u8>(), 0..32),
+    ) {
+        let exact = Signature::Exact(body.clone());
+        prop_assert!(exact.matches(&body));
+        let embedded: Vec<u8> =
+            prefix.iter().chain(body.iter()).chain(suffix.iter()).copied().collect();
+        if embedded != body {
+            prop_assert!(!exact.matches(&embedded));
+        }
+        let sub = Signature::Substring(body.clone());
+        prop_assert!(sub.matches(&embedded));
+        let mut set = SignatureSet::new();
+        set.add(sub);
+        prop_assert!(set.matches(&embedded));
+    }
+
+    /// Epidemic model: infection ratio is within [0,1], monotone in γ and
+    /// antitone in α.
+    #[test]
+    fn epidemic_monotonicity(
+        alpha_idx in 0usize..4,
+        g1 in 1.0f64..40.0,
+        dg in 1.0f64..40.0,
+    ) {
+        use sweeper_repro::epidemic::{solve, Scenario};
+        let alphas = [0.01, 0.005, 0.001, 0.0005];
+        let alpha = alphas[alpha_idx];
+        let fast = solve(&Scenario::slammer(alpha, g1));
+        let slow = solve(&Scenario::slammer(alpha, g1 + dg));
+        prop_assert!((0.0..=1.0).contains(&fast.infection_ratio));
+        prop_assert!(fast.infection_ratio <= slow.infection_ratio + 1e-9);
+        if alpha_idx + 1 < alphas.len() {
+            let fewer = solve(&Scenario::slammer(alphas[alpha_idx + 1], g1));
+            prop_assert!(fast.infection_ratio <= fewer.infection_ratio + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint/rollback is transparent: running N instructions, rolling
+    /// back, and re-running N instructions reproduces identical state, for
+    /// arbitrary split points.
+    #[test]
+    fn rollback_replay_transparent(split in 1usize..400, total in 400usize..600) {
+        use sweeper_repro::svm::{asm::assemble, loader::Aslr, Machine, Status};
+        let src = "
+.text
+main:
+    movi r1, v
+    movi r2, 1
+loop:
+    ld r0, [r1, 0]
+    add r0, r0, r2
+    st [r1, 0], r0
+    mul r2, r2, r0
+    sys rand
+    xor r2, r2, r0
+    jmp loop
+.data
+v: .word 0
+";
+        let prog = assemble(src).expect("asm");
+        let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+        for _ in 0..split {
+            prop_assert!(matches!(m.step(), Status::Running));
+        }
+        let ckpt = m.clone();
+        for _ in 0..(total - split) {
+            m.step();
+        }
+        let final_cpu = m.cpu.clone();
+        let final_rng = m.rng;
+        let mut replay = ckpt;
+        for _ in 0..(total - split) {
+            replay.step();
+        }
+        prop_assert_eq!(replay.cpu, final_cpu);
+        prop_assert_eq!(replay.rng, final_rng);
+    }
+}
+
+proptest! {
+    /// The disassembler's output is valid assembler input: rendering any
+    /// instruction and re-assembling it yields the same encoding
+    /// (absolute branch targets are rendered numerically when no symbol
+    /// map is supplied, which the assembler accepts).
+    #[test]
+    fn disassembly_reassembles_identically(op in arb_op()) {
+        use sweeper_repro::svm::{asm::assemble, disasm::render};
+        let text = render(&op, None);
+        let src = format!(".text\nmain:\n    {text}\n");
+        let prog = assemble(&src)
+            .unwrap_or_else(|e| panic!("`{text}` does not re-assemble: {e}"));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&prog.text[0..8]);
+        let reparsed = sweeper_repro::svm::isa::Op::decode(word, 0).expect("decode");
+        prop_assert_eq!(op, reparsed, "{}", text);
+    }
+}

@@ -1,0 +1,146 @@
+//! Robustness: arbitrary input bytes against fully protected servers.
+//!
+//! The defining property of the whole stack: guest misbehaviour — any
+//! misbehaviour, triggered by any input — is *contained*. The host never
+//! panics, every request resolves to a definite outcome, and the
+//! protected service keeps serving benign traffic afterwards.
+
+use proptest::prelude::*;
+use sweeper_repro::apps::{cvs, httpd1, httpd2, squid, App};
+use sweeper_repro::sweeper::{Config, RequestOutcome, Sweeper};
+
+fn apps() -> Vec<(App, Vec<u8>)> {
+    vec![
+        (
+            httpd1::app().expect("a1"),
+            httpd1::benign_request("ok.html"),
+        ),
+        (
+            httpd2::app().expect("a2"),
+            httpd2::benign_request("ok", None),
+        ),
+        (cvs::app().expect("cvs"), cvs::benign_session(&["ok"])),
+        (
+            squid::app().expect("squid"),
+            squid::benign_request("ok", "host"),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_requests_never_break_the_host(
+        app_idx in 0usize..4,
+        request in proptest::collection::vec(any::<u8>(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let (app, benign) = apps().swap_remove(app_idx);
+        let mut s = Sweeper::protect(&app, Config::producer(seed)).expect("protect");
+        // The random request resolves without a host panic.
+        let outcome = s.offer_request(request);
+        let resolved = matches!(
+            outcome,
+            RequestOutcome::Served { .. }
+                | RequestOutcome::Filtered { .. }
+                | RequestOutcome::Attack(_)
+        );
+        prop_assert!(resolved, "unresolved outcome: {outcome:?}");
+        // And the server still serves benign traffic afterwards.
+        let after = s.offer_request(benign);
+        prop_assert!(
+            matches!(after, RequestOutcome::Served { .. }),
+            "{}: service lost after random input: {after:?}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn adversarial_request_shapes_are_contained() {
+    // Hand-picked nasty shapes per protocol.
+    let cases: Vec<(usize, Vec<u8>)> = vec![
+        (0, Vec::new()),      // empty
+        (0, b"GET".to_vec()), // truncated method
+        (0, vec![0u8; 300]),  // all NULs
+        (
+            0,
+            b"GET /"
+                .iter()
+                .chain([0xffu8; 200].iter())
+                .copied()
+                .collect(),
+        ),
+        (1, b"Referer: ".to_vec()), // header, no request line
+        (1, b"GET / HTTP/1.0\nReferer:".to_vec()), // truncated header
+        (2, b"Directory \n".to_vec()), // empty directory name
+        (2, b"Directory /\nDirectory /\nDirectory /\n".to_vec()), // repeated error path
+        (2, b"Entry before-any-directory\ndone\n".to_vec()),
+        (2, b"done\ndone\ndone\n".to_vec()),
+        (3, b"ftp://\n".to_vec()),  // no user, no host
+        (3, b"ftp://@\n".to_vec()), // empty user
+        (3, b"ftp://@@@@@\n".to_vec()),
+        (3, format!("ftp://{}@h/\n", "a".repeat(2000)).into_bytes()), // long but safe user
+    ];
+    let all = apps();
+    for (idx, input) in cases {
+        let (app, benign) = &all[idx];
+        let mut s = Sweeper::protect(app, Config::producer(0xf00d + idx as u64)).expect("p");
+        let out = s.offer_request(input.clone());
+        assert!(
+            matches!(
+                out,
+                RequestOutcome::Served { .. }
+                    | RequestOutcome::Filtered { .. }
+                    | RequestOutcome::Attack(_)
+            ),
+            "{}: {input:?} -> {out:?}",
+            app.name
+        );
+        assert!(
+            matches!(
+                s.offer_request(benign.clone()),
+                RequestOutcome::Served { .. }
+            ),
+            "{}: service lost after {input:?}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn attack_storm_is_survivable() {
+    // Ten consecutive attacks (mixed polymorphic variants) against one
+    // producer: every one detected or filtered, service alive at the end,
+    // and the timeline stays monotone.
+    let app = httpd1::app().expect("app");
+    let mut s = Sweeper::protect(&app, Config::producer(0x5707)).expect("protect");
+    let mut last_now = 0;
+    for wave in 0..10u8 {
+        let exploit = if wave % 2 == 0 {
+            httpd1::exploit_crash(&app)
+        } else {
+            httpd1::exploit_crash_poly(&app, wave)
+        };
+        let out = s.offer_request(exploit.input);
+        assert!(
+            matches!(
+                out,
+                RequestOutcome::Attack(_) | RequestOutcome::Filtered { .. }
+            ),
+            "wave {wave}: {out:?}"
+        );
+        assert!(
+            s.timeline.now() >= last_now,
+            "time went backwards at wave {wave}"
+        );
+        last_now = s.timeline.now();
+    }
+    assert!(matches!(
+        s.offer_request(httpd1::benign_request("alive.html")),
+        RequestOutcome::Served { .. }
+    ));
+    assert!(s.attacks_detected >= 2, "at least initial + one vsef catch");
+    assert!(s.deployed_vsefs() > 0);
+}
