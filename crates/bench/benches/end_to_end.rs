@@ -72,6 +72,7 @@ fn bench_community_campaign(c: &mut Criterion) {
                 dissemination_attempts: 2,
                 consumers_unrandomized: false,
                 seed: 99,
+                parallelism: epidemic::Parallelism::Fixed(1),
             })
         })
     });

@@ -1,9 +1,10 @@
 //! Wall-clock benchmarks of the community-defense model: ODE solves,
-//! full figure sweeps, and Monte-Carlo outbreaks.
+//! full figure sweeps, Monte-Carlo outbreaks, and the sharded community
+//! engine at several shard counts.
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use epidemic::{figure6, simulate, solve, Scenario};
+use epidemic::{figure6, simulate, solve, Parallelism, Scenario};
 
 fn bench_solve(c: &mut Criterion) {
     c.bench_function("epidemic/solve_slammer", |b| {
@@ -39,5 +40,29 @@ fn bench_monte_carlo(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_solve, bench_figure_sweep, bench_monte_carlo);
+fn bench_sharded_community(c: &mut Criterion) {
+    // Figure-7-style hit-list run (β = 1000, ρ = 2⁻¹², γ = 5 s) with a
+    // hot start so per-tick work is dense; see bench::model_campaign.
+    let hosts = 100_000u64;
+    let mut g = c.benchmark_group("epidemic/sharded_community_100k");
+    g.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        g.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                bench::model_campaign(hosts, Parallelism::Fixed(k), 1)
+                    .0
+                    .infected
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solve,
+    bench_figure_sweep,
+    bench_monte_carlo,
+    bench_sharded_community
+);
 criterion_main!(benches);

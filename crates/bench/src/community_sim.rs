@@ -12,6 +12,7 @@
 //! compromised hosts, and who was protected by what.
 
 use apps::cvs;
+use epidemic::Parallelism;
 use svm::loader::Layout;
 use sweeper::{Config, RequestOutcome, Role, Sweeper};
 
@@ -77,26 +78,65 @@ pub struct CampaignConfig {
     pub consumers_unrandomized: bool,
     /// Base RNG/ASLR seed.
     pub seed: u64,
+    /// How many threads boot the host population. Each host's state is
+    /// a pure function of `(app, seed + index)`, so any thread count
+    /// yields the identical population; the subsequent hit-list walk is
+    /// inherently sequential and stays on one thread.
+    pub parallelism: Parallelism,
+}
+
+/// Build host `i`'s configuration (pure function of `cfg` and `i`).
+fn host_config(cfg: &CampaignConfig, i: usize) -> Config {
+    let is_producer = cfg.producer_every > 0 && i % cfg.producer_every == 0;
+    let mut c = if is_producer {
+        Config::producer(cfg.seed + i as u64)
+    } else {
+        Config::consumer(cfg.seed + i as u64)
+    };
+    if cfg.consumers_unrandomized && !is_producer {
+        c.aslr = svm::loader::Aslr::off();
+    }
+    c
+}
+
+/// Boot the host population, in parallel when configured.
+fn boot_hosts(cfg: &CampaignConfig, app: &apps::App) -> Vec<Sweeper> {
+    let k = cfg
+        .parallelism
+        .shards(cfg.hosts as u64)
+        .min(cfg.hosts.max(1));
+    if k <= 1 {
+        return (0..cfg.hosts)
+            .map(|i| Sweeper::protect(app, host_config(cfg, i)).expect("protect"))
+            .collect();
+    }
+    // Contiguous index ranges, one per worker; concatenating the
+    // workers' outputs in range order reproduces hit-list order.
+    let per = cfg.hosts.div_ceil(k);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|w| {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(cfg.hosts);
+                scope.spawn(move || {
+                    (lo..hi)
+                        .map(|i| Sweeper::protect(app, host_config(cfg, i)).expect("protect"))
+                        .collect::<Vec<Sweeper>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("boot worker"))
+            .collect()
+    })
 }
 
 /// Run the campaign with the CVS unlink-hijack worm.
 pub fn run_campaign(cfg: CampaignConfig) -> CampaignResult {
     let app = cvs::app().expect("app");
     let exploit = cvs::exploit_compromise(&app, &Layout::nominal());
-    let mut hosts: Vec<Sweeper> = (0..cfg.hosts)
-        .map(|i| {
-            let is_producer = cfg.producer_every > 0 && i % cfg.producer_every == 0;
-            let mut c = if is_producer {
-                Config::producer(cfg.seed + i as u64)
-            } else {
-                Config::consumer(cfg.seed + i as u64)
-            };
-            if cfg.consumers_unrandomized && !is_producer {
-                c.aslr = svm::loader::Aslr::off();
-            }
-            Sweeper::protect(&app, c).expect("protect")
-        })
-        .collect();
+    let mut hosts: Vec<Sweeper> = boot_hosts(&cfg, &app);
 
     let mut outcomes = vec![HostOutcome::Untouched; cfg.hosts];
     let mut first_producer_contact = None;
@@ -147,6 +187,29 @@ pub fn run_campaign(cfg: CampaignConfig) -> CampaignResult {
     }
 }
 
+/// A Figure-7-style large-N run of the sharded *model* engine (hit-list
+/// worm, β = 1000, ρ = 2⁻¹², γ = 5 s) with a hot start (half the
+/// community already infected) so the per-tick workload is dense enough
+/// to measure sharding speedups. Returns the outcome plus wall-clock
+/// seconds. Bit-identical results at any shard count for a fixed seed.
+pub fn model_campaign(
+    hosts: u64,
+    parallelism: Parallelism,
+    seed: u64,
+) -> (epidemic::CommunityOutcome, f64) {
+    let scenario = epidemic::Scenario {
+        n: hosts as f64,
+        ..epidemic::Scenario::hitlist(1000.0, 0.001, 5.0)
+    };
+    let params = epidemic::CommunityParams {
+        i0: hosts / 2,
+        ..epidemic::CommunityParams::from_scenario(&scenario, 0.01, seed, parallelism)
+    };
+    let start = std::time::Instant::now();
+    let outcome = epidemic::community::run(&params);
+    (outcome, start.elapsed().as_secs_f64())
+}
+
 /// Render a campaign summary line.
 pub fn render(cfg: CampaignConfig, r: &CampaignResult) -> String {
     format!(
@@ -173,6 +236,7 @@ mod tests {
             dissemination_attempts: 2,
             consumers_unrandomized: false,
             seed: 5000,
+            parallelism: Parallelism::Fixed(1),
         };
         let r = run_campaign(cfg);
         assert_eq!(r.compromised(), 0, "{:?}", r.outcomes);
@@ -199,6 +263,7 @@ mod tests {
             dissemination_attempts: usize::MAX,
             consumers_unrandomized: true,
             seed: 6000,
+            parallelism: Parallelism::Fixed(2),
         };
         let r = run_campaign(cfg);
         assert_eq!(r.compromised(), 8, "{:?}", r.outcomes);
@@ -215,6 +280,7 @@ mod tests {
             dissemination_attempts: 3,
             consumers_unrandomized: true,
             seed: 7000,
+            parallelism: Parallelism::Fixed(1),
         };
         let r = run_campaign(cfg);
         assert_eq!(r.antibody_live_from, Some(3));
@@ -237,6 +303,7 @@ mod tests {
             dissemination_attempts: 2,
             consumers_unrandomized: true,
             seed: 8000,
+            parallelism: Parallelism::Fixed(1),
         };
         let fast = run_campaign(base);
         let slow = run_campaign(CampaignConfig {
@@ -249,5 +316,27 @@ mod tests {
             fast.compromised(),
             slow.compromised()
         );
+    }
+
+    #[test]
+    fn parallel_boot_reproduces_the_serial_campaign() {
+        let base = CampaignConfig {
+            hosts: 12,
+            producer_every: 4,
+            dissemination_attempts: 2,
+            consumers_unrandomized: true,
+            seed: 9000,
+            parallelism: Parallelism::Fixed(1),
+        };
+        let serial = run_campaign(base);
+        for k in [2usize, 4, 8] {
+            let parallel = run_campaign(CampaignConfig {
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            });
+            assert_eq!(serial.outcomes, parallel.outcomes, "k={k}");
+            assert_eq!(serial.antibody_live_from, parallel.antibody_live_from);
+            assert_eq!(serial.gamma1_ms, parallel.gamma1_ms);
+        }
     }
 }

@@ -10,6 +10,8 @@ pub mod driver;
 pub mod experiments;
 
 pub use ablation::{defense_matrix, empirical_rho, nx_ablation, CampaignOutcome, Defense};
-pub use community_sim::{run_campaign, CampaignConfig, CampaignResult, HostOutcome};
+pub use community_sim::{
+    model_campaign, run_campaign, CampaignConfig, CampaignResult, HostOutcome,
+};
 pub use driver::{attack_timeline, checkpoint_overhead, run_protected, ThroughputRun};
 pub use experiments::{end_to_end_gamma, table1, table2, table3, vsef_overhead};

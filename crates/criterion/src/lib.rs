@@ -1,0 +1,281 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free re-implementation of the slice of the
+//! `criterion` benchmarking API this workspace uses. The real crate
+//! cannot be fetched in the offline build environment, so this shim
+//! provides the same surface — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], [`black_box`], `criterion_group!` and
+//! `criterion_main!` — backed by a simple wall-clock timer.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! adaptive batches until a small time budget is spent; the mean
+//! iteration time is reported on stdout. This is deliberately modest —
+//! the goal is honest relative numbers and a stable API, not
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for drop-in compatibility with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Minimum measured iterations per benchmark.
+const MIN_ITERS: u64 = 10;
+/// Soft wall-clock budget per benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// How the measured routine's input is sized/batched (`iter_batched`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per measured call; suitable for small inputs.
+    SmallInput,
+    /// Accepted for API compatibility; treated like `SmallInput`.
+    LargeInput,
+}
+
+/// Declared throughput of one iteration, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing accumulator handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Measure `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= MIN_ITERS && started.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` over fresh inputs produced by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= MIN_ITERS && started.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name:<44} (no iterations)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+                format!("  {:>10.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) if per_iter > 0.0 => {
+                format!("  {:>10.1} elem/s", e as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{name:<44} {:>12}  ({} iters){rate}",
+            format_time(per_iter),
+            self.iters
+        );
+    }
+}
+
+/// Render seconds-per-iteration with a human unit.
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build a driver, honouring an optional substring filter from the
+    /// command line (`cargo bench -- <filter>`).
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Criterion {
+        let name = name.as_ref();
+        if self.enabled(name) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            b.report(name, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's adaptive timer
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        if self.parent.enabled(&full) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            b.report(&full, self.throughput);
+        }
+        self
+    }
+
+    /// Close the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Generated benchmark group runner.
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::new();
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters >= MIN_ITERS);
+        assert_eq!(n, b.iters + 1); // +1 warm-up
+    }
+
+    #[test]
+    fn group_filter_matches_full_name() {
+        let mut c = Criterion {
+            filter: Some("grp/x".into()),
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("x", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2e-6).ends_with("us"));
+        assert!(format_time(2e-9).ends_with("ns"));
+    }
+}

@@ -9,10 +9,8 @@
 //! stochastic variance the ODEs hide (the lucky/unlucky first-contact
 //! races the paper's hit-list discussion turns on).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::model::Scenario;
+use crate::rng::Stream;
 
 /// One simulated outbreak's result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +35,7 @@ pub fn simulate(s: &Scenario, seed: u64) -> SimOutcome {
         let idx = (producers + k).min(n - 1) as usize;
         infected_flags[idx] = true;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Stream::seed(seed);
     let mut t = 0.0f64;
     let mut t0: Option<f64> = None;
     let consumer_count = n - producers;
@@ -56,7 +54,7 @@ pub fn simulate(s: &Scenario, seed: u64) -> SimOutcome {
         }
         // Next contact event: total rate β * I.
         let rate = s.beta * infected as f64;
-        let dt = -(1.0f64 - rng.gen::<f64>()).ln() / rate;
+        let dt = rng.exp(rate);
         t += dt;
         // Don't spread past the immunity instant.
         if let Some(t0v) = t0 {
@@ -64,13 +62,13 @@ pub fn simulate(s: &Scenario, seed: u64) -> SimOutcome {
                 break;
             }
         }
-        let target = rng.gen_range(0..n) as usize;
+        let target = rng.below(n) as usize;
         if (target as u64) < producers {
             // A producer was contacted: the antibody clock starts.
             if t0.is_none() {
                 t0 = Some(t);
             }
-        } else if !infected_flags[target] && rng.gen::<f64>() < s.rho {
+        } else if !infected_flags[target] && rng.unit() < s.rho {
             infected_flags[target] = true;
             infected += 1;
         }

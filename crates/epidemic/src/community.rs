@@ -1,0 +1,696 @@
+//! The sharded community simulation (paper §6) with deterministic merge.
+//!
+//! A discrete-tick agent engine over `hosts` hosts: producers (ratio
+//! `alpha`, hosts `[0, P)`) detect the first contact against them and
+//! immunize the whole community `gamma_ticks` later; consumers rely on
+//! per-attempt proactive protection (success probability `rho`). Each
+//! infected consumer emits `attempts_per_tick` contact attempts per
+//! tick against uniformly random hosts.
+//!
+//! ## Why results are bit-identical at any shard count
+//!
+//! Every random draw is *counter-based*: the target and success roll of
+//! attempt `a` by host `h` at tick `t` are pure functions of
+//! `(seed, h, t, a)` ([`crate::rng::draw`]) — no evolving generator
+//! state. Hosts are partitioned into `K` contiguous shards; each tick
+//! runs two barrier-separated phases:
+//!
+//! 1. **generate** — every shard scans its own infected hosts in host
+//!    order and emits events, routed by target shard. Because shards
+//!    are contiguous and scanned in order, concatenating per-shard
+//!    outboxes in shard order *is* the canonical global
+//!    `(src, attempt)` order; a final stable sort enforces it
+//!    regardless of scheduling.
+//! 2. **apply** — every shard applies the events targeting its own
+//!    hosts. Infections are idempotent boolean marks, the antibody
+//!    clock is a `min` over producer-contact ticks, and infection
+//!    counts are sums — all order-independent reductions.
+//!
+//! New infections become active the *next* tick (the generate phase of
+//! tick `t` reads only state produced through tick `t-1`), so no shard
+//! can observe another shard's same-tick writes. The serial engine is
+//! the identical code run with one shard and no threads; the parity
+//! test in `tests/` checks bit-identical curves for K ∈ {1, 2, 4, 8}.
+
+use std::time::Instant;
+
+use crate::model::Scenario;
+use crate::rng::{draw, to_unit};
+
+/// Domain separator for attempt-existence draws.
+const DOMAIN_ATTEMPT: u64 = 0x6174_7470;
+/// Domain separator for target-choice draws.
+const DOMAIN_TARGET: u64 = 0x7461_7267;
+/// Domain separator for success-roll draws.
+const DOMAIN_SUCCESS: u64 = 0x7375_6363;
+
+/// Below this many attempt draws per tick, run the phases inline even
+/// when `K > 1`: thread spawn overhead would dominate. The outcome is
+/// unaffected — the same shard functions run either way.
+const PARALLEL_THRESHOLD: u64 = 4096;
+
+/// How many worker shards the community engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One shard per available core (capped at 16).
+    Auto,
+    /// Exactly this many shards; `Fixed(1)` is the serial legacy path
+    /// (no threads are spawned at all).
+    Fixed(usize),
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::Auto
+    }
+}
+
+impl Parallelism {
+    /// Resolve to a concrete shard count for `hosts` hosts.
+    pub fn shards(self, hosts: u64) -> usize {
+        let k = match self {
+            Parallelism::Fixed(k) => k.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(16),
+        };
+        // Never more shards than hosts.
+        k.min(hosts.max(1) as usize)
+    }
+}
+
+/// Parameters of one community run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunityParams {
+    /// Total community size.
+    pub hosts: u64,
+    /// Producer ratio α (producers are hosts `[0, α·hosts)`).
+    pub alpha: f64,
+    /// Per-attempt success probability against a consumer (ρ).
+    pub rho: f64,
+    /// Ticks between first producer contact and community immunity (γ).
+    pub gamma_ticks: u64,
+    /// Contact-attempt slots each infected host has per tick (⌈β·Δt⌉).
+    pub attempts_per_tick: u32,
+    /// Probability each slot actually fires, so that
+    /// `attempts_per_tick · attempt_prob = β·Δt` holds exactly even for
+    /// slow worms (β·Δt < 1). `1.0` for fully saturated slots.
+    pub attempt_prob: f64,
+    /// Initially infected consumers.
+    pub i0: u64,
+    /// Hard tick cap (die-out guard).
+    pub max_ticks: u64,
+    /// Run seed: same seed ⇒ same result at any shard count.
+    pub seed: u64,
+    /// Shard/thread configuration.
+    pub parallelism: Parallelism,
+}
+
+impl CommunityParams {
+    /// Map a continuous-time [`Scenario`] onto the tick engine using
+    /// tick length `dt` (attempts per tick ≈ β·Δt, γ in ticks).
+    pub fn from_scenario(
+        s: &Scenario,
+        dt: f64,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> CommunityParams {
+        let rate = s.beta * dt;
+        let attempts = rate.ceil().max(1.0);
+        CommunityParams {
+            hosts: s.n.round().max(1.0) as u64,
+            alpha: s.alpha,
+            rho: s.rho,
+            gamma_ticks: (s.gamma / dt).ceil().max(1.0) as u64,
+            attempts_per_tick: attempts as u32,
+            attempt_prob: (rate / attempts).min(1.0),
+            i0: s.i0.round().max(1.0) as u64,
+            max_ticks: 1_000_000,
+            seed,
+            parallelism,
+        }
+    }
+
+    fn producers(&self) -> u64 {
+        ((self.alpha * self.hosts as f64).round() as u64).min(self.hosts)
+    }
+}
+
+/// Per-shard counters surfaced in the run report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Hosts owned by this shard.
+    pub hosts: u64,
+    /// Consumers in this shard infected when the run ended.
+    pub infected: u64,
+    /// Producer contacts observed by this shard's producers.
+    pub producer_contacts: u64,
+    /// Antibodies applied at the immunity instant (hosts in this shard
+    /// still susceptible when immunity landed; 0 if never detected).
+    pub antibodies_applied: u64,
+    /// Events this shard emitted to *other* shards.
+    pub events_sent_cross: u64,
+    /// Events this shard received from *other* shards.
+    pub events_received_cross: u64,
+    /// Nanoseconds spent in this shard's generate phases.
+    pub generate_nanos: u128,
+    /// Nanoseconds spent in this shard's apply phases.
+    pub apply_nanos: u128,
+}
+
+/// Per-tick aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickStats {
+    /// Tick index.
+    pub tick: u64,
+    /// Consumers newly infected this tick.
+    pub new_infections: u64,
+    /// Events crossing a shard boundary this tick.
+    pub events_exchanged: u64,
+    /// Wall-clock nanoseconds for the whole tick (both phases).
+    pub wall_nanos: u128,
+}
+
+/// Result of one community run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityOutcome {
+    /// Tick of the first producer contact, if any.
+    pub t0_tick: Option<u64>,
+    /// Total consumers infected when the run ended (incl. `i0`).
+    pub infected: u64,
+    /// `infected / hosts`.
+    pub infection_ratio: f64,
+    /// Cumulative infected count after each simulated tick.
+    pub curve: Vec<u64>,
+    /// Ticks actually simulated.
+    pub ticks: u64,
+    /// Shard count used.
+    pub shards_used: usize,
+    /// Per-shard counters.
+    pub shard_stats: Vec<ShardStats>,
+    /// Per-tick counters.
+    pub tick_stats: Vec<TickStats>,
+}
+
+impl CommunityOutcome {
+    /// Render the per-shard counter table for the run report.
+    pub fn shard_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "shards={} ticks={} t0={} infected={} ({:.4})\n",
+            self.shards_used,
+            self.ticks,
+            self.t0_tick.map_or("-".to_string(), |t| t.to_string()),
+            self.infected,
+            self.infection_ratio,
+        ));
+        out.push_str("shard    hosts  infected  prod-contacts  antibodies  evt-out  evt-in   gen-ms  apply-ms\n");
+        for s in &self.shard_stats {
+            out.push_str(&format!(
+                "{:>5} {:>8} {:>9} {:>14} {:>11} {:>8} {:>7} {:>8.2} {:>9.2}\n",
+                s.shard,
+                s.hosts,
+                s.infected,
+                s.producer_contacts,
+                s.antibodies_applied,
+                s.events_sent_cross,
+                s.events_received_cross,
+                s.generate_nanos as f64 / 1e6,
+                s.apply_nanos as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// One contact event, in canonical `(src, attempt)` order per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    /// Emitting (infected) host.
+    src: u64,
+    /// Attempt index within the emitting host's tick.
+    attempt: u32,
+    /// Contacted host.
+    target: u64,
+}
+
+/// Host state owned by one shard: `[lo, hi)` plus infection flags.
+struct Shard {
+    idx: usize,
+    lo: u64,
+    hi: u64,
+    /// Infection flag per owned host (index `host - lo`).
+    infected: Vec<bool>,
+    stats: ShardStats,
+}
+
+impl Shard {
+    fn new(idx: usize, lo: u64, hi: u64) -> Shard {
+        Shard {
+            idx,
+            lo,
+            hi,
+            infected: vec![false; (hi - lo) as usize],
+            stats: ShardStats {
+                shard: idx,
+                hosts: hi - lo,
+                ..ShardStats::default()
+            },
+        }
+    }
+
+    /// Generate this tick's events from this shard's infected hosts.
+    ///
+    /// Outboxes are returned per target shard; within each outbox the
+    /// events are already in canonical `(src, attempt)` order because
+    /// hosts are scanned in order.
+    fn generate(
+        &mut self,
+        p: &CommunityParams,
+        bounds: &[(u64, u64)],
+        tick: u64,
+    ) -> Vec<Vec<Event>> {
+        let t_start = Instant::now();
+        let mut out: Vec<Vec<Event>> = vec![Vec::new(); bounds.len()];
+        let attempts = p.attempts_per_tick as u64;
+        let producers = p.producers();
+        for (off, flag) in self.infected.iter().enumerate() {
+            if !*flag {
+                continue;
+            }
+            let src = self.lo + off as u64;
+            for a in 0..attempts {
+                let key = (tick * p.hosts + src) * attempts + a;
+                if p.attempt_prob < 1.0
+                    && to_unit(draw(p.seed, DOMAIN_ATTEMPT, key)) >= p.attempt_prob
+                {
+                    continue; // This slot doesn't fire (β·Δt < slots).
+                }
+                let target = draw(p.seed, DOMAIN_TARGET, key) % p.hosts;
+                if target >= producers {
+                    // Consumer target: roll proactive protection now;
+                    // only successful attempts are shipped.
+                    let u = to_unit(draw(p.seed, DOMAIN_SUCCESS, key));
+                    if u >= p.rho {
+                        continue;
+                    }
+                }
+                let dest = shard_of(target, bounds);
+                if dest != self.idx {
+                    self.stats.events_sent_cross += 1;
+                }
+                out[dest].push(Event {
+                    src,
+                    attempt: a as u32,
+                    target,
+                });
+            }
+        }
+        self.stats.generate_nanos += t_start.elapsed().as_nanos();
+        out
+    }
+
+    /// Apply the canonically merged inbox for this tick.
+    ///
+    /// Returns `(new_infections, producer_contact_this_tick)`. All
+    /// updates are order-independent (idempotent marks, counts, min),
+    /// but the inbox is nonetheless sorted canonically upstream so the
+    /// merge order itself is deterministic and auditable.
+    fn apply(&mut self, p: &CommunityParams, inbox: &[Event]) -> (u64, bool) {
+        let t_start = Instant::now();
+        let producers = p.producers();
+        let mut fresh = 0u64;
+        let mut producer_contact = false;
+        for ev in inbox {
+            if shard_of_range(ev.src, self.lo, self.hi).is_none() {
+                self.stats.events_received_cross += 1;
+            }
+            if ev.target < producers {
+                // A producer was contacted: the antibody clock starts.
+                self.stats.producer_contacts += 1;
+                producer_contact = true;
+                continue;
+            }
+            let off = (ev.target - self.lo) as usize;
+            if !self.infected[off] {
+                self.infected[off] = true;
+                fresh += 1;
+            }
+        }
+        self.stats.infected += fresh;
+        self.stats.apply_nanos += t_start.elapsed().as_nanos();
+        (fresh, producer_contact)
+    }
+}
+
+/// Which shard owns `host`, given per-shard `(lo, hi)` bounds.
+fn shard_of(host: u64, bounds: &[(u64, u64)]) -> usize {
+    // Bounds are contiguous and sorted; binary search the partition.
+    match bounds.binary_search_by(|&(lo, hi)| {
+        if host < lo {
+            core::cmp::Ordering::Greater
+        } else if host >= hi {
+            core::cmp::Ordering::Less
+        } else {
+            core::cmp::Ordering::Equal
+        }
+    }) {
+        Ok(i) => i,
+        Err(_) => bounds.len() - 1, // Unreachable for valid partitions.
+    }
+}
+
+/// `Some(())` when `host` lies in `[lo, hi)`.
+fn shard_of_range(host: u64, lo: u64, hi: u64) -> Option<()> {
+    (host >= lo && host < hi).then_some(())
+}
+
+/// Contiguous partition of `[0, hosts)` into `k` near-equal ranges.
+fn partition(hosts: u64, k: usize) -> Vec<(u64, u64)> {
+    let k64 = k as u64;
+    let base = hosts / k64;
+    let extra = hosts % k64;
+    let mut bounds = Vec::with_capacity(k);
+    let mut lo = 0;
+    for i in 0..k64 {
+        let len = base + u64::from(i < extra);
+        bounds.push((lo, lo + len));
+        lo += len;
+    }
+    bounds
+}
+
+/// Canonically merge per-source-shard outboxes destined for one shard.
+///
+/// Concatenation in shard order already yields `(src, attempt)` order
+/// for contiguous partitions; the stable sort makes the invariant
+/// explicit and robust to future partitioning changes.
+fn merge_inbox(mut parts: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut inbox: Vec<Event> = parts.drain(..).flatten().collect();
+    inbox.sort_by_key(|e| (e.src, e.attempt));
+    inbox
+}
+
+/// Run the community simulation described by `p`.
+///
+/// The result is a pure function of `p` minus `parallelism`: any shard
+/// count produces the identical outcome (up to the timing counters in
+/// [`ShardStats`] / [`TickStats`]).
+pub fn run(p: &CommunityParams) -> CommunityOutcome {
+    assert!(p.hosts >= 2, "community needs at least two hosts");
+    let k = p.parallelism.shards(p.hosts);
+    let bounds = partition(p.hosts, k);
+    let mut shards: Vec<Shard> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, hi))| Shard::new(i, lo, hi))
+        .collect();
+
+    // Seed infections among consumers (the worm starts outside).
+    let producers = p.producers();
+    let consumer_count = p.hosts - producers;
+    let i0 = p.i0.min(consumer_count).max(1);
+    for s in 0..i0 {
+        let host = (producers + s).min(p.hosts - 1);
+        let dest = shard_of(host, &bounds);
+        let off = (host - shards[dest].lo) as usize;
+        if !shards[dest].infected[off] {
+            shards[dest].infected[off] = true;
+            shards[dest].stats.infected += 1;
+        }
+    }
+
+    let mut infected: u64 = shards.iter().map(|s| s.stats.infected).sum();
+    let mut t0_tick: Option<u64> = None;
+    let mut curve = Vec::new();
+    let mut tick_stats = Vec::new();
+    let mut tick = 0u64;
+
+    while tick < p.max_ticks {
+        if let Some(t0) = t0_tick {
+            if tick >= t0 + p.gamma_ticks {
+                break; // Immunity deployed.
+            }
+        }
+        if infected >= consumer_count {
+            break; // Saturation.
+        }
+        let tick_start = Instant::now();
+        // Sparse ticks (few infected hosts) run inline: spawning
+        // threads would cost more than the work saves. Same functions,
+        // same result either way.
+        let go_parallel =
+            k > 1 && infected.saturating_mul(p.attempts_per_tick as u64) >= PARALLEL_THRESHOLD;
+
+        // Phase 1: generate (parallel over shards).
+        let outboxes: Vec<Vec<Vec<Event>>> = if !go_parallel {
+            shards
+                .iter_mut()
+                .map(|sh| sh.generate(p, &bounds, tick))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .map(|sh| {
+                        let bounds = &bounds;
+                        scope.spawn(move || sh.generate(p, bounds, tick))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("generate worker"))
+                    .collect()
+            })
+        };
+
+        // Route + canonical merge: inbox[d] gathers every shard's
+        // outbox for destination d, in shard (= src) order.
+        let mut inboxes: Vec<Vec<Event>> = Vec::with_capacity(k);
+        let mut exchanged = 0u64;
+        for d in 0..k {
+            let parts: Vec<Vec<Event>> = outboxes
+                .iter()
+                .enumerate()
+                .map(|(srcs, ob)| {
+                    if srcs != d {
+                        exchanged += ob[d].len() as u64;
+                    }
+                    ob[d].clone()
+                })
+                .collect();
+            inboxes.push(merge_inbox(parts));
+        }
+
+        // Phase 2: apply (parallel over target shards — disjoint state).
+        let applied: Vec<(u64, bool)> = if !go_parallel {
+            shards
+                .iter_mut()
+                .zip(inboxes.iter())
+                .map(|(sh, inbox)| sh.apply(p, inbox))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(inboxes.iter())
+                    .map(|(sh, inbox)| scope.spawn(move || sh.apply(p, inbox)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("apply worker"))
+                    .collect()
+            })
+        };
+
+        let fresh: u64 = applied.iter().map(|&(f, _)| f).sum();
+        if t0_tick.is_none() && applied.iter().any(|&(_, c)| c) {
+            t0_tick = Some(tick); // min over ticks: first tick with any contact.
+        }
+        infected += fresh;
+        curve.push(infected);
+        tick_stats.push(TickStats {
+            tick,
+            new_infections: fresh,
+            events_exchanged: exchanged,
+            wall_nanos: tick_start.elapsed().as_nanos(),
+        });
+        tick += 1;
+    }
+
+    // Antibody application at the immunity instant.
+    if t0_tick.is_some() {
+        for sh in &mut shards {
+            let still_susceptible = sh.infected.iter().filter(|f| !**f).count() as u64;
+            sh.stats.antibodies_applied = still_susceptible;
+        }
+    }
+
+    CommunityOutcome {
+        t0_tick,
+        infected,
+        infection_ratio: infected as f64 / p.hosts as f64,
+        curve,
+        ticks: tick,
+        shards_used: k,
+        shard_stats: shards.into_iter().map(|s| s.stats).collect(),
+        tick_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(hosts: u64, alpha: f64, gamma_ticks: u64, k: usize) -> CommunityParams {
+        CommunityParams {
+            hosts,
+            alpha,
+            rho: 1.0,
+            gamma_ticks,
+            attempts_per_tick: 1,
+            attempt_prob: 1.0,
+            i0: 1,
+            max_ticks: 5_000,
+            seed: 42,
+            parallelism: Parallelism::Fixed(k),
+        }
+    }
+
+    /// Strip the timing/topology counters so outcomes can be compared
+    /// across shard counts.
+    fn essence(o: &CommunityOutcome) -> (Option<u64>, u64, Vec<u64>, u64) {
+        (o.t0_tick, o.infected, o.curve.clone(), o.ticks)
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_total() {
+        for (hosts, k) in [(10u64, 3usize), (16, 4), (7, 7), (100, 1)] {
+            let b = partition(hosts, k);
+            assert_eq!(b.len(), k);
+            assert_eq!(b[0].0, 0);
+            assert_eq!(b[k - 1].1, hosts);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            for h in 0..hosts {
+                let s = shard_of(h, &b);
+                assert!(b[s].0 <= h && h < b[s].1);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_sharded_agree_exactly() {
+        let serial = run(&params(500, 0.01, 40, 1));
+        for k in [2usize, 3, 4, 8] {
+            let sharded = run(&params(500, 0.01, 40, k));
+            assert_eq!(essence(&serial), essence(&sharded), "k={k}");
+            assert_eq!(sharded.shards_used, k);
+        }
+    }
+
+    #[test]
+    fn dense_ticks_take_the_threaded_path_and_still_agree() {
+        // i0 high enough that infected × attempts crosses the inline
+        // threshold, so k > 1 really runs on worker threads.
+        let dense = |k| CommunityParams {
+            i0: 8_000,
+            ..params(20_000, 0.005, 15, k)
+        };
+        let serial = run(&dense(1));
+        for k in [2usize, 4, 8] {
+            let sharded = run(&dense(k));
+            assert_eq!(essence(&serial), essence(&sharded), "k={k}");
+        }
+    }
+
+    #[test]
+    fn outbreak_is_contained_with_producers() {
+        let out = run(&params(2_000, 0.02, 30, 4));
+        assert!(out.t0_tick.is_some(), "producers should be contacted");
+        assert!(
+            out.infection_ratio < 1.0,
+            "immunity should stop saturation: {out:?}"
+        );
+    }
+
+    #[test]
+    fn no_producers_saturates() {
+        let out = run(&params(300, 0.0, 50, 2));
+        assert!(out.t0_tick.is_none());
+        assert_eq!(out.infected, 300, "all consumers infected");
+    }
+
+    #[test]
+    fn proactive_protection_reduces_spread() {
+        let hot = run(&params(2_000, 0.005, 60, 4));
+        let cold = run(&CommunityParams {
+            rho: (2.0f64).powi(-12),
+            ..params(2_000, 0.005, 60, 4)
+        });
+        assert!(
+            cold.infected < hot.infected.max(2),
+            "ASLR-style protection must slow the worm: hot {} cold {}",
+            hot.infected,
+            cold.infected
+        );
+    }
+
+    #[test]
+    fn curve_is_monotonic_and_counters_consistent() {
+        let out = run(&params(800, 0.01, 25, 4));
+        for w in out.curve.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        let per_shard: u64 = out.shard_stats.iter().map(|s| s.infected).sum();
+        assert_eq!(per_shard, out.infected);
+        let hosts: u64 = out.shard_stats.iter().map(|s| s.hosts).sum();
+        assert_eq!(hosts, 800);
+    }
+
+    #[test]
+    fn from_scenario_maps_rates() {
+        let s = Scenario {
+            beta: 1000.0,
+            n: 1e5,
+            alpha: 0.001,
+            rho: 1.0,
+            gamma: 0.1,
+            i0: 1.0,
+        };
+        let p = CommunityParams::from_scenario(&s, 0.001, 7, Parallelism::Fixed(2));
+        assert_eq!(p.hosts, 100_000);
+        assert_eq!(p.attempts_per_tick, 1);
+        assert!((p.attempt_prob - 1.0).abs() < 1e-12);
+        assert_eq!(p.gamma_ticks, 100);
+
+        // A slow worm maps to fractional attempts (β·Δt < 1).
+        let slow = Scenario {
+            beta: 0.1,
+            gamma: 5.0,
+            ..s
+        };
+        let p2 = CommunityParams::from_scenario(&slow, 1.0, 7, Parallelism::Fixed(1));
+        assert_eq!(p2.attempts_per_tick, 1);
+        assert!((p2.attempt_prob - 0.1).abs() < 1e-12);
+        assert_eq!(p2.gamma_ticks, 5);
+    }
+
+    #[test]
+    fn fractional_attempts_preserve_parity_too() {
+        let base = CommunityParams {
+            attempt_prob: 0.3,
+            ..params(600, 0.01, 30, 1)
+        };
+        let serial = run(&base);
+        let sharded = run(&CommunityParams {
+            parallelism: Parallelism::Fixed(4),
+            ..base
+        });
+        assert_eq!(essence(&serial), essence(&sharded));
+    }
+}

@@ -9,12 +9,22 @@
 //! - [`model`] — RK4 integration of the ODEs plus the closed-form
 //!   logistic used to validate it.
 //! - [`agent`] — a Gillespie-style agent-based Monte-Carlo cross-check.
+//! - [`community`] — the discrete-tick community engine, shardable
+//!   across threads with a deterministic merge (bit-identical to its
+//!   serial run for the same seed).
 //! - [`figures`] — the α/γ sweeps regenerating Figures 6, 7, and 8.
+//! - [`rng`] — the counter-based deterministic RNG both engines share.
 
 pub mod agent;
+pub mod community;
 pub mod figures;
 pub mod model;
+pub mod rng;
 
 pub use agent::{simulate, simulate_mean, SimOutcome};
-pub use figures::{figure6, figure7, figure8, Curve, Figure, ALPHAS_FIG6, ALPHAS_FIG78, GAMMAS};
+pub use community::{CommunityOutcome, CommunityParams, Parallelism, ShardStats, TickStats};
+pub use figures::{
+    figure6, figure6_community, figure7, figure7_community, figure8, figure8_community,
+    CommunitySweepConfig, Curve, Figure, ALPHAS_FIG6, ALPHAS_FIG78, GAMMAS,
+};
 pub use model::{logistic_i, required_gamma, solve, Outcome, Scenario};

@@ -1,0 +1,228 @@
+//! The deterministic case runner.
+//!
+//! Cases are generated from a seed derived from the test's file + name,
+//! so failures reproduce without any persisted state. Before novel
+//! cases, any `cc <hex>` entries in the sibling `.proptest-regressions`
+//! file are replayed (each digest deterministically seeds one case),
+//! preserving the upstream regression-guard workflow.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of novel cases to run.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 100,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` novel cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why one case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` (does not count).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assume-filtered) case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The runner's RNG: splitmix64 — tiny, seedable, well distributed.
+#[derive(Debug, Clone, Copy)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically.
+    pub fn seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[0, n)` over a 128-bit span (n > 0, n <= 2^64
+    /// in practice for primitive ranges; full-width spans use two draws).
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        if n == 0 {
+            return 0; // Full 2^128 span cannot arise from primitive ranges.
+        }
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over a string — stable across runs and platforms.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Load regression seeds from `<source-stem>.proptest-regressions`.
+///
+/// Each `cc <hex>` line hashes to one deterministic extra seed that is
+/// replayed before novel cases.
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let mut path = PathBuf::from(source_file);
+    path.set_extension("proptest-regressions");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let digest = rest.split_whitespace().next()?;
+            Some(fnv1a(digest))
+        })
+        .collect()
+}
+
+/// Run one property: regression cases first, then `config.cases` novel
+/// cases. Panics (failing the enclosing `#[test]`) on the first
+/// violated case, printing the generated input.
+pub fn run_property<S, F>(
+    config: &ProptestConfig,
+    source_file: &str,
+    name: &str,
+    strategy: &S,
+    test: F,
+) where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(source_file) ^ fnv1a(name).rotate_left(32);
+    let mut seeds: Vec<(u64, bool)> = regression_seeds(source_file)
+        .into_iter()
+        .map(|s| (s ^ base, true))
+        .collect();
+    seeds.extend(
+        (0..config.cases).map(|i| (base.wrapping_add(0x9e37_79b9 * (i as u64 + 1)), false)),
+    );
+
+    let mut rejects = 0u32;
+    let mut idx = 0usize;
+    while idx < seeds.len() {
+        let (seed, from_regression) = seeds[idx];
+        let mut rng = TestRng::seed(seed.wrapping_add(rejects as u64));
+        let value = strategy.generate(&mut rng);
+        let shown = value.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => idx += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!("{name}: too many prop_assume! rejections (last: {why})");
+                }
+                // Retry the same slot with a perturbed seed.
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{name}: property failed{}: {msg}\n  input: {shown:?}\n  seed: {seed:#018x}",
+                    if from_regression {
+                        " (regression case)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{name}: property panicked{}\n  input: {shown:?}\n  seed: {seed:#018x}",
+                    if from_regression {
+                        " (regression case)"
+                    } else {
+                        ""
+                    },
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed(7);
+        let mut b = TestRng::seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::seed(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

@@ -14,15 +14,20 @@
 //!   Figure 5.
 //! - **[`config`]** — deployment knobs (checkpoint interval, producer vs
 //!   consumer role, slicing toggle).
+//! - **[`error`]** — the runtime's error type ([`SweeperError`]); the
+//!   runtime degrades (partial antibodies, skipped hosts) rather than
+//!   panicking.
 //! - **[`report`]** — Table 2/3-style rendering of attack reports.
 
 pub mod config;
+pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod runtime;
 pub mod timeline;
 
 pub use config::{Config, Role};
+pub use error::SweeperError;
 pub use pipeline::{analyze_attack, AnalysisReport, InputFinding, SliceVerdict, StepTimings};
 pub use runtime::{AttackReport, HostStatus, RequestOutcome, Sweeper};
 pub use timeline::{Event, Stamped, Timeline};

@@ -16,7 +16,9 @@ use svm::hook::Pair;
 use svm::loader::Layout;
 use svm::net::BlockedOn;
 use svm::rng::XorShift64;
-use svm::{Machine, Status, SvmError};
+use svm::{Machine, Status};
+
+use crate::error::SweeperError;
 
 use crate::config::{Config, Role};
 use crate::pipeline::{analyze_attack, AnalysisReport};
@@ -157,7 +159,12 @@ pub struct Sweeper {
 
 impl Sweeper {
     /// Protect an application.
-    pub fn protect(app: &App, config: Config) -> Result<Sweeper, SvmError> {
+    ///
+    /// Failures (bad program image, boot fault) surface as
+    /// [`SweeperError`] so callers — notably the community campaign,
+    /// which boots whole populations — can skip a bad host instead of
+    /// aborting.
+    pub fn protect(app: &App, config: Config) -> Result<Sweeper, SweeperError> {
         let mut machine = app.boot(config.aslr)?;
         machine.mem.nx = config.nx;
         let mgr = CheckpointManager::new(config.checkpoint_interval, config.retained_checkpoints);
@@ -484,9 +491,22 @@ impl Sweeper {
                     "sampling: tainted control transfer to {:#010x} at {:#010x}",
                     a.target, a.pc
                 );
-                let taint = sampler.get::<TaintTool>(taint_id).expect("tool");
-                let mut prop: Vec<u32> = taint.propagation_pcs().iter().copied().collect();
-                prop.truncate(64);
+                // Degrade gracefully if the taint tool went missing
+                // (detached or downcast failure): a sink-only VSEF is a
+                // weaker but valid antibody — never abort mid-recovery.
+                let prop: Vec<u32> = match sampler.get::<TaintTool>(taint_id) {
+                    Some(taint) => {
+                        let mut p: Vec<u32> = taint.propagation_pcs().iter().copied().collect();
+                        p.truncate(64);
+                        p
+                    }
+                    None => {
+                        self.timeline.record(Event::AttackDetected {
+                            cause: SweeperError::ToolUnavailable { tool: "taint" }.to_string(),
+                        });
+                        Vec::new()
+                    }
+                };
                 let spec = VsefSpec::TaintFilter {
                     prop_pcs: prop,
                     sink_pc: a.pc,

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: what must stay green on every commit.
+#
+# Build the workspace in release, run the root-package test suite
+# (library + integration tests + doctests), and enforce formatting.
+# Run from anywhere; works offline — all dependencies are in-tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release"
+cargo build --release
+
+echo "== tier1: cargo test -q"
+cargo test -q
+
+echo "== tier1: cargo fmt --check"
+cargo fmt --check
+
+echo "== tier1: OK"

@@ -1,0 +1,87 @@
+//! Serial vs sharded community-engine parity.
+//!
+//! The §6 community simulation must produce **bit-identical** infection
+//! and containment curves for a fixed seed regardless of how many
+//! shards/threads it runs on. This is the contract that makes the
+//! parallel engine trustworthy: `K` is a pure performance knob.
+
+use sweeper_repro::epidemic::community::{run, CommunityParams};
+use sweeper_repro::epidemic::{Parallelism, Scenario};
+
+/// The comparable core of an outcome (timing counters excluded).
+fn essence(p: &CommunityParams) -> (Option<u64>, u64, Vec<u64>, u64) {
+    let o = run(p);
+    (o.t0_tick, o.infected, o.curve, o.ticks)
+}
+
+#[test]
+fn sharded_runs_match_serial_for_all_seeds_and_shard_counts() {
+    for seed in [1u64, 2, 3] {
+        // Dense hot-start population: crosses the engine's inline
+        // threshold, so K > 1 genuinely runs on worker threads.
+        let base = CommunityParams {
+            hosts: 30_000,
+            alpha: 0.004,
+            rho: 1.0,
+            gamma_ticks: 12,
+            attempts_per_tick: 2,
+            attempt_prob: 1.0,
+            i0: 9_000,
+            max_ticks: 4_000,
+            seed,
+            parallelism: Parallelism::Fixed(1),
+        };
+        let serial = essence(&base);
+        assert!(serial.1 > 9_000, "seed {seed}: the outbreak must spread");
+        for k in [2usize, 4, 8] {
+            let sharded = essence(&CommunityParams {
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            });
+            assert_eq!(serial, sharded, "seed {seed}, k={k}");
+        }
+    }
+}
+
+#[test]
+fn parity_holds_for_paper_scenarios_with_fractional_attempts() {
+    // Slammer-style slow worm (β·Δt < 1) exercises the fractional
+    // attempt-probability path on top of the sharded merge.
+    for seed in [1u64, 2, 3] {
+        let scenario = Scenario {
+            n: 4_000.0,
+            ..Scenario::slammer(0.002, 20.0)
+        };
+        let base = CommunityParams::from_scenario(&scenario, 1.0, seed, Parallelism::Fixed(1));
+        let serial = essence(&base);
+        for k in [2usize, 4, 8] {
+            let sharded = essence(&CommunityParams {
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            });
+            assert_eq!(serial, sharded, "seed {seed}, k={k}");
+        }
+    }
+}
+
+#[test]
+fn auto_parallelism_matches_the_serial_legacy_path() {
+    let base = CommunityParams {
+        hosts: 5_000,
+        alpha: 0.01,
+        rho: 1.0,
+        gamma_ticks: 20,
+        attempts_per_tick: 1,
+        attempt_prob: 1.0,
+        i0: 1,
+        max_ticks: 4_000,
+        seed: 7,
+        parallelism: Parallelism::Fixed(1),
+    };
+    let serial = essence(&base);
+    let auto = essence(&CommunityParams {
+        parallelism: Parallelism::Auto,
+        ..base
+    });
+    assert_eq!(serial, auto);
+}

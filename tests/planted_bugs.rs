@@ -1,0 +1,142 @@
+//! Pin tests for the two planted guest bugs, at bug-site granularity.
+//!
+//! `end_to_end.rs` checks the canned Table 1 exploits; this file pins
+//! the *bugs themselves* so a refactor of the guest assembly cannot
+//! silently neuter them:
+//!
+//! - **CVS stale `cur_dir`** (`crates/apps/src/cvs.rs`, `dirswitch`):
+//!   the bad-name error path returns without clearing `cur_dir`, so the
+//!   next `Directory` command frees the same chunk again — the
+//!   CVE-2003-0015 double-free pattern. The minimal trigger needs no
+//!   crafted unlink operands at all.
+//! - **Apache2 NULL `host`** (`crates/apps/src/httpd2.rs`, `cr_try_ftp`):
+//!   an unrecognized Referer scheme falls through to `cr_check` with
+//!   `host == NULL`, and `is_ip` dereferences it. Layout-independent,
+//!   DoS-only.
+
+use sweeper_repro::analysis::{CrashClass, MemBugKind};
+use sweeper_repro::apps::{cvs, httpd2};
+use sweeper_repro::sweeper::{Config, RequestOutcome, Sweeper};
+
+/// The minimal stale-`cur_dir` trigger: a good directory (allocates),
+/// a bad name (frees, forgets to clear), another directory (frees the
+/// same pointer again). No attacker-controlled unlink operands — the
+/// allocator's own metadata walk trips over the corruption.
+fn minimal_double_free_session() -> Vec<u8> {
+    b"Root /repo\nDirectory a\nDirectory /bad\nDirectory b\nEntry e\ndone\n".to_vec()
+}
+
+#[test]
+fn cvs_stale_cur_dir_minimal_trigger_is_detected_and_classified() {
+    let app = cvs::app().expect("app");
+    let mut s = Sweeper::protect(&app, Config::producer(0x5eed)).expect("protect");
+    let report = match s.offer_request(minimal_double_free_session()) {
+        RequestOutcome::Attack(r) => *r,
+        other => panic!("minimal double-free not detected: {other:?}"),
+    };
+    assert!(
+        !report.compromised,
+        "no shellcode involved, only corruption"
+    );
+    let a = report.analysis.expect("analysis");
+    // The crash itself is the unlink write inside malloc...
+    assert!(!a.core.heap_consistent, "heap walk must flag the free list");
+    assert!(
+        a.core.fault_site.contains("malloc"),
+        "unlink fires at the next allocation: {}",
+        a.core.fault_site
+    );
+    // ...but the memory-bug detector attributes the *root cause*: a
+    // double free whose second call comes from dirswitch.
+    let f = a
+        .membug
+        .iter()
+        .find(|f| f.kind == MemBugKind::DoubleFree)
+        .expect("DoubleFree finding");
+    let caller = a
+        .symbols
+        .resolve(f.caller_pc.expect("caller pc"))
+        .expect("caller symbol");
+    assert!(
+        caller.name.starts_with("dirswitch"),
+        "second free attributed to dirswitch, got {}",
+        caller.name
+    );
+}
+
+#[test]
+fn cvs_bad_name_alone_is_harmless() {
+    // One free on the error path is legal; the bug needs a *subsequent*
+    // dirswitch. Pinning this keeps the fix honest: clearing `cur_dir`
+    // on the error path must not break the error path itself.
+    let app = cvs::app().expect("app");
+    let mut s = Sweeper::protect(&app, Config::producer(0x5eee)).expect("protect");
+    let out = s.offer_request(b"Root /repo\nDirectory a\nDirectory /bad\ndone\n".to_vec());
+    assert!(
+        matches!(out, RequestOutcome::Served { .. }),
+        "bad name followed by no further Directory must be served: {out:?}"
+    );
+    // And an all-good session stays good.
+    let out = s.offer_request(cvs::benign_session(&["x", "y"]));
+    assert!(matches!(out, RequestOutcome::Served { .. }));
+}
+
+#[test]
+fn httpd2_null_host_fires_for_every_unknown_scheme_and_only_those() {
+    let app = httpd2::app().expect("app");
+    // Known schemes take the populated-host path: served.
+    for referer in ["http://1.2.3.4/", "ftp://files.example/", "http://name/"] {
+        let mut s = Sweeper::protect(&app, Config::producer(0xa11)).expect("protect");
+        let out = s.offer_request(httpd2::benign_request("ok.html", Some(referer)));
+        assert!(
+            matches!(out, RequestOutcome::Served { .. }),
+            "{referer}: known scheme must be served, got {out:?}"
+        );
+    }
+    // Every unknown scheme leaves host == NULL and faults in is_ip,
+    // regardless of layout seed — the bug is layout-independent.
+    for (i, scheme) in ["gopher", "wais", "telnet", "xyz"].iter().enumerate() {
+        let seed = 0xb00 + i as u64;
+        let mut s = Sweeper::protect(&app, Config::producer(seed)).expect("protect");
+        let input = format!("GET /p{i} HTTP/1.0\nReferer: {scheme}://evil/\n").into_bytes();
+        let report = match s.offer_request(input) {
+            RequestOutcome::Attack(r) => *r,
+            other => panic!("{scheme}: NULL deref not detected: {other:?}"),
+        };
+        assert!(!report.compromised, "{scheme}: DoS-only bug");
+        let a = report.analysis.expect("analysis");
+        assert_eq!(a.core.class, CrashClass::NullDeref, "{scheme}");
+        assert!(
+            a.core.fault_site.contains("is_ip"),
+            "{scheme}: fault must be inside is_ip, got {}",
+            a.core.fault_site
+        );
+        assert!(
+            a.membug.is_empty(),
+            "{scheme}: a NULL deref is not a memory bug — Table 2's empty cell"
+        );
+        // Recovery keeps the host serving afterwards.
+        let out = s.offer_request(httpd2::benign_request("after.html", None));
+        assert!(matches!(out, RequestOutcome::Served { .. }), "{scheme}");
+    }
+}
+
+#[test]
+fn empty_referer_value_is_an_unknown_scheme_too() {
+    // A `Referer:` header with no value fails both scheme compares and
+    // falls into `cr_check` with host == NULL — the same planted bug
+    // through a corner the canned exploits never exercise.
+    let app = httpd2::app().expect("app");
+    let mut s = Sweeper::protect(&app, Config::producer(0xc0de)).expect("protect");
+    // No Referer header at all: `check_referer` never reaches is_ip.
+    let out = s.offer_request(b"GET /a HTTP/1.0\n".to_vec());
+    assert!(matches!(out, RequestOutcome::Served { .. }), "{out:?}");
+    // Empty value: detected as the same NULL deref at is_ip.
+    let report = match s.offer_request(b"GET /b HTTP/1.0\nReferer: \n".to_vec()) {
+        RequestOutcome::Attack(r) => *r,
+        other => panic!("empty referer value not detected: {other:?}"),
+    };
+    let a = report.analysis.expect("analysis");
+    assert_eq!(a.core.class, CrashClass::NullDeref);
+    assert!(a.core.fault_site.contains("is_ip"));
+}

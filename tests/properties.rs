@@ -251,6 +251,47 @@ v: .word 0
     }
 }
 
+/// The shrunken case recorded in `properties.proptest-regressions`
+/// (`AluI { op: Xor, rd: Reg(0), rs1: Reg(0), imm: 0 }`, i.e.
+/// `xori r0, r0, 0`): register 0 with a zero immediate must survive the
+/// encode/decode and disassemble/re-assemble roundtrips and execute as
+/// the identity. Kept as a plain deterministic test so the guard holds
+/// even if the regression-file workflow changes.
+#[test]
+fn regression_alui_xor_reg0_roundtrips_and_is_identity() {
+    use sweeper_repro::svm::{asm::assemble, disasm::render, loader::Aslr, Machine, Status};
+    let op = Op::AluI {
+        op: AluOp::Xor,
+        rd: Reg(0),
+        rs1: Reg(0),
+        imm: 0,
+    };
+    // Encode/decode roundtrip.
+    assert_eq!(op, Op::decode(op.encode(), 0).expect("decode"));
+    // Disassembly re-assembles to the identical encoding.
+    let text = render(&op, None);
+    let prog = assemble(&format!(".text\nmain:\n    {text}\n")).expect("asm");
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&prog.text[0..8]);
+    assert_eq!(op, Op::decode(word, 0).expect("decode"), "{text}");
+    // Execution: x ^ 0 == x, even on register 0.
+    let src = "
+.text
+main:
+    movi r0, 0x5a5a
+    xori r0, r0, 0
+    halt
+";
+    let prog = assemble(src).expect("asm");
+    let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+    for _ in 0..8 {
+        if !matches!(m.step(), Status::Running) {
+            break;
+        }
+    }
+    assert_eq!(m.cpu.get(Reg(0)), 0x5a5a);
+}
+
 proptest! {
     /// The disassembler's output is valid assembler input: rendering any
     /// instruction and re-assembling it yields the same encoding
