@@ -87,7 +87,7 @@ pub struct CampaignConfig {
 
 /// Build host `i`'s configuration (pure function of `cfg` and `i`).
 fn host_config(cfg: &CampaignConfig, i: usize) -> Config {
-    let is_producer = cfg.producer_every > 0 && i % cfg.producer_every == 0;
+    let is_producer = cfg.producer_every > 0 && i.is_multiple_of(cfg.producer_every);
     let mut c = if is_producer {
         Config::producer(cfg.seed + i as u64)
     } else {

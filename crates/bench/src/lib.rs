@@ -8,6 +8,7 @@ pub mod ablation;
 pub mod community_sim;
 pub mod driver;
 pub mod experiments;
+pub mod perf;
 
 pub use ablation::{defense_matrix, empirical_rho, nx_ablation, CampaignOutcome, Defense};
 pub use community_sim::{
@@ -15,3 +16,4 @@ pub use community_sim::{
 };
 pub use driver::{attack_timeline, checkpoint_overhead, run_protected, ThroughputRun};
 pub use experiments::{end_to_end_gamma, table1, table2, table3, vsef_overhead};
+pub use perf::{measure, PerfReport};

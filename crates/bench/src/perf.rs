@@ -1,0 +1,282 @@
+//! Machine-readable performance snapshots (`BENCH_*.json`).
+//!
+//! CI runs `tables benchjson` as a non-failing smoke step; developers run
+//! it after perf-relevant changes and commit the refreshed
+//! `BENCH_pr<N>.json` so the repository records the performance
+//! trajectory PR by PR. Everything here is a *quick fixed-iteration*
+//! pass — statistically rigorous numbers come from the Criterion
+//! benchmarks (`cargo bench`); this file trades rigor for a cheap,
+//! diff-able snapshot.
+//!
+//! The JSON is hand-rolled (flat, two levels deep) because the workspace
+//! is offline and dependency-free; see [`PerfReport::to_json`].
+
+use svm::asm::assemble;
+use svm::clock::insns_per_sec;
+use svm::loader::Aslr;
+use svm::{CacheStats, Machine, NopHook, Status};
+
+use epidemic::Parallelism;
+
+/// One interpreter-throughput measurement (tight loop, NopHook).
+#[derive(Debug, Clone, Copy)]
+pub struct VmRate {
+    /// Whether the predecoded instruction cache was enabled.
+    pub cached: bool,
+    /// Instructions retired per run.
+    pub insns: u64,
+    /// Wall-clock seconds of the fastest rep.
+    pub wall_secs: f64,
+    /// `insns / wall_secs` for the fastest rep.
+    pub insns_per_sec: f64,
+    /// Decode-cache counters at the end of the fastest rep.
+    pub stats: CacheStats,
+}
+
+/// One community-engine run at a fixed shard count.
+#[derive(Debug, Clone)]
+pub struct CommunityRate {
+    /// Shard count (K).
+    pub shards: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_secs: f64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// `ticks / wall_secs`.
+    pub ticks_per_sec: f64,
+    /// Hosts infected at the end (outcome fingerprint).
+    pub infected: u64,
+    /// Tick of first producer contact (outcome fingerprint).
+    pub t0_tick: Option<u64>,
+    /// Hash-like fingerprint of the infection curve (outcome equality).
+    pub curve_sum: u64,
+}
+
+/// The full quick-pass snapshot written to `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Host cores visible to the process (1 on the CI container).
+    pub cores: usize,
+    /// Tight-loop instruction count per rep.
+    pub vm_loop_insns: u64,
+    /// Interpreter rate with the decode cache disabled.
+    pub vm_uncached: VmRate,
+    /// Interpreter rate with the decode cache enabled.
+    pub vm_cached: VmRate,
+    /// `cached.insns_per_sec / uncached.insns_per_sec`.
+    pub vm_speedup: f64,
+    /// Community hosts used for the K sweep.
+    pub hosts: u64,
+    /// Seed used for the K sweep.
+    pub seed: u64,
+    /// Community engine at K = 1.
+    pub k1: CommunityRate,
+    /// Community engine at K = 4.
+    pub k4: CommunityRate,
+    /// `k1.wall_secs / k4.wall_secs`.
+    pub community_speedup: f64,
+    /// Whether K = 1 and K = 4 produced bit-identical outcomes.
+    pub outcomes_identical: bool,
+    /// `"ok"`, or `"SKIPPED (1 core)"` when the wall-clock ratio is
+    /// meaningless because the host cannot run shards in parallel.
+    pub speedup_status: String,
+}
+
+/// Measure interpreter throughput over a `loop_iters`-iteration tight
+/// loop, taking the fastest of `reps` runs (boot excluded from timing).
+pub fn vm_rate(cache: bool, loop_iters: u32, reps: u32) -> VmRate {
+    let src = format!(
+        ".text\nmain:\n movi r1, {loop_iters}\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n"
+    );
+    let prog = assemble(&src).expect("asm");
+    let mut best: Option<VmRate> = None;
+    for _ in 0..reps.max(1) {
+        let mut m = Machine::boot(&prog, Aslr::off())
+            .expect("boot")
+            .with_decode_cache(cache);
+        let start = std::time::Instant::now();
+        let status = m.run(&mut NopHook, u64::MAX);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(matches!(status, Status::Halted(_)), "loop must halt");
+        let r = VmRate {
+            cached: cache,
+            insns: m.insns_retired,
+            wall_secs: wall,
+            insns_per_sec: insns_per_sec(m.insns_retired, wall),
+            stats: m.icache_stats(),
+        };
+        if best.as_ref().is_none_or(|b| wall < b.wall_secs) {
+            best = Some(r);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Run the sharded community model engine once at shard count `k`.
+pub fn community_rate(hosts: u64, k: usize, seed: u64) -> CommunityRate {
+    let (outcome, wall) = crate::model_campaign(hosts, Parallelism::Fixed(k), seed);
+    CommunityRate {
+        shards: k,
+        wall_secs: wall,
+        ticks: outcome.ticks,
+        ticks_per_sec: if wall > 0.0 {
+            outcome.ticks as f64 / wall
+        } else {
+            0.0
+        },
+        infected: outcome.infected,
+        t0_tick: outcome.t0_tick,
+        curve_sum: outcome
+            .curve
+            .iter()
+            .fold(0u64, |h, &v| h.wrapping_mul(0x100_0000_01b3) ^ v),
+    }
+}
+
+/// Run the whole quick pass: VM rates (cache off/on) plus the community
+/// engine at K = 1 and K = 4.
+pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let uncached = vm_rate(false, vm_loop_iters, 3);
+    let cached = vm_rate(true, vm_loop_iters, 3);
+    let k1 = community_rate(hosts, 1, seed);
+    let k4 = community_rate(hosts, 4, seed);
+    let outcomes_identical = (k1.infected, k1.t0_tick, k1.ticks, k1.curve_sum)
+        == (k4.infected, k4.t0_tick, k4.ticks, k4.curve_sum);
+    PerfReport {
+        cores,
+        vm_loop_insns: uncached.insns,
+        vm_speedup: if uncached.insns_per_sec > 0.0 {
+            cached.insns_per_sec / uncached.insns_per_sec
+        } else {
+            0.0
+        },
+        vm_uncached: uncached,
+        vm_cached: cached,
+        hosts,
+        seed,
+        community_speedup: k1.wall_secs / k4.wall_secs.max(1e-12),
+        outcomes_identical,
+        speedup_status: if cores <= 1 {
+            "SKIPPED (1 core)".to_string()
+        } else {
+            "ok".to_string()
+        },
+        k1,
+        k4,
+    }
+}
+
+/// Format a float as a JSON number (6 significant decimals, `null` for
+/// non-finite values).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn j_vm(r: &VmRate) -> String {
+    format!(
+        "{{\"insns\": {}, \"wall_secs\": {}, \"insns_per_sec\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_invalidations\": {}}}",
+        r.insns,
+        jf(r.wall_secs),
+        jf(r.insns_per_sec),
+        r.stats.hits,
+        r.stats.misses,
+        r.stats.invalidations,
+    )
+}
+
+fn j_community(r: &CommunityRate) -> String {
+    format!(
+        "{{\"shards\": {}, \"wall_secs\": {}, \"ticks\": {}, \"ticks_per_sec\": {}, \
+         \"infected\": {}, \"t0_tick\": {}, \"curve_fnv\": {}}}",
+        r.shards,
+        jf(r.wall_secs),
+        r.ticks,
+        jf(r.ticks_per_sec),
+        r.infected,
+        r.t0_tick.map_or("null".to_string(), |t| t.to_string()),
+        r.curve_sum,
+    )
+}
+
+impl PerfReport {
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v1` schema).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"sweeper-bench-v1\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+             \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
+             \"cached_over_uncached\": {}\n  }},\n  \"community\": {{\n    \"hosts\": {},\n    \
+             \"seed\": {},\n    \"k1\": {},\n    \"k4\": {},\n    \"k1_over_k4\": {},\n    \
+             \"outcomes_identical\": {},\n    \"speedup_status\": \"{}\"\n  }}\n}}\n",
+            self.cores,
+            self.vm_loop_insns,
+            j_vm(&self.vm_uncached),
+            j_vm(&self.vm_cached),
+            jf(self.vm_speedup),
+            self.hosts,
+            self.seed,
+            j_community(&self.k1),
+            j_community(&self.k4),
+            jf(self.community_speedup),
+            self.outcomes_identical,
+            self.speedup_status,
+        )
+    }
+
+    /// Human-readable summary (what `tables benchjson` prints).
+    pub fn render(&self) -> String {
+        format!(
+            "interpreter : {:>12.0} insns/s uncached | {:>12.0} insns/s cached -> {:.2}x\n\
+             community   : K=1 {:.3} s ({:.0} ticks/s) | K=4 {:.3} s ({:.0} ticks/s) -> {:.2}x [{}]\n\
+             outcomes    : identical across K = {}",
+            self.vm_uncached.insns_per_sec,
+            self.vm_cached.insns_per_sec,
+            self.vm_speedup,
+            self.k1.wall_secs,
+            self.k1.ticks_per_sec,
+            self.k4.wall_secs,
+            self.k4.ticks_per_sec,
+            self.community_speedup,
+            self.speedup_status,
+            self.outcomes_identical,
+        )
+    }
+}
+
+/// Write `report` to `path`, creating or truncating the file.
+pub fn write_json(path: &str, report: &PerfReport) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_rate_counts_cache_activity() {
+        let off = vm_rate(false, 500, 1);
+        let on = vm_rate(true, 500, 1);
+        assert_eq!(off.insns, on.insns, "same program, same retire count");
+        assert_eq!(off.stats, CacheStats::default(), "disabled cache is inert");
+        assert!(on.stats.hits > 0, "enabled cache serves hits");
+        assert!(on.insns_per_sec > 0.0 && off.insns_per_sec > 0.0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let r = measure(400, 7, 300);
+        assert!(r.outcomes_identical, "K must not change the outcome");
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"schema\": \"sweeper-bench-v1\""));
+        assert!(json.contains("\"cached_over_uncached\""));
+        assert!(json.contains("\"speedup_status\""));
+        // Non-finite floats must serialize as `null`, never bare tokens.
+        assert!(!json.contains("NaN") && !json.contains(": inf"));
+    }
+}

@@ -133,9 +133,19 @@ impl CheckpointManager {
 
     /// Produce a fresh machine rolled back to checkpoint `id`, charging
     /// the (cheap, context-switch-like) rollback cost to it.
+    ///
+    /// The rolled-back machine starts with a *cold* predecoded
+    /// instruction cache: any decode state accumulated by the live
+    /// machine after the checkpoint (or by the snapshot before it was
+    /// frozen) must not leak into replay, or a page rewritten between
+    /// checkpoint and rollback could execute stale instructions.
+    /// `Machine::clone` already yields a cold cache; the explicit flush
+    /// pins the invariant here rather than leaving it an implementation
+    /// detail of `Clone`.
     pub fn rollback(&self, id: CkptId) -> Option<Machine> {
         let ckpt = self.get(id)?;
         let mut m = ckpt.machine.clone();
+        m.flush_decode_cache();
         m.clock.tick(cost::ROLLBACK);
         Some(m)
     }
@@ -241,6 +251,28 @@ mod tests {
             "identical replay"
         );
         assert_eq!(rb.cpu, m.cpu, "register state identical");
+    }
+
+    #[test]
+    fn rollback_starts_with_cold_decode_cache() {
+        let mut m = boot_counter();
+        assert!(m.decode_cache_enabled(), "cache on by default");
+        let mut mgr = CheckpointManager::new(0, 8);
+        let id = mgr.take(&mut m);
+        // Warm the live machine's cache well past the checkpoint.
+        m.run(&mut NopHook, 5000);
+        assert!(m.icache_stats().hits > 0, "live cache warmed");
+        let mut rb = mgr.rollback(id).expect("rollback");
+        let cold = rb.icache_stats();
+        assert_eq!(
+            (cold.hits, cold.misses, cold.invalidations),
+            (0, 0, 0),
+            "no decode state survives rollback"
+        );
+        // Replay repopulates the cache from the restored memory image.
+        rb.run(&mut NopHook, 1000);
+        let warm = rb.icache_stats();
+        assert!(warm.misses > 0 && warm.hits > 0, "replay re-decodes fresh");
     }
 
     #[test]

@@ -136,6 +136,19 @@ impl Instrumenter {
 }
 
 impl Hook for Instrumenter {
+    /// With no tools attached the instrumenter observes nothing, so it
+    /// reports itself passive and the machine takes the streamlined
+    /// dispatch loop (no per-event virtual calls). The machine re-asks
+    /// on every step, so [`Instrumenter::attach`] and
+    /// [`Instrumenter::detach`] are the cache-notification mechanism:
+    /// the very next instruction after a mid-execution attach runs on
+    /// the fully hooked path, and detaching the last tool drops back to
+    /// the fast path — with the predecoded instruction cache staying
+    /// valid across both, since hooks only *observe* decoded ops.
+    fn is_passive(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
     fn on_insn(&mut self, m: &Machine, pc: u32, op: &Op) {
         let mut overhead = 0;
         for s in self.slots.iter_mut().flatten() {
@@ -292,6 +305,47 @@ mod tests {
             ins.get::<Counter>(id).expect("t").insns,
             3,
             "saw only the tail"
+        );
+    }
+
+    #[test]
+    fn passivity_tracks_attached_tools() {
+        let mut ins = Instrumenter::new();
+        assert!(ins.is_passive(), "empty instrumenter observes nothing");
+        let id = ins.attach(Box::new(Counter::new(Watch::None, 1)));
+        assert!(
+            !ins.is_passive(),
+            "any attached tool forces the hooked path (Watch filtering \
+             happens per-event, not per-step)"
+        );
+        ins.detach(id);
+        assert!(ins.is_passive(), "detaching the last tool restores it");
+    }
+
+    #[test]
+    fn mid_attach_with_warm_decode_cache() {
+        // A loop long enough that the decode cache is hot (pure hits)
+        // before the tool attaches; the tool must still see every
+        // subsequent instruction even though no decode work happens.
+        let mut m = boot(
+            ".text\nmain:\n movi r1, 6\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n",
+        );
+        assert!(m.decode_cache_enabled());
+        let mut ins = Instrumenter::new();
+        // Two warm-up iterations on the fast (passive) path.
+        for _ in 0..6 {
+            assert!(m.step_hooked(&mut ins).is_running());
+        }
+        let warmed = m.icache_stats();
+        assert!(warmed.hits > 0, "cache is hot before attach");
+        let id = ins.attach(Box::new(Counter::new(Watch::All, 1)));
+        while m.step_hooked(&mut ins).is_running() {}
+        let seen = ins.get::<Counter>(id).expect("tool").insns;
+        // 20 insns total (movi + 6 iterations x 3 + halt); 6 ran pre-attach.
+        assert_eq!(seen, 14, "tool saw exactly the post-attach tail");
+        assert!(
+            m.icache_stats().hits > warmed.hits,
+            "hooked path still serves decoded ops from the cache"
         );
     }
 

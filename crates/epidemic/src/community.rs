@@ -50,19 +50,14 @@ const DOMAIN_SUCCESS: u64 = 0x7375_6363;
 const PARALLEL_THRESHOLD: u64 = 4096;
 
 /// How many worker shards the community engine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// One shard per available core (capped at 16).
+    #[default]
     Auto,
     /// Exactly this many shards; `Fixed(1)` is the serial legacy path
     /// (no threads are spawned at all).
     Fixed(usize),
-}
-
-impl Default for Parallelism {
-    fn default() -> Parallelism {
-        Parallelism::Auto
-    }
 }
 
 impl Parallelism {

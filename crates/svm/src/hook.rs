@@ -16,6 +16,21 @@ use crate::machine::Machine;
 /// All methods default to no-ops so tools implement only what they need.
 /// The `&Machine` argument exposes the full pre-event architectural state.
 pub trait Hook {
+    /// Whether this hook ignores *every* event.
+    ///
+    /// Defaults to `false` (events are delivered). A hook returning
+    /// `true` promises it observes nothing, allowing the machine to use
+    /// the streamlined dispatch loop that skips event delivery
+    /// entirely. The answer is re-checked on **every step**, so a hook
+    /// whose liveness changes mid-execution (e.g. the `dbi`
+    /// instrumenter when a tool attaches) transparently switches the
+    /// machine between the fast path and the fully hooked path — this
+    /// is what keeps mid-execution attach working with the predecoded
+    /// instruction cache enabled.
+    fn is_passive(&self) -> bool {
+        false
+    }
+
     /// Called before each instruction executes. `op` is already decoded.
     fn on_insn(&mut self, _m: &Machine, _pc: u32, _op: &Op) {}
 
@@ -55,12 +70,19 @@ pub trait Hook {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NopHook;
 
-impl Hook for NopHook {}
+impl Hook for NopHook {
+    fn is_passive(&self) -> bool {
+        true
+    }
+}
 
 /// Chain two hooks, delivering every event to both (first, then second).
 pub struct Pair<'a, A: Hook + ?Sized, B: Hook + ?Sized>(pub &'a mut A, pub &'a mut B);
 
 impl<A: Hook + ?Sized, B: Hook + ?Sized> Hook for Pair<'_, A, B> {
+    fn is_passive(&self) -> bool {
+        self.0.is_passive() && self.1.is_passive()
+    }
     fn on_insn(&mut self, m: &Machine, pc: u32, op: &Op) {
         self.0.on_insn(m, pc, op);
         self.1.on_insn(m, pc, op);

@@ -284,16 +284,27 @@ impl Op {
     ///
     /// `pc` is used only to populate the [`Fault::BadOpcode`] error.
     pub fn decode(w: [u8; 8], pc: u32) -> Result<Op, Fault> {
-        let bad = || Fault::BadOpcode { pc, opcode: w[0] };
-        let reg = |b: u8| -> Result<Reg, Fault> {
+        Op::decode_word(w).ok_or(Fault::BadOpcode { pc, opcode: w[0] })
+    }
+
+    /// Decode an instruction word without a program counter.
+    ///
+    /// This is the pure core of [`Op::decode`]: the result depends only
+    /// on the bytes, never on where they are executed from, which is
+    /// what makes predecoded per-page instruction caches sound —
+    /// identical bytes decode to the identical [`Op`] at any pc, and an
+    /// undecodable word (`None`) faults identically at every fetch site
+    /// (the fault's `pc` is supplied by the caller of [`Op::decode`]).
+    pub fn decode_word(w: [u8; 8]) -> Option<Op> {
+        let reg = |b: u8| -> Option<Reg> {
             if (b as usize) < NUM_REGS {
-                Ok(Reg(b))
+                Some(Reg(b))
             } else {
-                Err(Fault::BadOpcode { pc, opcode: w[0] })
+                None
             }
         };
         let imm = u32::from_le_bytes([w[4], w[5], w[6], w[7]]);
-        Ok(match w[0] {
+        Some(match w[0] {
             OP_NOP => Op::Nop,
             OP_HALT => Op::Halt,
             OP_MOVI => Op::MovI {
@@ -325,13 +336,13 @@ impl Op {
                 off: imm as i32,
             },
             OP_ALU => Op::Alu {
-                op: alu_from(w[3] >> 4).ok_or_else(bad)?,
+                op: alu_from(w[3] >> 4)?,
                 rd: reg(w[1])?,
                 rs1: reg(w[2])?,
                 rs2: reg(w[3] & 0x0f)?,
             },
             OP_ALUI => Op::AluI {
-                op: alu_from(w[3]).ok_or_else(bad)?,
+                op: alu_from(w[3])?,
                 rd: reg(w[1])?,
                 rs1: reg(w[2])?,
                 imm: imm as i32,
@@ -346,7 +357,7 @@ impl Op {
             },
             OP_JMP => Op::Jmp { target: imm },
             OP_JCOND => Op::JCond {
-                cond: cond_from(w[1]).ok_or_else(bad)?,
+                cond: cond_from(w[1])?,
                 target: imm,
             },
             OP_JMPR => Op::JmpR { rs: reg(w[1])? },
@@ -356,7 +367,7 @@ impl Op {
             OP_PUSH => Op::Push { rs: reg(w[1])? },
             OP_POP => Op::Pop { rd: reg(w[1])? },
             OP_SYS => Op::Sys { num: w[1] },
-            _ => return Err(bad()),
+            _ => return None,
         })
     }
 
@@ -539,6 +550,30 @@ mod tests {
             },
         ] {
             roundtrip(op);
+        }
+    }
+
+    #[test]
+    fn decode_word_agrees_with_decode_at_every_pc() {
+        // decode_word is pc-free; decode must agree with it at any pc,
+        // differing only in the fault's reported site.
+        for opc in 0u8..=0x20 {
+            let mut w = [0u8; 8];
+            w[0] = opc;
+            w[1] = 1;
+            w[2] = 2;
+            match Op::decode_word(w) {
+                Some(op) => {
+                    assert_eq!(Op::decode(w, 0x1000).expect("ok"), op);
+                    assert_eq!(Op::decode(w, 0xdead_0000).expect("ok"), op);
+                }
+                None => {
+                    assert!(matches!(
+                        Op::decode(w, 0x40),
+                        Err(Fault::BadOpcode { pc: 0x40, .. })
+                    ));
+                }
+            }
         }
     }
 

@@ -14,6 +14,8 @@
 //!   input-stream offsets (the taint source);
 //! - instruction-level instrumentation hooks ([`hook`]) that the `dbi`
 //!   crate turns into PIN-style dynamic instrumentation;
+//! - a predecoded-page instruction cache ([`icache`]) that accelerates the
+//!   dispatch loop while staying bit-identical to word-at-a-time decode;
 //! - a virtual clock with an explicit cost model ([`clock`]) so overhead
 //!   experiments are deterministic.
 //!
@@ -29,6 +31,7 @@ pub mod debug;
 pub mod disasm;
 pub mod error;
 pub mod hook;
+pub mod icache;
 pub mod isa;
 pub mod loader;
 pub mod machine;
@@ -39,4 +42,5 @@ pub mod stdlib;
 
 pub use error::{Access, Fault, SvmError};
 pub use hook::{Hook, NopHook};
+pub use icache::{CacheStats, DecodeCache};
 pub use machine::{Machine, Status};

@@ -122,6 +122,32 @@ impl Layout {
         l
     }
 
+    /// A fingerprint of this layout for predecode-cache keying.
+    ///
+    /// The decode cache is keyed by (page index, layout tag): if a
+    /// machine's layout is ever re-randomized (fresh ASLR draw on
+    /// restart/recovery), the tag changes and every predecoded page is
+    /// invalidated wholesale, because absolute jump/call targets decoded
+    /// under the old bases would otherwise survive the slide.
+    pub fn cache_tag(&self) -> u64 {
+        // FNV-1a over the seven layout words: cheap, deterministic, and
+        // distinct for any differing base.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [
+            self.code_base,
+            self.lib_base,
+            self.data_base,
+            self.heap_base,
+            self.heap_size,
+            self.stack_top,
+            self.stack_size,
+        ] {
+            h ^= w as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Base address of an assembler segment under this layout.
     pub fn seg_base(&self, seg: Seg) -> u32 {
         match seg {
@@ -344,6 +370,24 @@ mod tests {
         assert_eq!(Layout::randomized(Aslr::on(1)), a);
         // Disabled -> nominal.
         assert_eq!(Layout::randomized(Aslr::off()), Layout::nominal());
+    }
+
+    #[test]
+    fn cache_tag_distinguishes_layouts() {
+        let nominal = Layout::nominal();
+        assert_eq!(nominal.cache_tag(), Layout::nominal().cache_tag());
+        for seed in 1..16u64 {
+            let l = Layout::randomized(Aslr::on(seed));
+            assert_ne!(
+                l.cache_tag(),
+                nominal.cache_tag(),
+                "seed {seed} produced a colliding tag"
+            );
+            assert_eq!(
+                l.cache_tag(),
+                Layout::randomized(Aslr::on(seed)).cache_tag()
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::clock::{cost, Clock};
 use crate::cpu::Cpu;
 use crate::error::{Fault, SvmError};
 use crate::hook::{Hook, NopHook};
+use crate::icache::{CacheStats, DecodeCache};
 use crate::isa::{AluOp, Op, Reg, Syscall, INSN_SIZE};
 use crate::loader::{self, Aslr, Layout, SymbolMap};
 use crate::mem::Mem;
@@ -60,6 +61,9 @@ pub struct Machine {
     /// Count of executed instructions.
     pub insns_retired: u64,
     status: Status,
+    /// Predecoded-page instruction cache (cold after any clone, so
+    /// checkpoints and rollbacks never inherit decode state).
+    icache: DecodeCache,
 }
 
 impl Machine {
@@ -88,12 +92,46 @@ impl Machine {
             symbols: img.symbols,
             insns_retired: 0,
             status: Status::Running,
+            icache: DecodeCache::new(true),
         })
     }
 
     /// Current status.
     pub fn status(&self) -> Status {
         self.status
+    }
+
+    /// Builder-style decode-cache knob: `boot(..)?.with_decode_cache(false)`
+    /// yields the pre-cache interpreter (useful for differential parity
+    /// testing and the `vm_decode_cache` benchmarks). The cache is **on**
+    /// by default and is bit-identical to the slow path by construction.
+    pub fn with_decode_cache(mut self, enabled: bool) -> Machine {
+        self.icache.set_enabled(enabled);
+        self
+    }
+
+    /// Enable/disable the predecoded instruction cache in place.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.icache.set_enabled(enabled);
+    }
+
+    /// Whether the predecoded instruction cache is enabled.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.icache.enabled()
+    }
+
+    /// Hit/miss/invalidation counters of the decode cache.
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// Drop every predecoded page.
+    ///
+    /// Required after any out-of-band replacement of this machine's
+    /// memory or layout (checkpoint restore does this via `Clone`, which
+    /// is already cold; call it explicitly if you swap `mem` by hand).
+    pub fn flush_decode_cache(&mut self) {
+        self.icache.flush();
     }
 
     /// Clear a `Blocked` status so stepping retries the blocked syscall
@@ -140,9 +178,25 @@ impl Machine {
     }
 
     fn exec_one(&mut self, pc: u32, hook: &mut dyn Hook) -> Result<Status, Fault> {
-        let word = self.mem.fetch(pc)?;
-        let op = Op::decode(word, pc)?;
-        hook.on_insn(self, pc, &op);
+        // Liveness is re-checked every step: attaching a tool mid-run
+        // flips `is_passive` and the loop transparently drops to the
+        // fully hooked path below.
+        let passive = hook.is_passive();
+        // Fast path: serve the decoded op from the predecoded-page
+        // cache. Any bypass (disabled, unaligned pc, written/unmapped/
+        // non-executable page, undecodable word) falls back to the slow
+        // fetch+decode, which raises the precise fault at this pc. Both
+        // paths yield bit-identical ops, faults, and cycle accounting.
+        let op = match self.icache.lookup(&self.mem, &self.layout, pc) {
+            Some(op) => op,
+            None => {
+                let word = self.mem.fetch(pc)?;
+                Op::decode(word, pc)?
+            }
+        };
+        if !passive {
+            hook.on_insn(self, pc, &op);
+        }
         self.insns_retired += 1;
         self.clock.tick(cost::INSN);
         let mut next_pc = pc.wrapping_add(INSN_SIZE);
@@ -158,28 +212,36 @@ impl Machine {
                 self.clock.tick(cost::MEM);
                 let addr = self.cpu.get(rs).wrapping_add(off as u32);
                 let v = self.mem.read_u32(pc, addr)?;
-                hook.on_mem_read(self, pc, addr, 4, v);
+                if !passive {
+                    hook.on_mem_read(self, pc, addr, 4, v);
+                }
                 self.cpu.set(rd, v);
             }
             Op::LdB { rd, rs, off } => {
                 self.clock.tick(cost::MEM);
                 let addr = self.cpu.get(rs).wrapping_add(off as u32);
                 let v = self.mem.read_u8(pc, addr)? as u32;
-                hook.on_mem_read(self, pc, addr, 1, v);
+                if !passive {
+                    hook.on_mem_read(self, pc, addr, 1, v);
+                }
                 self.cpu.set(rd, v);
             }
             Op::St { rd, rs, off } => {
                 self.clock.tick(cost::MEM);
                 let addr = self.cpu.get(rd).wrapping_add(off as u32);
                 let v = self.cpu.get(rs);
-                hook.on_mem_write(self, pc, addr, 4, v);
+                if !passive {
+                    hook.on_mem_write(self, pc, addr, 4, v);
+                }
                 self.mem.write_u32(pc, addr, v)?;
             }
             Op::StB { rd, rs, off } => {
                 self.clock.tick(cost::MEM);
                 let addr = self.cpu.get(rd).wrapping_add(off as u32);
                 let v = self.cpu.get(rs) & 0xff;
-                hook.on_mem_write(self, pc, addr, 1, v);
+                if !passive {
+                    hook.on_mem_write(self, pc, addr, 1, v);
+                }
                 self.mem.write_u8(pc, addr, v as u8)?;
             }
             Op::Alu { op, rd, rs1, rs2 } => {
@@ -207,17 +269,19 @@ impl Machine {
             }
             Op::JmpR { rs } => next_pc = self.cpu.get(rs),
             Op::Call { target } => {
-                next_pc = self.do_call(pc, target, hook)?;
+                next_pc = self.do_call(pc, target, hook, passive)?;
             }
             Op::CallR { rs } => {
                 let target = self.cpu.get(rs);
-                next_pc = self.do_call(pc, target, hook)?;
+                next_pc = self.do_call(pc, target, hook, passive)?;
             }
             Op::Ret => {
                 self.clock.tick(cost::MEM);
                 let sp = self.cpu.sp();
                 let ret = self.mem.read_u32(pc, sp)?;
-                hook.on_ret(self, pc, ret, sp);
+                if !passive {
+                    hook.on_ret(self, pc, ret, sp);
+                }
                 self.cpu.set(Reg::SP, sp.wrapping_add(4));
                 next_pc = ret;
             }
@@ -226,7 +290,9 @@ impl Machine {
                 let sp = self.cpu.sp().wrapping_sub(4);
                 self.check_stack(pc, sp)?;
                 let v = self.cpu.get(rs);
-                hook.on_mem_write(self, pc, sp, 4, v);
+                if !passive {
+                    hook.on_mem_write(self, pc, sp, 4, v);
+                }
                 self.mem.write_u32(pc, sp, v)?;
                 self.cpu.set(Reg::SP, sp);
             }
@@ -234,13 +300,15 @@ impl Machine {
                 self.clock.tick(cost::MEM);
                 let sp = self.cpu.sp();
                 let v = self.mem.read_u32(pc, sp)?;
-                hook.on_mem_read(self, pc, sp, 4, v);
+                if !passive {
+                    hook.on_mem_read(self, pc, sp, 4, v);
+                }
                 self.cpu.set(rd, v);
                 self.cpu.set(Reg::SP, sp.wrapping_add(4));
             }
             Op::Sys { num } => {
                 let sc = Syscall::from_num(num).ok_or(Fault::BadOpcode { pc, opcode: num })?;
-                match self.do_syscall(pc, sc, hook)? {
+                match self.do_syscall(pc, sc, hook, passive)? {
                     SysOutcome::Done => {}
                     SysOutcome::Halt(code) => return Ok(Status::Halted(code)),
                     SysOutcome::Block(b) => {
@@ -255,12 +323,20 @@ impl Machine {
         Ok(Status::Running)
     }
 
-    fn do_call(&mut self, pc: u32, target: u32, hook: &mut dyn Hook) -> Result<u32, Fault> {
+    fn do_call(
+        &mut self,
+        pc: u32,
+        target: u32,
+        hook: &mut dyn Hook,
+        passive: bool,
+    ) -> Result<u32, Fault> {
         self.clock.tick(cost::MEM);
         let ret_addr = pc.wrapping_add(INSN_SIZE);
         let sp = self.cpu.sp().wrapping_sub(4);
         self.check_stack(pc, sp)?;
-        hook.on_call(self, pc, target, ret_addr, sp);
+        if !passive {
+            hook.on_call(self, pc, target, ret_addr, sp);
+        }
         self.mem.write_u32(pc, sp, ret_addr)?;
         self.cpu.set(Reg::SP, sp);
         Ok(target)
@@ -279,6 +355,7 @@ impl Machine {
         pc: u32,
         sc: Syscall,
         hook: &mut dyn Hook,
+        passive: bool,
     ) -> Result<SysOutcome, Fault> {
         self.clock.tick(cost::SYSCALL);
         let args = [
@@ -304,7 +381,9 @@ impl Machine {
                         for (i, b) in data.iter().enumerate() {
                             self.mem.write_u8(pc, buf.wrapping_add(i as u32), *b)?;
                         }
-                        hook.on_input(self, conn, off as u32, buf, &data);
+                        if !passive {
+                            hook.on_input(self, conn, off as u32, buf, &data);
+                        }
                         data.len() as u32
                     }
                     Ok(None) => return Ok(SysOutcome::Block(BlockedOn::Read { conn })),
@@ -327,7 +406,7 @@ impl Machine {
             Syscall::Alloc => {
                 self.clock.tick(cost::ALLOC);
                 let ptr = self.heap.alloc(&mut self.mem, pc, args[0])?;
-                if ptr != 0 {
+                if ptr != 0 && !passive {
                     hook.on_alloc(self, pc, args[0], ptr);
                 }
                 ptr
@@ -335,7 +414,9 @@ impl Machine {
             Syscall::Free => {
                 self.clock.tick(cost::ALLOC);
                 let kind = self.heap.free(&mut self.mem, pc, args[0])?;
-                hook.on_free(self, pc, args[0], kind);
+                if !passive {
+                    hook.on_free(self, pc, args[0], kind);
+                }
                 0
             }
             Syscall::Time => self.clock.micros() as u32,
@@ -347,7 +428,9 @@ impl Machine {
             }
         };
         self.cpu.set(Reg::R0, ret);
-        hook.on_syscall(self, pc, sc, args, ret);
+        if !passive {
+            hook.on_syscall(self, pc, sc, args, ret);
+        }
         Ok(SysOutcome::Done)
     }
 }

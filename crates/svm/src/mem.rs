@@ -96,12 +96,27 @@ impl Region {
     }
 }
 
+/// One mapped page plus its write-generation stamp.
+///
+/// The generation is bumped on every mutation of the page's bytes
+/// (guest store, host injection, allocator metadata update); consumers
+/// such as the predecoded instruction cache compare generations to
+/// detect self-modifying code without scanning page contents.
+#[derive(Clone)]
+struct PageSlot {
+    data: Arc<Page>,
+    gen: u64,
+}
+
 /// The guest address space.
 #[derive(Clone)]
 pub struct Mem {
-    pages: BTreeMap<u32, Arc<Page>>,
+    pages: BTreeMap<u32, PageSlot>,
     perms: BTreeMap<u32, Perm>,
     regions: Vec<Region>,
+    /// Monotone count of byte writes across the whole address space;
+    /// see [`Mem::write_seq`].
+    write_seq: u64,
     /// When true, exec permission is enforced (NX). The paper's 2003-era
     /// targets predate NX, so the default is `false` (data is executable).
     pub nx: bool,
@@ -120,6 +135,7 @@ impl Mem {
             pages: BTreeMap::new(),
             perms: BTreeMap::new(),
             regions: Vec::new(),
+            write_seq: 0,
             nx: false,
         }
     }
@@ -150,7 +166,13 @@ impl Mem {
             }
         }
         for p in first..first + count {
-            self.pages.insert(p, Arc::new(Page::zeroed()));
+            self.pages.insert(
+                p,
+                PageSlot {
+                    data: Arc::new(Page::zeroed()),
+                    gen: 0,
+                },
+            );
             self.perms.insert(p, perm);
         }
         self.regions.push(Region {
@@ -182,7 +204,7 @@ impl Mem {
     pub fn shared_pages(&self) -> usize {
         self.pages
             .values()
-            .filter(|p| Arc::strong_count(p) > 1)
+            .filter(|p| Arc::strong_count(&p.data) > 1)
             .count()
     }
 
@@ -190,7 +212,46 @@ impl Mem {
     /// accounting): two address spaces hold the same physical page iff
     /// the identities are equal.
     pub fn page_storage_ids(&self) -> impl Iterator<Item = usize> + '_ {
-        self.pages.values().map(|p| Arc::as_ptr(p) as usize)
+        self.pages.values().map(|p| Arc::as_ptr(&p.data) as usize)
+    }
+
+    /// Monotone count of byte writes across the whole address space.
+    ///
+    /// Unchanged `write_seq` is a cheap O(1) proof that no page changed
+    /// since a consumer last validated its view; the predecoded
+    /// instruction cache uses it to skip per-page generation checks on
+    /// the hot path.
+    pub fn write_seq(&self) -> u64 {
+        self.write_seq
+    }
+
+    /// Write generation of page `pno` (0 if never written or unmapped).
+    ///
+    /// Two observations of the same page with equal generations are
+    /// guaranteed to have seen identical bytes.
+    pub fn page_gen(&self, pno: u32) -> u64 {
+        self.pages.get(&pno).map(|p| p.gen).unwrap_or(0)
+    }
+
+    /// Read-only view of page `pno`'s bytes, if mapped.
+    pub fn page_bytes(&self, pno: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&pno).map(|p| &*p.data.0)
+    }
+
+    /// Whether an instruction fetch from page `pno` would pass the
+    /// permission check (mirrors the per-byte check in [`Mem::fetch`],
+    /// including the pre-NX "readable implies executable" default).
+    pub fn page_exec_ok(&self, pno: u32) -> bool {
+        match self.perms.get(&pno) {
+            Some(p) => {
+                if self.nx {
+                    p.x
+                } else {
+                    p.r
+                }
+            }
+            None => false,
+        }
     }
 
     fn check(&self, pc: u32, addr: u32, access: Access) -> Result<(u32, usize), Fault> {
@@ -213,14 +274,16 @@ impl Mem {
     /// Read one byte; `pc` is the faulting instruction for diagnostics.
     pub fn read_u8(&self, pc: u32, addr: u32) -> Result<u8, Fault> {
         let (pno, off) = self.check(pc, addr, Access::Read)?;
-        Ok(self.pages[&pno].0[off])
+        Ok(self.pages[&pno].data.0[off])
     }
 
     /// Write one byte.
     pub fn write_u8(&mut self, pc: u32, addr: u32, val: u8) -> Result<(), Fault> {
         let (pno, off) = self.check(pc, addr, Access::Write)?;
-        let page = self.pages.get_mut(&pno).expect("checked");
-        Arc::make_mut(page).0[off] = val;
+        let slot = self.pages.get_mut(&pno).expect("checked");
+        Arc::make_mut(&mut slot.data).0[off] = val;
+        self.write_seq += 1;
+        slot.gen = self.write_seq;
         Ok(())
     }
 
@@ -247,7 +310,7 @@ impl Mem {
         for (i, out) in b.iter_mut().enumerate() {
             let addr = pc.wrapping_add(i as u32);
             let (pno, off) = self.check(pc, addr, Access::Exec)?;
-            *out = self.pages[&pno].0[off];
+            *out = self.pages[&pno].data.0[off];
         }
         Ok(b)
     }
@@ -274,8 +337,10 @@ impl Mem {
                     access: Access::Write,
                 });
             }
-            let page = self.pages.get_mut(&pno).expect("checked");
-            Arc::make_mut(page).0[(a % PAGE_SIZE as u32) as usize] = *b;
+            let slot = self.pages.get_mut(&pno).expect("checked");
+            Arc::make_mut(&mut slot.data).0[(a % PAGE_SIZE as u32) as usize] = *b;
+            self.write_seq += 1;
+            slot.gen = self.write_seq;
         }
         Ok(())
     }
@@ -402,6 +467,44 @@ mod tests {
         assert_eq!(m.region_of(0x9fff).map(|r| r.name.as_str()), Some("heap"));
         assert!(m.region_of(0x4000).is_none());
         assert_eq!(m.region_of(0x8000).map(|r| r.end()), Some(0xa000));
+    }
+
+    #[test]
+    fn write_generations_track_mutation() {
+        let mut m = mem_with(0x1000, 2, Perm::RW);
+        let (p0, p1) = (1u32, 2u32); // page numbers of the two pages
+        assert_eq!(m.write_seq(), 0);
+        assert_eq!(m.page_gen(p0), 0);
+        m.write_u8(0, 0x1000, 1).expect("w");
+        assert_eq!(m.write_seq(), 1);
+        assert_eq!(m.page_gen(p0), 1);
+        assert_eq!(m.page_gen(p1), 0, "untouched page keeps its gen");
+        m.write_u32(0, 0x2000, 5).expect("w");
+        assert_eq!(m.write_seq(), 5, "u32 = four byte writes");
+        assert_eq!(m.page_gen(p1), 5);
+        // Host injection bumps too (shellcode planting must invalidate).
+        m.write_bytes_host(0x1000, b"ab").expect("w");
+        assert_eq!(m.page_gen(p0), 7);
+        // Snapshots carry generations; failed writes don't bump.
+        let snap = m.snapshot();
+        assert_eq!(snap.page_gen(p0), m.page_gen(p0));
+        assert!(m.write_u8(0, 0x9000, 1).is_err());
+        assert_eq!(m.write_seq(), 7);
+    }
+
+    #[test]
+    fn page_queries_mirror_fetch_permissions() {
+        let mut m = Mem::new();
+        m.map(0x1000, 0x1000, Perm::RX, "code").expect("map");
+        m.map(0x2000, 0x1000, Perm::RW, "data").expect("map");
+        assert!(m.page_exec_ok(1));
+        assert!(m.page_exec_ok(2), "pre-NX: readable implies executable");
+        assert!(!m.page_exec_ok(9), "unmapped");
+        m.nx = true;
+        assert!(m.page_exec_ok(1));
+        assert!(!m.page_exec_ok(2), "NX forbids data exec");
+        assert!(m.page_bytes(1).is_some());
+        assert!(m.page_bytes(9).is_none());
     }
 
     #[test]

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Two-tier CI gate.
+#
+# Tier 1 (scripts/tier1.sh): release build, full test suite, rustfmt.
+# Tier 2 (this script, on top):
+#   - clippy across the whole workspace with warnings denied;
+#   - a grep gate asserting the workspace stays `unsafe`-free
+#     (DESIGN.md §7) — belt-and-braces on top of the workspace-level
+#     `unsafe_code = "forbid"` lint, catching `#[allow]` overrides;
+#   - a non-failing bench smoke: `tables benchjson` on a small input,
+#     proving the perf-snapshot path works (its numbers are NOT gated —
+#     commit refreshed BENCH_*.json files deliberately, not from CI).
+#
+# Run from anywhere; works offline — all dependencies are in-tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier2: tier1 first"
+scripts/tier1.sh
+
+echo "== tier2: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier2: no-unsafe grep gate (DESIGN.md §7)"
+if grep -rn --include='*.rs' -E 'unsafe[[:space:]]+(\{|fn|impl|trait)|allow\(unsafe_code\)' \
+    src crates tests; then
+    echo "== tier2: FAIL — 'unsafe' construct found in workspace sources" >&2
+    exit 1
+fi
+echo "   workspace is unsafe-free"
+
+echo "== tier2: bench smoke (non-failing)"
+if cargo run --release -p bench --bin tables -- \
+    benchjson --hosts=2000 --out=target/bench_smoke.json >/dev/null 2>&1; then
+    echo "   wrote target/bench_smoke.json"
+else
+    echo "   WARN: bench smoke failed (not a gate)"
+fi
+
+echo "== tier2: OK"
