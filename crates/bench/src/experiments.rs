@@ -130,6 +130,16 @@ pub fn vsef_overhead(n: usize) -> (f64, f64, f64, usize) {
     (base.mbps(), vsef_mbps, overhead, sites)
 }
 
+/// One end-to-end observability snapshot, for `tables obs[json]`: run
+/// the canonical Squid exploit through a full producer and export the
+/// merged metrics (VM, checkpoint ring, proxy, VSEF instrumentation,
+/// pipeline phase spans, recovery counters).
+pub fn obs_snapshot() -> obs::MetricsRegistry {
+    let app = squid::app().expect("app");
+    let (s, _report) = attack_run(&app, squid::exploit_crash(&app).input, 0x0b5);
+    s.export_metrics()
+}
+
 /// §6.3 end-to-end γ: measured first-VSEF time (γ₁) plus the paper's
 /// Vigilante-based dissemination estimate (γ₂ = 3 s), and the resulting
 /// hit-list infection ratios.

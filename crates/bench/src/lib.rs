@@ -15,5 +15,5 @@ pub use community_sim::{
     model_campaign, run_campaign, CampaignConfig, CampaignResult, HostOutcome,
 };
 pub use driver::{attack_timeline, checkpoint_overhead, run_protected, ThroughputRun};
-pub use experiments::{end_to_end_gamma, table1, table2, table3, vsef_overhead};
+pub use experiments::{end_to_end_gamma, obs_snapshot, table1, table2, table3, vsef_overhead};
 pub use perf::{measure, PerfReport};

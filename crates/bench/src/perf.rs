@@ -80,16 +80,31 @@ pub struct PerfReport {
     /// `"ok"`, or `"SKIPPED (1 core)"` when the wall-clock ratio is
     /// meaningless because the host cannot run shards in parallel.
     pub speedup_status: String,
+    /// Observability snapshot gathered during the quick pass: the
+    /// cached-VM run's machine counters merged with the K = 1 community
+    /// run's simulation counters. Written as the `"obs"` block of
+    /// `BENCH_*.json`.
+    pub obs: obs::MetricsRegistry,
 }
 
 /// Measure interpreter throughput over a `loop_iters`-iteration tight
 /// loop, taking the fastest of `reps` runs (boot excluded from timing).
 pub fn vm_rate(cache: bool, loop_iters: u32, reps: u32) -> VmRate {
+    vm_rate_with_metrics(cache, loop_iters, reps).0
+}
+
+/// Like [`vm_rate`], also exporting the fastest rep's machine counters
+/// as an [`obs::MetricsRegistry`].
+pub fn vm_rate_with_metrics(
+    cache: bool,
+    loop_iters: u32,
+    reps: u32,
+) -> (VmRate, obs::MetricsRegistry) {
     let src = format!(
         ".text\nmain:\n movi r1, {loop_iters}\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n"
     );
     let prog = assemble(&src).expect("asm");
-    let mut best: Option<VmRate> = None;
+    let mut best: Option<(VmRate, obs::MetricsRegistry)> = None;
     for _ in 0..reps.max(1) {
         let mut m = Machine::boot(&prog, Aslr::off())
             .expect("boot")
@@ -105,8 +120,10 @@ pub fn vm_rate(cache: bool, loop_iters: u32, reps: u32) -> VmRate {
             insns_per_sec: insns_per_sec(m.insns_retired, wall),
             stats: m.icache_stats(),
         };
-        if best.as_ref().is_none_or(|b| wall < b.wall_secs) {
-            best = Some(r);
+        if best.as_ref().is_none_or(|(b, _)| wall < b.wall_secs) {
+            let mut reg = obs::MetricsRegistry::new();
+            m.export_metrics(&mut reg);
+            best = Some((r, reg));
         }
     }
     best.expect("reps >= 1")
@@ -114,8 +131,19 @@ pub fn vm_rate(cache: bool, loop_iters: u32, reps: u32) -> VmRate {
 
 /// Run the sharded community model engine once at shard count `k`.
 pub fn community_rate(hosts: u64, k: usize, seed: u64) -> CommunityRate {
+    community_rate_with_metrics(hosts, k, seed).0
+}
+
+/// Like [`community_rate`], also returning the run's metrics snapshot
+/// ([`epidemic::CommunityOutcome::metrics`]).
+pub fn community_rate_with_metrics(
+    hosts: u64,
+    k: usize,
+    seed: u64,
+) -> (CommunityRate, obs::MetricsRegistry) {
     let (outcome, wall) = crate::model_campaign(hosts, Parallelism::Fixed(k), seed);
-    CommunityRate {
+    let metrics = outcome.metrics();
+    let rate = CommunityRate {
         shards: k,
         wall_secs: wall,
         ticks: outcome.ticks,
@@ -130,7 +158,8 @@ pub fn community_rate(hosts: u64, k: usize, seed: u64) -> CommunityRate {
             .curve
             .iter()
             .fold(0u64, |h, &v| h.wrapping_mul(0x100_0000_01b3) ^ v),
-    }
+    };
+    (rate, metrics)
 }
 
 /// Run the whole quick pass: VM rates (cache off/on) plus the community
@@ -138,9 +167,11 @@ pub fn community_rate(hosts: u64, k: usize, seed: u64) -> CommunityRate {
 pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let uncached = vm_rate(false, vm_loop_iters, 3);
-    let cached = vm_rate(true, vm_loop_iters, 3);
-    let k1 = community_rate(hosts, 1, seed);
+    let (cached, vm_obs) = vm_rate_with_metrics(true, vm_loop_iters, 3);
+    let (k1, k1_obs) = community_rate_with_metrics(hosts, 1, seed);
     let k4 = community_rate(hosts, 4, seed);
+    let mut obs_reg = vm_obs;
+    obs_reg.merge(&k1_obs);
     let outcomes_identical = (k1.infected, k1.t0_tick, k1.ticks, k1.curve_sum)
         == (k4.infected, k4.t0_tick, k4.ticks, k4.curve_sum);
     PerfReport {
@@ -164,6 +195,7 @@ pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
         },
         k1,
         k4,
+        obs: obs_reg,
     }
 }
 
@@ -205,14 +237,14 @@ fn j_community(r: &CommunityRate) -> String {
 }
 
 impl PerfReport {
-    /// Serialize as pretty-printed JSON (`sweeper-bench-v1` schema).
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v2` schema).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v1\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+            "{{\n  \"schema\": \"sweeper-bench-v2\",\n  \"cores\": {},\n  \"vm\": {{\n    \
              \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
              \"cached_over_uncached\": {}\n  }},\n  \"community\": {{\n    \"hosts\": {},\n    \
              \"seed\": {},\n    \"k1\": {},\n    \"k4\": {},\n    \"k1_over_k4\": {},\n    \
-             \"outcomes_identical\": {},\n    \"speedup_status\": \"{}\"\n  }}\n}}\n",
+             \"outcomes_identical\": {},\n    \"speedup_status\": \"{}\"\n  }},\n  \"obs\": {}\n}}\n",
             self.cores,
             self.vm_loop_insns,
             j_vm(&self.vm_uncached),
@@ -225,6 +257,7 @@ impl PerfReport {
             jf(self.community_speedup),
             self.outcomes_identical,
             self.speedup_status,
+            self.obs.to_json(),
         )
     }
 
@@ -273,9 +306,13 @@ mod tests {
         assert!(r.outcomes_identical, "K must not change the outcome");
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"sweeper-bench-v1\""));
+        assert!(json.contains("\"schema\": \"sweeper-bench-v2\""));
         assert!(json.contains("\"cached_over_uncached\""));
         assert!(json.contains("\"speedup_status\""));
+        // The obs block carries both VM and community counters.
+        assert!(json.contains("\"obs\": {\"counters\""));
+        assert!(r.obs.counter("svm.insns_retired") > 0);
+        assert!(r.obs.counter("epidemic.infected") > 0);
         // Non-finite floats must serialize as `null`, never bare tokens.
         assert!(!json.contains("NaN") && !json.contains(": inf"));
     }

@@ -1,0 +1,46 @@
+//! Differential suite for the observability layer: the Table 3 analysis
+//! latencies must be derivable three independent ways — the inline
+//! accounting in `analyze_attack` (what `report.timings` carries), the
+//! `pipeline.*` spans recorded in the metrics registry, and the raw
+//! event log — and all three must agree *exactly* (same f64 bits; every
+//! path runs the same `cycles_to_secs` arithmetic over the same virtual
+//! stamps) on every guest.
+
+use bench::experiments::attack_run;
+use sweeper::{timings_from_timeline, StepTimings};
+
+#[test]
+fn table3_from_spans_matches_inline_and_timeline_on_all_guests() {
+    for (app, exploit) in apps::all_crash_exploits().expect("exploits") {
+        let (s, report) = attack_run(&app, exploit.input, 0xd1ff);
+        let analysis = report.analysis.as_ref().expect("producer analyzed");
+        let inline = &analysis.timings;
+
+        let from_spans = StepTimings::from_spans(&s.obs).expect("pipeline spans recorded");
+        assert_eq!(&from_spans, inline, "{}: spans vs inline", app.name);
+
+        let from_log = timings_from_timeline(&s.timeline).expect("event log re-derivation");
+        assert_eq!(&from_log, inline, "{}: event log vs inline", app.name);
+
+        // Sanity: span-derived values obey the paper's cumulative order.
+        assert!(from_spans.first_vsef_ms <= from_spans.best_vsef_ms + 1e-12);
+        assert!(from_spans.best_vsef_ms <= from_spans.initial_ms + 1e-12);
+        assert!(from_spans.initial_ms <= from_spans.total_ms + 1e-12);
+    }
+}
+
+#[test]
+fn export_metrics_snapshot_is_idempotent_and_carries_spans() {
+    let app = apps::squid::app().expect("app");
+    let (s, _report) = attack_run(&app, apps::squid::exploit_crash(&app).input, 0x1de);
+    let a = s.export_metrics();
+    let b = s.export_metrics();
+    assert_eq!(a, b, "snapshotting twice must not change any counter");
+    assert!(a.counter("svm.insns_retired") > 0);
+    assert!(a.counter("checkpoint.taken_total") >= 1);
+    assert_eq!(a.counter("sweeper.attacks_detected"), 1);
+    assert!(
+        a.last_span("pipeline.total").is_some(),
+        "spans survive export"
+    );
+}

@@ -7,6 +7,8 @@
 //! recent checkpoints (paper default: 20 checkpoints, 200 ms interval)
 //! and can roll the live machine back to any retained one.
 
+use std::collections::VecDeque;
+
 use svm::clock::cost;
 use svm::Machine;
 
@@ -33,13 +35,21 @@ pub struct CheckpointManager {
     pub interval_cycles: u64,
     /// Maximum retained checkpoints (oldest evicted first).
     pub max_retained: usize,
-    ring: Vec<Checkpoint>,
+    /// The retention ring. A `VecDeque` so that evicting the oldest
+    /// snapshot is O(1) (`pop_front`) instead of the O(n) front-shift a
+    /// `Vec::remove(0)` costs on *every* checkpoint past `max_retained`
+    /// — at the paper's 200 ms cadence that shift ran ~5×/s forever.
+    ring: VecDeque<Checkpoint>,
     next_id: u64,
     last_taken_cycles: Option<u64>,
     /// Total checkpoints ever taken (statistics).
     pub taken_total: u64,
     /// Total virtual cycles charged for checkpointing (statistics).
     pub overhead_cycles: u64,
+    /// Total COW page copies charged across all checkpoints taken.
+    pub pages_copied_total: u64,
+    /// Pages copied by the most recent checkpoint.
+    pub last_pages_copied: usize,
 }
 
 impl CheckpointManager {
@@ -53,11 +63,13 @@ impl CheckpointManager {
         CheckpointManager {
             interval_cycles,
             max_retained: max_retained.max(1),
-            ring: Vec::new(),
+            ring: VecDeque::new(),
             next_id: 0,
             last_taken_cycles: None,
             taken_total: 0,
             overhead_cycles: 0,
+            pages_copied_total: 0,
+            last_pages_copied: 0,
         }
     }
 
@@ -79,6 +91,8 @@ impl CheckpointManager {
         let cost = cost::CHECKPOINT_BASE + cost::PAGE_COPY * dirty as u64;
         m.clock.tick(cost);
         self.overhead_cycles += cost;
+        self.pages_copied_total += dirty as u64;
+        self.last_pages_copied = dirty;
         let id = CkptId(self.next_id);
         self.next_id += 1;
         self.taken_total += 1;
@@ -89,9 +103,9 @@ impl CheckpointManager {
             conns_at: m.net.conns().len(),
             machine: m.clone(),
         };
-        self.ring.push(ckpt);
+        self.ring.push_back(ckpt);
         if self.ring.len() > self.max_retained {
-            self.ring.remove(0);
+            self.ring.pop_front();
         }
         id
     }
@@ -112,12 +126,12 @@ impl CheckpointManager {
 
     /// The most recent retained checkpoint.
     pub fn latest(&self) -> Option<&Checkpoint> {
-        self.ring.last()
+        self.ring.back()
     }
 
     /// The oldest retained checkpoint.
     pub fn oldest(&self) -> Option<&Checkpoint> {
-        self.ring.first()
+        self.ring.front()
     }
 
     /// The most recent checkpoint taken at or before `cycles` — used to
@@ -167,6 +181,27 @@ impl CheckpointManager {
             snapshot_ids.extend(c.machine.mem.page_storage_ids());
         }
         snapshot_ids.difference(&live_ids).count()
+    }
+
+    /// Export checkpointing counters into an [`obs::MetricsRegistry`]
+    /// under the `checkpoint.` prefix: checkpoints taken, total/last COW
+    /// page copies, total charged overhead, ring occupancy, and (COW-aware)
+    /// unique retained pages relative to `live`. Absolute mirrors —
+    /// safe to re-export at any cadence.
+    pub fn export_metrics(&self, live: &Machine, reg: &mut obs::MetricsRegistry) {
+        reg.set_counter("checkpoint.taken_total", self.taken_total);
+        reg.set_counter("checkpoint.pages_copied_total", self.pages_copied_total);
+        reg.set_counter("checkpoint.overhead_cycles", self.overhead_cycles);
+        reg.gauge(
+            "checkpoint.last_pages_copied",
+            self.last_pages_copied as f64,
+        );
+        reg.gauge("checkpoint.ring_occupancy", self.ring.len() as f64);
+        reg.gauge("checkpoint.ring_capacity", self.max_retained as f64);
+        reg.gauge(
+            "checkpoint.retained_unique_pages",
+            self.retained_unique_pages(live) as f64,
+        );
     }
 }
 
@@ -315,6 +350,54 @@ mod tests {
         assert!(
             total <= 4,
             "ring of similar snapshots dedups via COW: {total}"
+        );
+    }
+
+    #[test]
+    fn deque_ring_preserves_eviction_order_and_page_accounting() {
+        // Regression guard for the Vec -> VecDeque ring switch: many
+        // evictions must preserve FIFO order, `latest_before`/`get`
+        // semantics, and the COW `retained_unique_pages` accounting.
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 4);
+        let mut ids = Vec::new();
+        let mut stamps = Vec::new();
+        for _ in 0..12 {
+            m.run(&mut NopHook, 700); // dirty the data page between snapshots
+            ids.push(mgr.take(&mut m));
+            stamps.push(m.clock.cycles());
+        }
+        assert_eq!(mgr.retained(), 4);
+        // Exactly the last four survive, oldest-first.
+        for id in &ids[..8] {
+            assert!(mgr.get(*id).is_none(), "{id:?} must have been evicted");
+        }
+        let survivors: Vec<CkptId> = (0..4).map(|i| ids[8 + i]).collect();
+        assert_eq!(mgr.oldest().map(|c| c.id), Some(survivors[0]));
+        assert_eq!(mgr.latest().map(|c| c.id), Some(survivors[3]));
+        // latest_before walks the ring newest-first and still honours stamps.
+        assert_eq!(mgr.latest_before(stamps[9]).map(|c| c.id), Some(ids[9]));
+        assert_eq!(
+            mgr.latest_before(stamps[8].saturating_sub(1)).map(|c| c.id),
+            None,
+            "nothing retained before the oldest survivor"
+        );
+        // Page accounting: totals are monotone sums over all 12 takes,
+        // and the COW-unique count only covers the 4 retained snapshots.
+        assert_eq!(mgr.taken_total, 12);
+        assert!(mgr.pages_copied_total >= mgr.last_pages_copied as u64);
+        let unique = mgr.retained_unique_pages(&m);
+        assert!(
+            unique <= 4 * 3,
+            "retained-unique pages bounded by the surviving ring: {unique}"
+        );
+        let mut reg = obs::MetricsRegistry::new();
+        mgr.export_metrics(&m, &mut reg);
+        assert_eq!(reg.counter("checkpoint.taken_total"), 12);
+        assert_eq!(reg.gauge_value("checkpoint.ring_occupancy"), Some(4.0));
+        assert_eq!(
+            reg.gauge_value("checkpoint.retained_unique_pages"),
+            Some(unique as f64)
         );
     }
 

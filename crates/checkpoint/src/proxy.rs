@@ -31,9 +31,16 @@ pub struct LoggedConn {
     pub input: Vec<u8>,
     /// Virtual cycle count of the protected machine at arrival.
     pub arrival_cycles: u64,
-    /// Whether a deployed filter blocked it (never delivered), or it was
-    /// retroactively dropped as an attack during recovery.
+    /// Whether this connection is excluded from delivery, replay and
+    /// output accounting — either blocked by a deployed filter up front
+    /// (never delivered) or retroactively dropped during recovery.
     pub filtered: bool,
+    /// Whether the exclusion was a *retroactive* drop (`mark_dropped`):
+    /// the connection **was** delivered to the guest and later identified
+    /// as an attack. Always implies `filtered`. Distinguishing the two
+    /// keeps recovery accounting honest — dropped connections represent
+    /// real replay work excluded, not traffic that never existed.
+    pub dropped: bool,
     /// Server output bytes already released to the client (the output
     /// commit point; replays must neither duplicate nor contradict them).
     pub released: Vec<u8>,
@@ -45,6 +52,8 @@ pub struct Proxy {
     log: Vec<LoggedConn>,
     /// Count of connections dropped by filters (statistics).
     pub filtered_total: u64,
+    /// Count of connections retroactively dropped during recovery.
+    pub dropped_total: u64,
 }
 
 impl Proxy {
@@ -69,6 +78,7 @@ impl Proxy {
             input: input.clone(),
             arrival_cycles: m.clock.cycles(),
             filtered: blocked,
+            dropped: false,
             released: Vec::new(),
         });
         if blocked {
@@ -92,10 +102,28 @@ impl Proxy {
 
     /// Retroactively drop a logged connection (identified as an attack):
     /// it will be excluded from future replays and output accounting.
+    ///
+    /// Unlike filter-time blocking, the connection *was* delivered;
+    /// `LoggedConn::dropped` records that distinction so recovery can
+    /// report dropped-attack work separately from never-delivered traffic.
     pub fn mark_dropped(&mut self, log_id: usize) {
         if let Some(c) = self.log.get_mut(log_id) {
+            if !c.dropped {
+                c.dropped = true;
+                self.dropped_total += 1;
+            }
             c.filtered = true;
         }
+    }
+
+    /// Export proxy counters into an [`obs::MetricsRegistry`] under the
+    /// `proxy.` prefix. Absolute mirrors — safe to re-export.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.set_counter("proxy.conns_logged", self.log.len() as u64);
+        reg.set_counter("proxy.filtered_total", self.filtered_total);
+        reg.set_counter("proxy.dropped_total", self.dropped_total);
+        let released: usize = self.log.iter().map(|c| c.released.len()).sum();
+        reg.set_counter("proxy.released_bytes", released as u64);
     }
 
     /// Release all pending output of the live machine, committing it.

@@ -25,8 +25,19 @@ pub enum RecoveryOutcome {
     Resumed {
         /// Virtual cycles the recovery replay consumed (service pause).
         pause_cycles: u64,
-        /// Post-checkpoint connections that were replayed.
+        /// Post-checkpoint connections that were actually re-injected.
+        ///
+        /// Counted as the replay-segment length of the guest-id mapping
+        /// (everything past the pre-checkpoint prefix), **not** as
+        /// `mapping.len() - conns_at`: when previously dropped attack
+        /// connections shrink the unfiltered log below `conns_at`, the
+        /// old subtraction silently under-reported replay work as 0.
         replayed_conns: usize,
+        /// Connections retroactively dropped by *this* recovery that had
+        /// been delivered to the guest — excluded replay work, reported
+        /// separately so the Figure 5 narration can't conflate "nothing
+        /// replayed" with "attack connections dropped".
+        dropped_conns: usize,
     },
     /// Replay diverged from committed output; a restart is required.
     RestartRequired {
@@ -79,6 +90,10 @@ pub fn recover(
         .take(conns_at)
         .map(|c| c.log_id)
         .collect();
+    // The prefix can be *shorter* than `conns_at` when earlier recoveries
+    // retroactively dropped pre-checkpoint connections; remember its real
+    // length so the replay-work accounting below cannot be skewed by it.
+    let prefix_len = mapping.len();
     mapping.extend(
         proxy
             .replay_set(conns_at, drop_ids)
@@ -108,14 +123,21 @@ pub fn recover(
 
     // Consistent: drop the attack connections from the log so that future
     // `release_outputs` walks line up with the recovered machine, then
-    // promote the replayed machine to live.
+    // promote the replayed machine to live. Count how many of the dropped
+    // ids were genuinely delivered connections (excluded replay work)
+    // *before* marking, so repeated drops aren't double-counted.
+    let dropped_conns = drop_ids
+        .iter()
+        .filter(|id| proxy.get(**id).is_some_and(|c| !c.filtered))
+        .count();
     for id in drop_ids {
         proxy.mark_dropped(*id);
     }
     *live = replayed;
     RecoveryOutcome::Resumed {
         pause_cycles: out.cycles,
-        replayed_conns: mapping.len().saturating_sub(conns_at),
+        replayed_conns: mapping.len() - prefix_len,
+        dropped_conns,
     }
 }
 
@@ -227,8 +249,10 @@ count: .word 0
             RecoveryOutcome::Resumed {
                 replayed_conns,
                 pause_cycles,
+                dropped_conns,
             } => {
                 assert_eq!(replayed_conns, 2, "first + third replayed");
+                assert_eq!(dropped_conns, 1, "the attack connection");
                 assert!(pause_cycles > 0);
             }
             other => panic!("{other:?}"),
@@ -286,6 +310,54 @@ count: .word 0
         // Live machine untouched (still faulted), proxy unmodified.
         assert!(matches!(w.m.status(), Status::Faulted(_)));
         assert!(!w.proxy.get(2).expect("c").filtered);
+    }
+
+    #[test]
+    fn dropped_conns_are_reported_when_nothing_replays() {
+        // Regression: dropping every delivered connection produces an
+        // empty replay, which the old `mapping.len() - conns_at`
+        // arithmetic reported as plain "0 replayed" with no trace of the
+        // excluded work. The dropped-conn count must surface it.
+        let mut m = server();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let mut proxy = Proxy::new();
+        drive(&mut m);
+        let ckpt = mgr.take(&mut m); // conns_at = 0
+        proxy.offer(&mut m, b"stealth".to_vec(), &[]); // id 0: delivered, later deemed attack
+        drive(&mut m);
+        proxy.offer(&mut m, b"atkX".to_vec(), &[]); // id 1: faults
+        drive(&mut m);
+        assert!(matches!(m.status(), Status::Faulted(_)));
+        let out = recover(&mut m, &mgr, &mut proxy, ckpt, &[0, 1]);
+        match out {
+            RecoveryOutcome::Resumed {
+                replayed_conns,
+                dropped_conns,
+                ..
+            } => {
+                assert_eq!(replayed_conns, 0, "everything after the ckpt was dropped");
+                assert_eq!(
+                    dropped_conns, 2,
+                    "both delivered attack connections are accounted as dropped work"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // The proxy distinguishes retroactive drops from filter blocks.
+        assert!(proxy.get(0).expect("c").dropped);
+        assert!(proxy.get(0).expect("c").filtered);
+        assert_eq!(proxy.dropped_total, 2);
+        assert_eq!(proxy.filtered_total, 0, "no filter-time block happened");
+        // A second recovery naming the same ids must not double-count.
+        let mut m2 = server();
+        drive(&mut m2);
+        let out2 = recover(&mut m2, &mgr, &mut proxy, ckpt, &[0, 1]);
+        if let RecoveryOutcome::Resumed { dropped_conns, .. } = out2 {
+            assert_eq!(dropped_conns, 0, "already-dropped conns are not re-counted");
+        } else {
+            panic!("{out2:?}");
+        }
+        assert_eq!(proxy.dropped_total, 2);
     }
 
     #[test]

@@ -33,6 +33,10 @@ struct Slot {
 pub struct Instrumenter {
     slots: Vec<Option<Slot>>,
     overhead: u64,
+    /// Lifetime total of overhead cycles charged onto a machine's clock.
+    charged_total: u64,
+    /// Lifetime total of overhead cycles taken (accounted out-of-band).
+    taken_total: u64,
 }
 
 impl Instrumenter {
@@ -119,13 +123,30 @@ impl Instrumenter {
     /// Transfer accumulated overhead onto `m`'s virtual clock.
     pub fn charge(&mut self, m: &mut Machine) {
         m.clock.tick(self.overhead);
+        self.charged_total += self.overhead;
         self.overhead = 0;
     }
 
     /// Drop accumulated overhead without charging (sandboxed replays whose
     /// time is accounted separately).
     pub fn take_overhead(&mut self) -> u64 {
-        std::mem::take(&mut self.overhead)
+        let taken = std::mem::take(&mut self.overhead);
+        self.taken_total += taken;
+        taken
+    }
+
+    /// Export instrumentation counters into an [`obs::MetricsRegistry`]
+    /// under the `dbi.` prefix: per-tool delivered-event counts
+    /// (`dbi.tool.<name>.events`) plus the pending / charged / taken
+    /// overhead totals in cycles. Absolute mirrors — safe to re-export.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.set_counter("dbi.overhead.pending_cycles", self.overhead);
+        reg.set_counter("dbi.overhead.charged_cycles", self.charged_total);
+        reg.set_counter("dbi.overhead.taken_cycles", self.taken_total);
+        reg.gauge("dbi.tools_attached", self.tool_count() as f64);
+        for s in self.slots.iter().flatten() {
+            reg.set_counter(&format!("dbi.tool.{}.events", s.tool.name()), s.events);
+        }
     }
 
     fn each<F: FnMut(&mut Slot)>(&mut self, mut f: F) {
@@ -373,6 +394,23 @@ mod tests {
         assert_eq!(ins.get::<Counter>(b).expect("b").insns, 2);
         assert_eq!(ins.pending_overhead(), 2 * (2 + 3));
         assert_eq!(ins.events_of(a), 2);
+    }
+
+    #[test]
+    fn export_metrics_names_tools_and_tracks_charged_overhead() {
+        let mut m = boot(".text\nmain:\n movi r0, 1\n movi r0, 2\n halt\n");
+        let mut ins = Instrumenter::new();
+        ins.attach(Box::new(Counter::new(Watch::All, 7)));
+        m.run(&mut ins, 1_000_000);
+        let mut reg = obs::MetricsRegistry::new();
+        ins.export_metrics(&mut reg);
+        assert_eq!(reg.counter("dbi.tool.counter.events"), 3);
+        assert_eq!(reg.counter("dbi.overhead.pending_cycles"), 21);
+        assert_eq!(reg.counter("dbi.overhead.charged_cycles"), 0);
+        ins.charge(&mut m);
+        ins.export_metrics(&mut reg);
+        assert_eq!(reg.counter("dbi.overhead.pending_cycles"), 0);
+        assert_eq!(reg.counter("dbi.overhead.charged_cycles"), 21);
     }
 
     #[test]

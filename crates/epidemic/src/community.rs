@@ -191,6 +191,50 @@ pub struct CommunityOutcome {
 }
 
 impl CommunityOutcome {
+    /// A metrics snapshot of this run, built the same way the engine
+    /// itself merges state: one registry per shard, merged in shard
+    /// order (counters add, which is order-independent anyway).
+    ///
+    /// The *simulation* counters (`epidemic.infected`,
+    /// `epidemic.producer_contacts`, `epidemic.antibodies_applied`,
+    /// `epidemic.new_infections`, `epidemic.ticks`) are pure functions
+    /// of the run parameters and therefore identical at any shard
+    /// count; the *topology* counters (`epidemic.events_cross_shard`)
+    /// and the wall-clock gauges legitimately depend on `K` and are
+    /// kept out of the parity-checked set.
+    pub fn metrics(&self) -> obs::MetricsRegistry {
+        let mut reg = obs::MetricsRegistry::new();
+        for s in &self.shard_stats {
+            let mut shard_reg = obs::MetricsRegistry::new();
+            shard_reg.inc("epidemic.infected", s.infected);
+            shard_reg.inc("epidemic.producer_contacts", s.producer_contacts);
+            shard_reg.inc("epidemic.antibodies_applied", s.antibodies_applied);
+            shard_reg.inc("epidemic.events_cross_shard", s.events_sent_cross);
+            reg.merge(&shard_reg);
+        }
+        reg.set_counter("epidemic.ticks", self.ticks);
+        reg.set_counter(
+            "epidemic.new_infections",
+            self.tick_stats.iter().map(|t| t.new_infections).sum(),
+        );
+        reg.gauge("epidemic.infection_ratio", self.infection_ratio);
+        reg.gauge("epidemic.shards_used", self.shards_used as f64);
+        reg.gauge("epidemic.t0_tick", self.t0_tick.map_or(-1.0, |t| t as f64));
+        let gen_ms: f64 = self
+            .shard_stats
+            .iter()
+            .map(|s| s.generate_nanos as f64 / 1e6)
+            .sum();
+        let apply_ms: f64 = self
+            .shard_stats
+            .iter()
+            .map(|s| s.apply_nanos as f64 / 1e6)
+            .sum();
+        reg.gauge("epidemic.generate_wall_ms", gen_ms);
+        reg.gauge("epidemic.apply_wall_ms", apply_ms);
+        reg
+    }
+
     /// Render the per-shard counter table for the run report.
     pub fn shard_report(&self) -> String {
         let mut out = String::new();
@@ -673,6 +717,30 @@ mod tests {
         assert_eq!(p2.attempts_per_tick, 1);
         assert!((p2.attempt_prob - 0.1).abs() < 1e-12);
         assert_eq!(p2.gamma_ticks, 5);
+    }
+
+    #[test]
+    fn metrics_simulation_counters_are_shard_count_invariant() {
+        // The sharded merge (per-shard registries merged in shard
+        // order) must reproduce the serial engine's simulation
+        // counters exactly; only topology counters may differ with K.
+        let serial = run(&params(800, 0.01, 25, 1)).metrics();
+        const SIM: &[&str] = &[
+            "epidemic.infected",
+            "epidemic.producer_contacts",
+            "epidemic.antibodies_applied",
+            "epidemic.new_infections",
+            "epidemic.ticks",
+        ];
+        assert_eq!(serial.counter("epidemic.events_cross_shard"), 0);
+        assert!(serial.counter("epidemic.infected") > 0);
+        for k in [2usize, 4, 8] {
+            let m = run(&params(800, 0.01, 25, k)).metrics();
+            for name in SIM {
+                assert_eq!(m.counter(name), serial.counter(name), "{name} k={k}");
+            }
+            assert_eq!(m.gauge_value("epidemic.shards_used"), Some(k as f64));
+        }
     }
 
     #[test]

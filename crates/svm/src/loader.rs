@@ -68,6 +68,25 @@ impl Aslr {
             seed,
         }
     }
+
+    /// The policy for the `n`-th post-attack re-randomization of this
+    /// process (n = 1, 2, ...).
+    ///
+    /// The seed is derived with a splitmix64-style finalizer over
+    /// `(seed, n)` — a bijective mix, so distinct `n` values can never
+    /// collapse onto the same derived seed the way the old
+    /// `seed.wrapping_add(attacks_detected)` did (which could re-derive
+    /// a previously used layout after repeated rollback cycles, or
+    /// collide with a neighbouring host's boot seed `seed + k`).
+    pub fn rerandomize(&self, n: u64) -> Aslr {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(n));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Aslr { seed: z, ..*self }
+    }
 }
 
 /// The concrete address-space layout chosen for a process.
@@ -386,6 +405,36 @@ mod tests {
             assert_eq!(
                 l.cache_tag(),
                 Layout::randomized(Aslr::on(seed)).cache_tag()
+            );
+        }
+    }
+
+    #[test]
+    fn rerandomize_never_repeats_a_layout() {
+        // Regression for the post-attack reseed: N consecutive
+        // re-randomizations of the same base policy must yield N distinct
+        // layouts (cache tags), none equal to the boot layout, and must
+        // not collide with a neighbouring host's boot seed (the old
+        // `seed + k` arithmetic collided with both).
+        use std::collections::HashSet;
+        let base = Aslr::on(17);
+        let boot_tag = Layout::randomized(base).cache_tag();
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(boot_tag);
+        for n in 1..=64u64 {
+            let re = base.rerandomize(n);
+            assert!(re.enabled);
+            assert_eq!(re.entropy_bits, base.entropy_bits);
+            let tag = Layout::randomized(re).cache_tag();
+            assert!(
+                seen.insert(tag),
+                "re-randomization #{n} repeated an earlier layout"
+            );
+            // Old bug: seed + n equals the boot seed of host 17 + n.
+            assert_ne!(
+                re.seed,
+                base.seed + n,
+                "derived seed must not collide with a neighbour's boot seed"
             );
         }
     }

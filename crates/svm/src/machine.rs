@@ -60,6 +60,9 @@ pub struct Machine {
     pub symbols: SymbolMap,
     /// Count of executed instructions.
     pub insns_retired: u64,
+    /// Count of executed syscall instructions (including blocked
+    /// retries, which re-enter the kernel model each attempt).
+    pub syscalls_retired: u64,
     status: Status,
     /// Predecoded-page instruction cache (cold after any clone, so
     /// checkpoints and rollbacks never inherit decode state).
@@ -91,6 +94,7 @@ impl Machine {
             layout,
             symbols: img.symbols,
             insns_retired: 0,
+            syscalls_retired: 0,
             status: Status::Running,
             icache: DecodeCache::new(true),
         })
@@ -123,6 +127,37 @@ impl Machine {
     /// Hit/miss/invalidation counters of the decode cache.
     pub fn icache_stats(&self) -> CacheStats {
         self.icache.stats()
+    }
+
+    /// Export this machine's execution counters into an
+    /// [`obs::MetricsRegistry`] under the `svm.` prefix.
+    ///
+    /// Counters are written as absolute values (`set_counter`), so
+    /// repeated exports of the same machine never double-count. The
+    /// hot interpreter loop keeps its plain `u64` fields; this is the
+    /// only point where they meet the registry.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.set_counter("svm.insns_retired", self.insns_retired);
+        reg.set_counter("svm.syscalls_retired", self.syscalls_retired);
+        reg.set_counter("svm.cycles", self.clock.cycles());
+        let st = self.icache.stats();
+        reg.set_counter("svm.icache.hits", st.hits);
+        reg.set_counter("svm.icache.misses", st.misses);
+        reg.set_counter("svm.icache.invalidations", st.invalidations);
+        reg.set_counter("svm.icache.bypasses", st.bypasses);
+        reg.set_counter("svm.icache.flushes", st.flushes);
+        reg.set_counter("svm.mem.write_seq", self.mem.write_seq());
+        reg.set_counter("svm.heap.allocs", self.heap.allocs);
+        reg.set_counter("svm.heap.frees", self.heap.frees);
+        let mapped = self.mem.mapped_pages();
+        let shared = self.mem.shared_pages();
+        reg.gauge("svm.mem.mapped_pages", mapped as f64);
+        // Pages private to this machine, i.e. dirtied (unshared from the
+        // last checkpoint's COW pages) since the last snapshot.
+        reg.gauge(
+            "svm.mem.private_pages",
+            mapped.saturating_sub(shared) as f64,
+        );
     }
 
     /// Drop every predecoded page.
@@ -358,6 +393,7 @@ impl Machine {
         passive: bool,
     ) -> Result<SysOutcome, Fault> {
         self.clock.tick(cost::SYSCALL);
+        self.syscalls_retired += 1;
         let args = [
             self.cpu.get(Reg::R0),
             self.cpu.get(Reg::R1),
@@ -487,6 +523,20 @@ mod tests {
     fn arithmetic_program() {
         let mut m = boot(".text\nmain:\n movi r0, 6\n movi r1, 7\n mul r0, r0, r1\n halt\n");
         assert_eq!(run_to_halt(&mut m), 42);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_counters_without_double_counting() {
+        let mut m = boot(".text\nmain:\n movi r0, 6\n movi r1, 7\n mul r0, r0, r1\n halt\n");
+        run_to_halt(&mut m);
+        let mut reg = obs::MetricsRegistry::new();
+        m.export_metrics(&mut reg);
+        assert_eq!(reg.counter("svm.insns_retired"), m.insns_retired);
+        assert_eq!(reg.counter("svm.cycles"), m.clock.cycles());
+        // Exporting twice must not double-count (absolute mirror).
+        m.export_metrics(&mut reg);
+        assert_eq!(reg.counter("svm.insns_retired"), m.insns_retired);
+        assert!(reg.gauge_value("svm.mem.mapped_pages").unwrap() > 0.0);
     }
 
     #[test]

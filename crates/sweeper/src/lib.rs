@@ -28,6 +28,8 @@ pub mod timeline;
 
 pub use config::{Config, Role};
 pub use error::SweeperError;
-pub use pipeline::{analyze_attack, AnalysisReport, InputFinding, SliceVerdict, StepTimings};
+pub use pipeline::{
+    analyze_attack, timings_from_timeline, AnalysisReport, InputFinding, SliceVerdict, StepTimings,
+};
 pub use runtime::{AttackReport, HostStatus, RequestOutcome, Sweeper};
 pub use timeline::{Event, Stamped, Timeline};

@@ -34,7 +34,7 @@ pub const ATTACH_COST_CYCLES: u64 = 60_000_000; // 25 ms at 2.4 GHz.
 pub const CORE_DUMP_CYCLES: u64 = 96_000_000; // 40 ms (paper: first VSEF at 40-60 ms).
 
 /// Per-step timing for Table 3.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepTimings {
     /// Memory-state analysis duration (ms).
     pub memory_state_ms: f64,
@@ -52,6 +52,79 @@ pub struct StepTimings {
     pub initial_ms: f64,
     /// Detection -> everything including slicing (ms).
     pub total_ms: f64,
+}
+
+impl StepTimings {
+    /// Read the Table 3 timings off the `pipeline.*` spans recorded by
+    /// [`analyze_attack`] in an [`obs::MetricsRegistry`].
+    ///
+    /// Uses the **last** span of each name, i.e. the most recent
+    /// analysis run. Returns `None` when no pipeline has run (no
+    /// `pipeline.total` span). `pipeline.slicing` is optional (slicing
+    /// disabled → 0 ms, matching the inline accounting).
+    pub fn from_spans(reg: &obs::MetricsRegistry) -> Option<StepTimings> {
+        let ms = |name: &str| reg.last_span(name).map(|s| s.ms());
+        Some(StepTimings {
+            memory_state_ms: ms("pipeline.memory_state")?,
+            memory_bug_ms: ms("pipeline.memory_bug")?,
+            taint_ms: ms("pipeline.taint")?,
+            slicing_ms: ms("pipeline.slicing").unwrap_or(0.0),
+            first_vsef_ms: ms("pipeline.first_vsef")?,
+            best_vsef_ms: ms("pipeline.best_vsef")?,
+            initial_ms: ms("pipeline.initial")?,
+            total_ms: ms("pipeline.total")?,
+        })
+    }
+}
+
+/// Re-derive the Table 3 timings of the most recent analysis from the
+/// raw event log — the pre-`obs` computation, kept as an independent
+/// witness for the span accounting (the differential suite asserts
+/// [`StepTimings::from_spans`] agrees with this on every guest).
+pub fn timings_from_timeline(tl: &Timeline) -> Option<StepTimings> {
+    let (det_idx, det_at) = tl.last_detection()?;
+    let after = &tl.events()[det_idx + 1..];
+    let ms_to = |at: u64| cycles_to_secs(at - det_at) * 1e3;
+    let step_of = |name: &str| {
+        after.iter().find_map(|s| match &s.event {
+            Event::AnalysisStep { step, duration_ms } if *step == name => {
+                Some((s.at_cycles, *duration_ms))
+            }
+            _ => None,
+        })
+    };
+    let (mem_state_at, memory_state_ms) = step_of("memory-state")?;
+    let (_, memory_bug_ms) = step_of("memory-bug")?;
+    let (taint_at, taint_ms) = step_of("taint")?;
+    let slicing = step_of("slicing");
+    // First VSEF: released at the memory-state event's stamp (antibody
+    // pushes are zero-cost); best VSEF: the last refined release, else
+    // the first.
+    let first_vsef_ms = ms_to(mem_state_at);
+    let best_vsef_ms = after
+        .iter()
+        .rev()
+        .find_map(|s| match &s.event {
+            Event::AntibodyReleased { what } if what.starts_with("refined VSEF") => {
+                Some(ms_to(s.at_cycles))
+            }
+            _ => None,
+        })
+        .unwrap_or(first_vsef_ms);
+    // Initial analysis completes with the signature releases, stamped
+    // with the taint step; slicing (when run) sets the total.
+    let initial_ms = ms_to(taint_at);
+    let total_ms = slicing.map(|(at, _)| ms_to(at)).unwrap_or(initial_ms);
+    Some(StepTimings {
+        memory_state_ms,
+        memory_bug_ms,
+        taint_ms,
+        slicing_ms: slicing.map(|(_, d)| d).unwrap_or(0.0),
+        first_vsef_ms,
+        best_vsef_ms,
+        initial_ms,
+        total_ms,
+    })
 }
 
 /// What taint/isolation concluded about the attack input.
@@ -126,11 +199,17 @@ pub fn find_reproducing_checkpoint(
 /// an `AttackDetected` event already recorded at the current time. VSEF
 /// addresses in the produced antibody are normalized to the nominal
 /// layout for distribution.
+///
+/// Each phase additionally records a `pipeline.*` span (virtual stamps
+/// from the timeline, with wall-clock mirrors) into `metrics` — Table 3
+/// reads off those spans via [`StepTimings::from_spans`], and the
+/// differential suite checks them against [`timings_from_timeline`].
 pub fn analyze_attack(
     live: &Machine,
     mgr: &CheckpointManager,
     proxy: &Proxy,
     timeline: &mut Timeline,
+    metrics: &mut obs::MetricsRegistry,
     run_slicing: bool,
     replay_budget: u64,
 ) -> Option<AnalysisReport> {
@@ -143,8 +222,10 @@ pub fn analyze_attack(
     let ms_since_detect = |tl: &Timeline| cycles_to_secs(tl.now() - detection_at) * 1e3;
 
     // ---- Step 1: memory-state analysis of the faulted image. ----------
+    let sp1 = metrics.start_span("pipeline.memory_state", detection_at);
     let core = analysis::analyze(live)?;
     timeline.advance_by(CORE_DUMP_CYCLES);
+    metrics.end_span(sp1, timeline.now());
     timings.memory_state_ms = cycles_to_secs(CORE_DUMP_CYCLES) * 1e3;
     timeline.record(Event::AnalysisStep {
         step: "memory-state",
@@ -162,11 +243,14 @@ pub fn analyze_attack(
     }
     timings.first_vsef_ms = ms_since_detect(timeline);
     timings.best_vsef_ms = timings.first_vsef_ms;
+    metrics.record_span("pipeline.first_vsef", detection_at, timeline.now());
+    let mut best_vsef_at = timeline.now();
 
     // Locate a checkpoint that reproduces the attack.
     let ckpt = find_reproducing_checkpoint(mgr, proxy, replay_budget)?;
 
     // ---- Step 2: memory-bug detection on a replay. ---------------------
+    let sp2 = metrics.start_span("pipeline.memory_bug", timeline.now());
     let ckpt_machine = &mgr.get(ckpt)?.machine;
     let det = MemBugDetector::attach_to(ckpt_machine);
     let mut ins = Instrumenter::new();
@@ -176,6 +260,7 @@ pub fn analyze_attack(
         .run(&mut ins);
     let step2_cycles = ATTACH_COST_CYCLES + out.cycles + ins.take_overhead();
     timeline.advance_by(step2_cycles);
+    metrics.end_span(sp2, timeline.now());
     timings.memory_bug_ms = cycles_to_secs(step2_cycles) * 1e3;
     timeline.record(Event::AnalysisStep {
         step: "memory-bug",
@@ -195,9 +280,12 @@ pub fn analyze_attack(
             what: format!("refined VSEF: {}", v.kind()),
         });
         timings.best_vsef_ms = ms_since_detect(timeline);
+        best_vsef_at = timeline.now();
     }
+    metrics.record_span("pipeline.best_vsef", detection_at, best_vsef_at);
 
     // ---- Step 3: taint analysis (with isolation fallback). -------------
+    let sp3 = metrics.start_span("pipeline.taint", timeline.now());
     let mut ins3 = Instrumenter::new();
     let taint_id = ins3.attach(Box::new(TaintTool::new()));
     let out3 = ReplaySession::new(mgr, proxy, ckpt)?
@@ -291,6 +379,11 @@ pub fn analyze_attack(
         }
     }
     timeline.advance_by(step3_cycles);
+    // The taint phase's *charged* extent excludes the 1M-cycle
+    // taint-filter release advance interleaved above; pin the span to
+    // exactly `step3_cycles` so it matches the inline accounting, while
+    // the wall mirror still covers the whole timed region.
+    metrics.end_span_at(sp3, timeline.now() - step3_cycles, timeline.now());
     timings.taint_ms = cycles_to_secs(step3_cycles) * 1e3;
     timeline.record(Event::AnalysisStep {
         step: "taint",
@@ -323,9 +416,11 @@ pub fn analyze_attack(
         }
     }
     timings.initial_ms = ms_since_detect(timeline);
+    metrics.record_span("pipeline.initial", detection_at, timeline.now());
 
     // ---- Step 4: backward slicing (verification). -----------------------
     let slice = if run_slicing {
+        let sp4 = metrics.start_span("pipeline.slicing", timeline.now());
         let mut ins4 = Instrumenter::new();
         let tr_id = ins4.attach(Box::new(TraceRecorder::new()));
         let out4 = ReplaySession::new(mgr, proxy, ckpt)?
@@ -333,6 +428,7 @@ pub fn analyze_attack(
             .run(&mut ins4);
         let step4_cycles = ATTACH_COST_CYCLES + out4.cycles + ins4.take_overhead();
         timeline.advance_by(step4_cycles);
+        metrics.end_span(sp4, timeline.now());
         timings.slicing_ms = cycles_to_secs(step4_cycles) * 1e3;
         timeline.record(Event::AnalysisStep {
             step: "slicing",
@@ -370,6 +466,7 @@ pub fn analyze_attack(
         None
     };
     timings.total_ms = ms_since_detect(timeline);
+    metrics.record_span("pipeline.total", detection_at, timeline.now());
 
     Some(AnalysisReport {
         core,

@@ -141,6 +141,11 @@ pub struct Sweeper {
     vsef_id: ToolId,
     /// Monotone global event log.
     pub timeline: Timeline,
+    /// Metrics and tracing for this host: `pipeline.*` phase spans (the
+    /// Table 3 source of truth), `sweeper.*` / `recovery.*` counters.
+    /// Layer-local counters (svm, dbi, checkpoint, proxy) are merged in
+    /// on demand by [`Sweeper::export_metrics`].
+    pub obs: obs::MetricsRegistry,
     /// Configuration.
     pub config: Config,
     /// Attacks detected so far.
@@ -150,6 +155,14 @@ pub struct Sweeper {
     /// Requests that were run under full sampling instrumentation (§4.2).
     pub requests_sampled: u64,
     sample_rng: XorShift64,
+    /// Monotone count of post-attack re-randomizations (restart boots).
+    ///
+    /// Mixed into the ASLR reseed so repeated rollback/restart cycles
+    /// can never re-derive a previously used layout, which the old
+    /// `seed + attacks_detected` arithmetic could (it repeated whenever
+    /// the detection count didn't change between restarts, and collided
+    /// with neighbouring hosts' boot seeds).
+    rerandomizations: u64,
     /// Exploit inputs captured so far (one per detected attack); when
     /// VSEFs catch polymorphic variants of a vulnerability, these samples
     /// feed token-sequence signature generalization (Polygraph-style,
@@ -180,11 +193,13 @@ impl Sweeper {
             vsef_instr,
             vsef_id,
             timeline: Timeline::new(),
+            obs: obs::MetricsRegistry::new(),
             sample_rng: XorShift64::new(config.aslr.seed ^ 0x5a3b_17ee),
             config,
             attacks_detected: 0,
             requests_served: 0,
             requests_sampled: 0,
+            rerandomizations: 0,
             attack_samples: Vec::new(),
         };
         // Boot to quiescence and take the initial checkpoint.
@@ -341,6 +356,7 @@ impl Sweeper {
                 &self.mgr,
                 &self.proxy,
                 &mut self.timeline,
+                &mut self.obs,
                 self.config.run_slicing,
                 self.config.replay_budget,
             )
@@ -412,8 +428,15 @@ impl Sweeper {
         let mut method: &'static str = "restart";
         if let Some(ck) = recover_from {
             match recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &drop_ids) {
-                RecoveryOutcome::Resumed { pause_cycles, .. } => {
+                RecoveryOutcome::Resumed {
+                    pause_cycles,
+                    replayed_conns,
+                    dropped_conns,
+                } => {
                     method = "rollback-replay";
+                    self.obs
+                        .inc("recovery.replayed_conns", replayed_conns as u64);
+                    self.obs.inc("recovery.dropped_conns", dropped_conns as u64);
                     self.timeline.advance_by(pause_cycles);
                 }
                 RecoveryOutcome::ReplayFaulted(_) | RecoveryOutcome::RestartRequired { .. } => {
@@ -424,6 +447,14 @@ impl Sweeper {
         if method == "restart" {
             self.restart(&drop_ids);
         }
+        self.obs.inc(
+            if method == "restart" {
+                "recovery.restarts"
+            } else {
+                "recovery.rollback_replays"
+            },
+            1,
+        );
         // The VSEF instrumentation is logically re-attached to the
         // recovered (or restarted) execution: clear its shadow state.
         if let Some(rt) = self.vsef_instr.get_mut::<VsefRuntime>(self.vsef_id) {
@@ -568,16 +599,30 @@ impl Sweeper {
             .map(|c| c.id);
         let mut method: &'static str = "restart";
         if let Some(ck) = recover_from {
-            if let RecoveryOutcome::Resumed { pause_cycles, .. } =
-                recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &[log_id])
+            if let RecoveryOutcome::Resumed {
+                pause_cycles,
+                replayed_conns,
+                dropped_conns,
+            } = recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &[log_id])
             {
                 method = "rollback-replay";
+                self.obs
+                    .inc("recovery.replayed_conns", replayed_conns as u64);
+                self.obs.inc("recovery.dropped_conns", dropped_conns as u64);
                 self.timeline.advance_by(pause_cycles);
             }
         }
         if method == "restart" {
             self.restart(&[log_id]);
         }
+        self.obs.inc(
+            if method == "restart" {
+                "recovery.restarts"
+            } else {
+                "recovery.rollback_replays"
+            },
+            1,
+        );
         if let Some(rt) = self.vsef_instr.get_mut::<VsefRuntime>(self.vsef_id) {
             rt.reset_state();
         }
@@ -620,6 +665,28 @@ impl Sweeper {
         }
     }
 
+    /// A full metrics snapshot for this host: the runtime's own
+    /// registry (pipeline phase spans, recovery counters) merged with
+    /// fresh exports from every subsystem (VM, checkpoint ring, proxy,
+    /// VSEF instrumentation) plus top-level host counters.
+    ///
+    /// Exports use absolute mirrors (`set_counter`), so snapshotting is
+    /// idempotent — calling this twice never double-counts.
+    pub fn export_metrics(&self) -> obs::MetricsRegistry {
+        let mut reg = self.obs.clone();
+        self.machine.export_metrics(&mut reg);
+        self.mgr.export_metrics(&self.machine, &mut reg);
+        self.proxy.export_metrics(&mut reg);
+        self.vsef_instr.export_metrics(&mut reg);
+        reg.set_counter("sweeper.attacks_detected", self.attacks_detected);
+        reg.set_counter("sweeper.requests_served", self.requests_served);
+        reg.set_counter("sweeper.requests_sampled", self.requests_sampled);
+        reg.set_counter("sweeper.deployed_signatures", self.signatures.len() as u64);
+        reg.set_counter("sweeper.deployed_vsefs", self.deployed_vsefs() as u64);
+        reg.set_counter("sweeper.rerandomizations_total", self.rerandomizations);
+        reg
+    }
+
     fn last_conn_fallback(&self) -> Vec<usize> {
         self.proxy
             .last_delivered_before(u64::MAX)
@@ -629,9 +696,19 @@ impl Sweeper {
 
     /// Full restart: boot a fresh instance (new ASLR draw), mark the
     /// attack connections dropped, charge the restart penalty.
+    ///
+    /// The ASLR reseed mixes a *monotone rerandomization counter*
+    /// through a bijective finalizer ([`Aslr::rerandomize`]). The old
+    /// scheme (`seed.wrapping_add(attacks_detected)`) stepped the seed
+    /// through *neighboring* values, so a restarted host could re-derive
+    /// a layout an attacker had already probed: the n-th restart landed
+    /// exactly on the boot seed of any host configured at `seed + n`,
+    /// and nearby xorshift seeds share low-bit structure under the
+    /// entropy mask. The finalizer decorrelates consecutive draws.
     fn restart(&mut self, drop_ids: &[usize]) {
-        let mut aslr = self.config.aslr;
-        aslr.seed = aslr.seed.wrapping_add(self.attacks_detected);
+        self.rerandomizations += 1;
+        let aslr = self.config.aslr.rerandomize(self.rerandomizations);
+        self.obs.inc("sweeper.rerandomizations", 1);
         if let Ok(mut fresh) = Machine::boot(&self.program, aslr) {
             fresh
                 .clock
@@ -937,6 +1014,45 @@ mod tests {
             }
             other => panic!("consumer unprotected: {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod rerandomization_tests {
+    use super::*;
+    use apps::httpd1;
+    use svm::loader::{Aslr, Layout};
+
+    #[test]
+    fn consecutive_restarts_never_repeat_a_layout() {
+        // Regression for the additive reseed (`seed + attacks_detected`):
+        // restart n landed exactly on the boot layout of a host seeded
+        // `seed + n`. With the bijective rerandomize mix, the boot layout
+        // and every subsequent restart layout are pairwise distinct, and
+        // none coincides with a neighboring host's boot draw.
+        let app = httpd1::app().expect("app");
+        let mut cfg = Config::producer(77);
+        cfg.aslr = Aslr::on(77);
+        let mut s = Sweeper::protect(&app, cfg).expect("protect");
+        let mut tags = vec![s.machine.layout.cache_tag()];
+        for _ in 0..8 {
+            s.restart(&[]);
+            tags.push(s.machine.layout.cache_tag());
+        }
+        let mut uniq = tags.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), tags.len(), "layout repeated: {tags:#x?}");
+        // No restart layout may equal a neighboring host's boot layout
+        // (the exact collision the additive scheme produced).
+        for n in 1..=8u64 {
+            let neighbor = Layout::randomized(Aslr::on(77 + n)).cache_tag();
+            assert!(
+                !tags[1..].contains(&neighbor),
+                "restart re-derived neighbor boot layout seed+{n}"
+            );
+        }
+        assert_eq!(s.export_metrics().counter("sweeper.rerandomizations"), 8);
     }
 }
 

@@ -114,21 +114,29 @@ impl Timeline {
         self.events.iter().filter(move |s| pred(&s.event))
     }
 
+    /// Index and stamp of the most recent `AttackDetected` event.
+    pub fn last_detection(&self) -> Option<(usize, u64)> {
+        let idx = self
+            .events
+            .iter()
+            .rposition(|s| matches!(s.event, Event::AttackDetected { .. }))?;
+        Some((idx, self.events[idx].at_cycles))
+    }
+
     /// Milliseconds between the most recent `AttackDetected` and the
     /// first subsequent event satisfying `pred` — the Table 3 latency
     /// helper ("time values are cumulative from the lightweight
     /// monitoring triggering").
+    ///
+    /// "Subsequent" means *after the detection event in log order*, not
+    /// merely stamped `>= det_at`: with back-to-back attacks, an event
+    /// belonging to a *previous* attack can share the detection's cycle
+    /// stamp (zero-cost events, coarse virtual steps), and a
+    /// stamp-based scan from the start of the log would match it and
+    /// report a stale/zero latency.
     pub fn ms_from_detection<F: Fn(&Event) -> bool>(&self, pred: F) -> Option<f64> {
-        let det_at = self
-            .events
-            .iter()
-            .rev()
-            .find(|s| matches!(s.event, Event::AttackDetected { .. }))?
-            .at_cycles;
-        let hit = self
-            .events
-            .iter()
-            .find(|s| s.at_cycles >= det_at && pred(&s.event))?;
+        let (det_idx, det_at) = self.last_detection()?;
+        let hit = self.events[det_idx + 1..].iter().find(|s| pred(&s.event))?;
         Some(svm::clock::cycles_to_secs(hit.at_cycles - det_at) * 1e3)
     }
 }
@@ -162,6 +170,41 @@ mod tests {
             .ms_from_detection(|e| matches!(e, Event::AntibodyReleased { .. }))
             .expect("found");
         assert!((ms - 40.0).abs() < 0.1, "{ms}");
+    }
+
+    #[test]
+    fn back_to_back_attacks_sharing_a_stamp_use_the_latest_detection() {
+        // Regression: two consecutive attacks where the second detection
+        // shares its cycle stamp with the *first* attack's antibody
+        // release (a zero-cost event). The stamp-based scan-from-start
+        // matched the stale antibody and reported 0 ms.
+        let mut t = Timeline::new();
+        t.advance_to(svm::clock::secs_to_cycles(1.0));
+        t.record(Event::AttackDetected {
+            cause: "segv #1".into(),
+        });
+        // First attack's antibody lands at the same stamp (zero-cost).
+        t.record(Event::AntibodyReleased {
+            what: "vsef #1".into(),
+        });
+        // Second attack detected at the very same cycle stamp.
+        t.record(Event::AttackDetected {
+            cause: "segv #2".into(),
+        });
+        t.advance_by(svm::clock::secs_to_cycles(0.025));
+        t.record(Event::AntibodyReleased {
+            what: "vsef #2".into(),
+        });
+        let ms = t
+            .ms_from_detection(|e| matches!(e, Event::AntibodyReleased { .. }))
+            .expect("found");
+        assert!(
+            (ms - 25.0).abs() < 0.1,
+            "must measure to the second attack's antibody, got {ms}"
+        );
+        // And the detection anchor is the *index* of the latest attack.
+        let (idx, _) = t.last_detection().expect("detection");
+        assert_eq!(idx, 2);
     }
 
     #[test]
