@@ -18,9 +18,11 @@
 pub mod bundle;
 pub mod signature;
 pub mod vsef;
+pub mod wire;
 
 pub use bundle::{verify, Antibody, AntibodyItem, Release, Verification};
 pub use signature::{
     exact_from, substring_from_taint, tokens_from_samples, Signature, SignatureSet,
 };
 pub use vsef::{rebase_addr, Detection, VsefRuntime, VsefSpec};
+pub use wire::BundleError;

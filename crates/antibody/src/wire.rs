@@ -1,0 +1,435 @@
+//! Antibody wire format: the bytes that actually travel between hosts.
+//!
+//! Paper §3.3: antibodies are *distributed* — which means a consumer
+//! parses bytes that crossed an untrusted network. The encoder
+//! ([`Antibody::to_bytes`]) is trivial; the decoder
+//! ([`Antibody::from_bytes`]) is the security boundary: every read is
+//! bounds-checked and every tag validated so that truncation or bit-flips
+//! in transit produce a [`BundleError`], never a panic and never a
+//! mis-typed filter. The chaos harness' antibody-bit-flip fault family
+//! drives arbitrary corruption through this decoder.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "SWAB" | version=1 u8 | release_count u32
+//! per release:
+//!   at_ms f64-bits u64 | item_tag u8
+//!   item_tag 0 (VSEF):    vsef_tag u8 + fields (see below)
+//!   item_tag 1 (Sig):     sig_tag u8: 0 Exact | 1 Substring -> bytes;
+//!                         2 TokenSeq -> count u32 + count x bytes
+//!   item_tag 2 (Exploit): bytes
+//! bytes := len u32 | len raw bytes
+//! ```
+
+use crate::bundle::{Antibody, AntibodyItem};
+use crate::signature::Signature;
+use crate::vsef::VsefSpec;
+
+/// Why a serialized antibody failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BundleError {
+    /// The buffer ends before the structure it promises.
+    Truncated {
+        /// Byte offset where more data was required.
+        at: usize,
+    },
+    /// The buffer does not start with the `SWAB` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// An unknown item / vsef / signature tag (corruption).
+    BadTag {
+        /// Byte offset of the bad tag.
+        offset: usize,
+        /// The invalid tag value.
+        tag: u8,
+    },
+    /// A function name failed UTF-8 validation (corruption).
+    BadUtf8 {
+        /// Byte offset of the string.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Truncated { at } => write!(f, "antibody bundle truncated at offset {at}"),
+            BundleError::BadMagic => write!(f, "antibody bundle: bad magic"),
+            BundleError::BadVersion(v) => write!(f, "antibody bundle: unknown version {v}"),
+            BundleError::BadTag { offset, tag } => {
+                write!(f, "antibody bundle: invalid tag {tag} at offset {offset}")
+            }
+            BundleError::BadUtf8 { offset } => {
+                write!(f, "antibody bundle: invalid utf-8 at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_u32s(out: &mut Vec<u8>, v: &[u32]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn encode_vsef(out: &mut Vec<u8>, v: &VsefSpec) {
+    match v {
+        VsefSpec::RetAddrGuard { func, func_name } => {
+            out.push(0);
+            out.extend_from_slice(&func.to_le_bytes());
+            put_bytes(out, func_name.as_bytes());
+        }
+        VsefSpec::StoreSmashGuard { store_pc } => {
+            out.push(1);
+            out.extend_from_slice(&store_pc.to_le_bytes());
+        }
+        VsefSpec::HeapBoundsCheck { store_pc, caller } => {
+            out.push(2);
+            out.extend_from_slice(&store_pc.to_le_bytes());
+            match caller {
+                Some(c) => {
+                    out.push(1);
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        VsefSpec::DoubleFreeGuard { free_pc } => {
+            out.push(3);
+            out.extend_from_slice(&free_pc.to_le_bytes());
+        }
+        VsefSpec::HeapIntegrityGuard { sites } => {
+            out.push(4);
+            put_u32s(out, sites);
+        }
+        VsefSpec::NullCheck { insn_pc } => {
+            out.push(5);
+            out.extend_from_slice(&insn_pc.to_le_bytes());
+        }
+        VsefSpec::TaintFilter { prop_pcs, sink_pc } => {
+            out.push(6);
+            put_u32s(out, prop_pcs);
+            out.extend_from_slice(&sink_pc.to_le_bytes());
+        }
+    }
+}
+
+/// Bounds-checked reader over an untrusted buffer.
+struct Cursor<'b> {
+    buf: &'b [u8],
+    off: usize,
+}
+
+impl<'b> Cursor<'b> {
+    fn take(&mut self, n: usize) -> Result<&'b [u8], BundleError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(BundleError::Truncated { at: self.off })?;
+        let s = &self.buf[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, BundleError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, BundleError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, BundleError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, BundleError> {
+        let len = self.u32()? as usize;
+        // A lying length can at most reach the end of the buffer; take()
+        // rejects anything beyond it, so no over-allocation is possible.
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, BundleError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(4) > self.buf.len() - self.off {
+            return Err(BundleError::Truncated { at: self.off });
+        }
+        (0..count).map(|_| self.u32()).collect()
+    }
+}
+
+fn decode_vsef(c: &mut Cursor<'_>) -> Result<VsefSpec, BundleError> {
+    let tag_off = c.off;
+    let tag = c.u8()?;
+    Ok(match tag {
+        0 => {
+            let func = c.u32()?;
+            let name_off = c.off;
+            let raw = c.bytes()?;
+            let func_name =
+                String::from_utf8(raw).map_err(|_| BundleError::BadUtf8 { offset: name_off })?;
+            VsefSpec::RetAddrGuard { func, func_name }
+        }
+        1 => VsefSpec::StoreSmashGuard { store_pc: c.u32()? },
+        2 => {
+            let store_pc = c.u32()?;
+            let flag_off = c.off;
+            let caller = match c.u8()? {
+                0 => None,
+                1 => Some(c.u32()?),
+                t => {
+                    return Err(BundleError::BadTag {
+                        offset: flag_off,
+                        tag: t,
+                    })
+                }
+            };
+            VsefSpec::HeapBoundsCheck { store_pc, caller }
+        }
+        3 => VsefSpec::DoubleFreeGuard { free_pc: c.u32()? },
+        4 => VsefSpec::HeapIntegrityGuard { sites: c.u32s()? },
+        5 => VsefSpec::NullCheck { insn_pc: c.u32()? },
+        6 => {
+            let prop_pcs = c.u32s()?;
+            let sink_pc = c.u32()?;
+            VsefSpec::TaintFilter { prop_pcs, sink_pc }
+        }
+        t => {
+            return Err(BundleError::BadTag {
+                offset: tag_off,
+                tag: t,
+            })
+        }
+    })
+}
+
+fn decode_signature(c: &mut Cursor<'_>) -> Result<Signature, BundleError> {
+    let tag_off = c.off;
+    let tag = c.u8()?;
+    Ok(match tag {
+        0 => Signature::Exact(c.bytes()?),
+        1 => Signature::Substring(c.bytes()?),
+        2 => {
+            let count = c.u32()? as usize;
+            // Each token costs at least its 4-byte length prefix.
+            if count.saturating_mul(4) > c.buf.len() - c.off {
+                return Err(BundleError::Truncated { at: c.off });
+            }
+            let tokens = (0..count)
+                .map(|_| c.bytes())
+                .collect::<Result<Vec<_>, _>>()?;
+            Signature::TokenSeq(tokens)
+        }
+        t => {
+            return Err(BundleError::BadTag {
+                offset: tag_off,
+                tag: t,
+            })
+        }
+    })
+}
+
+impl Antibody {
+    /// Serialize the antibody to its distribution wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SWAB");
+        out.push(1); // version
+        out.extend_from_slice(&(self.releases.len() as u32).to_le_bytes());
+        for r in &self.releases {
+            out.extend_from_slice(&r.at_ms.to_bits().to_le_bytes());
+            match &r.item {
+                AntibodyItem::Vsef(v) => {
+                    out.push(0);
+                    encode_vsef(&mut out, v);
+                }
+                AntibodyItem::Signature(s) => {
+                    out.push(1);
+                    match s {
+                        Signature::Exact(b) => {
+                            out.push(0);
+                            put_bytes(&mut out, b);
+                        }
+                        Signature::Substring(b) => {
+                            out.push(1);
+                            put_bytes(&mut out, b);
+                        }
+                        Signature::TokenSeq(tokens) => {
+                            out.push(2);
+                            out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+                            for t in tokens {
+                                put_bytes(&mut out, t);
+                            }
+                        }
+                    }
+                }
+                AntibodyItem::ExploitInput(b) => {
+                    out.push(2);
+                    put_bytes(&mut out, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode an antibody from untrusted wire bytes.
+    ///
+    /// Fails closed: truncation, unknown tags, lying length prefixes and
+    /// invalid UTF-8 all return a [`BundleError`]. The decoder never
+    /// panics and never allocates beyond the buffer's own length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Antibody, BundleError> {
+        let mut c = Cursor { buf: bytes, off: 0 };
+        if c.take(4)? != b"SWAB" {
+            return Err(BundleError::BadMagic);
+        }
+        let version = c.u8()?;
+        if version != 1 {
+            return Err(BundleError::BadVersion(version));
+        }
+        let count = c.u32()? as usize;
+        // Each release costs at least 9 bytes (at_ms + item tag).
+        if count.saturating_mul(9) > bytes.len().saturating_sub(c.off) {
+            return Err(BundleError::Truncated { at: c.off });
+        }
+        let mut ab = Antibody::new();
+        for _ in 0..count {
+            let at_ms = f64::from_bits(c.u64()?);
+            let tag_off = c.off;
+            let item = match c.u8()? {
+                0 => AntibodyItem::Vsef(decode_vsef(&mut c)?),
+                1 => AntibodyItem::Signature(decode_signature(&mut c)?),
+                2 => AntibodyItem::ExploitInput(c.bytes()?),
+                t => {
+                    return Err(BundleError::BadTag {
+                        offset: tag_off,
+                        tag: t,
+                    })
+                }
+            };
+            ab.push(item, at_ms);
+        }
+        Ok(ab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_antibody() -> Antibody {
+        let mut ab = Antibody::new();
+        ab.push(
+            AntibodyItem::Vsef(VsefSpec::RetAddrGuard {
+                func: 0x40,
+                func_name: "victim".into(),
+            }),
+            12.5,
+        );
+        ab.push(
+            AntibodyItem::Vsef(VsefSpec::HeapBoundsCheck {
+                store_pc: 0x88,
+                caller: Some(0x44),
+            }),
+            20.0,
+        );
+        ab.push(
+            AntibodyItem::Vsef(VsefSpec::TaintFilter {
+                prop_pcs: vec![1, 2, 3],
+                sink_pc: 9,
+            }),
+            33.0,
+        );
+        ab.push(
+            AntibodyItem::Vsef(VsefSpec::HeapIntegrityGuard { sites: vec![7, 8] }),
+            34.0,
+        );
+        ab.push(
+            AntibodyItem::Signature(Signature::TokenSeq(vec![b"GET".to_vec(), b"%n".to_vec()])),
+            9000.0,
+        );
+        ab.push(
+            AntibodyItem::Signature(Signature::Substring(b"\xcc\xcc".to_vec())),
+            9100.0,
+        );
+        ab.push(AntibodyItem::ExploitInput(vec![0xde, 0xad, 0xbe]), 9500.0);
+        ab
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let ab = full_antibody();
+        let bytes = ab.to_bytes();
+        let back = Antibody::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.releases.len(), ab.releases.len());
+        for (a, b) in ab.releases.iter().zip(back.releases.iter()) {
+            assert_eq!(a.at_ms.to_bits(), b.at_ms.to_bits());
+            match (&a.item, &b.item) {
+                (AntibodyItem::Vsef(x), AntibodyItem::Vsef(y)) => assert_eq!(x, y),
+                (AntibodyItem::Signature(x), AntibodyItem::Signature(y)) => assert_eq!(x, y),
+                (AntibodyItem::ExploitInput(x), AntibodyItem::ExploitInput(y)) => assert_eq!(x, y),
+                other => panic!("item kind changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_fails_closed() {
+        let bytes = full_antibody().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Antibody::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic() {
+        let bytes = full_antibody().to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut b = bytes.clone();
+                b[i] ^= 1 << bit;
+                // Either decodes to *something* or errors — never panics.
+                let _ = Antibody::from_bytes(&b);
+            }
+        }
+    }
+
+    #[test]
+    fn lying_lengths_are_rejected() {
+        let mut ab = Antibody::new();
+        ab.push(AntibodyItem::ExploitInput(vec![1, 2, 3]), 1.0);
+        let mut bytes = ab.to_bytes();
+        // The exploit-input length prefix sits right after header+at_ms+tag.
+        let len_off = 4 + 1 + 4 + 8 + 1;
+        bytes[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Antibody::from_bytes(&bytes),
+            Err(BundleError::Truncated { .. })
+        ));
+        // Lying release count, too.
+        let mut bytes2 = ab.to_bytes();
+        bytes2[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Antibody::from_bytes(&bytes2),
+            Err(BundleError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,254 @@
+//! The invariant catalog checked after every faulted run.
+//!
+//! The contract: under *any* injected fault the pipeline **degrades**
+//! — weaker antibody, explicit [`sweeper::SweeperError`] surfaced on the
+//! timeline, a restart instead of a rollback — and never breaks. Each
+//! invariant below is a machine-checkable fragment of that sentence;
+//! `TESTING.md` carries the operator-facing catalog.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | I1 | no panic escapes the runtime (enforced by the runner's `catch_unwind`) |
+//! | I2 | request accounting: offered = served + filtered + attacks |
+//! | I3 | recovery accounting: attacks = restarts + rollback-replays |
+//! | I4 | detection ⇒ antibody, or an explicit degradation on the record |
+//! | I5 | the host is serviceable after the last request (recovery always restores service) |
+//! | I6 | proxy log grows exactly once per offered request |
+//! | I7 | a plan that fired nothing is bit-identical to the unfaulted run |
+
+use crate::plan::FaultStats;
+
+/// One violated invariant, with enough detail to triage from the seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Invariant id (`I1`..`I7`).
+    pub invariant: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: String) -> Violation {
+        Violation { invariant, detail }
+    }
+}
+
+/// Everything the runner observed about one faulted run, flattened so
+/// the checker needs no live borrows of the (possibly poisoned) host.
+#[derive(Debug, Clone)]
+pub struct FaultedRun {
+    /// Requests offered to the host.
+    pub offered: u64,
+    /// `RequestOutcome::Served` count.
+    pub served: u64,
+    /// `RequestOutcome::Filtered` count.
+    pub filtered: u64,
+    /// `RequestOutcome::Attack` count.
+    pub attacks: u64,
+    /// `recovery.restarts` counter.
+    pub restarts: u64,
+    /// `recovery.rollback_replays` counter.
+    pub rollback_replays: u64,
+    /// `proxy.conns_logged` counter.
+    pub conns_logged: u64,
+    /// `proxy.filtered_total` counter.
+    pub proxy_filtered: u64,
+    /// `pipeline.tool_failures` counter.
+    pub tool_failures: u64,
+    /// `sweeper.antibody_corrupt_total` counter.
+    pub antibody_corrupt: u64,
+    /// Deployed VSEF count at the end of the run.
+    pub deployed_vsefs: u64,
+    /// Deployed signature count at the end of the run.
+    pub deployed_signatures: u64,
+    /// Whether the host reported itself serviceable at the end.
+    pub healthy: bool,
+    /// Whether the host is a producer (consumers never build antibodies,
+    /// so I4 does not apply to them).
+    pub producer: bool,
+    /// Outcome digest of the faulted run.
+    pub digest: u64,
+}
+
+/// Check the invariant catalog over one faulted run.
+///
+/// `baseline_digest` is the unfaulted run's digest (for I7);
+/// `stats` is what the fault plan actually fired.
+pub fn check_faulted_run(
+    run: &FaultedRun,
+    stats: &FaultStats,
+    baseline_digest: u64,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+
+    // I2: every offered request has exactly one outcome.
+    if run.offered != run.served + run.filtered + run.attacks {
+        v.push(Violation::new(
+            "I2",
+            format!(
+                "offered {} != served {} + filtered {} + attacks {}",
+                run.offered, run.served, run.filtered, run.attacks
+            ),
+        ));
+    }
+
+    // I3: every detected attack ends in exactly one recovery.
+    if run.attacks != run.restarts + run.rollback_replays {
+        v.push(Violation::new(
+            "I3",
+            format!(
+                "attacks {} != restarts {} + rollback_replays {}",
+                run.attacks, run.restarts, run.rollback_replays
+            ),
+        ));
+    }
+
+    // I4: detection ⇒ an antibody was deployed, or the degradation is
+    // explicit (an injected tool failure or a rejected corrupt bundle —
+    // both surfaced as counters + timeline events by the runtime).
+    if run.producer
+        && run.attacks > 0
+        && run.deployed_vsefs == 0
+        && run.deployed_signatures == 0
+        && run.tool_failures == 0
+        && run.antibody_corrupt == 0
+    {
+        v.push(Violation::new(
+            "I4",
+            format!(
+                "{} attacks but no antibody and no recorded degradation",
+                run.attacks
+            ),
+        ));
+    }
+
+    // I5: service is always restored (rollback-replay or restart).
+    if !run.healthy {
+        v.push(Violation::new(
+            "I5",
+            "host not serviceable after the final request".to_string(),
+        ));
+    }
+
+    // I6: the proxy logs exactly one connection per offered request
+    // (replays re-inject into the guest, never into the log), and its
+    // filter counter agrees with the filtered outcomes.
+    if run.conns_logged != run.offered {
+        v.push(Violation::new(
+            "I6",
+            format!(
+                "proxy logged {} of {} offered",
+                run.conns_logged, run.offered
+            ),
+        ));
+    }
+    if run.proxy_filtered != run.filtered {
+        v.push(Violation::new(
+            "I6",
+            format!(
+                "proxy filtered_total {} != filtered outcomes {}",
+                run.proxy_filtered, run.filtered
+            ),
+        ));
+    }
+
+    // I7: an installed plan that fired nothing must not perturb the run.
+    if stats.total() == 0 && run.digest != baseline_digest {
+        v.push(Violation::new(
+            "I7",
+            format!(
+                "no fault fired but digest {:#018x} != baseline {:#018x}",
+                run.digest, baseline_digest
+            ),
+        ));
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_run() -> FaultedRun {
+        FaultedRun {
+            offered: 10,
+            served: 7,
+            filtered: 1,
+            attacks: 2,
+            restarts: 1,
+            rollback_replays: 1,
+            conns_logged: 10,
+            proxy_filtered: 1,
+            tool_failures: 0,
+            antibody_corrupt: 0,
+            deployed_vsefs: 2,
+            deployed_signatures: 1,
+            healthy: true,
+            producer: true,
+            digest: 0x1234,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let v = check_faulted_run(&clean_run(), &FaultStats::default(), 0x1234);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn each_identity_is_enforced() {
+        let stats = FaultStats::default();
+        let mut r = clean_run();
+        r.served = 6;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I2");
+        let mut r = clean_run();
+        r.restarts = 0;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I3");
+        let mut r = clean_run();
+        r.deployed_vsefs = 0;
+        r.deployed_signatures = 0;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I4");
+        let mut r = clean_run();
+        r.healthy = false;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I5");
+        let mut r = clean_run();
+        r.conns_logged = 9;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I6");
+        let r = clean_run();
+        assert_eq!(check_faulted_run(&r, &stats, 0x9999)[0].invariant, "I7");
+    }
+
+    #[test]
+    fn explicit_degradation_satisfies_i4() {
+        let mut r = clean_run();
+        r.deployed_vsefs = 0;
+        r.deployed_signatures = 0;
+        r.tool_failures = 2;
+        assert!(check_faulted_run(&r, &FaultStats::default(), 0x1234).is_empty());
+        r.tool_failures = 0;
+        r.antibody_corrupt = 1;
+        assert!(check_faulted_run(&r, &FaultStats::default(), 0x1234).is_empty());
+    }
+
+    #[test]
+    fn consumers_are_exempt_from_i4() {
+        let mut r = clean_run();
+        r.producer = false;
+        r.deployed_vsefs = 0;
+        r.deployed_signatures = 0;
+        assert!(check_faulted_run(&r, &FaultStats::default(), 0x1234).is_empty());
+    }
+
+    #[test]
+    fn fired_faults_relax_i7_only() {
+        let stats = FaultStats {
+            tools_failed: 1,
+            ..FaultStats::default()
+        };
+        let mut r = clean_run();
+        r.tool_failures = 1;
+        r.digest = 0xdead;
+        assert!(check_faulted_run(&r, &stats, 0x1234).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! The `chaos` binary: seeded fault-injection + differential fuzzing
+//! over the whole Sweeper pipeline.
+//!
+//! ```text
+//! cargo run --release -p chaos -- --seeds 500       # fuzz seeds 0..500
+//! cargo run --release -p chaos -- --seed 0xDEADBEEF # replay one case, verbose
+//! cargo run --release -p chaos -- --smoke           # bounded CI gate (see below)
+//! cargo run --release -p chaos -- --seeds 200 --json # machine-readable summary
+//! ```
+//!
+//! `--smoke` is the tier-2 CI mode: a fixed seed block (0..SMOKE_CASES)
+//! covering all four guests, with the additional gates that zero
+//! violations occur **and** at least three distinct fault families
+//! actually fired (so a refactor that silently disconnects the fault
+//! seams fails CI instead of green-washing it).
+//!
+//! Exit status: 0 = all checks passed, 1 = violations (each printed with
+//! its replay command), 2 = bad usage.
+
+use chaos::{run_case, run_many, CaseScenario, Summary};
+
+/// Cases in `--smoke` mode. Seeds are `0..SMOKE_CASES`; the guest
+/// rotates with `seed % 4`, so all four Table 1 servers get
+/// `SMOKE_CASES / 4` cases each.
+const SMOKE_CASES: u64 = 200;
+
+/// Minimum distinct fault families `--smoke` must observe firing.
+const SMOKE_MIN_FAMILIES: usize = 3;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seeds N] [--base SEED] [--seed SEED] [--smoke] [--json]\n\
+         \n\
+         --seeds N     fuzz N sequential cases (default base 0)\n\
+         --base SEED   first seed for --seeds (decimal or 0x-hex)\n\
+         --seed SEED   replay exactly one case, verbosely\n\
+         --smoke       bounded CI gate: {SMOKE_CASES} cases, all guests,\n\
+        \u{20}              zero violations, >= {SMOKE_MIN_FAMILIES} fault families fired\n\
+         --json        print the summary as one JSON object"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn print_summary(s: &Summary, json: bool) {
+    if json {
+        let fams: Vec<String> = s
+            .agg
+            .named()
+            .iter()
+            .map(|(n, c)| format!("\"{n}\":{c}"))
+            .collect();
+        println!(
+            "{{\"cases\":{},\"execs\":{},\"wall_secs\":{:.3},\"execs_per_sec\":{:.1},\
+             \"violations\":{},\"families_fired\":{},\"faults\":{{{}}}}}",
+            s.cases,
+            s.execs,
+            s.wall_secs,
+            s.execs_per_sec(),
+            s.violations.len(),
+            s.families_fired(),
+            fams.join(",")
+        );
+        return;
+    }
+    println!(
+        "chaos: {} cases, {} pipeline execs in {:.2}s ({:.1} execs/s)",
+        s.cases,
+        s.execs,
+        s.wall_secs,
+        s.execs_per_sec()
+    );
+    let guests: Vec<String> = s.guests.iter().map(|(g, n)| format!("{g}:{n}")).collect();
+    println!("guests: {}", guests.join(" "));
+    println!("faults fired ({} families):", s.families_fired());
+    for (name, count) in s.agg.named() {
+        println!("  chaos.fault.{name:<22} {count}");
+    }
+    if s.violations.is_empty() {
+        println!("violations: none");
+    } else {
+        println!("violations: {}", s.violations.len());
+        for (seed, v) in &s.violations {
+            println!("  [{}] seed {seed:#x}: {}", v.invariant, v.detail);
+            println!("      replay: cargo run --release -p chaos -- --seed {seed:#x}");
+        }
+    }
+}
+
+fn replay_one(seed: u64) -> i32 {
+    let scenario = CaseScenario::from_seed(seed);
+    println!(
+        "case {seed:#x}: guest={:?} role={:?} requests={} attacks={} \
+         interval={}ms retained={} sampling={} slicing={}",
+        scenario.target,
+        scenario.role,
+        scenario.requests.len(),
+        scenario.attacks_scheduled(),
+        scenario.interval_ms,
+        scenario.retained,
+        scenario.sample_rate,
+        scenario.run_slicing,
+    );
+    let report = run_case(seed);
+    println!("digest: {:#018x}", report.digest);
+    println!("faults fired: {:?}", report.stats);
+    if report.ok() {
+        println!("PASS");
+        0
+    } else {
+        for v in &report.violations {
+            println!("FAIL [{}]: {}", v.invariant, v.detail);
+        }
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds_n: Option<u64> = None;
+    let mut base: u64 = 0;
+    let mut one_seed: Option<u64> = None;
+    let mut smoke = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(n) => seeds_n = Some(n),
+                None => usage(),
+            },
+            "--base" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(b) => base = b,
+                None => usage(),
+            },
+            "--seed" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(s) => one_seed = Some(s),
+                None => usage(),
+            },
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+
+    if let Some(seed) = one_seed {
+        std::process::exit(replay_one(seed));
+    }
+
+    let n = if smoke {
+        SMOKE_CASES
+    } else {
+        seeds_n.unwrap_or(64)
+    };
+    let summary = run_many(base..base.saturating_add(n));
+    print_summary(&summary, json);
+
+    let mut failed = !summary.violations.is_empty();
+    if smoke {
+        if summary.guests.len() < 4 {
+            eprintln!("smoke: FAIL — only {} guests covered", summary.guests.len());
+            failed = true;
+        }
+        if summary.families_fired() < SMOKE_MIN_FAMILIES {
+            eprintln!(
+                "smoke: FAIL — only {} fault families fired (need >= {SMOKE_MIN_FAMILIES})",
+                summary.families_fired()
+            );
+            failed = true;
+        }
+        if !failed {
+            println!(
+                "smoke: OK ({} cases, {} guests, {} fault families)",
+                summary.cases,
+                summary.guests.len(),
+                summary.families_fired()
+            );
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

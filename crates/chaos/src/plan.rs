@@ -1,0 +1,412 @@
+//! Seeded fault plans: a deterministic [`FaultHooks`] implementation.
+//!
+//! Every injection decision is a pure function of
+//! `(case seed, site domain, per-site counter)` through the counter-based
+//! PRNG ([`epidemic::rng::draw`]) — the same keystone the sharded
+//! community engine uses for its deterministic merge. Because no decision
+//! depends on evolving generator *state*, a plan rebuilt from the same
+//! seed fires the same faults at the same sites in a replayed run, which
+//! is what makes `chaos --seed 0x…` an exact reproducer.
+//!
+//! A plan covers seven fault families, each independently enabled by a
+//! seed-derived mask so seeds explore combinations (including the empty
+//! plan, which anchors the bit-identical invariant):
+//!
+//! | family | seam |
+//! |--------|------|
+//! | replay-drop | a re-injected connection vanishes mid-replay |
+//! | replay-corrupt | a re-injected connection is bit-flipped |
+//! | replay-reorder | the replay set is permuted |
+//! | tool-fail | an analysis tool fails to attach (per step) |
+//! | tool-detach | the DBI runtime dies after N delivered events |
+//! | ckpt-evict | the chosen checkpoint is evicted pre-recovery |
+//! | antibody-corrupt | the serialized antibody is damaged in transit |
+
+use std::sync::{Arc, Mutex};
+
+use checkpoint::{CheckpointManager, Proxy};
+use epidemic::rng::draw;
+use sweeper::FaultHooks;
+
+// Domain separators (arbitrary, fixed): one per decision site so
+// counters never alias across sites.
+const DOM_INTENSITY: u64 = 0xc4a0_0001;
+const DOM_FAMILIES: u64 = 0xc4a0_0002;
+const DOM_REPLAY_DROP: u64 = 0xc4a0_0010;
+const DOM_REPLAY_CORRUPT: u64 = 0xc4a0_0011;
+const DOM_CORRUPT_POS: u64 = 0xc4a0_0012;
+const DOM_REORDER: u64 = 0xc4a0_0013;
+const DOM_REORDER_SWAP: u64 = 0xc4a0_0014;
+const DOM_TOOL_FAIL: u64 = 0xc4a0_0020;
+const DOM_DETACH: u64 = 0xc4a0_0021;
+const DOM_DETACH_N: u64 = 0xc4a0_0022;
+const DOM_EVICT: u64 = 0xc4a0_0030;
+const DOM_AB_CORRUPT: u64 = 0xc4a0_0040;
+const DOM_AB_MODE: u64 = 0xc4a0_0041;
+
+/// Family bit indices in the seed-derived enable mask.
+const FAM_REPLAY_DROP: u32 = 0;
+const FAM_REPLAY_CORRUPT: u32 = 1;
+const FAM_REORDER: u32 = 2;
+const FAM_TOOL_FAIL: u32 = 3;
+const FAM_DETACH: u32 = 4;
+const FAM_EVICT: u32 = 5;
+const FAM_AB_CORRUPT: u32 = 6;
+
+/// Counts of faults a plan actually *fired* during a run, per family.
+///
+/// The runner copies these into the observability registry as
+/// `chaos.fault.<family>` counters, which is how the harness proves each
+/// family is genuinely exercised (not just configured).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Replayed connections dropped.
+    pub replay_dropped: u64,
+    /// Replayed connections bit-flipped.
+    pub replay_corrupted: u64,
+    /// Replay sets permuted.
+    pub replay_reordered: u64,
+    /// Analysis-tool attach failures injected.
+    pub tools_failed: u64,
+    /// Mid-replay DBI detaches armed.
+    pub tools_detached: u64,
+    /// Checkpoints evicted in the recovery race window.
+    pub ckpts_evicted: u64,
+    /// Antibody bundles corrupted in transit.
+    pub antibodies_corrupted: u64,
+}
+
+impl FaultStats {
+    /// Total faults fired across all families.
+    pub fn total(&self) -> u64 {
+        self.replay_dropped
+            + self.replay_corrupted
+            + self.replay_reordered
+            + self.tools_failed
+            + self.tools_detached
+            + self.ckpts_evicted
+            + self.antibodies_corrupted
+    }
+
+    /// Number of distinct families that fired at least once.
+    pub fn families_fired(&self) -> usize {
+        [
+            self.replay_dropped,
+            self.replay_corrupted,
+            self.replay_reordered,
+            self.tools_failed,
+            self.tools_detached,
+            self.ckpts_evicted,
+            self.antibodies_corrupted,
+        ]
+        .iter()
+        .filter(|&&n| n > 0)
+        .count()
+    }
+
+    /// Accumulate another run's stats into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.replay_dropped += other.replay_dropped;
+        self.replay_corrupted += other.replay_corrupted;
+        self.replay_reordered += other.replay_reordered;
+        self.tools_failed += other.tools_failed;
+        self.tools_detached += other.tools_detached;
+        self.ckpts_evicted += other.ckpts_evicted;
+        self.antibodies_corrupted += other.antibodies_corrupted;
+    }
+
+    /// Write the per-family fired counts into `reg` as
+    /// `chaos.fault.<family>` absolute counters.
+    pub fn export(&self, reg: &mut obs::MetricsRegistry) {
+        reg.set_counter("chaos.fault.replay_dropped", self.replay_dropped);
+        reg.set_counter("chaos.fault.replay_corrupted", self.replay_corrupted);
+        reg.set_counter("chaos.fault.replay_reordered", self.replay_reordered);
+        reg.set_counter("chaos.fault.tools_failed", self.tools_failed);
+        reg.set_counter("chaos.fault.tools_detached", self.tools_detached);
+        reg.set_counter("chaos.fault.ckpts_evicted", self.ckpts_evicted);
+        reg.set_counter(
+            "chaos.fault.antibodies_corrupted",
+            self.antibodies_corrupted,
+        );
+    }
+
+    /// `(name, count)` pairs in a fixed order, for reports.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("replay_dropped", self.replay_dropped),
+            ("replay_corrupted", self.replay_corrupted),
+            ("replay_reordered", self.replay_reordered),
+            ("tools_failed", self.tools_failed),
+            ("tools_detached", self.tools_detached),
+            ("ckpts_evicted", self.ckpts_evicted),
+            ("antibodies_corrupted", self.antibodies_corrupted),
+        ]
+    }
+}
+
+/// Shared handle to a plan's [`FaultStats`]: the plan is boxed into the
+/// runtime (`Box<dyn FaultHooks>`), so the runner keeps this clone to
+/// read the fired counts after the run — including after a caught panic.
+pub type SharedStats = Arc<Mutex<FaultStats>>;
+
+/// A seeded, deterministic fault plan (see module docs).
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-site fire probability in permille; 0 means the empty plan.
+    permille: u64,
+    /// Enabled-family bitmask (bits [`FAM_REPLAY_DROP`]..).
+    families: u64,
+    /// Per-domain decision counters (indexed by site, not family).
+    counters: [u64; 8],
+    stats: SharedStats,
+}
+
+impl FaultPlan {
+    /// Derive a plan from a case seed. Roughly a quarter of seeds yield
+    /// the *empty* plan (intensity 0): those anchor the invariant that an
+    /// installed-but-silent plan is bit-identical to no plan at all.
+    pub fn from_seed(seed: u64) -> (FaultPlan, SharedStats) {
+        let permille = match draw(seed, DOM_INTENSITY, 0) % 4 {
+            0 => 0,
+            1 => 80,
+            2 => 220,
+            _ => 450,
+        };
+        let families = draw(seed, DOM_FAMILIES, 0) | (1 << FAM_TOOL_FAIL);
+        let stats: SharedStats = Arc::new(Mutex::new(FaultStats::default()));
+        (
+            FaultPlan {
+                seed,
+                permille,
+                families,
+                counters: [0; 8],
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+
+    /// Whether this plan can fire at all.
+    pub fn is_empty_plan(&self) -> bool {
+        self.permille == 0
+    }
+
+    /// One deterministic permille roll at `domain` (counter slot `slot`),
+    /// gated on the family being enabled.
+    fn roll(&mut self, family: u32, domain: u64, slot: usize) -> bool {
+        if self.permille == 0 || self.families & (1 << family) == 0 {
+            return false;
+        }
+        let c = self.counters[slot];
+        self.counters[slot] += 1;
+        draw(self.seed, domain, c) % 1000 < self.permille
+    }
+
+    /// A deterministic raw draw at `domain`, advancing slot `slot`.
+    fn value(&mut self, domain: u64, slot: usize) -> u64 {
+        let c = self.counters[slot];
+        self.counters[slot] += 1;
+        draw(self.seed, domain, c)
+    }
+
+    /// Fold a step name into a domain so per-step decisions don't alias.
+    fn step_domain(base: u64, step: &str) -> u64 {
+        step.bytes()
+            .fold(base, |acc, b| acc.rotate_left(7) ^ u64::from(b))
+    }
+}
+
+impl FaultHooks for FaultPlan {
+    fn on_replay_input(&mut self, _log_id: usize, input: &mut Vec<u8>) -> bool {
+        if self.roll(FAM_REPLAY_DROP, DOM_REPLAY_DROP, 0) {
+            self.stats.lock().unwrap().replay_dropped += 1;
+            return false;
+        }
+        if !input.is_empty() && self.roll(FAM_REPLAY_CORRUPT, DOM_REPLAY_CORRUPT, 1) {
+            let v = self.value(DOM_CORRUPT_POS, 1);
+            let pos = (v as usize) % input.len();
+            let bit = (v >> 32) % 8;
+            input[pos] ^= 1 << bit;
+            self.stats.lock().unwrap().replay_corrupted += 1;
+        }
+        true
+    }
+
+    fn reorder_replay(&mut self, inputs: &mut Vec<(usize, Vec<u8>)>) {
+        if inputs.len() < 2 || !self.roll(FAM_REORDER, DOM_REORDER, 2) {
+            return;
+        }
+        // Deterministic Fisher–Yates over the replay set.
+        for i in (1..inputs.len()).rev() {
+            let j = (self.value(DOM_REORDER_SWAP, 2) as usize) % (i + 1);
+            inputs.swap(i, j);
+        }
+        self.stats.lock().unwrap().replay_reordered += 1;
+    }
+
+    fn fail_tool(&mut self, step: &'static str) -> bool {
+        let dom = FaultPlan::step_domain(DOM_TOOL_FAIL, step);
+        if self.roll(FAM_TOOL_FAIL, dom, 3) {
+            self.stats.lock().unwrap().tools_failed += 1;
+            return true;
+        }
+        false
+    }
+
+    fn tool_detach_after(&mut self, step: &'static str) -> Option<u64> {
+        let dom = FaultPlan::step_domain(DOM_DETACH, step);
+        if self.roll(FAM_DETACH, dom, 4) {
+            let n = self.value(DOM_DETACH_N, 4) % 4096;
+            self.stats.lock().unwrap().tools_detached += 1;
+            return Some(n);
+        }
+        None
+    }
+
+    fn before_recovery(&mut self, mgr: &mut CheckpointManager, _proxy: &mut Proxy) {
+        // The eviction race: retention pressure lands between choosing a
+        // snapshot and replaying from it. Up to three evictions per
+        // window so a seed can vanish the chosen checkpoint entirely.
+        for _ in 0..3 {
+            if !self.roll(FAM_EVICT, DOM_EVICT, 5) {
+                break;
+            }
+            if mgr.evict_oldest().is_none() {
+                break;
+            }
+            self.stats.lock().unwrap().ckpts_evicted += 1;
+        }
+    }
+
+    fn corrupt_antibody(&mut self, bytes: &mut Vec<u8>) -> bool {
+        if bytes.is_empty() || !self.roll(FAM_AB_CORRUPT, DOM_AB_CORRUPT, 6) {
+            return false;
+        }
+        let v = self.value(DOM_AB_MODE, 6);
+        match v % 3 {
+            // Truncation (lost tail in transit).
+            0 => {
+                let keep = (v >> 8) as usize % bytes.len();
+                bytes.truncate(keep);
+            }
+            // Single bit-flip.
+            1 => {
+                let pos = (v >> 8) as usize % bytes.len();
+                let bit = (v >> 56) % 8;
+                bytes[pos] ^= 1 << bit;
+            }
+            // Burst corruption: stomp 4 bytes.
+            _ => {
+                let pos = (v >> 8) as usize % bytes.len();
+                for (k, b) in bytes.iter_mut().skip(pos).take(4).enumerate() {
+                    *b = (v >> (16 + 8 * k)) as u8;
+                }
+            }
+        }
+        self.stats.lock().unwrap().antibodies_corrupted += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal machine so the eviction seam has real checkpoints to
+    /// race against.
+    fn boot_counter() -> svm::Machine {
+        let prog = svm::asm::assemble(
+            ".text\nmain:\n movi r1, v\nloop:\n ld r0, [r1, 0]\n addi r0, r0, 1\n st [r1, 0], r0\n jmp loop\n.data\nv: .word 0\n",
+        )
+        .expect("asm");
+        svm::Machine::boot(&prog, svm::loader::Aslr::off()).expect("boot")
+    }
+
+    /// Drive a plan through a fixed synthetic site schedule, recording
+    /// every decision.
+    fn trace(seed: u64) -> (Vec<String>, FaultStats) {
+        let (mut p, stats) = FaultPlan::from_seed(seed);
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 4);
+        let mut proxy = Proxy::new();
+        let mut out = Vec::new();
+        for i in 0..24u64 {
+            let mut input = vec![1, 2, 3, 4, (i & 0xff) as u8];
+            let kept = p.on_replay_input(i as usize, &mut input);
+            out.push(format!("replay {kept} {input:?}"));
+            let mut set = vec![(0usize, vec![9u8]), (1, vec![8]), (2, vec![7])];
+            p.reorder_replay(&mut set);
+            out.push(format!("order {set:?}"));
+            for step in ["memory-state", "memory-bug", "taint", "slicing"] {
+                out.push(format!("fail {} {}", step, p.fail_tool(step)));
+                out.push(format!("detach {} {:?}", step, p.tool_detach_after(step)));
+            }
+            let mut ab = vec![0xabu8; 40];
+            out.push(format!("ab {} {ab:?}", p.corrupt_antibody(&mut ab)));
+            // Keep the ring populated so evictions can actually land.
+            while mgr.retained() < 3 {
+                mgr.take(&mut m);
+            }
+            p.before_recovery(&mut mgr, &mut proxy);
+            out.push(format!("retained {}", mgr.retained()));
+        }
+        let s = *stats.lock().unwrap();
+        (out, s)
+    }
+
+    #[test]
+    fn same_seed_same_plan_bit_for_bit() {
+        for seed in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+            assert_eq!(trace(seed), trace(seed), "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn seeds_explore_distinct_fault_mixes() {
+        let mut distinct = std::collections::BTreeSet::new();
+        let mut empty_plans = 0;
+        for seed in 0..64u64 {
+            let (_, stats) = trace(seed);
+            if stats.total() == 0 {
+                empty_plans += 1;
+            }
+            distinct.insert(format!("{stats:?}"));
+        }
+        assert!(distinct.len() > 8, "only {} mixes", distinct.len());
+        assert!(empty_plans > 0, "some seeds must yield the empty plan");
+        // Across a small seed range, every family fires somewhere.
+        let mut agg = FaultStats::default();
+        for seed in 0..64u64 {
+            agg.absorb(&trace(seed).1);
+        }
+        assert_eq!(agg.families_fired(), 7, "all families reachable: {agg:?}");
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        for seed in 0..512u64 {
+            let (p, _) = FaultPlan::from_seed(seed);
+            if p.is_empty_plan() {
+                let (_, stats) = trace(seed);
+                assert_eq!(stats.total(), 0, "empty plan fired: seed {seed}");
+                return;
+            }
+        }
+        panic!("no empty plan in seed range");
+    }
+
+    #[test]
+    fn stats_export_lands_in_the_registry() {
+        let mut agg = FaultStats::default();
+        for seed in 0..32u64 {
+            agg.absorb(&trace(seed).1);
+        }
+        let mut reg = obs::MetricsRegistry::new();
+        agg.export(&mut reg);
+        assert_eq!(reg.counter("chaos.fault.tools_failed"), agg.tools_failed);
+        assert_eq!(
+            reg.counter("chaos.fault.replay_dropped"),
+            agg.replay_dropped
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The case runner: differential legs, the faulted run, aggregation.
+//!
+//! One fuzz case (= one seed) is:
+//!
+//! 1. **Differential legs** — the scenario's workload runs unfaulted
+//!    with the decode cache on and off, and the scenario's community
+//!    outbreak runs with K = 1 and K = 4 shards. The four combined
+//!    outcome digests (cache × K, metrics always on) must be bit-equal:
+//!    both knobs are pure performance knobs, and any divergence is a
+//!    determinism bug.
+//! 2. **Faulted run** — the same workload runs again with the seeded
+//!    [`FaultPlan`] installed, inside `catch_unwind`. The
+//!    [invariant catalog](crate::invariants) is checked over the result.
+//!
+//! Every decision in both halves derives from the case seed, so a
+//! failing case replays exactly with `chaos --seed 0x<seed>`.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use apps::App;
+use sweeper::{RequestOutcome, Role, Sweeper};
+
+use crate::digest::{digest_community, digest_sweeper, Hasher};
+use crate::invariants::{check_faulted_run, FaultedRun, Violation};
+use crate::plan::{FaultPlan, FaultStats};
+use crate::scenario::CaseScenario;
+
+/// Everything about one executed fuzz case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case seed (replay handle).
+    pub seed: u64,
+    /// Guest server name.
+    pub guest: String,
+    /// Baseline (unfaulted, cache-on, K=1) combined digest.
+    pub digest: u64,
+    /// What the fault plan fired.
+    pub stats: FaultStats,
+    /// Violations found (empty = case passed).
+    pub violations: Vec<Violation>,
+    /// Pipeline executions this case cost (sweeper drives + community
+    /// runs), for throughput reporting.
+    pub execs: u64,
+}
+
+impl CaseReport {
+    /// Whether the case passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate over a batch of cases.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Cases executed.
+    pub cases: u64,
+    /// Total pipeline executions.
+    pub execs: u64,
+    /// Wall-clock seconds for the batch.
+    pub wall_secs: f64,
+    /// Faults fired, aggregated across all cases.
+    pub agg: FaultStats,
+    /// Every violation, tagged with its case seed.
+    pub violations: Vec<(u64, Violation)>,
+    /// Cases per guest server.
+    pub guests: BTreeMap<String, u64>,
+}
+
+impl Summary {
+    /// Pipeline executions per wall-clock second.
+    pub fn execs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.execs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Distinct fault families exercised across the batch.
+    pub fn families_fired(&self) -> usize {
+        self.agg.families_fired()
+    }
+
+    /// The batch as a metrics registry (`chaos.*` counters): the
+    /// evidence that fault families were genuinely exercised.
+    pub fn metrics(&self) -> obs::MetricsRegistry {
+        let mut reg = obs::MetricsRegistry::new();
+        self.agg.export(&mut reg);
+        reg.set_counter("chaos.cases", self.cases);
+        reg.set_counter("chaos.execs", self.execs);
+        reg.set_counter("chaos.violations", self.violations.len() as u64);
+        reg
+    }
+}
+
+/// Drive one host through the scenario's workload. Returns the
+/// flattened observation, or the panic message if the pipeline panicked
+/// (which is itself an I1 violation).
+fn drive(
+    scenario: &CaseScenario,
+    app: &App,
+    cache: bool,
+    plan: Option<FaultPlan>,
+) -> Result<FaultedRun, String> {
+    let producer = scenario.role == Role::Producer;
+    let requests: Vec<Vec<u8>> = scenario
+        .requests
+        .iter()
+        .map(|r| r.bytes().to_vec())
+        .collect();
+    let config = scenario.config();
+    let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<FaultedRun, String> {
+        let mut s = Sweeper::protect(app, config).map_err(|e| format!("protect: {e}"))?;
+        s.machine.set_decode_cache(cache);
+        if let Some(p) = plan {
+            s.set_fault_hooks(Box::new(p));
+        }
+        let (mut served, mut filtered, mut attacks) = (0u64, 0u64, 0u64);
+        for input in requests {
+            match s.offer_request(input) {
+                RequestOutcome::Served { .. } => served += 1,
+                RequestOutcome::Filtered { .. } => filtered += 1,
+                RequestOutcome::Attack(_) => attacks += 1,
+            }
+        }
+        let reg = s.export_metrics();
+        Ok(FaultedRun {
+            offered: scenario.requests.len() as u64,
+            served,
+            filtered,
+            attacks,
+            restarts: reg.counter("recovery.restarts"),
+            rollback_replays: reg.counter("recovery.rollback_replays"),
+            conns_logged: reg.counter("proxy.conns_logged"),
+            proxy_filtered: reg.counter("proxy.filtered_total"),
+            tool_failures: reg.counter("pipeline.tool_failures"),
+            antibody_corrupt: reg.counter("sweeper.antibody_corrupt_total"),
+            deployed_vsefs: s.deployed_vsefs() as u64,
+            deployed_signatures: s.signatures.len() as u64,
+            healthy: s.status().healthy,
+            producer,
+            digest: digest_sweeper(&s),
+        })
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Execute one fuzz case (see module docs).
+pub fn run_case(seed: u64) -> CaseReport {
+    let scenario = CaseScenario::from_seed(seed);
+    let guest = format!("{:?}", scenario.target);
+    let mut violations = Vec::new();
+    let mut execs = 0u64;
+
+    let app = match scenario.app() {
+        Ok(a) => a,
+        Err(e) => {
+            return CaseReport {
+                seed,
+                guest,
+                digest: 0,
+                stats: FaultStats::default(),
+                violations: vec![Violation {
+                    invariant: "setup",
+                    detail: format!("guest failed to assemble: {e}"),
+                }],
+                execs: 0,
+            }
+        }
+    };
+
+    // ---- Differential legs (unfaulted). ------------------------------
+    let sweeper_legs: Vec<(bool, Result<FaultedRun, String>)> = [true, false]
+        .into_iter()
+        .map(|cache| {
+            execs += 1;
+            (cache, drive(&scenario, &app, cache, None))
+        })
+        .collect();
+    let community_legs: Vec<(usize, u64)> = [1usize, 4]
+        .into_iter()
+        .map(|k| {
+            execs += 1;
+            let out = epidemic::community::run(&scenario.community_with(k));
+            (k, digest_community(&out))
+        })
+        .collect();
+
+    let mut baseline: Option<FaultedRun> = None;
+    let mut leg_digests: Vec<(String, u64)> = Vec::new();
+    for (cache, leg) in &sweeper_legs {
+        match leg {
+            Ok(run) => {
+                // Unfaulted legs must satisfy the catalog too (with the
+                // run itself as its own I7 baseline).
+                for v in check_faulted_run(run, &FaultStats::default(), run.digest) {
+                    violations.push(Violation {
+                        invariant: v.invariant,
+                        detail: format!("unfaulted leg cache={cache}: {}", v.detail),
+                    });
+                }
+                for (k, epi) in &community_legs {
+                    let combined = Hasher::new().u64(run.digest).u64(*epi).finish();
+                    leg_digests.push((format!("cache={cache},K={k}"), combined));
+                }
+                if *cache && baseline.is_none() {
+                    baseline = Some(run.clone());
+                }
+            }
+            Err(msg) => violations.push(Violation {
+                invariant: "I1",
+                detail: format!("unfaulted leg cache={cache}: {msg}"),
+            }),
+        }
+    }
+    if let Some((_, first)) = leg_digests.first() {
+        for (name, d) in &leg_digests {
+            if d != first {
+                violations.push(Violation {
+                    invariant: "differential",
+                    detail: format!(
+                        "leg {name} digest {d:#018x} != leg {} digest {first:#018x}",
+                        leg_digests[0].0
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- Faulted run. ------------------------------------------------
+    let (plan, stats) = FaultPlan::from_seed(seed);
+    execs += 1;
+    let faulted = drive(&scenario, &app, true, Some(plan));
+    let fired = *stats.lock().unwrap();
+    match (&faulted, &baseline) {
+        (Ok(run), Some(base)) => {
+            violations.extend(check_faulted_run(run, &fired, base.digest));
+        }
+        (Ok(run), None) => {
+            // Baseline itself failed; still check the standalone
+            // invariants (I7 degenerates to self-comparison).
+            violations.extend(check_faulted_run(run, &fired, run.digest));
+        }
+        (Err(msg), _) => violations.push(Violation {
+            invariant: "I1",
+            detail: format!("faulted run ({fired:?}): {msg}"),
+        }),
+    }
+
+    CaseReport {
+        seed,
+        guest,
+        digest: leg_digests.first().map(|(_, d)| *d).unwrap_or(0),
+        stats: fired,
+        violations,
+        execs,
+    }
+}
+
+/// Run a batch of seeds with panics silenced (they are *reported*, as
+/// I1 violations — just not splattered over stderr mid-batch).
+pub fn run_many(seeds: impl IntoIterator<Item = u64>) -> Summary {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let start = Instant::now();
+    let mut summary = Summary::default();
+    for seed in seeds {
+        let report = run_case(seed);
+        summary.cases += 1;
+        summary.execs += report.execs;
+        summary.agg.absorb(&report.stats);
+        *summary.guests.entry(report.guest.clone()).or_insert(0) += 1;
+        for v in report.violations {
+            summary.violations.push((seed, v));
+        }
+    }
+    summary.wall_secs = start.elapsed().as_secs_f64();
+    std::panic::set_hook(prev);
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_case_replays_bit_identically_from_its_seed() {
+        let a = run_case(3);
+        let b = run_case(3);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.execs, b.execs);
+    }
+
+    #[test]
+    fn first_seeds_pass_and_cover_every_guest() {
+        let summary = run_many(0..8);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.guests.len(), 4, "guests: {:?}", summary.guests);
+        assert_eq!(summary.cases, 8);
+        assert!(summary.execs >= 8 * 5);
+    }
+}

@@ -16,6 +16,6 @@ pub mod syscall_log;
 
 pub use manager::{Checkpoint, CheckpointManager, CkptId};
 pub use proxy::{InputFilter, LoggedConn, Proxy};
-pub use recovery::{recover, RecoveryOutcome};
-pub use replay::{ReplayEnd, ReplayOutcome, ReplaySession};
-pub use syscall_log::{divergence, Divergence, SyscallLog, SyscallRecord};
+pub use recovery::{recover, recover_with_fault, RecoveryOutcome};
+pub use replay::{NoFault, ReplayEnd, ReplayFault, ReplayOutcome, ReplaySession};
+pub use syscall_log::{divergence, Divergence, SyscallLog, SyscallLogError, SyscallRecord};

@@ -134,6 +134,17 @@ impl CheckpointManager {
         self.ring.front()
     }
 
+    /// Forcibly evict the oldest retained checkpoint, returning its id.
+    ///
+    /// Models memory-pressure eviction racing a rollback decision: the
+    /// chaos harness calls this between "pick a checkpoint" and "recover
+    /// from it" to prove the pipeline degrades to a restart (never a
+    /// panic) when the chosen snapshot vanishes. `None` when the ring is
+    /// empty.
+    pub fn evict_oldest(&mut self) -> Option<CkptId> {
+        self.ring.pop_front().map(|c| c.id)
+    }
+
     /// The most recent checkpoint taken at or before `cycles` — used to
     /// pick a rollback point prior to a suspect connection's arrival.
     pub fn latest_before(&self, cycles: u64) -> Option<&Checkpoint> {

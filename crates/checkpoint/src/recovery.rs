@@ -16,7 +16,7 @@ use svm::Machine;
 
 use crate::manager::{CheckpointManager, CkptId};
 use crate::proxy::Proxy;
-use crate::replay::{ReplayEnd, ReplaySession};
+use crate::replay::{NoFault, ReplayEnd, ReplayFault, ReplaySession};
 
 /// Outcome of a recovery attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,12 +62,33 @@ pub fn recover(
     ckpt: CkptId,
     drop_ids: &[usize],
 ) -> RecoveryOutcome {
+    recover_with_fault(live, mgr, proxy, ckpt, drop_ids, &mut NoFault)
+}
+
+/// [`recover`], with `fault` mediating the recovery replay's input
+/// injection (see [`ReplayFault`]).
+///
+/// Used by the chaos harness to model a lossy recovery path. Faults can
+/// only make recovery *more* conservative: a corrupted, dropped or
+/// reordered input either replays to the same committed output (resume)
+/// or trips the session-consistency check (restart required) — the live
+/// machine and proxy are untouched unless the check passes.
+pub fn recover_with_fault(
+    live: &mut Machine,
+    mgr: &CheckpointManager,
+    proxy: &mut Proxy,
+    ckpt: CkptId,
+    drop_ids: &[usize],
+    fault: &mut dyn ReplayFault,
+) -> RecoveryOutcome {
     let Some(session) = ReplaySession::new(mgr, proxy, ckpt) else {
         return RecoveryOutcome::RestartRequired {
             diverged_conn: usize::MAX,
         };
     };
-    let out = session.dropping(drop_ids).run(&mut svm::NopHook);
+    let out = session
+        .dropping(drop_ids)
+        .run_with_fault(&mut svm::NopHook, fault);
     match out.end {
         ReplayEnd::Faulted(f) => return RecoveryOutcome::ReplayFaulted(f),
         ReplayEnd::Quiescent | ReplayEnd::Halted(_) | ReplayEnd::StuckOnRead => {}

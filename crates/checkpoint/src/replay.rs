@@ -50,6 +50,34 @@ pub struct ReplayOutcome {
     pub cycles: u64,
 }
 
+/// Adversarial mutation hooks applied to a replay's input injection.
+///
+/// The chaos fault-injection harness implements this to model a lossy or
+/// corrupted proxy log (truncated inputs, bit-flips, dropped or reordered
+/// connections) while replaying; production code paths use [`NoFault`],
+/// which leaves every input untouched. The trait only mediates *what the
+/// replay clone is fed* — the live machine and the proxy log itself are
+/// never modified through it.
+pub trait ReplayFault {
+    /// Called once per re-injected connection, in injection order, with
+    /// the connection's log id and a mutable copy of its input bytes.
+    /// Mutate `input` to corrupt it; return `false` to drop the
+    /// connection from the replay entirely.
+    fn on_replay_input(&mut self, _log_id: usize, _input: &mut Vec<u8>) -> bool {
+        true
+    }
+
+    /// Called once with the full collected replay set (log id, input)
+    /// before injection; permute the vector to reorder delivery.
+    fn reorder(&mut self, _inputs: &mut Vec<(usize, Vec<u8>)>) {}
+}
+
+/// The do-nothing [`ReplayFault`]: production replay behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFault;
+
+impl ReplayFault for NoFault {}
+
 /// A configured replay: which checkpoint, which inputs to drop.
 pub struct ReplaySession<'a> {
     ckpt: &'a Checkpoint,
@@ -85,6 +113,17 @@ impl<'a> ReplaySession<'a> {
 
     /// Run the replay under `hook`.
     pub fn run(&self, hook: &mut dyn Hook) -> ReplayOutcome {
+        self.run_with_fault(hook, &mut NoFault)
+    }
+
+    /// Run the replay under `hook`, with `fault` mediating every
+    /// re-injected input (see [`ReplayFault`]). `run` is exactly this
+    /// with [`NoFault`].
+    pub fn run_with_fault(
+        &self,
+        hook: &mut dyn Hook,
+        fault: &mut dyn ReplayFault,
+    ) -> ReplayOutcome {
         let mut m = self.ckpt.machine.clone();
         m.clock.tick(svm::clock::cost::ROLLBACK);
         let insns_start = m.insns_retired;
@@ -93,12 +132,17 @@ impl<'a> ReplaySession<'a> {
         // has the complete log, so replay need not respect original
         // arrival times (this is why replay runs faster than the original
         // execution, per the paper).
-        let mut pending = self
+        let mut pending: Vec<(usize, Vec<u8>)> = self
             .proxy
             .replay_set(self.ckpt.conns_at, &self.drop)
-            .into_iter();
-        for lc in pending.by_ref() {
-            m.net.push_connection(lc.input.clone());
+            .into_iter()
+            .map(|lc| (lc.log_id, lc.input.clone()))
+            .collect();
+        fault.reorder(&mut pending);
+        for (log_id, mut input) in pending {
+            if fault.on_replay_input(log_id, &mut input) {
+                m.net.push_connection(input);
+            }
         }
         m.unblock();
         let end = loop {

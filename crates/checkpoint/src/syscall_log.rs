@@ -32,7 +32,7 @@ pub struct SyscallRecord {
 }
 
 /// A recording hook (attach to any run via `Pair` or directly).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyscallLog {
     records: Vec<SyscallRecord>,
 }
@@ -46,6 +46,12 @@ impl SyscallLog {
     /// Recorded syscalls in execution order.
     pub fn records(&self) -> &[SyscallRecord] {
         &self.records
+    }
+
+    /// Append a record (used when reconstructing logs outside a hook,
+    /// e.g. in verifiers and test fixtures).
+    pub fn push(&mut self, rec: SyscallRecord) {
+        self.records.push(rec);
     }
 
     /// Number of records.
@@ -65,7 +71,125 @@ impl SyscallLog {
             .filter(|r| r.syscall == Syscall::Write)
             .collect()
     }
+
+    /// Serialize the log to a flat byte buffer (magic `SWSL`, version 1,
+    /// record count, then fixed-width little-endian records).
+    ///
+    /// A persisted Flashback log survives the process it describes; the
+    /// chaos harness truncates and bit-flips these buffers to prove the
+    /// decoder ([`SyscallLog::from_bytes`]) fails closed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.records.len() * 26);
+        out.extend_from_slice(b"SWSL");
+        out.push(1); // version
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.pc.to_le_bytes());
+            out.push(r.syscall.num());
+            for a in r.args {
+                out.extend_from_slice(&a.to_le_bytes());
+            }
+            out.extend_from_slice(&r.ret.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`SyscallLog::to_bytes`].
+    ///
+    /// Every read is bounds-checked: truncated buffers, bad magic,
+    /// unknown versions, impossible record counts and invalid syscall
+    /// numbers all return a [`SyscallLogError`] — never a panic. This is
+    /// the seam the chaos harness' truncated/corrupted-log fault family
+    /// exercises.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SyscallLog, SyscallLogError> {
+        let header = bytes.get(..9).ok_or(SyscallLogError::Truncated {
+            at: bytes.len(),
+            need: 9,
+        })?;
+        if &header[..4] != b"SWSL" {
+            return Err(SyscallLogError::BadMagic);
+        }
+        if header[4] != 1 {
+            return Err(SyscallLogError::BadVersion(header[4]));
+        }
+        let count = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+        const REC: usize = 4 + 1 + 16 + 4;
+        let need = 9 + count.saturating_mul(REC);
+        if bytes.len() < need {
+            return Err(SyscallLogError::Truncated {
+                at: bytes.len(),
+                need,
+            });
+        }
+        let mut records = Vec::with_capacity(count.min(1 << 16));
+        let mut off = 9usize;
+        let word = |b: &[u8], o: usize| u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+        for _ in 0..count {
+            let pc = word(bytes, off);
+            let sc = bytes[off + 4];
+            let syscall = Syscall::from_num(sc).ok_or(SyscallLogError::BadSyscall {
+                offset: off + 4,
+                num: sc,
+            })?;
+            let args = [
+                word(bytes, off + 5),
+                word(bytes, off + 9),
+                word(bytes, off + 13),
+                word(bytes, off + 17),
+            ];
+            let ret = word(bytes, off + 21);
+            records.push(SyscallRecord {
+                pc,
+                syscall,
+                args,
+                ret,
+            });
+            off += REC;
+        }
+        Ok(SyscallLog { records })
+    }
 }
+
+/// Why a serialized syscall log failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallLogError {
+    /// The buffer ends before the structure it promises (`need` bytes
+    /// required, only `at` present). Truncated logs land here.
+    Truncated {
+        /// Actual buffer length.
+        at: usize,
+        /// Bytes the declared structure requires.
+        need: usize,
+    },
+    /// The buffer does not start with the `SWSL` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// A record carries an invalid syscall number (corruption).
+    BadSyscall {
+        /// Byte offset of the bad value.
+        offset: usize,
+        /// The invalid syscall number found.
+        num: u8,
+    },
+}
+
+impl std::fmt::Display for SyscallLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyscallLogError::Truncated { at, need } => {
+                write!(f, "syscall log truncated: {at} bytes, need {need}")
+            }
+            SyscallLogError::BadMagic => write!(f, "syscall log: bad magic"),
+            SyscallLogError::BadVersion(v) => write!(f, "syscall log: unknown version {v}"),
+            SyscallLogError::BadSyscall { offset, num } => {
+                write!(f, "syscall log: invalid syscall {num} at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyscallLogError {}
 
 impl Hook for SyscallLog {
     fn on_syscall(&mut self, _m: &Machine, pc: u32, sc: Syscall, args: [u32; 4], ret: u32) {
@@ -243,6 +367,63 @@ buf: .space 64
             } => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn wire_roundtrip_is_lossless() {
+        let mut m = echo_server();
+        m.net.push_connection(b"ping".to_vec());
+        let mut log = SyscallLog::new();
+        m.run(&mut NopHook, 1_000_000); // park on accept first
+        m.run(&mut log, 50_000_000);
+        let bytes = log.to_bytes();
+        let back = SyscallLog::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.records(), log.records());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_logs_fail_closed() {
+        let mut log = SyscallLog::new();
+        log.records.push(SyscallRecord {
+            pc: 0x40,
+            syscall: Syscall::Write,
+            args: [1, 2, 3, 4],
+            ret: 4,
+        });
+        let bytes = log.to_bytes();
+        // Every truncation point decodes to Err, never panics.
+        for cut in 0..bytes.len() {
+            let r = SyscallLog::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+        // A count claiming more records than the buffer holds is caught.
+        let mut lying = bytes.clone();
+        lying[5] = 0xff;
+        lying[6] = 0xff;
+        assert!(matches!(
+            SyscallLog::from_bytes(&lying),
+            Err(SyscallLogError::Truncated { .. })
+        ));
+        // Bad magic and version.
+        let mut nomagic = bytes.clone();
+        nomagic[0] = b'X';
+        assert_eq!(
+            SyscallLog::from_bytes(&nomagic),
+            Err(SyscallLogError::BadMagic)
+        );
+        let mut badver = bytes.clone();
+        badver[4] = 9;
+        assert_eq!(
+            SyscallLog::from_bytes(&badver),
+            Err(SyscallLogError::BadVersion(9))
+        );
+        // An invalid syscall number inside a record is corruption.
+        let mut badsc = bytes;
+        badsc[9 + 4] = 0x7f;
+        assert!(matches!(
+            SyscallLog::from_bytes(&badsc),
+            Err(SyscallLogError::BadSyscall { num: 0x7f, .. })
+        ));
     }
 
     #[test]

@@ -21,6 +21,9 @@ struct Slot {
     watch: Watch,
     insn_cost: u64,
     events: u64,
+    /// Auto-detach the tool once `events` reaches this limit (chaos
+    /// fault injection: a mid-replay DBI detach). `None` = never.
+    detach_after: Option<u64>,
 }
 
 /// Multiplexes events from a [`Machine`] to attached [`Tool`]s.
@@ -37,6 +40,8 @@ pub struct Instrumenter {
     charged_total: u64,
     /// Lifetime total of overhead cycles taken (accounted out-of-band).
     taken_total: u64,
+    /// Tools forcibly detached by a `detach_after` event limit.
+    auto_detached_total: u64,
 }
 
 impl Instrumenter {
@@ -54,6 +59,7 @@ impl Instrumenter {
             watch,
             insn_cost,
             events: 0,
+            detach_after: None,
         };
         for (i, s) in self.slots.iter_mut().enumerate() {
             if s.is_none() {
@@ -71,6 +77,26 @@ impl Instrumenter {
             .get_mut(id.0)
             .and_then(|s| s.take())
             .map(|s| s.tool)
+    }
+
+    /// Arm a mid-execution detach: once the tool has received `events`
+    /// instruction events, it is silently detached (its findings are
+    /// discarded), exactly as if the DBI runtime died mid-replay.
+    ///
+    /// This is the chaos harness' `DbiDetach` fault family: Sweeper's
+    /// analysis pipeline must tolerate a tool vanishing between attach
+    /// and read-out by degrading its report, never by panicking. A limit
+    /// of 0 detaches before the next event is delivered.
+    pub fn set_detach_after(&mut self, id: ToolId, events: u64) {
+        if let Some(Some(s)) = self.slots.get_mut(id.0) {
+            s.detach_after = Some(events);
+        }
+    }
+
+    /// How many tools have been forcibly removed by a
+    /// [`Instrumenter::set_detach_after`] limit so far.
+    pub fn auto_detached_total(&self) -> u64 {
+        self.auto_detached_total
     }
 
     /// Re-read a tool's watch set and cost (after reconfiguring it).
@@ -143,6 +169,7 @@ impl Instrumenter {
         reg.set_counter("dbi.overhead.pending_cycles", self.overhead);
         reg.set_counter("dbi.overhead.charged_cycles", self.charged_total);
         reg.set_counter("dbi.overhead.taken_cycles", self.taken_total);
+        reg.set_counter("dbi.auto_detached_total", self.auto_detached_total);
         reg.gauge("dbi.tools_attached", self.tool_count() as f64);
         for s in self.slots.iter().flatten() {
             reg.set_counter(&format!("dbi.tool.{}.events", s.tool.name()), s.events);
@@ -171,6 +198,17 @@ impl Hook for Instrumenter {
     }
 
     fn on_insn(&mut self, m: &Machine, pc: u32, op: &Op) {
+        // Sweep armed detach limits *before* delivering: a tool whose
+        // event budget is spent vanishes exactly as if the DBI runtime
+        // detached it mid-flight (findings discarded).
+        for s in self.slots.iter_mut() {
+            if let Some(slot) = s {
+                if slot.detach_after.is_some_and(|n| slot.events >= n) {
+                    *s = None;
+                    self.auto_detached_total += 1;
+                }
+            }
+        }
         let mut overhead = 0;
         for s in self.slots.iter_mut().flatten() {
             if s.watch.covers(pc) {
@@ -411,6 +449,40 @@ mod tests {
         ins.export_metrics(&mut reg);
         assert_eq!(reg.counter("dbi.overhead.pending_cycles"), 0);
         assert_eq!(reg.counter("dbi.overhead.charged_cycles"), 21);
+    }
+
+    #[test]
+    fn armed_detach_removes_tool_mid_run() {
+        let mut m =
+            boot(".text\nmain:\n movi r0, 1\n movi r0, 2\n movi r0, 3\n movi r0, 4\n halt\n");
+        let mut ins = Instrumenter::new();
+        let id = ins.attach(Box::new(Counter::new(Watch::All, 1)));
+        ins.set_detach_after(id, 2);
+        m.run(&mut ins, 1_000_000);
+        assert!(
+            ins.get::<Counter>(id).is_none(),
+            "tool is gone after its event budget"
+        );
+        assert_eq!(ins.tool_count(), 0);
+        assert_eq!(ins.auto_detached_total(), 1);
+        assert_eq!(
+            ins.pending_overhead(),
+            2,
+            "only the delivered events were charged"
+        );
+        assert!(ins.is_passive(), "machine drops back to the fast path");
+    }
+
+    #[test]
+    fn detach_after_zero_blocks_all_delivery() {
+        let mut m = boot(".text\nmain:\n movi r0, 1\n halt\n");
+        let mut ins = Instrumenter::new();
+        let id = ins.attach(Box::new(Counter::new(Watch::All, 5)));
+        ins.set_detach_after(id, 0);
+        m.run(&mut ins, 1_000_000);
+        assert!(ins.get::<Counter>(id).is_none());
+        assert_eq!(ins.pending_overhead(), 0, "no event was ever delivered");
+        assert_eq!(ins.auto_detached_total(), 1);
     }
 
     #[test]

@@ -217,6 +217,20 @@ impl MetricsRegistry {
     /// Merge `other` into `self`: counters add, gauges overwrite (last
     /// writer wins), spans append in `other`'s order.
     ///
+    /// Algebraically (and property-tested in `tests/obs_props.rs`):
+    ///
+    /// * **Counters** form a commutative monoid — merge is associative
+    ///   *and* order-insensitive, so any shard fold order yields the
+    ///   same counter map.
+    /// * **Gauges** are *intentionally* order-sensitive: a gauge is a
+    ///   point-in-time reading, so when several shards report the same
+    ///   gauge, the fold keeps the **last shard's** value rather than
+    ///   inventing a sum or mean. Merge is still associative — only the
+    ///   fold *order* matters. Callers that fold shards must therefore
+    ///   do so in a fixed order (as the sharded community engine does,
+    ///   shard 0..K) for deterministic gauge output.
+    /// * **Spans** append, preserving each input's recording order.
+    ///
     /// Merging a fixed sequence of registries in a fixed order is fully
     /// deterministic, which is how the sharded community engine folds
     /// per-shard registries into one.

@@ -21,6 +21,14 @@ pub enum SweeperError {
         /// Human-readable tool name.
         tool: &'static str,
     },
+    /// A received antibody bundle failed to decode (truncation or
+    /// corruption in transit). The runtime skips deployment and keeps
+    /// recovering; the error is surfaced on the timeline.
+    CorruptAntibody(antibody::BundleError),
+    /// A persisted syscall log failed to decode (truncation or
+    /// corruption). Replay verification falls back to the conservative
+    /// path instead of trusting the damaged log.
+    CorruptLog(checkpoint::SyscallLogError),
 }
 
 impl fmt::Display for SweeperError {
@@ -30,6 +38,8 @@ impl fmt::Display for SweeperError {
             SweeperError::ToolUnavailable { tool } => {
                 write!(f, "instrumentation tool unavailable: {tool}")
             }
+            SweeperError::CorruptAntibody(e) => write!(f, "corrupt antibody bundle: {e}"),
+            SweeperError::CorruptLog(e) => write!(f, "corrupt syscall log: {e}"),
         }
     }
 }
@@ -39,6 +49,8 @@ impl std::error::Error for SweeperError {
         match self {
             SweeperError::Vm(e) => Some(e),
             SweeperError::ToolUnavailable { .. } => None,
+            SweeperError::CorruptAntibody(e) => Some(e),
+            SweeperError::CorruptLog(e) => Some(e),
         }
     }
 }
@@ -46,6 +58,18 @@ impl std::error::Error for SweeperError {
 impl From<SvmError> for SweeperError {
     fn from(e: SvmError) -> SweeperError {
         SweeperError::Vm(e)
+    }
+}
+
+impl From<antibody::BundleError> for SweeperError {
+    fn from(e: antibody::BundleError) -> SweeperError {
+        SweeperError::CorruptAntibody(e)
+    }
+}
+
+impl From<checkpoint::SyscallLogError> for SweeperError {
+    fn from(e: checkpoint::SyscallLogError) -> SweeperError {
+        SweeperError::CorruptLog(e)
     }
 }
 

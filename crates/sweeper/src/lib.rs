@@ -17,10 +17,13 @@
 //! - **[`error`]** — the runtime's error type ([`SweeperError`]); the
 //!   runtime degrades (partial antibodies, skipped hosts) rather than
 //!   panicking.
+//! - **[`fault`]** — the fault-injection seams ([`fault::FaultHooks`])
+//!   the `chaos` harness drives; no-ops in production.
 //! - **[`report`]** — Table 2/3-style rendering of attack reports.
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod pipeline;
 pub mod report;
 pub mod runtime;
@@ -28,8 +31,10 @@ pub mod timeline;
 
 pub use config::{Config, Role};
 pub use error::SweeperError;
+pub use fault::{FaultAdapter, FaultHooks, NoFaultHooks};
 pub use pipeline::{
-    analyze_attack, timings_from_timeline, AnalysisReport, InputFinding, SliceVerdict, StepTimings,
+    analyze_attack, analyze_attack_with_faults, timings_from_timeline, AnalysisReport,
+    InputFinding, SliceVerdict, StepTimings,
 };
 pub use runtime::{AttackReport, HostStatus, RequestOutcome, Sweeper};
 pub use timeline::{Event, Stamped, Timeline};

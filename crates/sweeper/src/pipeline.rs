@@ -24,6 +24,8 @@ use svm::clock::cycles_to_secs;
 use svm::loader::Layout;
 use svm::Machine;
 
+use crate::error::SweeperError;
+use crate::fault::{FaultAdapter, FaultHooks, NoFaultHooks};
 use crate::timeline::{Event, Timeline};
 
 /// Fixed cost of dynamically attaching an instrumentation tool to a
@@ -213,6 +215,54 @@ pub fn analyze_attack(
     run_slicing: bool,
     replay_budget: u64,
 ) -> Option<AnalysisReport> {
+    analyze_attack_with_faults(
+        live,
+        mgr,
+        proxy,
+        timeline,
+        metrics,
+        run_slicing,
+        replay_budget,
+        None,
+    )
+}
+
+/// Record an injected tool failure explicitly: a `pipeline.tool_failures`
+/// counter bump plus a timeline event carrying the [`SweeperError`] text,
+/// so a degraded analysis is always distinguishable from a silent one.
+fn record_tool_failure(
+    metrics: &mut obs::MetricsRegistry,
+    timeline: &mut Timeline,
+    step: &'static str,
+) {
+    metrics.inc("pipeline.tool_failures", 1);
+    metrics.inc(&format!("pipeline.tool_failures.{step}"), 1);
+    timeline.record(Event::AntibodyReleased {
+        what: format!("degraded: {}", SweeperError::ToolUnavailable { tool: step }),
+    });
+}
+
+/// [`analyze_attack`], with `faults` mediating every seam (see
+/// [`FaultHooks`]): analysis-tool failures degrade the corresponding
+/// step's contribution, armed DBI detaches are installed before each
+/// replay, and replay input injection goes through the fault adapter.
+/// `None` is exactly production behaviour.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_attack_with_faults(
+    live: &Machine,
+    mgr: &CheckpointManager,
+    proxy: &Proxy,
+    timeline: &mut Timeline,
+    metrics: &mut obs::MetricsRegistry,
+    run_slicing: bool,
+    replay_budget: u64,
+    faults: Option<&mut (dyn FaultHooks + '_)>,
+) -> Option<AnalysisReport> {
+    let mut nofault = NoFaultHooks;
+    let faults: &mut dyn FaultHooks = match faults {
+        Some(f) => f,
+        None => &mut nofault,
+    };
     let detection_at = timeline.now();
     let nominal = Layout::nominal();
     let host = live.layout;
@@ -223,6 +273,14 @@ pub fn analyze_attack(
 
     // ---- Step 1: memory-state analysis of the faulted image. ----------
     let sp1 = metrics.start_span("pipeline.memory_state", detection_at);
+    if faults.fail_tool("memory-state") {
+        // The very first analyzer died: no antibody can be derived at
+        // all. Surface the failure explicitly and abort the analysis;
+        // the runtime falls back to drop-last recovery.
+        record_tool_failure(metrics, timeline, "memory-state");
+        metrics.end_span(sp1, timeline.now());
+        return None;
+    }
     let core = analysis::analyze(live)?;
     timeline.advance_by(CORE_DUMP_CYCLES);
     metrics.end_span(sp1, timeline.now());
@@ -251,25 +309,43 @@ pub fn analyze_attack(
 
     // ---- Step 2: memory-bug detection on a replay. ---------------------
     let sp2 = metrics.start_span("pipeline.memory_bug", timeline.now());
-    let ckpt_machine = &mgr.get(ckpt)?.machine;
-    let det = MemBugDetector::attach_to(ckpt_machine);
-    let mut ins = Instrumenter::new();
-    let det_id = ins.attach(Box::new(det));
-    let out = ReplaySession::new(mgr, proxy, ckpt)?
-        .with_budget(replay_budget)
-        .run(&mut ins);
-    let step2_cycles = ATTACH_COST_CYCLES + out.cycles + ins.take_overhead();
-    timeline.advance_by(step2_cycles);
-    metrics.end_span(sp2, timeline.now());
-    timings.memory_bug_ms = cycles_to_secs(step2_cycles) * 1e3;
-    timeline.record(Event::AnalysisStep {
-        step: "memory-bug",
-        duration_ms: timings.memory_bug_ms,
-    });
-    let membug: Vec<analysis::MemBugFinding> = ins
-        .get::<MemBugDetector>(det_id)
-        .map(|d| d.findings().to_vec())
-        .unwrap_or_default();
+    let membug: Vec<analysis::MemBugFinding> = if faults.fail_tool("memory-bug") {
+        // The detector failed to attach: the refined VSEF is lost, but
+        // the initial one already shipped — degrade, don't abort.
+        record_tool_failure(metrics, timeline, "memory-bug");
+        timeline.advance_by(ATTACH_COST_CYCLES);
+        metrics.end_span(sp2, timeline.now());
+        timings.memory_bug_ms = cycles_to_secs(ATTACH_COST_CYCLES) * 1e3;
+        timeline.record(Event::AnalysisStep {
+            step: "memory-bug",
+            duration_ms: timings.memory_bug_ms,
+        });
+        Vec::new()
+    } else {
+        let ckpt_machine = &mgr.get(ckpt)?.machine;
+        let det = MemBugDetector::attach_to(ckpt_machine);
+        let mut ins = Instrumenter::new();
+        let det_id = ins.attach(Box::new(det));
+        if let Some(n) = faults.tool_detach_after("memory-bug") {
+            ins.set_detach_after(det_id, n);
+        }
+        let out = ReplaySession::new(mgr, proxy, ckpt)?
+            .with_budget(replay_budget)
+            .run_with_fault(&mut ins, &mut FaultAdapter(&mut *faults));
+        let step2_cycles = ATTACH_COST_CYCLES + out.cycles + ins.take_overhead();
+        timeline.advance_by(step2_cycles);
+        metrics.end_span(sp2, timeline.now());
+        timings.memory_bug_ms = cycles_to_secs(step2_cycles) * 1e3;
+        timeline.record(Event::AnalysisStep {
+            step: "memory-bug",
+            duration_ms: timings.memory_bug_ms,
+        });
+        // A `None` here covers both "no findings" and "tool detached
+        // mid-replay" — either way the refined VSEF is simply absent.
+        ins.get::<MemBugDetector>(det_id)
+            .map(|d| d.findings().to_vec())
+            .unwrap_or_default()
+    };
     let refined = refined_vsefs(&membug);
     for v in &refined {
         antibody.push(
@@ -286,69 +362,81 @@ pub fn analyze_attack(
 
     // ---- Step 3: taint analysis (with isolation fallback). -------------
     let sp3 = metrics.start_span("pipeline.taint", timeline.now());
-    let mut ins3 = Instrumenter::new();
-    let taint_id = ins3.attach(Box::new(TaintTool::new()));
-    let out3 = ReplaySession::new(mgr, proxy, ckpt)?
-        .with_budget(replay_budget)
-        .run(&mut ins3);
-    let mut step3_cycles = ATTACH_COST_CYCLES + out3.cycles + ins3.take_overhead();
     let conns_at = mgr.get(ckpt)?.conns_at;
-    let replayed_machine = &out3.machine;
     let mut input = InputFinding::default();
-    if let Some(taint) = ins3.get::<TaintTool>(taint_id) {
-        // Prefer a control-transfer alert; otherwise query taint at the
-        // corrupt location the fault names (heap attacks).
-        let mut sources = taint
-            .alerts()
-            .first()
-            .map(|a| a.sources.clone())
-            .unwrap_or_default();
-        if sources.is_empty() {
-            if let svm::Status::Faulted(f) = replayed_machine.status() {
-                if let Some(addr) = f.fault_addr() {
-                    // The corrupt chunk header (HeapAbort) or the slot the
-                    // allocator was about to dereference.
-                    sources = taint.taint_of_mem(addr, 8);
-                    if sources.is_empty() {
-                        sources = taint.taint_of_mem(addr.wrapping_sub(8), 16);
+    let mut step3_cycles;
+    if faults.fail_tool("taint") {
+        // Taint never ran: the paper's own isolation fallback below is
+        // the degradation path — the attack input is still identified,
+        // just slower and without byte offsets.
+        record_tool_failure(metrics, timeline, "taint");
+        step3_cycles = ATTACH_COST_CYCLES;
+    } else {
+        let mut ins3 = Instrumenter::new();
+        let taint_id = ins3.attach(Box::new(TaintTool::new()));
+        if let Some(n) = faults.tool_detach_after("taint") {
+            ins3.set_detach_after(taint_id, n);
+        }
+        let out3 = ReplaySession::new(mgr, proxy, ckpt)?
+            .with_budget(replay_budget)
+            .run_with_fault(&mut ins3, &mut FaultAdapter(&mut *faults));
+        step3_cycles = ATTACH_COST_CYCLES + out3.cycles + ins3.take_overhead();
+        let replayed_machine = &out3.machine;
+        if let Some(taint) = ins3.get::<TaintTool>(taint_id) {
+            // Prefer a control-transfer alert; otherwise query taint at the
+            // corrupt location the fault names (heap attacks).
+            let mut sources = taint
+                .alerts()
+                .first()
+                .map(|a| a.sources.clone())
+                .unwrap_or_default();
+            if sources.is_empty() {
+                if let svm::Status::Faulted(f) = replayed_machine.status() {
+                    if let Some(addr) = f.fault_addr() {
+                        // The corrupt chunk header (HeapAbort) or the slot the
+                        // allocator was about to dereference.
+                        sources = taint.taint_of_mem(addr, 8);
+                        if sources.is_empty() {
+                            sources = taint.taint_of_mem(addr.wrapping_sub(8), 16);
+                        }
                     }
                 }
             }
+            if !sources.is_empty() {
+                input.via_taint = true;
+                // Map replay guest conn ids back to proxy log ids.
+                let replay_map: Vec<usize> = guest_to_log_map(proxy, conns_at, &[]);
+                let mut ids: Vec<usize> = sources
+                    .iter()
+                    .filter_map(|(c, _)| replay_map.get(*c as usize).copied())
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                let primary_guest = sources.iter().next().map(|(c, _)| *c).unwrap_or_default();
+                input.offsets = sources
+                    .iter()
+                    .filter(|(c, _)| *c == primary_guest)
+                    .map(|(_, o)| *o)
+                    .collect();
+                input.attack_log_ids = ids;
+            }
         }
-        if !sources.is_empty() {
-            input.via_taint = true;
-            // Map replay guest conn ids back to proxy log ids.
-            let replay_map: Vec<usize> = guest_to_log_map(proxy, conns_at, &[]);
-            let mut ids: Vec<usize> = sources
-                .iter()
-                .filter_map(|(c, _)| replay_map.get(*c as usize).copied())
-                .collect();
-            ids.sort_unstable();
-            ids.dedup();
-            let primary_guest = sources.iter().next().map(|(c, _)| *c).unwrap_or_default();
-            input.offsets = sources
-                .iter()
-                .filter(|(c, _)| *c == primary_guest)
-                .map(|(_, o)| *o)
-                .collect();
-            input.attack_log_ids = ids;
-        }
-    }
-    // Also add taint-filter VSEF material when taint implicated input.
-    if input.via_taint {
-        if let Some(taint) = ins3.get::<TaintTool>(taint_id) {
-            if let Some(alert) = taint.alerts().first() {
-                let mut prop: Vec<u32> = taint.propagation_pcs().iter().copied().collect();
-                prop.truncate(64);
-                let spec = VsefSpec::TaintFilter {
-                    prop_pcs: prop,
-                    sink_pc: alert.pc,
-                };
-                timeline.advance_by(1_000_000);
-                antibody.push(AntibodyItem::Vsef(norm(spec)), ms_since_detect(timeline));
-                timeline.record(Event::AntibodyReleased {
-                    what: "taint-filter VSEF".into(),
-                });
+        // Also add taint-filter VSEF material when taint implicated input.
+        if input.via_taint {
+            if let Some(taint) = ins3.get::<TaintTool>(taint_id) {
+                if let Some(alert) = taint.alerts().first() {
+                    let mut prop: Vec<u32> = taint.propagation_pcs().iter().copied().collect();
+                    prop.truncate(64);
+                    let spec = VsefSpec::TaintFilter {
+                        prop_pcs: prop,
+                        sink_pc: alert.pc,
+                    };
+                    timeline.advance_by(1_000_000);
+                    antibody.push(AntibodyItem::Vsef(norm(spec)), ms_since_detect(timeline));
+                    timeline.record(Event::AntibodyReleased {
+                        what: "taint-filter VSEF".into(),
+                    });
+                }
             }
         }
     }
@@ -370,7 +458,7 @@ pub fn analyze_attack(
             let solo = sess
                 .dropping(&others)
                 .with_budget(replay_budget)
-                .run(&mut svm::NopHook);
+                .run_with_fault(&mut svm::NopHook, &mut FaultAdapter(&mut *faults));
             step3_cycles += ATTACH_COST_CYCLES / 4 + solo.cycles;
             if matches!(solo.end, ReplayEnd::Faulted(_)) {
                 input.attack_log_ids = vec![cand];
@@ -419,13 +507,22 @@ pub fn analyze_attack(
     metrics.record_span("pipeline.initial", detection_at, timeline.now());
 
     // ---- Step 4: backward slicing (verification). -----------------------
-    let slice = if run_slicing {
+    let slicing_failed = run_slicing && faults.fail_tool("slicing");
+    if slicing_failed {
+        // Cross-verification is lost, but the antibody is complete:
+        // report it explicitly and ship without the slice verdict.
+        record_tool_failure(metrics, timeline, "slicing");
+    }
+    let slice = if run_slicing && !slicing_failed {
         let sp4 = metrics.start_span("pipeline.slicing", timeline.now());
         let mut ins4 = Instrumenter::new();
         let tr_id = ins4.attach(Box::new(TraceRecorder::new()));
+        if let Some(n) = faults.tool_detach_after("slicing") {
+            ins4.set_detach_after(tr_id, n);
+        }
         let out4 = ReplaySession::new(mgr, proxy, ckpt)?
             .with_budget(replay_budget)
-            .run(&mut ins4);
+            .run_with_fault(&mut ins4, &mut FaultAdapter(&mut *faults));
         let step4_cycles = ATTACH_COST_CYCLES + out4.cycles + ins4.take_overhead();
         timeline.advance_by(step4_cycles);
         metrics.end_span(sp4, timeline.now());

@@ -9,7 +9,10 @@
 use analysis::TaintTool;
 use antibody::{Antibody, AntibodyItem, SignatureSet, VsefRuntime, VsefSpec};
 use apps::App;
-use checkpoint::{recover, CheckpointManager, InputFilter, Proxy, RecoveryOutcome};
+use checkpoint::{
+    divergence, recover, recover_with_fault, CheckpointManager, CkptId, Divergence, InputFilter,
+    Proxy, RecoveryOutcome, SyscallLog,
+};
 use dbi::{Instrumenter, ToolId};
 use svm::clock::cycles_to_secs;
 use svm::hook::Pair;
@@ -21,7 +24,8 @@ use svm::{Machine, Status};
 use crate::error::SweeperError;
 
 use crate::config::{Config, Role};
-use crate::pipeline::{analyze_attack, AnalysisReport};
+use crate::fault::{FaultAdapter, FaultHooks};
+use crate::pipeline::{analyze_attack_with_faults, AnalysisReport};
 use crate::timeline::{Event, Timeline};
 
 /// Outcome of offering one request to a protected server.
@@ -168,6 +172,10 @@ pub struct Sweeper {
     /// feed token-sequence signature generalization (Polygraph-style,
     /// paper §3.3 "Polymorphic signatures are also feasible").
     attack_samples: Vec<Vec<u8>>,
+    /// Installed fault-injection hooks (`None` in production): the seam
+    /// the `chaos` harness uses to perturb attack handling. See
+    /// [`crate::fault`].
+    fault_hooks: Option<Box<dyn FaultHooks>>,
 }
 
 impl Sweeper {
@@ -201,6 +209,7 @@ impl Sweeper {
             requests_sampled: 0,
             rerandomizations: 0,
             attack_samples: Vec::new(),
+            fault_hooks: None,
         };
         // Boot to quiescence and take the initial checkpoint.
         s.run_until_idle();
@@ -208,6 +217,63 @@ impl Sweeper {
         s.sync_time();
         s.timeline.record(Event::Checkpoint { id: id.0 });
         Ok(s)
+    }
+
+    /// Install fault-injection hooks (the `chaos` harness's seam into
+    /// attack handling). Production code never calls this; with no hooks
+    /// installed every fault seam is a no-op.
+    pub fn set_fault_hooks(&mut self, hooks: Box<dyn FaultHooks>) {
+        self.fault_hooks = Some(hooks);
+    }
+
+    /// Deploy an antibody, passing it through the (optional) in-transit
+    /// corruption fault seam first: the antibody is serialized, the hook
+    /// may flip bits or truncate, and the runtime then decodes what
+    /// "arrived". A corrupted bundle is rejected — surfaced as a
+    /// [`SweeperError::CorruptAntibody`] on the timeline and counted in
+    /// `sweeper.antibody_corrupt_total` — and never partially deployed.
+    fn deploy_antibody_faulted(&mut self, antibody: &Antibody) {
+        let corrupted = match self.fault_hooks.as_deref_mut() {
+            Some(hooks) => {
+                let mut bytes = antibody.to_bytes();
+                if hooks.corrupt_antibody(&mut bytes) {
+                    Some(bytes)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        match corrupted {
+            None => self.deploy_antibody(antibody),
+            Some(bytes) => match Antibody::from_bytes(&bytes) {
+                Ok(ab) => self.deploy_antibody(&ab),
+                Err(e) => {
+                    let err = SweeperError::from(e);
+                    self.obs.inc("sweeper.antibody_corrupt_total", 1);
+                    self.timeline.record(Event::AntibodyReleased {
+                        what: format!("rejected: {err}"),
+                    });
+                }
+            },
+        }
+    }
+
+    /// Run recovery, threading installed fault hooks into the replay (so
+    /// the chaos harness can drop/corrupt/reorder the re-injected
+    /// connections mid-recovery).
+    fn recover_faulted(&mut self, ck: CkptId, drop_ids: &[usize]) -> RecoveryOutcome {
+        match self.fault_hooks.as_deref_mut() {
+            Some(hooks) => recover_with_fault(
+                &mut self.machine,
+                &self.mgr,
+                &mut self.proxy,
+                ck,
+                drop_ids,
+                &mut FaultAdapter(hooks),
+            ),
+            None => recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, drop_ids),
+        }
     }
 
     /// Deploy an antibody received from the community (or produced
@@ -351,7 +417,7 @@ impl Sweeper {
         // Producers run the full analysis (skipped when a deployed VSEF
         // caught a known vulnerability — the antibody already exists).
         let analysis = if self.config.role == Role::Producer && !via_vsef {
-            analyze_attack(
+            analyze_attack_with_faults(
                 &self.machine,
                 &self.mgr,
                 &self.proxy,
@@ -359,6 +425,7 @@ impl Sweeper {
                 &mut self.obs,
                 self.config.run_slicing,
                 self.config.replay_budget,
+                self.fault_hooks.as_deref_mut(),
             )
         } else {
             None
@@ -366,7 +433,7 @@ impl Sweeper {
 
         // Deploy our own antibody locally.
         let drop_ids: Vec<usize> = if let Some(rep) = &analysis {
-            self.deploy_antibody(&rep.antibody.clone());
+            self.deploy_antibody_faulted(&rep.antibody.clone());
             if rep.input.attack_log_ids.is_empty() {
                 self.last_conn_fallback()
             } else {
@@ -425,9 +492,15 @@ impl Sweeper {
             )
             .or_else(|| self.mgr.oldest())
             .map(|c| c.id);
+        // Fault seam: the eviction-race window between choosing a
+        // checkpoint and replaying from it. A hook may evict the chosen
+        // snapshot here; recovery must then degrade to a restart.
+        if let Some(hooks) = self.fault_hooks.as_deref_mut() {
+            hooks.before_recovery(&mut self.mgr, &mut self.proxy);
+        }
         let mut method: &'static str = "restart";
         if let Some(ck) = recover_from {
-            match recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &drop_ids) {
+            match self.recover_faulted(ck, &drop_ids) {
                 RecoveryOutcome::Resumed {
                     pause_cycles,
                     replayed_conns,
@@ -585,7 +658,7 @@ impl Sweeper {
             );
             antibody.push(AntibodyItem::ExploitInput(lc.input.clone()), 3.0);
         }
-        self.deploy_antibody(&antibody);
+        self.deploy_antibody_faulted(&antibody);
         // Recover: roll back to before this connection and drop it.
         let arrival = self
             .proxy
@@ -597,13 +670,16 @@ impl Sweeper {
             .latest_before(arrival)
             .or_else(|| self.mgr.oldest())
             .map(|c| c.id);
+        if let Some(hooks) = self.fault_hooks.as_deref_mut() {
+            hooks.before_recovery(&mut self.mgr, &mut self.proxy);
+        }
         let mut method: &'static str = "restart";
         if let Some(ck) = recover_from {
             if let RecoveryOutcome::Resumed {
                 pause_cycles,
                 replayed_conns,
                 dropped_conns,
-            } = recover(&mut self.machine, &self.mgr, &mut self.proxy, ck, &[log_id])
+            } = self.recover_faulted(ck, &[log_id])
             {
                 method = "rollback-replay";
                 self.obs
@@ -642,6 +718,25 @@ impl Sweeper {
             pause_ms,
             compromised,
         }
+    }
+
+    /// Verify a recovery replay against a *persisted* Flashback syscall
+    /// log (paper §4.1): decode the stored byte buffer and compare its
+    /// `write()` records against the replay's.
+    ///
+    /// The buffer may have crossed a disk or the network, so it is
+    /// decoded defensively: a truncated or corrupted log is rejected as
+    /// [`SweeperError::CorruptLog`] — the caller then falls back to the
+    /// conservative session-consistency check instead of trusting a
+    /// damaged log. (Before the bounds-checked decoder this path would
+    /// read past the buffer on logs truncated mid-record; the chaos
+    /// harness' corrupt-log fault family keeps it honest.)
+    pub fn verify_replay_log(
+        original_bytes: &[u8],
+        replayed: &SyscallLog,
+    ) -> Result<Divergence, SweeperError> {
+        let original = SyscallLog::from_bytes(original_bytes)?;
+        Ok(divergence(&original, replayed, true))
     }
 
     /// A point-in-time operator summary of the protected host.
@@ -1014,6 +1109,62 @@ mod tests {
             }
             other => panic!("consumer unprotected: {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod replay_log_tests {
+    use super::*;
+    use checkpoint::SyscallRecord;
+    use svm::isa::Syscall;
+
+    fn log_with(ret: u32) -> SyscallLog {
+        let mut log = SyscallLog::new();
+        log.push(SyscallRecord {
+            pc: 0x40,
+            syscall: Syscall::Write,
+            args: [1, 0x2000, 4, 0],
+            ret,
+        });
+        log
+    }
+
+    #[test]
+    fn persisted_log_verification_roundtrips() {
+        let live = log_with(4);
+        let bytes = live.to_bytes();
+        let replay = log_with(4);
+        match Sweeper::verify_replay_log(&bytes, &replay) {
+            Ok(Divergence::None) => {}
+            other => panic!("{other:?}"),
+        }
+        // A changed write is pinpointed, not silently accepted.
+        let diverged = log_with(3);
+        assert!(matches!(
+            Sweeper::verify_replay_log(&bytes, &diverged),
+            Ok(Divergence::At { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_persisted_log_is_rejected_not_trusted() {
+        // Regression: a log truncated mid-record (or wholly corrupted)
+        // must surface as SweeperError::CorruptLog — the conservative
+        // fallback path — and must never panic the verifier.
+        let bytes = log_with(4).to_bytes();
+        let replay = log_with(4);
+        for cut in 0..bytes.len() {
+            match Sweeper::verify_replay_log(&bytes[..cut], &replay) {
+                Err(SweeperError::CorruptLog(_)) => {}
+                other => panic!("cut {cut}: {other:?}"),
+            }
+        }
+        let mut garbage = bytes.clone();
+        garbage[0] = b'Z';
+        assert!(matches!(
+            Sweeper::verify_replay_log(&garbage, &replay),
+            Err(SweeperError::CorruptLog(_))
+        ));
     }
 }
 

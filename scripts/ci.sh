@@ -7,6 +7,9 @@
 #   - a grep gate asserting the workspace stays `unsafe`-free
 #     (DESIGN.md §7) — belt-and-braces on top of the workspace-level
 #     `unsafe_code = "forbid"` lint, catching `#[allow]` overrides;
+#   - the chaos smoke gate: 200 seeded fault-injection + differential
+#     fuzz cases across all four guests with zero violations and >= 3
+#     fault families demonstrably fired (TESTING.md);
 #   - a non-failing bench smoke: `tables benchjson` on a small input,
 #     proving the perf-snapshot path works (its numbers are NOT gated —
 #     commit refreshed BENCH_*.json files deliberately, not from CI).
@@ -28,6 +31,11 @@ if grep -rn --include='*.rs' -E 'unsafe[[:space:]]+(\{|fn|impl|trait)|allow\(uns
     exit 1
 fi
 echo "   workspace is unsafe-free"
+
+echo "== tier2: chaos smoke (seeded fault-injection + differential gate)"
+# Bounded: 200 seeds, all four guests, zero violations required, and at
+# least three fault families must demonstrably fire (see TESTING.md).
+cargo run --release -p chaos -- --smoke
 
 echo "== tier2: bench smoke (non-failing)"
 if cargo run --release -p bench --bin tables -- \

@@ -11,5 +11,6 @@ pub use apps;
 pub use checkpoint;
 pub use dbi;
 pub use epidemic;
+pub use obs;
 pub use svm;
 pub use sweeper;

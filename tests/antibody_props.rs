@@ -1,0 +1,191 @@
+//! Property tests for `antibody::signature` matching and for the
+//! deployed-filter false-positive guarantee (PR 4 satellite).
+//!
+//! The paper's §3.3 argument for exact-match-first signatures is "very
+//! low false positives". These properties pin the matching semantics
+//! that argument rests on:
+//!
+//! 1. an [`Signature::Exact`] signature never matches any mutation of
+//!    its own input — a single flipped bit anywhere defeats it;
+//! 2. a [`Signature::Substring`] signature derived from taint offsets
+//!    keeps matching when the input is mutated *outside* the signature
+//!    window (the attacker can't shake the signature off by perturbing
+//!    unimplicated bytes);
+//! 3. [`Signature::TokenSeq`] matching is *ordered*: the same tokens in
+//!    the wrong order do not match;
+//! 4. `tokens_from_samples` output matches every sample it was derived
+//!    from;
+//! 5. end to end, for each of the four Table 1 guests: after an attack
+//!    deploys real antibodies (VSEFs + signatures), the benign workload
+//!    corpus is still served — zero false positives on benign traffic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sweeper_repro::antibody::{exact_from, substring_from_taint, tokens_from_samples, Signature};
+use sweeper_repro::apps::workload::{Target, Workload};
+use sweeper_repro::apps::{cvs, httpd1, httpd2, squid};
+use sweeper_repro::sweeper::{Config, RequestOutcome, Sweeper};
+
+/// Every byte position at which `needle` occurs in `hay`.
+fn occurrences(hay: &[u8], needle: &[u8]) -> Vec<usize> {
+    if needle.is_empty() || needle.len() > hay.len() {
+        return Vec::new();
+    }
+    hay.windows(needle.len())
+        .enumerate()
+        .filter(|(_, w)| *w == needle)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact signatures match only their exact bytes: flipping any
+    /// single bit anywhere produces a non-match.
+    #[test]
+    fn exact_signature_rejects_every_single_byte_mutation(
+        input in vec(any::<u8>(), 1..64),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let sig = exact_from(&input);
+        prop_assert!(sig.matches(&input));
+        let mut mutant = input.clone();
+        let at = pos % mutant.len();
+        mutant[at] ^= 1 << bit;
+        prop_assert!(!sig.matches(&mutant));
+    }
+
+    /// A taint-derived substring signature is insensitive to mutations
+    /// outside its window: flipping a byte that lies inside no
+    /// occurrence of the signature bytes leaves the match intact.
+    #[test]
+    fn substring_signature_survives_mutations_outside_its_window(
+        input in vec(any::<u8>(), 8..64),
+        offsets in vec(any::<u32>(), 1..8),
+        pos in any::<usize>(),
+    ) {
+        let Some(sig) = substring_from_taint(&input, &offsets, 4) else {
+            // All offsets out of range: nothing to derive, nothing to check.
+            return Ok(());
+        };
+        prop_assert!(sig.matches(&input), "signature must match its own input");
+        let Signature::Substring(window) = &sig else {
+            prop_assert!(false, "taint derivation yields Substring");
+            return Ok(());
+        };
+        // Pick a mutation site covered by no occurrence of the window.
+        let occs = occurrences(&input, window);
+        let covered = |i: usize| occs.iter().any(|&o| i >= o && i < o + window.len());
+        let free: Vec<usize> = (0..input.len()).filter(|&i| !covered(i)).collect();
+        if free.is_empty() {
+            return Ok(()); // window spans the whole input; outside is empty.
+        }
+        let at = free[pos % free.len()];
+        let mut mutant = input.clone();
+        mutant[at] ^= 0xff;
+        prop_assert!(
+            sig.matches(&mutant),
+            "mutation at {at} outside window {window:02x?} must not evade"
+        );
+    }
+
+    /// TokenSeq matching is ordered: tokens present but in the wrong
+    /// order do not match. (Disjoint alphabets per region rule out
+    /// accidental occurrences.)
+    #[test]
+    fn token_seq_matching_is_ordered(
+        t1 in vec(b'A'..b'M', 2..6),
+        t2 in vec(b'N'..b'Z', 2..6),
+        pre in vec(b'a'..=b'z', 0..8),
+        mid in vec(b'a'..=b'z', 1..8),
+        post in vec(b'a'..=b'z', 0..8),
+    ) {
+        let sig = Signature::TokenSeq(vec![t1.clone(), t2.clone()]);
+        let in_order: Vec<u8> =
+            [&pre[..], &t1, &mid, &t2, &post].concat();
+        let reversed: Vec<u8> =
+            [&pre[..], &t2, &mid, &t1, &post].concat();
+        prop_assert!(sig.matches(&in_order));
+        prop_assert!(!sig.matches(&reversed));
+    }
+
+    /// `tokens_from_samples` output (when derivable) matches every
+    /// sample it was derived from.
+    #[test]
+    fn derived_token_seq_matches_all_its_samples(
+        core in vec(b'A'..=b'Z', 6..16),
+        w1 in vec(b'a'..=b'z', 0..10),
+        w2 in vec(b'a'..=b'z', 0..10),
+        w3 in vec(b'a'..=b'z', 0..10),
+        w4 in vec(b'a'..=b'z', 0..10),
+    ) {
+        let s1: Vec<u8> = [&w1[..], &core, &w2].concat();
+        let s2: Vec<u8> = [&w3[..], &core, &w4].concat();
+        if let Some(sig) = tokens_from_samples(&[&s1, &s2], 4) {
+            prop_assert!(sig.matches(&s1), "must match sample 1");
+            prop_assert!(sig.matches(&s2), "must match sample 2");
+        }
+    }
+}
+
+/// Drive one guest through an attack (deploying its real antibody),
+/// then assert the whole benign workload corpus is still served.
+fn benign_corpus_survives(target: Target, workload_seed: u64) {
+    let (app, exploit) = match target {
+        Target::Apache1 => {
+            let a = httpd1::app().expect("httpd1");
+            let e = httpd1::exploit_crash(&a);
+            (a, e.input)
+        }
+        Target::Apache2 => {
+            let a = httpd2::app().expect("httpd2");
+            let e = httpd2::exploit_crash(&a);
+            (a, e.input)
+        }
+        Target::Cvs => {
+            let a = cvs::app().expect("cvs");
+            let e = cvs::exploit_crash(&a);
+            (a, e.input)
+        }
+        Target::Squid => {
+            let a = squid::app().expect("squid");
+            let e = squid::exploit_crash(&a);
+            (a, e.input)
+        }
+    };
+    let mut s = Sweeper::protect(&app, Config::producer(0x5eed ^ workload_seed)).expect("protect");
+    let out = s.offer_request(exploit);
+    assert!(
+        matches!(out, RequestOutcome::Attack(_)),
+        "{target:?}: exploit must be detected"
+    );
+    assert!(s.deployed_vsefs() > 0, "{target:?}: VSEF must deploy");
+    assert!(
+        !s.signatures.is_empty(),
+        "{target:?}: signature must deploy"
+    );
+    let corpus = Workload::new(target, workload_seed).batch(12);
+    for (i, req) in corpus.into_iter().enumerate() {
+        let out = s.offer_request(req);
+        assert!(
+            matches!(out, RequestOutcome::Served { .. }),
+            "{target:?}: benign request {i} (workload seed {workload_seed:#x}) \
+             not served after antibody deployment: {out:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Zero false positives: for every guest, deployed VSEFs and
+    /// signatures accept the benign workload corpus.
+    #[test]
+    fn deployed_filters_accept_benign_corpus_for_every_guest(seed in any::<u64>()) {
+        for target in [Target::Apache1, Target::Apache2, Target::Cvs, Target::Squid] {
+            benign_corpus_survives(target, seed);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Tier-1 gate over the chaos harness itself (PR 4).
+//!
+//! A small fixed seed block through `chaos::run_many` — enough to prove
+//! in every `cargo test` run that (a) the fault seams are actually
+//! connected (faults fire), (b) the differential legs agree, (c) the
+//! invariant catalog holds, and (d) a case replays bit-identically from
+//! its seed. The full 200-case gate lives in tier 2
+//! (`scripts/ci.sh` → `chaos --smoke`); see `TESTING.md`.
+
+use chaos::{run_case, run_many};
+
+/// Seeds 0..N: guest rotates with `seed % 4`, so any N ≥ 4 covers all
+/// four Table 1 servers. Kept small — this runs unoptimized in tier 1.
+const CASES: u64 = 12;
+
+#[test]
+fn fixed_seed_block_passes_all_invariants() {
+    let summary = run_many(0..CASES);
+    assert_eq!(summary.cases, CASES);
+    assert!(
+        summary.violations.is_empty(),
+        "chaos violations (replay with `cargo run --release -p chaos -- --seed <seed>`): {:?}",
+        summary.violations
+    );
+    assert_eq!(
+        summary.guests.len(),
+        4,
+        "all four guests must be covered: {:?}",
+        summary.guests
+    );
+    // The seams must be live: at least one fault family fired across
+    // the block, and the evidence is visible through obs counters.
+    assert!(
+        summary.families_fired() >= 1,
+        "no fault family fired — the fault seams are disconnected"
+    );
+    let reg = summary.metrics();
+    assert_eq!(reg.counter("chaos.cases"), CASES);
+    assert_eq!(reg.counter("chaos.violations"), 0);
+}
+
+#[test]
+fn any_case_replays_bit_identically_from_its_seed() {
+    for seed in [0u64, 5, 9, 0xDEAD_BEEF] {
+        let a = run_case(seed);
+        let b = run_case(seed);
+        assert_eq!(a.digest, b.digest, "seed {seed:#x}: digest must replay");
+        assert_eq!(a.stats, b.stats, "seed {seed:#x}: fault firing must replay");
+        assert_eq!(
+            a.violations, b.violations,
+            "seed {seed:#x}: verdict must replay"
+        );
+    }
+}

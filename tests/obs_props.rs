@@ -1,0 +1,185 @@
+//! Property tests for the `obs` metrics algebra, plus the
+//! `Sweeper::export_metrics()` idempotence regression (PR 4 satellite).
+//!
+//! `MetricsRegistry::merge` is the fold every sharded engine and every
+//! exporter relies on. These properties pin its algebra:
+//!
+//! * merge is **associative** for whole registries (counters, gauges,
+//!   spans);
+//! * the **counter** component is additionally **order-insensitive**
+//!   (commutative monoid) — any shard permutation folds to the same
+//!   counter map;
+//! * the **gauge** component is intentionally order-*sensitive* (a
+//!   gauge is a point-in-time reading; the last shard in fold order
+//!   wins — see the `merge` doc comment for why);
+//! * `Sweeper::export_metrics()` is idempotent: exporting twice in a
+//!   row — including after repeated attacks on the same host — yields
+//!   identical counters, with nothing double-counted by the export
+//!   itself.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sweeper_repro::apps::httpd1;
+use sweeper_repro::obs::MetricsRegistry;
+use sweeper_repro::sweeper::{Config, RequestOutcome, Sweeper};
+
+/// One recording action against a registry.
+#[derive(Debug, Clone)]
+enum RecOp {
+    /// `inc(name, by)`.
+    Inc(u8, u64),
+    /// `gauge(name, value)` (finite values only).
+    Gauge(u8, i32),
+    /// `record_span(name, start, start + len)`.
+    Span(u8, u32, u32),
+}
+
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+fn arb_rec() -> impl Strategy<Value = RecOp> {
+    prop_oneof![
+        (any::<u8>(), 0u64..1_000_000).prop_map(|(n, by)| RecOp::Inc(n, by)),
+        (any::<u8>(), any::<i32>()).prop_map(|(n, v)| RecOp::Gauge(n, v)),
+        (any::<u8>(), any::<u32>(), 0u32..1_000_000).prop_map(|(n, s, l)| RecOp::Span(n, s, l)),
+    ]
+}
+
+fn build(ops: &[RecOp]) -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    for op in ops {
+        match op {
+            RecOp::Inc(n, by) => r.inc(NAMES[*n as usize % NAMES.len()], *by),
+            RecOp::Gauge(n, v) => r.gauge(NAMES[*n as usize % NAMES.len()], f64::from(*v)),
+            RecOp::Span(n, s, l) => r.record_span(
+                NAMES[*n as usize % NAMES.len()],
+                u64::from(*s),
+                u64::from(*s) + u64::from(*l),
+            ),
+        }
+    }
+    r
+}
+
+fn counters_of(r: &MetricsRegistry) -> Vec<(String, u64)> {
+    r.counters().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` for whole registries.
+    #[test]
+    fn merge_is_associative(
+        a in vec(arb_rec(), 0..12),
+        b in vec(arb_rec(), 0..12),
+        c in vec(arb_rec(), 0..12),
+    ) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+
+        let mut left = MetricsRegistry::new();
+        left.merge(&a);
+        left.merge(&b); // (a ⊕ b)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c); // (b ⊕ c)
+
+        left.merge(&c); // (a ⊕ b) ⊕ c
+        let mut right = MetricsRegistry::new();
+        right.merge(&a);
+        right.merge(&right_tail); // a ⊕ (b ⊕ c)
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Counters fold order-insensitively: every permutation of the
+    /// shard list yields the identical counter map. (Gauges and spans
+    /// are deliberately excluded — see below.)
+    #[test]
+    fn counter_merge_is_order_insensitive(
+        shards in vec(vec(arb_rec(), 0..10), 1..5),
+        rot in any::<usize>(),
+        swap_i in any::<usize>(),
+        swap_j in any::<usize>(),
+    ) {
+        let regs: Vec<MetricsRegistry> = shards.iter().map(|s| build(s)).collect();
+
+        // Identity order.
+        let mut folded = MetricsRegistry::new();
+        for r in &regs {
+            folded.merge(r);
+        }
+
+        // A rotation and a transposition generate enough of S_n to
+        // catch any order dependence.
+        let mut rotated: Vec<&MetricsRegistry> = regs.iter().collect();
+        rotated.rotate_left(rot % regs.len());
+        let (i, j) = (swap_i % regs.len(), swap_j % regs.len());
+        rotated.swap(i, j);
+        let mut folded_perm = MetricsRegistry::new();
+        for r in rotated {
+            folded_perm.merge(r);
+        }
+
+        prop_assert_eq!(counters_of(&folded), counters_of(&folded_perm));
+    }
+
+    /// Gauge merge is last-writer-wins in fold order — the documented,
+    /// intentional shard-order semantics: the *final* shard that
+    /// reported a gauge provides its value.
+    #[test]
+    fn gauge_merge_keeps_the_last_fold_writer(
+        values in vec(any::<i32>(), 1..6),
+    ) {
+        let mut folded = MetricsRegistry::new();
+        for v in &values {
+            let mut shard = MetricsRegistry::new();
+            shard.gauge("load", f64::from(*v));
+            folded.merge(&shard);
+        }
+        prop_assert_eq!(
+            folded.gauge_value("load"),
+            Some(f64::from(*values.last().unwrap()))
+        );
+    }
+}
+
+/// `Sweeper::export_metrics()` is a pure snapshot: calling it twice in
+/// a row yields identical counters, and repeated attacks between
+/// exports never make an export double-count (the export itself adds
+/// nothing to the registry it mirrors).
+#[test]
+fn export_metrics_is_idempotent_under_repeated_attacks() {
+    let app = httpd1::app().expect("httpd1");
+    let exploit = httpd1::exploit_crash(&app).input;
+    let mut s = Sweeper::protect(&app, Config::producer(0xfeed)).expect("protect");
+
+    let baseline = counters_of(&s.export_metrics());
+    assert_eq!(
+        baseline,
+        counters_of(&s.export_metrics()),
+        "back-to-back exports must be identical before any traffic"
+    );
+
+    for round in 0..3 {
+        let out = s.offer_request(exploit.clone());
+        // First round is a fresh attack; later rounds are filtered by
+        // the deployed signature. Either way the host survives.
+        assert!(
+            !matches!(out, RequestOutcome::Served { .. }),
+            "round {round}: exploit must never be served"
+        );
+        let a = counters_of(&s.export_metrics());
+        let b = counters_of(&s.export_metrics());
+        let c = counters_of(&s.export_metrics());
+        assert_eq!(a, b, "round {round}: export must be idempotent");
+        assert_eq!(b, c, "round {round}: export must be idempotent (3x)");
+        // Monotone mirrors must not have been inflated by exporting:
+        // three consecutive exports, same instruction count.
+        let insns = |cs: &[(String, u64)]| {
+            cs.iter()
+                .find(|(k, _)| k == "svm.insns_retired")
+                .map(|(_, v)| *v)
+                .expect("svm.insns_retired exported")
+        };
+        assert_eq!(insns(&a), insns(&c));
+    }
+}
