@@ -18,7 +18,7 @@ use crate::signature::{Signature, SignatureSet};
 use crate::vsef::{VsefRuntime, VsefSpec};
 
 /// One distributable antibody item, stamped with its production time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AntibodyItem {
     /// A vulnerability-specific execution filter.
     Vsef(VsefSpec),
@@ -30,7 +30,7 @@ pub enum AntibodyItem {
 }
 
 /// A timestamped antibody item as released by a producer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Release {
     /// The item.
     pub item: AntibodyItem,
@@ -40,7 +40,7 @@ pub struct Release {
 }
 
 /// The full antibody for one vulnerability.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Antibody {
     /// Releases in production order.
     pub releases: Vec<Release>,

@@ -16,11 +16,13 @@
 //! address space.
 
 pub mod bundle;
+pub mod certify;
 pub mod signature;
 pub mod vsef;
 pub mod wire;
 
 pub use bundle::{verify, Antibody, AntibodyItem, Release, Verification};
+pub use certify::{verify_with_sandbox, CertifiedBundle, CertifyError};
 pub use signature::{
     exact_from, substring_from_taint, tokens_from_samples, Signature, SignatureSet,
 };

@@ -9,22 +9,61 @@
 //! mis-typed filter. The chaos harness' antibody-bit-flip fault family
 //! drives arbitrary corruption through this decoder.
 //!
-//! Layout (all integers little-endian):
+//! # Schema (version [`WIRE_VERSION`], all integers little-endian)
+//!
+//! The bundle starts with a fixed 9-byte header, followed by
+//! `release_count` variable-length release records:
 //!
 //! ```text
-//! "SWAB" | version=1 u8 | release_count u32
-//! per release:
-//!   at_ms f64-bits u64 | item_tag u8
-//!   item_tag 0 (VSEF):    vsef_tag u8 + fields (see below)
+//! offset  size  field
+//! 0       4     magic        = "SWAB" (0x53 0x57 0x41 0x42)
+//! 4       1     version      = WIRE_VERSION (currently 1)
+//! 5       4     release_count u32
+//! 9       ...   release_count x release
+//!
+//! release:
+//!   at_ms     u64   f64 bit pattern of the release virtual time (ms)
+//!   item_tag  u8    0 VSEF | 1 Signature | 2 ExploitInput
+//!   item_tag 0 (VSEF):    vsef_tag u8 + tag-specific fields:
+//!     0 RetAddrGuard      func u32 | func_name bytes
+//!     1 StoreSmashGuard   store_pc u32
+//!     2 HeapBoundsCheck   store_pc u32 | has_caller u8 (0|1) [| caller u32]
+//!     3 DoubleFreeGuard   free_pc u32
+//!     4 HeapIntegrityGuard u32s
+//!     5 NullCheck         insn_pc u32
+//!     6 TaintFilter       prop_pcs u32s | sink_pc u32
 //!   item_tag 1 (Sig):     sig_tag u8: 0 Exact | 1 Substring -> bytes;
 //!                         2 TokenSeq -> count u32 + count x bytes
 //!   item_tag 2 (Exploit): bytes
+//!
 //! bytes := len u32 | len raw bytes
+//! u32s  := count u32 | count x u32
 //! ```
+//!
+//! # Versioning contract
+//!
+//! The version byte at offset 4 is the compatibility gate. A decoder
+//! MUST reject any version it does not implement with
+//! [`BundleError::BadVersion`] — it must never "best-effort" parse a
+//! future layout, because a mis-typed filter deployed on a consumer is
+//! worse than no filter at all. Bumping [`WIRE_VERSION`] is required for
+//! any change to the layout above (new tags within an existing enum are
+//! also a bump: an old decoder would see them as corruption, which is
+//! safe, but a new encoder must not feed them to old decoders silently).
+//! Certified distribution bundles ([`crate::certify`]) carry this whole
+//! buffer as an opaque payload, so their own version is independent.
 
 use crate::bundle::{Antibody, AntibodyItem};
 use crate::signature::Signature;
 use crate::vsef::VsefSpec;
+
+/// Current antibody wire-format version (byte at offset 4).
+///
+/// [`Antibody::to_bytes`] always emits this value and
+/// [`Antibody::from_bytes`] rejects anything else with
+/// [`BundleError::BadVersion`]. See the module docs for the versioning
+/// contract.
+pub const WIRE_VERSION: u8 = 1;
 
 /// Why a serialized antibody failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,7 +289,7 @@ impl Antibody {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"SWAB");
-        out.push(1); // version
+        out.push(WIRE_VERSION);
         out.extend_from_slice(&(self.releases.len() as u32).to_le_bytes());
         for r in &self.releases {
             out.extend_from_slice(&r.at_ms.to_bits().to_le_bytes());
@@ -299,7 +338,7 @@ impl Antibody {
             return Err(BundleError::BadMagic);
         }
         let version = c.u8()?;
-        if version != 1 {
+        if version != WIRE_VERSION {
             return Err(BundleError::BadVersion(version));
         }
         let count = c.u32()? as usize;
@@ -410,6 +449,32 @@ mod tests {
                 let _ = Antibody::from_bytes(&b);
             }
         }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = full_antibody().to_bytes();
+        assert_eq!(bytes[4], WIRE_VERSION, "version byte sits at offset 4");
+        // Every other version value — future or garbage — must be
+        // rejected with BadVersion carrying the offending byte.
+        for v in (0..=u8::MAX).filter(|&v| v != WIRE_VERSION) {
+            bytes[4] = v;
+            assert_eq!(
+                Antibody::from_bytes(&bytes),
+                Err(BundleError::BadVersion(v)),
+                "version {v} must be rejected"
+            );
+        }
+        // And the current version still decodes.
+        bytes[4] = WIRE_VERSION;
+        assert!(Antibody::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn encoder_emits_current_version() {
+        let bytes = Antibody::new().to_bytes();
+        assert_eq!(&bytes[..4], b"SWAB");
+        assert_eq!(bytes[4], WIRE_VERSION);
     }
 
     #[test]

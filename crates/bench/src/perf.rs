@@ -16,7 +16,8 @@ use svm::clock::insns_per_sec;
 use svm::loader::Aslr;
 use svm::{CacheStats, Machine, NopHook, Status};
 
-use epidemic::Parallelism;
+use epidemic::community::CommunityParams;
+use epidemic::{DistNetParams, Parallelism};
 
 /// One interpreter-throughput measurement (tight loop, NopHook).
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,127 @@ pub struct CommunityRate {
     pub curve_sum: u64,
 }
 
+/// One cell of the `fig9dist` containment-vs-loss/Byzantine sweep: a
+/// contained outbreak run with the antibody distribution network over a
+/// wire with the given loss probability and Byzantine producer fraction.
+#[derive(Debug, Clone)]
+pub struct DistNetCell {
+    /// Per-transmission loss probability.
+    pub loss: f64,
+    /// Byzantine producer fraction.
+    pub byzantine: f64,
+    /// Hosts infected when the run ended (containment axis).
+    pub infected: u64,
+    /// Consumers protected by a verified bundle when the run ended.
+    pub protected: u64,
+    /// Emergent γ: ticks from first producer contact to full community
+    /// protection (`None` if protection never completed).
+    pub gamma_effective: Option<u64>,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Bundles that passed verify-before-deploy.
+    pub verified: u64,
+    /// Bundles rejected by verification (Byzantine forgeries).
+    pub rejected: u64,
+    /// `(consumer, producer)` quarantine events.
+    pub quarantines: u64,
+    /// Consumers that exhausted their retry budget.
+    pub gave_up: u64,
+    /// I8 counter: unverified deployments (must be 0 in every cell).
+    pub deployed_unverified: u64,
+}
+
+/// The community parameters for one `fig9dist` cell: a contained
+/// outbreak (high producer density, ρ = 0.5, short γ_production) so the
+/// antibody race is winnable and the wire knobs — not saturation — are
+/// what moves the containment numbers.
+pub fn distnet_params(hosts: u64, seed: u64, distnet: DistNetParams) -> CommunityParams {
+    CommunityParams {
+        hosts,
+        alpha: 0.05,
+        rho: 0.5,
+        gamma_ticks: 6,
+        attempts_per_tick: 1,
+        attempt_prob: 1.0,
+        i0: 1,
+        max_ticks: 4000,
+        seed,
+        parallelism: Parallelism::Fixed(1),
+        distnet,
+    }
+}
+
+/// Run the `fig9dist` sweep: loss ∈ {0, 0.2, 0.4, 0.6} × Byzantine
+/// fraction ∈ {0, 0.2}, each cell a deterministic contained outbreak
+/// with the distribution network enabled.
+pub fn distnet_sweep(hosts: u64, seed: u64) -> Vec<DistNetCell> {
+    let mut cells = Vec::new();
+    for &byzantine in &[0.0, 0.2] {
+        for &loss in &[0.0, 0.2, 0.4, 0.6] {
+            let dn = DistNetParams::lossy(loss, byzantine);
+            let out = epidemic::community::run(&distnet_params(hosts, seed, dn));
+            let d = out.dist.as_ref().expect("distnet enabled");
+            let (mut verified, mut rejected, mut quarantines, mut gave_up) = (0, 0, 0, 0);
+            for s in &d.shard_stats {
+                verified += s.verified;
+                rejected += s.rejected;
+                quarantines += s.quarantines;
+                gave_up += s.gave_up;
+            }
+            cells.push(DistNetCell {
+                loss,
+                byzantine,
+                infected: out.infected,
+                protected: d.protected,
+                gamma_effective: out.t0_tick.and_then(|t0| d.gamma_effective(t0)),
+                ticks: out.ticks,
+                verified,
+                rejected,
+                quarantines,
+                gave_up,
+                deployed_unverified: d.deployed_unverified,
+            });
+        }
+    }
+    cells
+}
+
+/// Render the `fig9dist` sweep as the figure's text table.
+pub fn render_distnet_sweep(hosts: u64, seed: u64, cells: &[DistNetCell]) -> String {
+    let mut s = format!(
+        "Figure 9 (distnet): containment vs wire loss and Byzantine fraction \
+         (hosts={hosts}, seed={seed})\n\
+         {:>5} {:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>6} {:>8} {:>11}\n",
+        "loss",
+        "byz",
+        "infected",
+        "protected",
+        "gamma_eff",
+        "verified",
+        "rejected",
+        "quar",
+        "gave_up",
+        "unverified"
+    );
+    for c in cells {
+        s.push_str(&format!(
+            "{:>5.2} {:>5.2} {:>9} {:>10} {:>10} {:>9} {:>9} {:>6} {:>8} {:>11}\n",
+            c.loss,
+            c.byzantine,
+            c.infected,
+            c.protected,
+            c.gamma_effective
+                .map_or("never".to_string(), |g| g.to_string()),
+            c.verified,
+            c.rejected,
+            c.quarantines,
+            c.gave_up,
+            c.deployed_unverified,
+        ));
+    }
+    s
+}
+
 /// The full quick-pass snapshot written to `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -85,6 +207,12 @@ pub struct PerfReport {
     /// run's simulation counters. Written as the `"obs"` block of
     /// `BENCH_*.json`.
     pub obs: obs::MetricsRegistry,
+    /// Hosts used for the `fig9dist` distnet sweep (capped so the sweep
+    /// stays a quick pass even when `hosts` is large).
+    pub distnet_hosts: u64,
+    /// The `fig9dist` containment-vs-loss/Byzantine sweep (the schema
+    /// v4 `"distnet"` block).
+    pub distnet: Vec<DistNetCell>,
 }
 
 /// Measure interpreter throughput over a `loop_iters`-iteration tight
@@ -174,6 +302,8 @@ pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
     obs_reg.merge(&k1_obs);
     let outcomes_identical = (k1.infected, k1.t0_tick, k1.ticks, k1.curve_sum)
         == (k4.infected, k4.t0_tick, k4.ticks, k4.curve_sum);
+    let distnet_hosts = hosts.clamp(400, 4_000);
+    let distnet = distnet_sweep(distnet_hosts, seed);
     PerfReport {
         cores,
         vm_loop_insns: uncached.insns,
@@ -196,6 +326,8 @@ pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
         k1,
         k4,
         obs: obs_reg,
+        distnet_hosts,
+        distnet,
     }
 }
 
@@ -236,15 +368,43 @@ fn j_community(r: &CommunityRate) -> String {
     )
 }
 
+fn j_distnet_cell(c: &DistNetCell) -> String {
+    format!(
+        "{{\"loss\": {}, \"byzantine\": {}, \"infected\": {}, \"protected\": {}, \
+         \"gamma_effective\": {}, \"ticks\": {}, \"verified\": {}, \"rejected\": {}, \
+         \"quarantines\": {}, \"gave_up\": {}, \"deployed_unverified\": {}}}",
+        jf(c.loss),
+        jf(c.byzantine),
+        c.infected,
+        c.protected,
+        c.gamma_effective
+            .map_or("null".to_string(), |g| g.to_string()),
+        c.ticks,
+        c.verified,
+        c.rejected,
+        c.quarantines,
+        c.gave_up,
+        c.deployed_unverified,
+    )
+}
+
 impl PerfReport {
-    /// Serialize as pretty-printed JSON (`sweeper-bench-v2` schema).
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v4` schema; v4
+    /// added the `"distnet"` fig9dist sweep block).
     pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .distnet
+            .iter()
+            .map(|c| format!("      {}", j_distnet_cell(c)))
+            .collect();
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v2\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+            "{{\n  \"schema\": \"sweeper-bench-v4\",\n  \"cores\": {},\n  \"vm\": {{\n    \
              \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
              \"cached_over_uncached\": {}\n  }},\n  \"community\": {{\n    \"hosts\": {},\n    \
              \"seed\": {},\n    \"k1\": {},\n    \"k4\": {},\n    \"k1_over_k4\": {},\n    \
-             \"outcomes_identical\": {},\n    \"speedup_status\": \"{}\"\n  }},\n  \"obs\": {}\n}}\n",
+             \"outcomes_identical\": {},\n    \"speedup_status\": \"{}\"\n  }},\n  \
+             \"distnet\": {{\n    \"hosts\": {},\n    \"seed\": {},\n    \"cells\": [\n{}\n    ]\n  }},\n  \
+             \"obs\": {}\n}}\n",
             self.cores,
             self.vm_loop_insns,
             j_vm(&self.vm_uncached),
@@ -257,16 +417,21 @@ impl PerfReport {
             jf(self.community_speedup),
             self.outcomes_identical,
             self.speedup_status,
+            self.distnet_hosts,
+            self.seed,
+            cells.join(",\n"),
             self.obs.to_json(),
         )
     }
 
     /// Human-readable summary (what `tables benchjson` prints).
     pub fn render(&self) -> String {
+        let unverified: u64 = self.distnet.iter().map(|c| c.deployed_unverified).sum();
         format!(
             "interpreter : {:>12.0} insns/s uncached | {:>12.0} insns/s cached -> {:.2}x\n\
              community   : K=1 {:.3} s ({:.0} ticks/s) | K=4 {:.3} s ({:.0} ticks/s) -> {:.2}x [{}]\n\
-             outcomes    : identical across K = {}",
+             outcomes    : identical across K = {}\n\
+             distnet     : {} fig9dist cells over {} hosts, {} unverified deployments (I8)",
             self.vm_uncached.insns_per_sec,
             self.vm_cached.insns_per_sec,
             self.vm_speedup,
@@ -277,6 +442,9 @@ impl PerfReport {
             self.community_speedup,
             self.speedup_status,
             self.outcomes_identical,
+            self.distnet.len(),
+            self.distnet_hosts,
+            unverified,
         )
     }
 }
@@ -306,14 +474,53 @@ mod tests {
         assert!(r.outcomes_identical, "K must not change the outcome");
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"sweeper-bench-v2\""));
+        assert!(json.contains("\"schema\": \"sweeper-bench-v4\""));
         assert!(json.contains("\"cached_over_uncached\""));
         assert!(json.contains("\"speedup_status\""));
+        // The schema-v4 distnet block is present and populated.
+        assert!(json.contains("\"distnet\""));
+        assert!(json.contains("\"deployed_unverified\""));
+        assert_eq!(r.distnet.len(), 8, "4 loss x 2 byzantine cells");
         // The obs block carries both VM and community counters.
         assert!(json.contains("\"obs\": {\"counters\""));
         assert!(r.obs.counter("svm.insns_retired") > 0);
         assert!(r.obs.counter("epidemic.infected") > 0);
         // Non-finite floats must serialize as `null`, never bare tokens.
         assert!(!json.contains("NaN") && !json.contains(": inf"));
+    }
+
+    #[test]
+    fn distnet_sweep_contains_and_never_deploys_unverified() {
+        let cells = distnet_sweep(600, 11);
+        assert_eq!(cells.len(), 8);
+        for c in &cells {
+            // I8 holds in every cell of the committed figure.
+            assert_eq!(
+                c.deployed_unverified, 0,
+                "loss={} byz={}: unverified deployment",
+                c.loss, c.byzantine
+            );
+            assert!(c.infected <= 600);
+        }
+        // The zero-fault cell completes protection; lossier wires never
+        // contain *better* than the perfect wire.
+        let ideal = &cells[0];
+        assert_eq!(ideal.loss, 0.0);
+        assert_eq!(ideal.byzantine, 0.0);
+        assert!(ideal.gamma_effective.is_some(), "ideal wire protects all");
+        for c in &cells[1..4] {
+            assert!(
+                c.infected >= ideal.infected,
+                "loss={} contained better than the perfect wire",
+                c.loss
+            );
+        }
+        // Byzantine cells actually exercise verify-before-deploy.
+        let byz_rejected: u64 = cells
+            .iter()
+            .filter(|c| c.byzantine > 0.0)
+            .map(|c| c.rejected)
+            .sum();
+        assert!(byz_rejected > 0, "no Byzantine bundle was ever rejected");
     }
 }

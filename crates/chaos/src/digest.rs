@@ -113,6 +113,29 @@ pub fn digest_community(o: &CommunityOutcome) -> u64 {
     h.finish()
 }
 
+/// Digest only the *epidemic-core* observables of a community run: the
+/// essence (t0, infected, curve, ticks) plus the `epidemic.*` counters.
+///
+/// This is the cross-model comparator for the PR-5 zero-fault anchor: a
+/// distnet-enabled run legitimately carries `distnet.*` counters the
+/// legacy-clock run lacks, but its epidemic core must be bit-identical
+/// to the legacy run when the wire is perfect.
+pub fn digest_community_epidemic(o: &CommunityOutcome) -> u64 {
+    let mut h = Hasher::new();
+    h.u64(o.t0_tick.map_or(u64::MAX, |t| t));
+    h.u64(o.infected);
+    h.u64(o.ticks);
+    for &c in &o.curve {
+        h.u64(c);
+    }
+    for (name, value) in o.metrics().counters() {
+        if name.starts_with("epidemic.") && !excluded(name) {
+            h.str(name).u64(value);
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@
 //! | I5 | the host is serviceable after the last request (recovery always restores service) |
 //! | I6 | proxy log grows exactly once per offered request |
 //! | I7 | a plan that fired nothing is bit-identical to the unfaulted run |
+//! | I8 | no consumer ever deploys an unverified antibody bundle |
 
 use crate::plan::FaultStats;
 
@@ -152,8 +153,10 @@ pub fn check_faulted_run(
         ));
     }
 
-    // I7: an installed plan that fired nothing must not perturb the run.
-    if stats.total() == 0 && run.digest != baseline_digest {
+    // I7: an installed plan whose *hook* families fired nothing must not
+    // perturb the run. (Wire families touch only the distnet legs, never
+    // this sweeper run, so they do not relax the bit-identity.)
+    if stats.hook_total() == 0 && run.digest != baseline_digest {
         v.push(Violation::new(
             "I7",
             format!(
@@ -164,6 +167,23 @@ pub fn check_faulted_run(
     }
 
     v
+}
+
+/// I8: no consumer ever deploys an unverified antibody bundle.
+///
+/// `deployed_unverified` is the distribution network's structural
+/// counter (it increments only when a Byzantine producer's forged
+/// bundle *passes* verification) or, for the bundle hand-off leg, the
+/// consumer's deployed-VSEF count after a forged bundle. Both must be
+/// zero under every fault plan — this is the verify-before-deploy
+/// contract the whole PR-5 wire rests on.
+pub fn check_i8(deployed_unverified: u64, ctx: &str) -> Option<Violation> {
+    (deployed_unverified > 0).then(|| {
+        Violation::new(
+            "I8",
+            format!("{ctx}: {deployed_unverified} unverified deployment(s)"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -250,5 +270,28 @@ mod tests {
         r.tool_failures = 1;
         r.digest = 0xdead;
         assert!(check_faulted_run(&r, &stats, 0x1234).is_empty());
+    }
+
+    #[test]
+    fn wire_faults_do_not_relax_i7() {
+        // Wire families perturb only the distnet legs; if the sweeper
+        // digest moved while only wire faults fired, that is still I7.
+        let stats = FaultStats {
+            wire_faults: 12,
+            byzantine_rejections: 3,
+            bundles_forged: 1,
+            ..FaultStats::default()
+        };
+        let mut r = clean_run();
+        r.digest = 0xdead;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I7");
+    }
+
+    #[test]
+    fn i8_fires_only_on_unverified_deployment() {
+        assert!(check_i8(0, "leg").is_none());
+        let v = check_i8(2, "faulted distnet K=4").expect("violation");
+        assert_eq!(v.invariant, "I8");
+        assert!(v.detail.contains("faulted distnet K=4"), "{}", v.detail);
     }
 }

@@ -29,8 +29,12 @@
 //! - **[`runner`]** — the differential fuzzer: each seeded workload runs
 //!   with the decode cache on/off × community parallelism K ∈ {1, 4}
 //!   (metrics always on) and all four outcome digests must be bit-equal;
-//!   then the same workload runs again under the fault plan and the
-//!   invariant checker takes over.
+//!   the outbreak then re-runs over the antibody distribution network —
+//!   a perfect wire must reproduce the legacy clock bit-identically, a
+//!   seeded lossy/Byzantine wire must stay shard-invariant, forged
+//!   bundles must be rejected (invariant I8) — and finally the same
+//!   workload runs again under the fault plan and the invariant checker
+//!   takes over.
 //!
 //! [`scenario`] turns a seed into a concrete workload (guest app, benign
 //! traffic, exploit schedule, deployment knobs) and [`digest`] defines
@@ -43,8 +47,8 @@ pub mod plan;
 pub mod runner;
 pub mod scenario;
 
-pub use digest::{digest_community, digest_sweeper, Hasher};
-pub use invariants::{check_faulted_run, FaultedRun, Violation};
-pub use plan::{FaultPlan, FaultStats, SharedStats};
+pub use digest::{digest_community, digest_community_epidemic, digest_sweeper, Hasher};
+pub use invariants::{check_faulted_run, check_i8, FaultedRun, Violation};
+pub use plan::{FaultPlan, FaultStats, SharedStats, WirePlan};
 pub use runner::{run_case, run_many, CaseReport, Summary};
 pub use scenario::{CaseScenario, Request};

@@ -10,9 +10,11 @@
 //!
 //! `--smoke` is the tier-2 CI mode: a fixed seed block (0..SMOKE_CASES)
 //! covering all four guests, with the additional gates that zero
-//! violations occur **and** at least three distinct fault families
-//! actually fired (so a refactor that silently disconnects the fault
-//! seams fails CI instead of green-washing it).
+//! violations occur, at least three distinct fault families actually
+//! fired (so a refactor that silently disconnects the fault seams fails
+//! CI instead of green-washing it), **and** each of the three wire
+//! families (loss, Byzantine rejections, bundle forgeries) genuinely
+//! exercised the distribution network at least once.
 //!
 //! Exit status: 0 = all checks passed, 1 = violations (each printed with
 //! its replay command), 2 = bad usage.
@@ -174,6 +176,16 @@ fn main() {
                 summary.families_fired()
             );
             failed = true;
+        }
+        for (name, count) in [
+            ("wire_faults", summary.agg.wire_faults),
+            ("byzantine_rejections", summary.agg.byzantine_rejections),
+            ("bundles_forged", summary.agg.bundles_forged),
+        ] {
+            if count == 0 {
+                eprintln!("smoke: FAIL — wire family {name} never fired");
+                failed = true;
+            }
         }
         if !failed {
             println!(

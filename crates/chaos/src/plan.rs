@@ -8,9 +8,12 @@
 //! seed fires the same faults at the same sites in a replayed run, which
 //! is what makes `chaos --seed 0x…` an exact reproducer.
 //!
-//! A plan covers seven fault families, each independently enabled by a
+//! A plan covers ten fault families, each independently enabled by a
 //! seed-derived mask so seeds explore combinations (including the empty
-//! plan, which anchors the bit-identical invariant):
+//! plan, which anchors the bit-identical invariant). Seven are hook
+//! families firing through [`sweeper::FaultHooks`]; three (PR 5) are
+//! *wire* families that configure the antibody distribution network and
+//! the certified-bundle hand-off of the runner's distnet legs:
 //!
 //! | family | seam |
 //! |--------|------|
@@ -21,6 +24,9 @@
 //! | tool-detach | the DBI runtime dies after N delivered events |
 //! | ckpt-evict | the chosen checkpoint is evicted pre-recovery |
 //! | antibody-corrupt | the serialized antibody is damaged in transit |
+//! | wire-loss | distnet sends are dropped / duplicated / delayed |
+//! | wire-byzantine | a producer fraction emits forged bundles |
+//! | bundle-forge | a forged certified bundle is handed to a consumer |
 
 use std::sync::{Arc, Mutex};
 
@@ -43,6 +49,9 @@ const DOM_DETACH_N: u64 = 0xc4a0_0022;
 const DOM_EVICT: u64 = 0xc4a0_0030;
 const DOM_AB_CORRUPT: u64 = 0xc4a0_0040;
 const DOM_AB_MODE: u64 = 0xc4a0_0041;
+const DOM_WIRE_DUP: u64 = 0xc4a0_0050;
+const DOM_WIRE_DELAY: u64 = 0xc4a0_0051;
+const DOM_WIRE_BYZ: u64 = 0xc4a0_0052;
 
 /// Family bit indices in the seed-derived enable mask.
 const FAM_REPLAY_DROP: u32 = 0;
@@ -52,6 +61,9 @@ const FAM_TOOL_FAIL: u32 = 3;
 const FAM_DETACH: u32 = 4;
 const FAM_EVICT: u32 = 5;
 const FAM_AB_CORRUPT: u32 = 6;
+const FAM_WIRE_LOSS: u32 = 7;
+const FAM_WIRE_BYZANTINE: u32 = 8;
+const FAM_BUNDLE_FORGE: u32 = 9;
 
 /// Counts of faults a plan actually *fired* during a run, per family.
 ///
@@ -74,11 +86,38 @@ pub struct FaultStats {
     pub ckpts_evicted: u64,
     /// Antibody bundles corrupted in transit.
     pub antibodies_corrupted: u64,
+    /// Distnet wire faults observed (sends dropped + duplicated +
+    /// delayed) on the faulted distribution leg.
+    pub wire_faults: u64,
+    /// Forged bundles from Byzantine producers rejected at the
+    /// verify-before-deploy gate on the faulted distribution leg.
+    pub byzantine_rejections: u64,
+    /// Forged certified bundles injected into the producer→consumer
+    /// hand-off leg (each must be rejected; a deployment is an I8
+    /// violation).
+    pub bundles_forged: u64,
 }
 
 impl FaultStats {
     /// Total faults fired across all families.
     pub fn total(&self) -> u64 {
+        self.replay_dropped
+            + self.replay_corrupted
+            + self.replay_reordered
+            + self.tools_failed
+            + self.tools_detached
+            + self.ckpts_evicted
+            + self.antibodies_corrupted
+            + self.wire_faults
+            + self.byzantine_rejections
+            + self.bundles_forged
+    }
+
+    /// Total *hook* faults fired (the seven [`sweeper::FaultHooks`]
+    /// families). This — not [`FaultStats::total`] — governs invariant
+    /// I7: wire faults perturb only the distnet legs, never the faulted
+    /// sweeper run, so they must not relax the bit-identity check.
+    pub fn hook_total(&self) -> u64 {
         self.replay_dropped
             + self.replay_corrupted
             + self.replay_reordered
@@ -98,6 +137,9 @@ impl FaultStats {
             self.tools_detached,
             self.ckpts_evicted,
             self.antibodies_corrupted,
+            self.wire_faults,
+            self.byzantine_rejections,
+            self.bundles_forged,
         ]
         .iter()
         .filter(|&&n| n > 0)
@@ -113,6 +155,9 @@ impl FaultStats {
         self.tools_detached += other.tools_detached;
         self.ckpts_evicted += other.ckpts_evicted;
         self.antibodies_corrupted += other.antibodies_corrupted;
+        self.wire_faults += other.wire_faults;
+        self.byzantine_rejections += other.byzantine_rejections;
+        self.bundles_forged += other.bundles_forged;
     }
 
     /// Write the per-family fired counts into `reg` as
@@ -128,10 +173,16 @@ impl FaultStats {
             "chaos.fault.antibodies_corrupted",
             self.antibodies_corrupted,
         );
+        reg.set_counter("chaos.fault.wire_faults", self.wire_faults);
+        reg.set_counter(
+            "chaos.fault.byzantine_rejections",
+            self.byzantine_rejections,
+        );
+        reg.set_counter("chaos.fault.bundles_forged", self.bundles_forged);
     }
 
     /// `(name, count)` pairs in a fixed order, for reports.
-    pub fn named(&self) -> [(&'static str, u64); 7] {
+    pub fn named(&self) -> [(&'static str, u64); 10] {
         [
             ("replay_dropped", self.replay_dropped),
             ("replay_corrupted", self.replay_corrupted),
@@ -140,6 +191,9 @@ impl FaultStats {
             ("tools_detached", self.tools_detached),
             ("ckpts_evicted", self.ckpts_evicted),
             ("antibodies_corrupted", self.antibodies_corrupted),
+            ("wire_faults", self.wire_faults),
+            ("byzantine_rejections", self.byzantine_rejections),
+            ("bundles_forged", self.bundles_forged),
         ]
     }
 }
@@ -148,6 +202,34 @@ impl FaultStats {
 /// runtime (`Box<dyn FaultHooks>`), so the runner keeps this clone to
 /// read the fired counts after the run — including after a caught panic.
 pub type SharedStats = Arc<Mutex<FaultStats>>;
+
+/// Wire-level fault configuration for the runner's distribution-network
+/// legs, derived from the same `(seed, intensity, family-mask)` triple
+/// as the hook families. Unlike hooks, wire faults are expressed as
+/// [`epidemic::DistNetParams`] knobs: the distnet draws its own
+/// per-send loss/dup/delay/forgery decisions from the *community* seed,
+/// so the whole leg stays a pure function of the case seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePlan {
+    /// Per-send loss probability for the faulted distnet leg.
+    pub loss: f64,
+    /// Per-send duplication probability.
+    pub dup: f64,
+    /// Maximum extra delivery delay in ticks.
+    pub max_delay_ticks: u64,
+    /// Byzantine producer fraction (≥ 0.10 whenever enabled, so smoke
+    /// batches genuinely exercise forged-bundle rejection).
+    pub byzantine: f64,
+    /// Whether the forged certified-bundle hand-off leg runs.
+    pub forge_bundles: bool,
+}
+
+impl WirePlan {
+    /// Whether any distnet-level wire fault is configured.
+    pub fn any_wire_fault(&self) -> bool {
+        self.loss > 0.0 || self.byzantine > 0.0
+    }
+}
 
 /// A seeded, deterministic fault plan (see module docs).
 pub struct FaultPlan {
@@ -189,6 +271,36 @@ impl FaultPlan {
     /// Whether this plan can fire at all.
     pub fn is_empty_plan(&self) -> bool {
         self.permille == 0
+    }
+
+    /// The wire-fault configuration for this plan's distnet legs (PR 5
+    /// families, bits [`FAM_WIRE_LOSS`]..[`FAM_BUNDLE_FORGE`]). The
+    /// empty plan yields a zero-fault wire, anchoring the differential
+    /// invariant: an ideal wire is bit-identical to the legacy clock.
+    pub fn wire(&self) -> WirePlan {
+        let on = |fam: u32| self.permille > 0 && self.families & (1u64 << fam) != 0;
+        let intensity = self.permille as f64 / 1000.0;
+        let (loss, dup, max_delay_ticks) = if on(FAM_WIRE_LOSS) {
+            (
+                0.10 + 0.60 * intensity,
+                (draw(self.seed, DOM_WIRE_DUP, 0) % 80) as f64 / 1000.0,
+                draw(self.seed, DOM_WIRE_DELAY, 0) % 3,
+            )
+        } else {
+            (0.0, 0.0, 0)
+        };
+        let byzantine = if on(FAM_WIRE_BYZANTINE) {
+            0.10 + (draw(self.seed, DOM_WIRE_BYZ, 0) % 4) as f64 * 0.10
+        } else {
+            0.0
+        };
+        WirePlan {
+            loss,
+            dup,
+            max_delay_ticks,
+            byzantine,
+            forge_bundles: on(FAM_BUNDLE_FORGE),
+        }
     }
 
     /// One deterministic permille roll at `domain` (counter slot `slot`),
@@ -379,7 +491,57 @@ mod tests {
         for seed in 0..64u64 {
             agg.absorb(&trace(seed).1);
         }
-        assert_eq!(agg.families_fired(), 7, "all families reachable: {agg:?}");
+        // `trace` drives only the hook seams; all 7 hook families fire.
+        assert_eq!(
+            agg.families_fired(),
+            7,
+            "all hook families reachable: {agg:?}"
+        );
+    }
+
+    #[test]
+    fn wire_plans_are_deterministic_and_explore_the_space() {
+        let (mut lossy, mut byz, mut forge, mut quiet) = (0, 0, 0, 0);
+        for seed in 0..256u64 {
+            let (p, _) = FaultPlan::from_seed(seed);
+            let w = p.wire();
+            assert_eq!(w, FaultPlan::from_seed(seed).0.wire(), "seed {seed}");
+            if p.is_empty_plan() {
+                assert_eq!(
+                    w,
+                    WirePlan {
+                        loss: 0.0,
+                        dup: 0.0,
+                        max_delay_ticks: 0,
+                        byzantine: 0.0,
+                        forge_bundles: false
+                    },
+                    "empty plan must yield a perfect wire"
+                );
+            }
+            if w.loss > 0.0 {
+                lossy += 1;
+                assert!((0.1..0.9).contains(&w.loss), "loss bounded: {}", w.loss);
+            }
+            if w.byzantine > 0.0 {
+                byz += 1;
+                assert!(
+                    (0.10..=0.40).contains(&w.byzantine),
+                    "byzantine fraction >= 10%: {}",
+                    w.byzantine
+                );
+            }
+            if w.forge_bundles {
+                forge += 1;
+            }
+            if !w.any_wire_fault() && !w.forge_bundles {
+                quiet += 1;
+            }
+        }
+        assert!(lossy > 10, "lossy wires: {lossy}");
+        assert!(byz > 10, "byzantine wires: {byz}");
+        assert!(forge > 10, "forge legs: {forge}");
+        assert!(quiet > 10, "quiet wires anchor the differential: {quiet}");
     }
 
     #[test]

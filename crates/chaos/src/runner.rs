@@ -8,11 +8,21 @@
 //!    outcome digests (cache × K, metrics always on) must be bit-equal:
 //!    both knobs are pure performance knobs, and any divergence is a
 //!    determinism bug.
-//! 2. **Faulted run** — the same workload runs again with the seeded
+//! 2. **Distribution-network legs (PR 5)** — the same outbreak runs
+//!    with the antibody distribution network on a *perfect* wire at
+//!    K ∈ {1, 4}: its epidemic core must be bit-identical to the legacy
+//!    legs (the zero-fault anchor) and its full digests shard-invariant.
+//!    When the seed's wire families are enabled, a contained outbreak
+//!    runs again over a lossy/Byzantine wire (K ∈ {1, 4}, digests must
+//!    still be shard-invariant) and, for forge seeds, a certified
+//!    bundle is forged in the producer→consumer hand-off. Invariant I8
+//!    — no consumer ever deploys an unverified bundle — is checked on
+//!    every distnet leg.
+//! 3. **Faulted run** — the same workload runs again with the seeded
 //!    [`FaultPlan`] installed, inside `catch_unwind`. The
 //!    [invariant catalog](crate::invariants) is checked over the result.
 //!
-//! Every decision in both halves derives from the case seed, so a
+//! Every decision in all three phases derives from the case seed, so a
 //! failing case replays exactly with `chaos --seed 0x<seed>`.
 
 use std::collections::BTreeMap;
@@ -20,12 +30,19 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use apps::App;
-use sweeper::{RequestOutcome, Role, Sweeper};
+use epidemic::community::CommunityOutcome;
+use epidemic::rng::draw;
+use epidemic::DistNetParams;
+use sweeper::{BundleOutcome, Config, RequestOutcome, Role, Sweeper};
 
-use crate::digest::{digest_community, digest_sweeper, Hasher};
-use crate::invariants::{check_faulted_run, FaultedRun, Violation};
-use crate::plan::{FaultPlan, FaultStats};
+use crate::digest::{digest_community, digest_community_epidemic, digest_sweeper, Hasher};
+use crate::invariants::{check_faulted_run, check_i8, FaultedRun, Violation};
+use crate::plan::{FaultPlan, FaultStats, WirePlan};
 use crate::scenario::CaseScenario;
+
+/// Domain separators for the bundle hand-off leg's draws.
+const DOM_FORGE_KEY: u64 = 0xc4a0_0060;
+const DOM_FORGE_MODE: u64 = 0xc4a0_0061;
 
 /// Everything about one executed fuzz case.
 #[derive(Debug, Clone)]
@@ -162,6 +179,50 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The certified-bundle hand-off leg: a producer analyzes the
+/// scenario's canonical exploit and seals its antibody into a certified
+/// bundle; a seed-chosen *forgery* of that bundle is then offered to a
+/// consumer. Returns the consumer's deployed-VSEF count afterwards —
+/// anything nonzero (or any deployment at all) is an I8 violation — or
+/// a setup/panic message, surfaced by the caller as I1.
+fn run_forge_leg(scenario: &CaseScenario, app: &App) -> Result<u64, String> {
+    let seed = scenario.seed;
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<u64, String> {
+        let key = draw(seed, DOM_FORGE_KEY, 0);
+        let mut producer = Sweeper::protect(app, Config::producer(seed ^ 0xfeed))
+            .map_err(|e| format!("protect producer: {e}"))?;
+        let RequestOutcome::Attack(report) = producer.offer_request(scenario.canonical_exploit())
+        else {
+            return Err("canonical exploit not detected by the producer".into());
+        };
+        let Some(analysis) = report.analysis.as_ref() else {
+            return Err("producer emitted no analysis".into());
+        };
+        let Some(bundle) = producer.certify_antibody(1, 0, key, &analysis.antibody) else {
+            return Err("analysis antibody carried no exploit input".into());
+        };
+        let forged = match draw(seed, DOM_FORGE_MODE, 0) % 3 {
+            0 => bundle.forged_bad_tag(),
+            1 => bundle.forged_corrupt_payload(key, 0),
+            _ => bundle.forged_mismatched_evidence(key, b"GET / HTTP/1.0\n".to_vec()),
+        };
+        let mut consumer = Sweeper::protect(app, Config::consumer(seed ^ 0xc0de))
+            .map_err(|e| format!("protect consumer: {e}"))?;
+        match consumer.receive_certified(&forged, key) {
+            // A deployment of a forged bundle is the I8 violation the
+            // caller checks for; report at least 1.
+            BundleOutcome::Deployed { vsefs, .. } => Ok((vsefs as u64).max(1)),
+            BundleOutcome::Rejected(_) | BundleOutcome::SenderQuarantined => {
+                Ok(consumer.deployed_vsefs() as u64)
+            }
+        }
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(p) => Err(panic_message(p)),
+    }
+}
+
 /// Execute one fuzz case (see module docs).
 pub fn run_case(seed: u64) -> CaseReport {
     let scenario = CaseScenario::from_seed(seed);
@@ -186,6 +247,11 @@ pub fn run_case(seed: u64) -> CaseReport {
         }
     };
 
+    // Everything the wire legs and the faulted run need derives from
+    // the one seeded plan, so compute it up front.
+    let (plan, stats) = FaultPlan::from_seed(seed);
+    let wire: WirePlan = plan.wire();
+
     // ---- Differential legs (unfaulted). ------------------------------
     let sweeper_legs: Vec<(bool, Result<FaultedRun, String>)> = [true, false]
         .into_iter()
@@ -194,12 +260,11 @@ pub fn run_case(seed: u64) -> CaseReport {
             (cache, drive(&scenario, &app, cache, None))
         })
         .collect();
-    let community_legs: Vec<(usize, u64)> = [1usize, 4]
+    let community_legs: Vec<(usize, CommunityOutcome)> = [1usize, 4]
         .into_iter()
         .map(|k| {
             execs += 1;
-            let out = epidemic::community::run(&scenario.community_with(k));
-            (k, digest_community(&out))
+            (k, epidemic::community::run(&scenario.community_with(k)))
         })
         .collect();
 
@@ -217,7 +282,10 @@ pub fn run_case(seed: u64) -> CaseReport {
                     });
                 }
                 for (k, epi) in &community_legs {
-                    let combined = Hasher::new().u64(run.digest).u64(*epi).finish();
+                    let combined = Hasher::new()
+                        .u64(run.digest)
+                        .u64(digest_community(epi))
+                        .finish();
                     leg_digests.push((format!("cache={cache},K={k}"), combined));
                 }
                 if *cache && baseline.is_none() {
@@ -244,11 +312,123 @@ pub fn run_case(seed: u64) -> CaseReport {
         }
     }
 
+    // ---- Distribution-network legs (PR 5). ---------------------------
+    // (a) Zero-fault anchor: a perfect wire must reproduce the legacy
+    // clock's epidemic core bit-identically, at K = 1 and K = 4.
+    let legacy_epi = community_legs
+        .first()
+        .map(|(_, o)| digest_community_epidemic(o));
+    let ideal_legs: Vec<(usize, CommunityOutcome)> = [1usize, 4]
+        .into_iter()
+        .map(|k| {
+            execs += 1;
+            let p = scenario.community_distnet(k, DistNetParams::ideal());
+            (k, epidemic::community::run(&p))
+        })
+        .collect();
+    for (k, out) in &ideal_legs {
+        if let Some(d) = out.dist.as_ref() {
+            if let Some(v) = check_i8(d.deployed_unverified, &format!("ideal distnet K={k}")) {
+                violations.push(v);
+            }
+        }
+        if let Some(legacy) = legacy_epi {
+            let epi = digest_community_epidemic(out);
+            if epi != legacy {
+                violations.push(Violation {
+                    invariant: "differential",
+                    detail: format!(
+                        "ideal distnet K={k} epidemic digest {epi:#018x} != legacy {legacy:#018x}"
+                    ),
+                });
+            }
+        }
+    }
+    if let [(_, a), (_, b)] = &ideal_legs[..] {
+        let (da, db) = (digest_community(a), digest_community(b));
+        if da != db {
+            violations.push(Violation {
+                invariant: "differential",
+                detail: format!("ideal distnet K=1 digest {da:#018x} != K=4 digest {db:#018x}"),
+            });
+        }
+    }
+
+    // (b) Faulted wire: when the seed's wire families are enabled, a
+    // *contained* outbreak (so the network reliably activates) runs over
+    // the lossy/Byzantine wire at K ∈ {1, 4}. Digests must still be
+    // shard-invariant and I8 must hold; the K = 1 leg's shard counters
+    // feed the wire columns of the fault-coverage report.
+    let (mut wire_fired, mut byz_rejections, mut forged_bundles) = (0u64, 0u64, 0u64);
+    if wire.any_wire_fault() {
+        let dn = DistNetParams {
+            loss: wire.loss,
+            dup: wire.dup,
+            max_delay_ticks: wire.max_delay_ticks,
+            byzantine: wire.byzantine,
+            ..DistNetParams::ideal()
+        };
+        let faulted_legs: Vec<(usize, CommunityOutcome)> = [1usize, 4]
+            .into_iter()
+            .map(|k| {
+                execs += 1;
+                let p = scenario.community_contained_distnet(k, dn);
+                (k, epidemic::community::run(&p))
+            })
+            .collect();
+        for (k, out) in &faulted_legs {
+            if let Some(d) = out.dist.as_ref() {
+                if let Some(v) = check_i8(d.deployed_unverified, &format!("faulted distnet K={k}"))
+                {
+                    violations.push(v);
+                }
+            }
+        }
+        if let [(_, a), (_, b)] = &faulted_legs[..] {
+            let (da, db) = (digest_community(a), digest_community(b));
+            if da != db {
+                violations.push(Violation {
+                    invariant: "differential",
+                    detail: format!(
+                        "faulted distnet K=1 digest {da:#018x} != K=4 digest {db:#018x}"
+                    ),
+                });
+            }
+        }
+        if let Some(d) = faulted_legs.first().and_then(|(_, o)| o.dist.as_ref()) {
+            for s in &d.shard_stats {
+                wire_fired += s.drops + s.dups + s.delayed;
+                byz_rejections += s.rejected;
+            }
+        }
+    }
+
+    // (c) Bundle forgery: for forge seeds, a certified bundle is forged
+    // in the producer → consumer hand-off; the consumer must reject it.
+    if wire.forge_bundles {
+        execs += 2; // producer analysis run + consumer verification
+        match run_forge_leg(&scenario, &app) {
+            Ok(deployed) => {
+                forged_bundles += 1;
+                if let Some(v) = check_i8(deployed, "forged bundle hand-off") {
+                    violations.push(v);
+                }
+            }
+            Err(msg) => violations.push(Violation {
+                invariant: "I1",
+                detail: format!("forge leg: {msg}"),
+            }),
+        }
+    }
+
     // ---- Faulted run. ------------------------------------------------
-    let (plan, stats) = FaultPlan::from_seed(seed);
     execs += 1;
     let faulted = drive(&scenario, &app, true, Some(plan));
-    let fired = *stats.lock().unwrap();
+    let fired_hooks = *stats.lock().unwrap();
+    let mut fired = fired_hooks;
+    fired.wire_faults = wire_fired;
+    fired.byzantine_rejections = byz_rejections;
+    fired.bundles_forged = forged_bundles;
     match (&faulted, &baseline) {
         (Ok(run), Some(base)) => {
             violations.extend(check_faulted_run(run, &fired, base.digest));

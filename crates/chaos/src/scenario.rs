@@ -10,6 +10,7 @@
 use apps::workload::{Target, Workload};
 use apps::{cvs, httpd1, httpd2, squid, App};
 use epidemic::community::{CommunityParams, Parallelism};
+use epidemic::distnet::DistNetParams;
 use epidemic::rng::draw;
 use sweeper::{Config, Role};
 
@@ -139,6 +140,7 @@ impl CaseScenario {
             max_ticks: 600,
             seed: draw(seed, DOM_EPI, 99),
             parallelism: Parallelism::Fixed(1),
+            distnet: DistNetParams::disabled(),
         };
 
         CaseScenario {
@@ -177,6 +179,13 @@ impl CaseScenario {
         c
     }
 
+    /// The canonical (salt-0) crash exploit for this scenario's guest —
+    /// the bundle hand-off leg uses it to make the producer's analysis
+    /// pipeline emit a real antibody to certify and then forge.
+    pub fn canonical_exploit(&self) -> Vec<u8> {
+        exploit_input(self.target, 0)
+    }
+
     /// Number of attack requests scheduled.
     pub fn attacks_scheduled(&self) -> usize {
         self.requests
@@ -189,6 +198,32 @@ impl CaseScenario {
     pub fn community_with(&self, k: usize) -> CommunityParams {
         CommunityParams {
             parallelism: Parallelism::Fixed(k),
+            ..self.community
+        }
+    }
+
+    /// Community parameters with the distribution network configured
+    /// (the PR-5 distnet differential legs).
+    pub fn community_distnet(&self, k: usize, distnet: DistNetParams) -> CommunityParams {
+        CommunityParams {
+            parallelism: Parallelism::Fixed(k),
+            distnet,
+            ..self.community
+        }
+    }
+
+    /// A *contained* variant of the community outbreak for the faulted
+    /// distnet leg: extra producers and ρ = 0.5 so the antibody race is
+    /// genuinely winnable and the distribution network reliably
+    /// activates (a saturating outbreak never broadcasts, which would
+    /// starve the wire-fault families of coverage).
+    pub fn community_contained_distnet(&self, k: usize, distnet: DistNetParams) -> CommunityParams {
+        CommunityParams {
+            parallelism: Parallelism::Fixed(k),
+            distnet,
+            alpha: self.community.alpha.max(0.04),
+            rho: 0.5,
+            gamma_ticks: self.community.gamma_ticks.min(8),
             ..self.community
         }
     }

@@ -31,9 +31,23 @@
 //! can observe another shard's same-tick writes. The serial engine is
 //! the identical code run with one shard and no threads; the parity
 //! test in `tests/` checks bit-identical curves for K ∈ {1, 2, 4, 8}.
+//!
+//! ## The antibody distribution network (PR 5)
+//!
+//! With [`DistNetParams::enabled`], the instantaneous immunity break at
+//! `T0 + γ` is replaced by [`crate::distnet`]: at that tick producers
+//! *broadcast* certified antibody bundles over a lossy/Byzantine wire,
+//! and a consumer only becomes immune once it has received **and
+//! verified** a bundle. The distribution step runs in the coordinator
+//! between the barrier phases (its draws are keyed on
+//! `(seed, host, attempt)`, never on shard structure), so shard parity
+//! is preserved; with a perfect wire the run is bit-identical to the
+//! legacy clock because every consumer verifies its bundle in the
+//! broadcast tick itself.
 
 use std::time::Instant;
 
+use crate::distnet::{DistNet, DistNetParams, DistOutcome, DOMAIN_THROTTLE};
 use crate::model::Scenario;
 use crate::rng::{draw, to_unit};
 
@@ -100,6 +114,9 @@ pub struct CommunityParams {
     pub seed: u64,
     /// Shard/thread configuration.
     pub parallelism: Parallelism,
+    /// Antibody distribution network configuration
+    /// ([`DistNetParams::disabled`] = the legacy instantaneous clock).
+    pub distnet: DistNetParams,
 }
 
 impl CommunityParams {
@@ -124,6 +141,7 @@ impl CommunityParams {
             max_ticks: 1_000_000,
             seed,
             parallelism,
+            distnet: DistNetParams::disabled(),
         }
     }
 
@@ -150,6 +168,12 @@ pub struct ShardStats {
     pub events_sent_cross: u64,
     /// Events this shard received from *other* shards.
     pub events_received_cross: u64,
+    /// Infection contacts blocked because the target had deployed a
+    /// verified antibody (distribution-network runs only).
+    pub protected_blocks: u64,
+    /// Infection contacts blocked by a degraded consumer's contact
+    /// throttling (distribution-network runs only).
+    pub throttled_blocks: u64,
     /// Nanoseconds spent in this shard's generate phases.
     pub generate_nanos: u128,
     /// Nanoseconds spent in this shard's apply phases.
@@ -188,6 +212,8 @@ pub struct CommunityOutcome {
     pub shard_stats: Vec<ShardStats>,
     /// Per-tick counters.
     pub tick_stats: Vec<TickStats>,
+    /// Distribution-network outcome (`None` for legacy-clock runs).
+    pub dist: Option<DistOutcome>,
 }
 
 impl CommunityOutcome {
@@ -204,13 +230,37 @@ impl CommunityOutcome {
     /// kept out of the parity-checked set.
     pub fn metrics(&self) -> obs::MetricsRegistry {
         let mut reg = obs::MetricsRegistry::new();
-        for s in &self.shard_stats {
+        for (i, s) in self.shard_stats.iter().enumerate() {
             let mut shard_reg = obs::MetricsRegistry::new();
             shard_reg.inc("epidemic.infected", s.infected);
             shard_reg.inc("epidemic.producer_contacts", s.producer_contacts);
             shard_reg.inc("epidemic.antibodies_applied", s.antibodies_applied);
             shard_reg.inc("epidemic.events_cross_shard", s.events_sent_cross);
+            if let Some(d) = &self.dist {
+                // The distribution-network counters are attributed to
+                // the *receiving* host's shard and folded here in shard
+                // order, exactly like the simulation counters above —
+                // so they are shard-count-invariant (pinned by
+                // `metrics_simulation_counters_are_shard_count_invariant`).
+                shard_reg.inc("distnet.protected_blocks", s.protected_blocks);
+                shard_reg.inc("distnet.throttled_blocks", s.throttled_blocks);
+                if let Some(ds) = d.shard_stats.get(i) {
+                    ds.export(&mut shard_reg);
+                }
+            }
             reg.merge(&shard_reg);
+        }
+        if let Some(d) = &self.dist {
+            reg.set_counter("distnet.deployed_unverified", d.deployed_unverified);
+            reg.set_counter("distnet.byzantine_producers", d.byzantine_producers);
+            reg.set_counter("distnet.protected_hosts", d.protected);
+            reg.gauge("distnet.activated_tick", d.activated_tick as f64);
+            reg.gauge(
+                "distnet.gamma_effective_ticks",
+                self.t0_tick
+                    .and_then(|t0| d.gamma_effective(t0))
+                    .map_or(-1.0, |g| g as f64),
+            );
         }
         reg.set_counter("epidemic.ticks", self.ticks);
         reg.set_counter(
@@ -259,6 +309,29 @@ impl CommunityOutcome {
                 s.events_received_cross,
                 s.generate_nanos as f64 / 1e6,
                 s.apply_nanos as f64 / 1e6,
+            ));
+        }
+        if let Some(d) = &self.dist {
+            let sends: u64 = d.shard_stats.iter().map(|s| s.sends).sum();
+            let verified: u64 = d.shard_stats.iter().map(|s| s.verified).sum();
+            let rejected: u64 = d.shard_stats.iter().map(|s| s.rejected).sum();
+            let quarantines: u64 = d.shard_stats.iter().map(|s| s.quarantines).sum();
+            out.push_str(&format!(
+                "distnet: activated={} complete={} gamma_eff={} protected={} byz={} \
+                 sends={} verified={} rejected={} quarantines={} unverified_deploys={}\n",
+                d.activated_tick,
+                d.protection_complete_tick
+                    .map_or("-".to_string(), |t| t.to_string()),
+                self.t0_tick
+                    .and_then(|t0| d.gamma_effective(t0))
+                    .map_or("-".to_string(), |g| g.to_string()),
+                d.protected,
+                d.byzantine_producers,
+                sends,
+                verified,
+                rejected,
+                quarantines,
+                d.deployed_unverified,
             ));
         }
         out
@@ -358,9 +431,25 @@ impl Shard {
     /// updates are order-independent (idempotent marks, counts, min),
     /// but the inbox is nonetheless sorted canonically upstream so the
     /// merge order itself is deterministic and auditable.
-    fn apply(&mut self, p: &CommunityParams, inbox: &[Event]) -> (u64, bool) {
+    ///
+    /// When the distribution network is active (`dist`), a consumer
+    /// that has deployed a verified antibody blocks the contact
+    /// outright, and a *degraded* consumer (forged-bundle-bitten,
+    /// still unprotected) blocks it with probability
+    /// `distnet.throttle` via a counter-based draw keyed on the same
+    /// event key the generate phase used — deterministic and
+    /// shard-order-independent. `dist` is read-only here; all its
+    /// mutation happens in the coordinator between phases.
+    fn apply(
+        &mut self,
+        p: &CommunityParams,
+        inbox: &[Event],
+        tick: u64,
+        dist: Option<&DistNet>,
+    ) -> (u64, bool) {
         let t_start = Instant::now();
         let producers = p.producers();
+        let attempts = p.attempts_per_tick as u64;
         let mut fresh = 0u64;
         let mut producer_contact = false;
         for ev in inbox {
@@ -374,10 +463,24 @@ impl Shard {
                 continue;
             }
             let off = (ev.target - self.lo) as usize;
-            if !self.infected[off] {
-                self.infected[off] = true;
-                fresh += 1;
+            if self.infected[off] {
+                continue;
             }
+            if let Some(d) = dist {
+                if d.protected(ev.target) {
+                    self.stats.protected_blocks += 1;
+                    continue;
+                }
+                if p.distnet.throttle > 0.0 && d.throttled(ev.target) {
+                    let key = (tick * p.hosts + ev.src) * attempts + u64::from(ev.attempt);
+                    if to_unit(draw(p.seed, DOMAIN_THROTTLE, key)) < p.distnet.throttle {
+                        self.stats.throttled_blocks += 1;
+                        continue;
+                    }
+                }
+            }
+            self.infected[off] = true;
+            fresh += 1;
         }
         self.stats.infected += fresh;
         self.stats.apply_nanos += t_start.elapsed().as_nanos();
@@ -467,15 +570,50 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
     let mut curve = Vec::new();
     let mut tick_stats = Vec::new();
     let mut tick = 0u64;
+    // Distribution network (distnet runs only): created at the tick
+    // antibody *production* completes (`T0 + γ`); from then on bundles
+    // must actually traverse the wire and verify before a consumer is
+    // protected. `resolved` counts consumers that are infected or
+    // protected — once every consumer is resolved, nothing can change.
+    let mut dist: Option<DistNet> = None;
+    let mut resolved: u64 = infected;
 
     while tick < p.max_ticks {
-        if let Some(t0) = t0_tick {
-            if tick >= t0 + p.gamma_ticks {
-                break; // Immunity deployed.
+        if p.distnet.enabled {
+            if dist.is_none() {
+                if let Some(t0) = t0_tick {
+                    if tick >= t0 + p.gamma_ticks {
+                        // Production complete: initial broadcast now.
+                        dist = Some(DistNet::new(
+                            &p.distnet, p.seed, p.hosts, producers, &bounds, tick,
+                        ));
+                    }
+                }
             }
-        }
-        if infected >= consumer_count {
-            break; // Saturation.
+            if let Some(d) = dist.as_mut() {
+                // The distribution step runs in the coordinator, before
+                // the generate phase, so a bundle verified at tick t
+                // protects its host from tick t's contacts — with a
+                // perfect wire that reproduces the legacy instant-
+                // immunity break bit-identically.
+                let infected_q = |h: u64| {
+                    let s = shard_of(h, &bounds);
+                    shards[s].infected[(h - bounds[s].0) as usize]
+                };
+                resolved += d.step(tick, &infected_q);
+            }
+            if resolved >= consumer_count {
+                break; // Every consumer is infected or protected.
+            }
+        } else {
+            if let Some(t0) = t0_tick {
+                if tick >= t0 + p.gamma_ticks {
+                    break; // Immunity deployed.
+                }
+            }
+            if infected >= consumer_count {
+                break; // Saturation.
+            }
         }
         let tick_start = Instant::now();
         // Sparse ticks (few infected hosts) run inline: spawning
@@ -525,18 +663,22 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
         }
 
         // Phase 2: apply (parallel over target shards — disjoint state).
+        // The distribution network is only *read* here (protection /
+        // throttle flags); `Option<&DistNet>` is freely shared across
+        // the scoped workers.
+        let dist_ref = dist.as_ref();
         let applied: Vec<(u64, bool)> = if !go_parallel {
             shards
                 .iter_mut()
                 .zip(inboxes.iter())
-                .map(|(sh, inbox)| sh.apply(p, inbox))
+                .map(|(sh, inbox)| sh.apply(p, inbox, tick, dist_ref))
                 .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter_mut()
                     .zip(inboxes.iter())
-                    .map(|(sh, inbox)| scope.spawn(move || sh.apply(p, inbox)))
+                    .map(|(sh, inbox)| scope.spawn(move || sh.apply(p, inbox, tick, dist_ref)))
                     .collect();
                 handles
                     .into_iter()
@@ -550,6 +692,9 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
             t0_tick = Some(tick); // min over ticks: first tick with any contact.
         }
         infected += fresh;
+        // A freshly infected consumer was necessarily unprotected (the
+        // apply phase blocks protected targets), so it newly resolves.
+        resolved += fresh;
         curve.push(infected);
         tick_stats.push(TickStats {
             tick,
@@ -577,6 +722,14 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
         shards_used: k,
         shard_stats: shards.into_iter().map(|s| s.stats).collect(),
         tick_stats,
+        dist: dist.map(|d| DistOutcome {
+            activated_tick: d.activated_tick(),
+            protection_complete_tick: d.protection_complete_tick(),
+            protected: d.protected_count(),
+            byzantine_producers: d.byzantine_producers(),
+            deployed_unverified: d.deployed_unverified(),
+            shard_stats: d.shard_stats().to_vec(),
+        }),
     }
 }
 
@@ -596,6 +749,7 @@ mod tests {
             max_ticks: 5_000,
             seed: 42,
             parallelism: Parallelism::Fixed(k),
+            distnet: DistNetParams::disabled(),
         }
     }
 
@@ -740,6 +894,206 @@ mod tests {
                 assert_eq!(m.counter(name), serial.counter(name), "{name} k={k}");
             }
             assert_eq!(m.gauge_value("epidemic.shards_used"), Some(k as f64));
+        }
+    }
+
+    /// The epidemic-core counters that must be identical between the
+    /// legacy clock and the zero-fault distribution network.
+    const EPI_SIM: &[&str] = &[
+        "epidemic.infected",
+        "epidemic.producer_contacts",
+        "epidemic.antibodies_applied",
+        "epidemic.new_infections",
+        "epidemic.ticks",
+    ];
+
+    /// A configuration where the antibody clock genuinely wins the race
+    /// (plenty of producers, ρ = 0.5 slowing the worm): the legacy run
+    /// ends via the immunity break, so the distribution network really
+    /// activates and does its work.
+    fn contained_params(gamma_ticks: u64, seed: u64, k: usize) -> CommunityParams {
+        CommunityParams {
+            rho: 0.5,
+            gamma_ticks,
+            seed,
+            ..params(2_000, 0.05, gamma_ticks, k)
+        }
+    }
+
+    #[test]
+    fn ideal_distnet_reproduces_legacy_clock_bit_identically() {
+        // The differential anchor: a perfect wire (no loss, dup, delay
+        // or Byzantine producers) must reproduce the instantaneous-γ
+        // results bit-identically — essence AND epidemic counters —
+        // at K = 1 and K = 4, across several seeds and gammas,
+        // including saturating runs where the network never activates.
+        let mut activated = 0usize;
+        let configs = [
+            contained_params(4, 42, 1),
+            contained_params(1, 7, 1),
+            contained_params(9, 1234, 1),
+            params(500, 0.01, 40, 1), // may saturate before T0 + γ
+        ];
+        for base in configs {
+            for k in [1usize, 4] {
+                let legacy = CommunityParams {
+                    parallelism: Parallelism::Fixed(k),
+                    ..base
+                };
+                let ideal = CommunityParams {
+                    distnet: DistNetParams::ideal(),
+                    ..legacy
+                };
+                let a = run(&legacy);
+                let b = run(&ideal);
+                let ctx = format!("seed={} gamma={} k={k}", base.seed, base.gamma_ticks);
+                assert_eq!(essence(&a), essence(&b), "{ctx}");
+                let (ma, mb) = (a.metrics(), b.metrics());
+                for name in EPI_SIM {
+                    assert_eq!(ma.counter(name), mb.counter(name), "{name} {ctx}");
+                }
+                // When the network activated, every consumer verified a
+                // bundle in the broadcast tick itself: the emergent γ
+                // equals the production γ, nothing was rejected, I8
+                // holds.
+                if let Some(d) = &b.dist {
+                    activated += 1;
+                    let verified: u64 = d.shard_stats.iter().map(|s| s.verified).sum();
+                    assert!(verified > 0, "{ctx}: bundles must have been verified");
+                    let rejected: u64 = d.shard_stats.iter().map(|s| s.rejected).sum();
+                    assert_eq!(rejected, 0, "{ctx}: perfect wire rejects nothing");
+                    assert_eq!(d.deployed_unverified, 0, "{ctx}");
+                    assert_eq!(
+                        d.gamma_effective(a.t0_tick.unwrap()),
+                        Some(base.gamma_ticks.max(1)),
+                        "{ctx}"
+                    );
+                }
+            }
+        }
+        assert!(
+            activated >= 6,
+            "the contained configs must actually exercise the network ({activated})"
+        );
+    }
+
+    #[test]
+    fn ideal_distnet_parity_holds_across_shard_counts() {
+        let base = CommunityParams {
+            distnet: DistNetParams::ideal(),
+            ..params(500, 0.01, 40, 1)
+        };
+        let serial = run(&base);
+        for k in [2usize, 4, 8] {
+            let sharded = run(&CommunityParams {
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            });
+            assert_eq!(essence(&serial), essence(&sharded), "k={k}");
+        }
+    }
+
+    #[test]
+    fn lossy_wire_extends_gamma_and_infection() {
+        let legacy = contained_params(4, 42, 2);
+        let lossy = CommunityParams {
+            distnet: DistNetParams::lossy(0.6, 0.0),
+            ..legacy
+        };
+        let a = run(&legacy);
+        let b = run(&lossy);
+        let d = b.dist.expect("distnet outcome");
+        let t0 = b.t0_tick.expect("producers contacted");
+        // The legacy clock immunizes everyone the instant γ expires; a
+        // wire dropping 60% of sends must take strictly longer to cover
+        // the community, visible as extra simulated ticks...
+        assert!(
+            b.ticks > a.ticks,
+            "loss must stretch the race: {} vs {} ticks",
+            b.ticks,
+            a.ticks
+        );
+        // ...and, when protection does complete, as an emergent γ above
+        // the production γ. (Under heavy loss the run may end with some
+        // already-infected consumers still unprotected, in which case
+        // there is no completion tick to measure.)
+        if let Some(g_eff) = d.gamma_effective(t0) {
+            assert!(
+                g_eff > legacy.gamma_ticks,
+                "loss must stretch γ: {g_eff} vs {}",
+                legacy.gamma_ticks
+            );
+        }
+        assert!(
+            b.infected >= a.infected,
+            "a lossy wire cannot contain better than a perfect one"
+        );
+        let drops: u64 = d.shard_stats.iter().map(|s| s.drops).sum();
+        let retries: u64 = d.shard_stats.iter().map(|s| s.retries).sum();
+        assert!(drops > 0 && retries > 0, "the wire must actually be lossy");
+    }
+
+    #[test]
+    fn byzantine_producers_trigger_quarantine_and_throttling() {
+        let p = CommunityParams {
+            distnet: DistNetParams::lossy(0.1, 0.4),
+            ..contained_params(4, 42, 4)
+        };
+        let out = run(&p);
+        let d = out.dist.as_ref().expect("distnet outcome");
+        assert!(
+            d.byzantine_producers > 0,
+            "seed must pick Byzantine producers"
+        );
+        assert_eq!(d.deployed_unverified, 0, "I8: forgeries never deploy");
+        let rejected: u64 = d.shard_stats.iter().map(|s| s.rejected).sum();
+        let quarantines: u64 = d.shard_stats.iter().map(|s| s.quarantines).sum();
+        assert!(rejected > 0, "forged bundles must be rejected");
+        assert!(quarantines > 0, "rejections must quarantine senders");
+        let m = out.metrics();
+        assert_eq!(m.counter("distnet.quarantines"), quarantines);
+        assert_eq!(m.counter("distnet.deployed_unverified"), 0);
+    }
+
+    #[test]
+    fn distnet_counters_are_shard_count_invariant() {
+        // PR-5 bugfix satellite: the per-host distribution counters are
+        // attributed to the receiving host's shard and folded in shard
+        // order by `metrics()`; a merge that leaked shard order or
+        // shard topology into the counters would fail this.
+        let base = CommunityParams {
+            distnet: DistNetParams::lossy(0.35, 0.3),
+            ..contained_params(5, 7, 1)
+        };
+        let serial = run(&base).metrics();
+        const DIST: &[&str] = &[
+            "distnet.sends",
+            "distnet.retries",
+            "distnet.drops",
+            "distnet.dups",
+            "distnet.delayed",
+            "distnet.verified",
+            "distnet.rejected",
+            "distnet.quarantines",
+            "distnet.skipped_quarantined",
+            "distnet.late",
+            "distnet.gave_up",
+            "distnet.protected_blocks",
+            "distnet.throttled_blocks",
+            "distnet.deployed_unverified",
+            "distnet.byzantine_producers",
+            "distnet.protected_hosts",
+        ];
+        assert!(serial.counter("distnet.sends") > 0);
+        for k in [2usize, 4, 8] {
+            let m = run(&CommunityParams {
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            })
+            .metrics();
+            for name in EPI_SIM.iter().chain(DIST) {
+                assert_eq!(m.counter(name), serial.counter(name), "{name} k={k}");
+            }
         }
     }
 

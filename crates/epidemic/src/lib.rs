@@ -12,17 +12,23 @@
 //! - [`community`] — the discrete-tick community engine, shardable
 //!   across threads with a deterministic merge (bit-identical to its
 //!   serial run for the same seed).
+//! - [`distnet`] — the antibody distribution network: a deterministic,
+//!   lossy, Byzantine-adversarial message layer that replaces the
+//!   idealized instantaneous-γ clock with certified-bundle broadcast,
+//!   verify-before-deploy, retry/backoff, and graceful degradation.
 //! - [`figures`] — the α/γ sweeps regenerating Figures 6, 7, and 8.
 //! - [`rng`] — the counter-based deterministic RNG both engines share.
 
 pub mod agent;
 pub mod community;
+pub mod distnet;
 pub mod figures;
 pub mod model;
 pub mod rng;
 
 pub use agent::{simulate, simulate_mean, SimOutcome};
 pub use community::{CommunityOutcome, CommunityParams, Parallelism, ShardStats, TickStats};
+pub use distnet::{backoff_ticks, DistNet, DistNetParams, DistOutcome, DistShardStats};
 pub use figures::{
     figure6, figure6_community, figure7, figure7_community, figure8, figure8_community,
     CommunitySweepConfig, Curve, Figure, ALPHAS_FIG6, ALPHAS_FIG78, GAMMAS,

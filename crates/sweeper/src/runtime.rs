@@ -7,7 +7,10 @@
 //! and rollback-based recovery (falling back to restart).
 
 use analysis::TaintTool;
-use antibody::{Antibody, AntibodyItem, SignatureSet, VsefRuntime, VsefSpec};
+use antibody::{
+    verify_with_sandbox, Antibody, AntibodyItem, CertifiedBundle, CertifyError, SignatureSet,
+    VsefRuntime, VsefSpec,
+};
 use apps::App;
 use checkpoint::{
     divergence, recover, recover_with_fault, CheckpointManager, CkptId, Divergence, InputFilter,
@@ -61,6 +64,26 @@ pub struct AttackReport {
     /// Whether the attacker's shellcode ran before detection (should
     /// always be false for ASLR misses; true means compromise).
     pub compromised: bool,
+}
+
+/// Outcome of receiving one certified antibody bundle from the
+/// community distribution network (see [`Sweeper::receive_certified`]).
+#[derive(Debug)]
+pub enum BundleOutcome {
+    /// The bundle passed both the cheap certification check and the
+    /// sandboxed exploit replay; its antibody is now deployed.
+    Deployed {
+        /// VSEFs deployed after this bundle (cumulative).
+        vsefs: usize,
+        /// Signatures deployed after this bundle (cumulative).
+        signatures: usize,
+    },
+    /// The sending producer was already quarantined: the bundle was
+    /// dropped without being verified (quarantine is sticky).
+    SenderQuarantined,
+    /// Verification failed; the sender is now quarantined and nothing
+    /// was deployed (invariant I8: verify-before-deploy).
+    Rejected(CertifyError),
 }
 
 /// Operator-facing summary of a protected host (see [`Sweeper::status`]).
@@ -176,6 +199,9 @@ pub struct Sweeper {
     /// the `chaos` harness uses to perturb attack handling. See
     /// [`crate::fault`].
     fault_hooks: Option<Box<dyn FaultHooks>>,
+    /// Producers whose certified bundles failed verification: every
+    /// later bundle they send is dropped unexamined.
+    quarantined_producers: Vec<u32>,
 }
 
 impl Sweeper {
@@ -210,6 +236,7 @@ impl Sweeper {
             rerandomizations: 0,
             attack_samples: Vec::new(),
             fault_hooks: None,
+            quarantined_producers: Vec::new(),
         };
         // Boot to quiescence and take the initial checkpoint.
         s.run_until_idle();
@@ -300,6 +327,83 @@ impl Sweeper {
             }
         }
         self.vsef_instr.refresh(self.vsef_id);
+    }
+
+    /// Seal this host's antibody into a certified bundle for the
+    /// community distribution network (paper §3.3 "Distribution").
+    ///
+    /// `producer` is this host's community id, `seq` a per-producer
+    /// sequence number, `key` the shared community certification key.
+    /// Returns `None` when the antibody carries no exploit-triggering
+    /// input — an antibody without evidence cannot be certified, because
+    /// receivers could never replay-verify it.
+    pub fn certify_antibody(
+        &mut self,
+        producer: u32,
+        seq: u64,
+        key: u64,
+        antibody: &Antibody,
+    ) -> Option<CertifiedBundle> {
+        let bundle = CertifiedBundle::seal(producer, seq, antibody, key)?;
+        self.obs.inc("sweeper.bundles_certified", 1);
+        self.timeline.record(Event::AntibodyReleased {
+            what: format!("certified bundle producer={producer} seq={seq}"),
+        });
+        Some(bundle)
+    }
+
+    /// Receive one certified bundle from the community: verify before
+    /// deploy.
+    ///
+    /// The bundle first passes the cheap certification check (tag,
+    /// fail-closed decode, evidence consistency), then a **sandboxed
+    /// exploit replay** ([`verify_with_sandbox`]): a fresh randomized
+    /// instance of this host's program is attacked with the bundled
+    /// evidence and the bundle's own VSEFs/signatures must detect it.
+    /// Only then is the antibody deployed. A failing bundle quarantines
+    /// its sender: later bundles from that producer are dropped without
+    /// examination. Counters: `sweeper.bundles_verified`,
+    /// `sweeper.bundles_rejected`, `sweeper.bundles_quarantine_dropped`,
+    /// `sweeper.producers_quarantined`.
+    pub fn receive_certified(&mut self, bundle: &CertifiedBundle, key: u64) -> BundleOutcome {
+        if self.quarantined_producers.contains(&bundle.producer) {
+            self.obs.inc("sweeper.bundles_quarantine_dropped", 1);
+            return BundleOutcome::SenderQuarantined;
+        }
+        let sandbox_seed = self.config.aslr.seed ^ bundle.seq.rotate_left(17) ^ 0x5eed_ab1e;
+        match verify_with_sandbox(&self.program, bundle, key, sandbox_seed) {
+            Ok(antibody) => {
+                self.deploy_antibody(&antibody);
+                self.obs.inc("sweeper.bundles_verified", 1);
+                self.timeline.record(Event::AntibodyReleased {
+                    what: format!(
+                        "verified+deployed bundle producer={} seq={}",
+                        bundle.producer, bundle.seq
+                    ),
+                });
+                BundleOutcome::Deployed {
+                    vsefs: self.deployed_vsefs(),
+                    signatures: self.signatures.len(),
+                }
+            }
+            Err(e) => {
+                self.obs.inc("sweeper.bundles_rejected", 1);
+                self.obs.inc("sweeper.producers_quarantined", 1);
+                self.quarantined_producers.push(bundle.producer);
+                self.timeline.record(Event::AntibodyReleased {
+                    what: format!(
+                        "rejected bundle producer={} seq={}: {e} (sender quarantined)",
+                        bundle.producer, bundle.seq
+                    ),
+                });
+                BundleOutcome::Rejected(e)
+            }
+        }
+    }
+
+    /// Producers this host has quarantined so far.
+    pub fn quarantined_producers(&self) -> &[u32] {
+        &self.quarantined_producers
     }
 
     /// Deployed VSEF count.
@@ -779,6 +883,10 @@ impl Sweeper {
         reg.set_counter("sweeper.deployed_signatures", self.signatures.len() as u64);
         reg.set_counter("sweeper.deployed_vsefs", self.deployed_vsefs() as u64);
         reg.set_counter("sweeper.rerandomizations_total", self.rerandomizations);
+        reg.set_counter(
+            "sweeper.quarantined_producers",
+            self.quarantined_producers.len() as u64,
+        );
         reg
     }
 
@@ -1080,6 +1188,120 @@ mod tests {
         assert!(report.analysis.is_none(), "consumers do not analyze");
         // Consumer still recovers (drop-last heuristic).
         assert!(served(&s.offer_request(squid::benign_request("bob", "h"))));
+    }
+
+    #[test]
+    fn certified_bundle_roundtrip_protects_the_consumer() {
+        // PR-5: producer analyzes an attack, seals its antibody into a
+        // certified bundle; the consumer verifies it (tag check plus
+        // sandboxed exploit replay) before deploying, and the exploit is
+        // then blocked.
+        const KEY: u64 = 0x0c0f_fee5_eed5_eed5;
+        let app = squid::app().expect("app");
+        let mut producer = Sweeper::protect(&app, Config::producer(6)).expect("p");
+        let out = producer.offer_request(squid::exploit_crash(&app).input);
+        let RequestOutcome::Attack(report) = out else {
+            panic!("expected attack")
+        };
+        let antibody = report.analysis.as_ref().expect("analysis").antibody.clone();
+        let bundle = producer
+            .certify_antibody(1, 0, KEY, &antibody)
+            .expect("analysis antibody carries its exploit input");
+        assert_eq!(
+            producer
+                .export_metrics()
+                .counter("sweeper.bundles_certified"),
+            1
+        );
+
+        let mut consumer = Sweeper::protect(&app, Config::consumer(7)).expect("c");
+        let outcome = consumer.receive_certified(&bundle, KEY);
+        let BundleOutcome::Deployed { vsefs, signatures } = outcome else {
+            panic!("honest bundle must deploy: {outcome:?}")
+        };
+        assert!(vsefs > 0 && signatures > 0);
+        let m = consumer.export_metrics();
+        assert_eq!(m.counter("sweeper.bundles_verified"), 1);
+        assert_eq!(m.counter("sweeper.bundles_rejected"), 0);
+        let again = consumer.offer_request(squid::exploit_crash(&app).input);
+        match again {
+            RequestOutcome::Filtered { .. } => {}
+            RequestOutcome::Attack(r) => {
+                assert!(r.cause.starts_with("vsef:"), "{}", r.cause)
+            }
+            other => panic!("consumer unprotected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_bundles_are_rejected_and_the_sender_quarantined() {
+        const KEY: u64 = 0x0c0f_fee5_eed5_eed5;
+        let app = squid::app().expect("app");
+        let mut producer = Sweeper::protect(&app, Config::producer(8)).expect("p");
+        let RequestOutcome::Attack(report) =
+            producer.offer_request(squid::exploit_crash(&app).input)
+        else {
+            panic!("expected attack")
+        };
+        let antibody = report.analysis.as_ref().expect("analysis").antibody.clone();
+        let honest = producer
+            .certify_antibody(3, 0, KEY, &antibody)
+            .expect("seal");
+
+        let mut consumer = Sweeper::protect(&app, Config::consumer(9)).expect("c");
+        // I8: every forgery mode is rejected, nothing deploys, and the
+        // forging producer is quarantined after the first rejection.
+        let forged = honest.forged_bad_tag();
+        assert!(matches!(
+            consumer.receive_certified(&forged, KEY),
+            BundleOutcome::Rejected(_)
+        ));
+        assert_eq!(consumer.deployed_vsefs(), 0, "I8: nothing deployed");
+        assert_eq!(consumer.quarantined_producers(), &[3]);
+        // A later bundle from the quarantined producer — even the honest
+        // one — is dropped unexamined.
+        assert!(matches!(
+            consumer.receive_certified(&honest, KEY),
+            BundleOutcome::SenderQuarantined
+        ));
+        let m = consumer.export_metrics();
+        assert_eq!(m.counter("sweeper.bundles_rejected"), 1);
+        assert_eq!(m.counter("sweeper.bundles_quarantine_dropped"), 1);
+        assert_eq!(m.counter("sweeper.producers_quarantined"), 1);
+        assert_eq!(m.counter("sweeper.quarantined_producers"), 1);
+        // The same honest bundle re-sent under a different producer id
+        // (an unquarantined sender) verifies and deploys: quarantine is
+        // per-sender, not per-vulnerability.
+        let resent = producer
+            .certify_antibody(4, 1, KEY, &antibody)
+            .expect("seal");
+        assert!(matches!(
+            consumer.receive_certified(&resent, KEY),
+            BundleOutcome::Deployed { .. }
+        ));
+        // Evidence swapped for benign bytes and re-tagged under the real
+        // key is caught by the cheap consistency check (evidence must
+        // equal the antibody's own exploit input)...
+        let swapped = honest.forged_mismatched_evidence(KEY, b"GET /index.html".to_vec());
+        let mut fresh = Sweeper::protect(&app, Config::consumer(10)).expect("c2");
+        assert!(matches!(
+            fresh.receive_certified(&swapped, KEY),
+            BundleOutcome::Rejected(_)
+        ));
+        assert_eq!(fresh.deployed_vsefs(), 0);
+        // ...while an *honestly sealed* bundle whose evidence simply
+        // isn't hostile (an insider Byzantine producer vouching for
+        // nothing) passes the tag and consistency checks and is killed
+        // by the sandbox replay itself: no detection, no deployment.
+        let mut vacuous = Antibody::new();
+        vacuous.push(AntibodyItem::Vsef(VsefSpec::NullCheck { insn_pc: 4 }), 1.0);
+        vacuous.push(AntibodyItem::ExploitInput(b"hi".to_vec()), 2.0);
+        let lying = CertifiedBundle::seal(6, 0, &vacuous, KEY).expect("seal");
+        assert!(matches!(
+            fresh.receive_certified(&lying, KEY),
+            BundleOutcome::Rejected(CertifyError::SandboxRejected { .. })
+        ));
+        assert_eq!(fresh.deployed_vsefs(), 0, "I8 holds at the replay gate");
     }
 
     #[test]

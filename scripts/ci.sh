@@ -8,11 +8,15 @@
 #     (DESIGN.md §7) — belt-and-braces on top of the workspace-level
 #     `unsafe_code = "forbid"` lint, catching `#[allow]` overrides;
 #   - the chaos smoke gate: 200 seeded fault-injection + differential
-#     fuzz cases across all four guests with zero violations and >= 3
-#     fault families demonstrably fired (TESTING.md);
-#   - a non-failing bench smoke: `tables benchjson` on a small input,
-#     proving the perf-snapshot path works (its numbers are NOT gated —
-#     commit refreshed BENCH_*.json files deliberately, not from CI).
+#     fuzz cases across all four guests with zero violations, >= 3 fault
+#     families demonstrably fired, and each wire family (loss, Byzantine
+#     rejections, bundle forgeries) exercising the antibody distribution
+#     network at least once (TESTING.md);
+#   - a non-failing bench smoke: `tables benchjson` (which now embeds
+#     the fig9dist distnet sweep as the schema-v4 `distnet` block) plus
+#     `tables fig9dist` on small inputs, proving the perf-snapshot path
+#     works (its numbers are NOT gated — commit refreshed BENCH_*.json
+#     files deliberately, not from CI).
 #
 # Run from anywhere; works offline — all dependencies are in-tree.
 set -eu
@@ -33,8 +37,9 @@ fi
 echo "   workspace is unsafe-free"
 
 echo "== tier2: chaos smoke (seeded fault-injection + differential gate)"
-# Bounded: 200 seeds, all four guests, zero violations required, and at
-# least three fault families must demonstrably fire (see TESTING.md).
+# Bounded: 200 seeds, all four guests, zero violations required, at
+# least three fault families must demonstrably fire, and the wire
+# families must each exercise the distribution network (see TESTING.md).
 cargo run --release -p chaos -- --smoke
 
 echo "== tier2: bench smoke (non-failing)"
@@ -43,6 +48,12 @@ if cargo run --release -p bench --bin tables -- \
     echo "   wrote target/bench_smoke.json"
 else
     echo "   WARN: bench smoke failed (not a gate)"
+fi
+if cargo run --release -p bench --bin tables -- \
+    fig9dist --hosts=1000 >/dev/null 2>&1; then
+    echo "   fig9dist sweep ok"
+else
+    echo "   WARN: fig9dist smoke failed (not a gate)"
 fi
 
 echo "== tier2: OK"

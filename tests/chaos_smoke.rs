@@ -1,11 +1,13 @@
-//! Tier-1 gate over the chaos harness itself (PR 4).
+//! Tier-1 gate over the chaos harness itself (PR 4, distnet legs PR 5).
 //!
 //! A small fixed seed block through `chaos::run_many` — enough to prove
 //! in every `cargo test` run that (a) the fault seams are actually
 //! connected (faults fire), (b) the differential legs agree, (c) the
-//! invariant catalog holds, and (d) a case replays bit-identically from
-//! its seed. The full 200-case gate lives in tier 2
-//! (`scripts/ci.sh` → `chaos --smoke`); see `TESTING.md`.
+//! invariant catalog holds (including I8 over the distribution-network
+//! legs), (d) the wire fault families genuinely exercise the antibody
+//! wire, and (e) a case replays bit-identically from its seed. The full
+//! 200-case gate lives in tier 2 (`scripts/ci.sh` → `chaos --smoke`);
+//! see `TESTING.md`.
 
 use chaos::{run_case, run_many};
 
@@ -37,6 +39,42 @@ fn fixed_seed_block_passes_all_invariants() {
     let reg = summary.metrics();
     assert_eq!(reg.counter("chaos.cases"), CASES);
     assert_eq!(reg.counter("chaos.violations"), 0);
+}
+
+#[test]
+fn wire_families_exercise_the_distribution_network() {
+    // The same block must cover all three wire families: lossy wire
+    // events, Byzantine bundles rejected by verify-before-deploy, and
+    // forged producer→consumer hand-offs. Zero violations above already
+    // implies I8 held on every distnet leg (no unverified deployment);
+    // here we prove the wire seams were genuinely exercised rather than
+    // vacuously green.
+    let summary = run_many(0..CASES);
+    assert!(
+        summary.agg.wire_faults > 0,
+        "no lossy-wire fault fired across the block"
+    );
+    assert!(
+        summary.agg.byzantine_rejections > 0,
+        "no Byzantine bundle was rejected across the block"
+    );
+    assert!(
+        summary.agg.bundles_forged > 0,
+        "no certified bundle was forged across the block"
+    );
+    let reg = summary.metrics();
+    assert_eq!(
+        reg.counter("chaos.fault.wire_faults"),
+        summary.agg.wire_faults
+    );
+    assert_eq!(
+        reg.counter("chaos.fault.byzantine_rejections"),
+        summary.agg.byzantine_rejections
+    );
+    assert_eq!(
+        reg.counter("chaos.fault.bundles_forged"),
+        summary.agg.bundles_forged
+    );
 }
 
 #[test]

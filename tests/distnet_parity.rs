@@ -1,0 +1,143 @@
+//! The PR-5 differential gate: the ideal-wire distribution network vs
+//! the legacy instantaneous-γ clock.
+//!
+//! With loss = dup = delay = 0 and zero Byzantine producers, the
+//! `epidemic::distnet` message layer must reproduce the idealized §6
+//! antibody clock **bit-identically** — same `t0`, same final infected
+//! count, same per-tick curve, same tick count, and the same
+//! `epidemic.*` simulation counters — both serially and sharded at
+//! K = 4. The network is then a pure refinement: every deviation it
+//! ever shows is attributable to wire faults, never to the rewrite of
+//! the clock itself.
+
+use sweeper_repro::epidemic::community::{run, CommunityOutcome, CommunityParams};
+use sweeper_repro::epidemic::{DistNetParams, Parallelism};
+
+/// The comparable core of an outcome (timing counters excluded).
+fn essence(o: &CommunityOutcome) -> (Option<u64>, u64, Vec<u64>, u64) {
+    (o.t0_tick, o.infected, o.curve.clone(), o.ticks)
+}
+
+/// The epidemic-core counters that must be identical between the
+/// legacy clock and the zero-fault distribution network.
+const EPI_SIM: &[&str] = &[
+    "epidemic.infected",
+    "epidemic.producer_contacts",
+    "epidemic.antibodies_applied",
+    "epidemic.new_infections",
+    "epidemic.ticks",
+];
+
+/// A contained configuration: enough producers and proactive
+/// protection (ρ = 0.5) that the antibody clock genuinely wins the
+/// race and the distribution network activates.
+fn contained(gamma_ticks: u64, seed: u64) -> CommunityParams {
+    CommunityParams {
+        hosts: 2_000,
+        alpha: 0.05,
+        rho: 0.5,
+        gamma_ticks,
+        attempts_per_tick: 1,
+        attempt_prob: 1.0,
+        i0: 1,
+        max_ticks: 4_000,
+        seed,
+        parallelism: Parallelism::Fixed(1),
+        distnet: DistNetParams::disabled(),
+    }
+}
+
+#[test]
+fn ideal_wire_is_bit_identical_to_the_legacy_clock() {
+    let mut activated = 0usize;
+    for (gamma, seed) in [(1u64, 11u64), (4, 42), (9, 7), (0, 3)] {
+        for k in [1usize, 4] {
+            let legacy = CommunityParams {
+                parallelism: Parallelism::Fixed(k),
+                ..contained(gamma, seed)
+            };
+            let ideal = CommunityParams {
+                distnet: DistNetParams::ideal(),
+                ..legacy
+            };
+            let a = run(&legacy);
+            let b = run(&ideal);
+            let ctx = format!("gamma={gamma} seed={seed} k={k}");
+            assert_eq!(essence(&a), essence(&b), "essence diverged: {ctx}");
+            let (ma, mb) = (a.metrics(), b.metrics());
+            for name in EPI_SIM {
+                assert_eq!(ma.counter(name), mb.counter(name), "{name}: {ctx}");
+            }
+            if let Some(d) = &b.dist {
+                activated += 1;
+                assert_eq!(d.deployed_unverified, 0, "I8: {ctx}");
+                assert_eq!(
+                    d.gamma_effective(b.t0_tick.expect("t0")),
+                    Some(gamma.max(1)),
+                    "ideal wire emergent γ: {ctx}"
+                );
+            }
+        }
+    }
+    assert!(
+        activated >= 6,
+        "the contained configs must exercise the network ({activated})"
+    );
+}
+
+#[test]
+fn ideal_wire_parity_holds_between_serial_and_k4_directly() {
+    // The sharding axis on the distnet-enabled engine itself: serial
+    // and K = 4 runs of the *same* ideal-wire configuration are
+    // bit-identical (PR-1's parity contract extended to PR-5).
+    for seed in [5u64, 19] {
+        let base = CommunityParams {
+            distnet: DistNetParams::ideal(),
+            ..contained(6, seed)
+        };
+        let serial = run(&base);
+        let sharded = run(&CommunityParams {
+            parallelism: Parallelism::Fixed(4),
+            ..base
+        });
+        assert_eq!(essence(&serial), essence(&sharded), "seed {seed}");
+        let (ms, mk) = (serial.metrics(), sharded.metrics());
+        for name in EPI_SIM {
+            assert_eq!(ms.counter(name), mk.counter(name), "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn faulty_wire_runs_are_deterministic_for_a_fixed_seed() {
+    // Loss, duplication, delay, Byzantine forgery, retry jitter and
+    // throttling are all counter-mode draws from the run seed: two
+    // executions of the same faulty configuration are bit-identical,
+    // serial or sharded.
+    let base = CommunityParams {
+        distnet: DistNetParams::lossy(0.4, 0.3),
+        ..contained(5, 23)
+    };
+    let first = run(&base);
+    let second = run(&base);
+    assert_eq!(essence(&first), essence(&second));
+    let sharded = |k: usize| {
+        run(&CommunityParams {
+            parallelism: Parallelism::Fixed(k),
+            ..base
+        })
+    };
+    let s1 = sharded(4);
+    let s2 = sharded(4);
+    assert_eq!(essence(&s1), essence(&s2));
+    assert_eq!(essence(&first), essence(&s1), "serial vs K=4");
+    let (d1, d2) = (
+        first.dist.as_ref().expect("dist"),
+        s1.dist.as_ref().expect("dist"),
+    );
+    assert_eq!(d1.protection_complete_tick, d2.protection_complete_tick);
+    assert_eq!(d1.protected, d2.protected);
+    assert_eq!(d1.byzantine_producers, d2.byzantine_producers);
+    assert_eq!(d1.deployed_unverified, 0, "I8");
+    assert_eq!(d2.deployed_unverified, 0, "I8");
+}

@@ -6,7 +6,7 @@
 //! parallel engine trustworthy: `K` is a pure performance knob.
 
 use sweeper_repro::epidemic::community::{run, CommunityParams};
-use sweeper_repro::epidemic::{Parallelism, Scenario};
+use sweeper_repro::epidemic::{DistNetParams, Parallelism, Scenario};
 
 /// The comparable core of an outcome (timing counters excluded).
 fn essence(p: &CommunityParams) -> (Option<u64>, u64, Vec<u64>, u64) {
@@ -30,6 +30,7 @@ fn sharded_runs_match_serial_for_all_seeds_and_shard_counts() {
             max_ticks: 4_000,
             seed,
             parallelism: Parallelism::Fixed(1),
+            distnet: DistNetParams::disabled(),
         };
         let serial = essence(&base);
         assert!(serial.1 > 9_000, "seed {seed}: the outbreak must spread");
@@ -77,6 +78,7 @@ fn auto_parallelism_matches_the_serial_legacy_path() {
         max_ticks: 4_000,
         seed: 7,
         parallelism: Parallelism::Fixed(1),
+        distnet: DistNetParams::disabled(),
     };
     let serial = essence(&base);
     let auto = essence(&CommunityParams {
