@@ -14,16 +14,18 @@
 use svm::asm::assemble;
 use svm::clock::insns_per_sec;
 use svm::loader::Aslr;
-use svm::{CacheStats, Machine, NopHook, Status};
+use svm::{CacheStats, Machine, NopHook, SbStats, Status};
 
 use epidemic::community::CommunityParams;
 use epidemic::{DistNetParams, Parallelism};
 
-/// One interpreter-throughput measurement (tight loop, NopHook).
+/// One interpreter-throughput measurement (fixed guest, NopHook).
 #[derive(Debug, Clone, Copy)]
 pub struct VmRate {
     /// Whether the predecoded instruction cache was enabled.
     pub cached: bool,
+    /// Whether the superblock tier was enabled on top of the icache.
+    pub superblocks: bool,
     /// Instructions retired per run.
     pub insns: u64,
     /// Wall-clock seconds of the fastest rep.
@@ -32,6 +34,8 @@ pub struct VmRate {
     pub insns_per_sec: f64,
     /// Decode-cache counters at the end of the fastest rep.
     pub stats: CacheStats,
+    /// Superblock-tier counters at the end of the fastest rep.
+    pub sb_stats: SbStats,
 }
 
 /// One community-engine run at a fixed shard count.
@@ -174,6 +178,29 @@ pub fn render_distnet_sweep(hosts: u64, seed: u64, cells: &[DistNetCell]) -> Str
     s
 }
 
+/// The quick chaos differential sweep recorded in the `"chaos"` block,
+/// or its explicit skip marker.
+///
+/// The sweep is skipped on 1-core containers (its wall-secs figure is
+/// meaningless there, matching the community `speedup_status`
+/// convention) — but the block is **always emitted**. Silently dropping
+/// it left `BENCH_*.json` consumers unable to tell "sweep clean" from
+/// "sweep never ran"; the explicit `"SKIPPED (1 core)"` marker is the
+/// fix.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSweep {
+    /// `"ok"` or `"SKIPPED (1 core)"`.
+    pub status: String,
+    /// Cases executed (0 when skipped).
+    pub cases: u64,
+    /// Total pipeline executions across all differential legs.
+    pub execs: u64,
+    /// Invariant violations (must be 0 when status is `"ok"`).
+    pub violations: u64,
+    /// Wall-clock seconds for the batch.
+    pub wall_secs: f64,
+}
+
 /// The full quick-pass snapshot written to `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -183,10 +210,29 @@ pub struct PerfReport {
     pub vm_loop_insns: u64,
     /// Interpreter rate with the decode cache disabled.
     pub vm_uncached: VmRate,
-    /// Interpreter rate with the decode cache enabled.
+    /// Interpreter rate with the decode cache enabled (icache only).
     pub vm_cached: VmRate,
+    /// Full stack: icache + superblock tier.
+    pub vm_superblock: VmRate,
     /// `cached.insns_per_sec / uncached.insns_per_sec`.
     pub vm_speedup: f64,
+    /// `superblock.insns_per_sec / cached.insns_per_sec` (tight loop).
+    pub vm_sb_speedup: f64,
+    /// Straight-line-guest instruction count per rep.
+    pub straight_insns: u64,
+    /// Straight-line guest, pure interpreter.
+    pub straight_uncached: VmRate,
+    /// Straight-line guest, icache only.
+    pub straight_cached: VmRate,
+    /// Straight-line guest, full stack.
+    pub straight_superblock: VmRate,
+    /// Straight-line `cached / uncached` ratio.
+    pub straight_speedup: f64,
+    /// Straight-line `superblock / cached` ratio — the headline number
+    /// for the superblock tier (acceptance: ≥ 1.5).
+    pub straight_sb_speedup: f64,
+    /// The chaos differential sweep (always present; see [`ChaosSweep`]).
+    pub chaos: ChaosSweep,
     /// Community hosts used for the K sweep.
     pub hosts: u64,
     /// Seed used for the K sweep.
@@ -210,43 +256,80 @@ pub struct PerfReport {
     /// Hosts used for the `fig9dist` distnet sweep (capped so the sweep
     /// stays a quick pass even when `hosts` is large).
     pub distnet_hosts: u64,
+    /// `"ok"` always today (the distnet sweep runs single-shard), but
+    /// emitted explicitly so consumers never have to infer presence.
+    pub distnet_status: String,
     /// The `fig9dist` containment-vs-loss/Byzantine sweep (the schema
     /// v4 `"distnet"` block).
     pub distnet: Vec<DistNetCell>,
 }
 
+/// The tight-loop guest: branch-dense, so the icache dominates and
+/// superblocks have little straight-line run to fuse.
+fn tight_src(loop_iters: u32) -> String {
+    format!(
+        ".text\nmain:\n movi r1, {loop_iters}\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n"
+    )
+}
+
+/// The straight-line-heavy guest: 64 unrolled `addi`s per loop-control
+/// triple (67 insns between branches), the workload the superblock tier
+/// is built for. Mirrors `benches/vm_decode_cache.rs`.
+fn straight_src(loop_iters: u32) -> String {
+    let mut src = format!(".text\nmain:\n movi r1, {loop_iters}\nloop:\n");
+    for _ in 0..64 {
+        src.push_str(" addi r0, r0, 1\n");
+    }
+    src.push_str(" subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n");
+    src
+}
+
 /// Measure interpreter throughput over a `loop_iters`-iteration tight
 /// loop, taking the fastest of `reps` runs (boot excluded from timing).
-pub fn vm_rate(cache: bool, loop_iters: u32, reps: u32) -> VmRate {
-    vm_rate_with_metrics(cache, loop_iters, reps).0
+/// `cache` enables the predecoded icache; `superblocks` additionally
+/// enables the superblock tier (ignored when `cache` is off).
+pub fn vm_rate(cache: bool, superblocks: bool, loop_iters: u32, reps: u32) -> VmRate {
+    vm_rate_with_metrics(cache, superblocks, loop_iters, reps).0
 }
 
 /// Like [`vm_rate`], also exporting the fastest rep's machine counters
 /// as an [`obs::MetricsRegistry`].
 pub fn vm_rate_with_metrics(
     cache: bool,
+    superblocks: bool,
     loop_iters: u32,
     reps: u32,
 ) -> (VmRate, obs::MetricsRegistry) {
-    let src = format!(
-        ".text\nmain:\n movi r1, {loop_iters}\nloop:\n subi r1, r1, 1\n cmpi r1, 0\n jnz loop\n halt\n"
-    );
-    let prog = assemble(&src).expect("asm");
+    vm_rate_src(&tight_src(loop_iters), cache, superblocks, reps)
+}
+
+/// Measure one tier over an arbitrary guest source.
+fn vm_rate_src(
+    src: &str,
+    cache: bool,
+    superblocks: bool,
+    reps: u32,
+) -> (VmRate, obs::MetricsRegistry) {
+    let prog = assemble(src).expect("asm");
+    let sb = cache && superblocks;
     let mut best: Option<(VmRate, obs::MetricsRegistry)> = None;
     for _ in 0..reps.max(1) {
         let mut m = Machine::boot(&prog, Aslr::off())
             .expect("boot")
-            .with_decode_cache(cache);
+            .with_decode_cache(cache)
+            .with_superblocks(sb);
         let start = std::time::Instant::now();
         let status = m.run(&mut NopHook, u64::MAX);
         let wall = start.elapsed().as_secs_f64();
         assert!(matches!(status, Status::Halted(_)), "loop must halt");
         let r = VmRate {
             cached: cache,
+            superblocks: sb,
             insns: m.insns_retired,
             wall_secs: wall,
             insns_per_sec: insns_per_sec(m.insns_retired, wall),
             stats: m.icache_stats(),
+            sb_stats: m.superblock_stats(),
         };
         if best.as_ref().is_none_or(|(b, _)| wall < b.wall_secs) {
             let mut reg = obs::MetricsRegistry::new();
@@ -290,30 +373,84 @@ pub fn community_rate_with_metrics(
     (rate, metrics)
 }
 
-/// Run the whole quick pass: VM rates (cache off/on) plus the community
-/// engine at K = 1 and K = 4.
+/// Ratio of two rates, 0.0 when the denominator is degenerate.
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Run the quick chaos differential sweep, or mark it skipped.
+fn chaos_sweep(seed: u64, cores: usize) -> ChaosSweep {
+    if cores <= 1 {
+        return ChaosSweep {
+            status: "SKIPPED (1 core)".to_string(),
+            ..ChaosSweep::default()
+        };
+    }
+    let s = chaos::run_many((0..2).map(|i| seed.wrapping_add(i)));
+    ChaosSweep {
+        status: "ok".to_string(),
+        cases: s.cases,
+        execs: s.execs,
+        violations: s.violations.len() as u64,
+        wall_secs: s.wall_secs,
+    }
+}
+
+/// Run the whole quick pass: VM rates on all three execution tiers
+/// (tight-loop and straight-line guests), the community engine at K = 1
+/// and K = 4, the chaos differential sweep, and the distnet sweep.
 pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let uncached = vm_rate(false, vm_loop_iters, 3);
-    let (cached, vm_obs) = vm_rate_with_metrics(true, vm_loop_iters, 3);
+    measure_with_cores(hosts, seed, vm_loop_iters, cores)
+}
+
+/// [`measure`] with the core count injected — the testable seam for the
+/// 1-core skip path (a 1-core container cannot force the multi-core
+/// branch and vice versa).
+pub fn measure_with_cores(hosts: u64, seed: u64, vm_loop_iters: u32, cores: usize) -> PerfReport {
+    let uncached = vm_rate(false, false, vm_loop_iters, 3);
+    let cached = vm_rate(true, false, vm_loop_iters, 3);
+    let (superblock, vm_obs) = vm_rate_with_metrics(true, true, vm_loop_iters, 3);
+    // Straight-line guest: scale iterations down so total retired insns
+    // stay comparable to the tight loop (67 insns per iteration vs 3).
+    let straight_iters = (vm_loop_iters / 22).max(8);
+    let straight_uncached = vm_rate_src(&straight_src(straight_iters), false, false, 3).0;
+    let straight_cached = vm_rate_src(&straight_src(straight_iters), true, false, 3).0;
+    let straight_superblock = vm_rate_src(&straight_src(straight_iters), true, true, 3).0;
     let (k1, k1_obs) = community_rate_with_metrics(hosts, 1, seed);
     let k4 = community_rate(hosts, 4, seed);
     let mut obs_reg = vm_obs;
     obs_reg.merge(&k1_obs);
     let outcomes_identical = (k1.infected, k1.t0_tick, k1.ticks, k1.curve_sum)
         == (k4.infected, k4.t0_tick, k4.ticks, k4.curve_sum);
+    let chaos = chaos_sweep(seed, cores);
     let distnet_hosts = hosts.clamp(400, 4_000);
     let distnet = distnet_sweep(distnet_hosts, seed);
     PerfReport {
         cores,
         vm_loop_insns: uncached.insns,
-        vm_speedup: if uncached.insns_per_sec > 0.0 {
-            cached.insns_per_sec / uncached.insns_per_sec
-        } else {
-            0.0
-        },
+        vm_speedup: ratio(cached.insns_per_sec, uncached.insns_per_sec),
+        vm_sb_speedup: ratio(superblock.insns_per_sec, cached.insns_per_sec),
         vm_uncached: uncached,
         vm_cached: cached,
+        vm_superblock: superblock,
+        straight_insns: straight_uncached.insns,
+        straight_speedup: ratio(
+            straight_cached.insns_per_sec,
+            straight_uncached.insns_per_sec,
+        ),
+        straight_sb_speedup: ratio(
+            straight_superblock.insns_per_sec,
+            straight_cached.insns_per_sec,
+        ),
+        straight_uncached,
+        straight_cached,
+        straight_superblock,
+        chaos,
         hosts,
         seed,
         community_speedup: k1.wall_secs / k4.wall_secs.max(1e-12),
@@ -327,6 +464,7 @@ pub fn measure(hosts: u64, seed: u64, vm_loop_iters: u32) -> PerfReport {
         k4,
         obs: obs_reg,
         distnet_hosts,
+        distnet_status: "ok".to_string(),
         distnet,
     }
 }
@@ -344,13 +482,29 @@ fn jf(x: f64) -> String {
 fn j_vm(r: &VmRate) -> String {
     format!(
         "{{\"insns\": {}, \"wall_secs\": {}, \"insns_per_sec\": {}, \
-         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_invalidations\": {}}}",
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_invalidations\": {}, \
+         \"sb_dispatches\": {}, \"sb_insns\": {}, \"sb_bailouts\": {}}}",
         r.insns,
         jf(r.wall_secs),
         jf(r.insns_per_sec),
         r.stats.hits,
         r.stats.misses,
         r.stats.invalidations,
+        r.sb_stats.dispatches,
+        r.sb_stats.insns,
+        r.sb_stats.bailouts,
+    )
+}
+
+fn j_chaos(c: &ChaosSweep) -> String {
+    format!(
+        "{{\"status\": \"{}\", \"cases\": {}, \"execs\": {}, \
+         \"violations\": {}, \"wall_secs\": {}}}",
+        c.status,
+        c.cases,
+        c.execs,
+        c.violations,
+        jf(c.wall_secs),
     )
 }
 
@@ -389,8 +543,10 @@ fn j_distnet_cell(c: &DistNetCell) -> String {
 }
 
 impl PerfReport {
-    /// Serialize as pretty-printed JSON (`sweeper-bench-v4` schema; v4
-    /// added the `"distnet"` fig9dist sweep block).
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v5` schema; v5
+    /// added the `"superblock"` tier rows, the `"vm_straight"` block,
+    /// the always-present `"chaos"` block, and explicit `"status"`
+    /// markers on the skippable sweeps).
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self
             .distnet
@@ -398,18 +554,32 @@ impl PerfReport {
             .map(|c| format!("      {}", j_distnet_cell(c)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v4\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+            "{{\n  \"schema\": \"sweeper-bench-v5\",\n  \"cores\": {},\n  \"vm\": {{\n    \
              \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
-             \"cached_over_uncached\": {}\n  }},\n  \"community\": {{\n    \"hosts\": {},\n    \
+             \"superblock\": {},\n    \"cached_over_uncached\": {},\n    \
+             \"superblock_over_cached\": {}\n  }},\n  \"vm_straight\": {{\n    \
+             \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
+             \"superblock\": {},\n    \"cached_over_uncached\": {},\n    \
+             \"superblock_over_cached\": {}\n  }},\n  \"community\": {{\n    \"hosts\": {},\n    \
              \"seed\": {},\n    \"k1\": {},\n    \"k4\": {},\n    \"k1_over_k4\": {},\n    \
              \"outcomes_identical\": {},\n    \"speedup_status\": \"{}\"\n  }},\n  \
-             \"distnet\": {{\n    \"hosts\": {},\n    \"seed\": {},\n    \"cells\": [\n{}\n    ]\n  }},\n  \
+             \"chaos\": {},\n  \
+             \"distnet\": {{\n    \"status\": \"{}\",\n    \"hosts\": {},\n    \"seed\": {},\n    \
+             \"cells\": [\n{}\n    ]\n  }},\n  \
              \"obs\": {}\n}}\n",
             self.cores,
             self.vm_loop_insns,
             j_vm(&self.vm_uncached),
             j_vm(&self.vm_cached),
+            j_vm(&self.vm_superblock),
             jf(self.vm_speedup),
+            jf(self.vm_sb_speedup),
+            self.straight_insns,
+            j_vm(&self.straight_uncached),
+            j_vm(&self.straight_cached),
+            j_vm(&self.straight_superblock),
+            jf(self.straight_speedup),
+            jf(self.straight_sb_speedup),
             self.hosts,
             self.seed,
             j_community(&self.k1),
@@ -417,6 +587,8 @@ impl PerfReport {
             jf(self.community_speedup),
             self.outcomes_identical,
             self.speedup_status,
+            j_chaos(&self.chaos),
+            self.distnet_status,
             self.distnet_hosts,
             self.seed,
             cells.join(",\n"),
@@ -428,13 +600,22 @@ impl PerfReport {
     pub fn render(&self) -> String {
         let unverified: u64 = self.distnet.iter().map(|c| c.deployed_unverified).sum();
         format!(
-            "interpreter : {:>12.0} insns/s uncached | {:>12.0} insns/s cached -> {:.2}x\n\
+            "interpreter : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
+             straight    : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
              community   : K=1 {:.3} s ({:.0} ticks/s) | K=4 {:.3} s ({:.0} ticks/s) -> {:.2}x [{}]\n\
              outcomes    : identical across K = {}\n\
-             distnet     : {} fig9dist cells over {} hosts, {} unverified deployments (I8)",
+             chaos       : {} cases, {} execs, {} violations [{}]\n\
+             distnet     : {} fig9dist cells over {} hosts, {} unverified deployments (I8) [{}]",
             self.vm_uncached.insns_per_sec,
             self.vm_cached.insns_per_sec,
             self.vm_speedup,
+            self.vm_superblock.insns_per_sec,
+            self.vm_sb_speedup,
+            self.straight_uncached.insns_per_sec,
+            self.straight_cached.insns_per_sec,
+            self.straight_speedup,
+            self.straight_superblock.insns_per_sec,
+            self.straight_sb_speedup,
             self.k1.wall_secs,
             self.k1.ticks_per_sec,
             self.k4.wall_secs,
@@ -442,9 +623,14 @@ impl PerfReport {
             self.community_speedup,
             self.speedup_status,
             self.outcomes_identical,
+            self.chaos.cases,
+            self.chaos.execs,
+            self.chaos.violations,
+            self.chaos.status,
             self.distnet.len(),
             self.distnet_hosts,
             unverified,
+            self.distnet_status,
         )
     }
 }
@@ -454,17 +640,107 @@ pub fn write_json(path: &str, report: &PerfReport) -> std::io::Result<()> {
     std::fs::write(path, report.to_json())
 }
 
+/// The superblock parity smoke behind `tables sbparity`: run a benign
+/// workload on all four Table 1 guests on every execution tier
+/// (interpreter, icache only, icache + superblocks) and require
+/// bit-identical observable state. Returns one summary line per guest;
+/// panics on any divergence (CI treats the panic as the gate failing).
+pub fn superblock_parity_smoke() -> Vec<String> {
+    use apps::{cvs, httpd1, httpd2, squid, App};
+    use svm::loader::Layout;
+
+    fn run_tier(app: &App, inputs: &[Vec<u8>], cache: bool, sb: bool) -> (u64, u64, u32, u64) {
+        let mut m = app
+            .boot_at(Layout::nominal())
+            .expect("boot")
+            .with_decode_cache(cache)
+            .with_superblocks(cache && sb);
+        for i in inputs {
+            m.net.push_connection(i.clone());
+        }
+        let status = m.run(&mut NopHook, 400_000_000);
+        assert!(!matches!(status, Status::Running), "must finish");
+        (
+            m.insns_retired,
+            m.clock.cycles(),
+            m.cpu.pc,
+            m.superblock_stats().dispatches,
+        )
+    }
+
+    let guests: Vec<(&str, App, Vec<Vec<u8>>)> = vec![
+        (
+            "httpd1",
+            httpd1::app().expect("app"),
+            vec![httpd1::benign_request("index.html")],
+        ),
+        (
+            "httpd2",
+            httpd2::app().expect("app"),
+            vec![httpd2::benign_request("ok.html", None)],
+        ),
+        (
+            "cvs",
+            cvs::app().expect("app"),
+            vec![cvs::benign_session(&["x"])],
+        ),
+        (
+            "squid",
+            squid::app().expect("app"),
+            vec![squid::benign_request("bob", "example.com")],
+        ),
+    ];
+    let mut lines = Vec::new();
+    for (name, app, inputs) in &guests {
+        let interp = run_tier(app, inputs, false, false);
+        let icache = run_tier(app, inputs, true, false);
+        let full = run_tier(app, inputs, true, true);
+        assert_eq!(
+            (interp.0, interp.1, interp.2),
+            (icache.0, icache.1, icache.2),
+            "{name}: icache tier diverged"
+        );
+        assert_eq!(
+            (interp.0, interp.1, interp.2),
+            (full.0, full.1, full.2),
+            "{name}: superblock tier diverged"
+        );
+        assert!(full.3 > 0, "{name}: superblock tier never engaged");
+        lines.push(format!(
+            "{name:>7}: {} insns, {} cycles, {} superblock dispatches — all tiers bit-identical",
+            full.0, full.1, full.3
+        ));
+    }
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn vm_rate_counts_cache_activity() {
-        let off = vm_rate(false, 500, 1);
-        let on = vm_rate(true, 500, 1);
+        let off = vm_rate(false, false, 500, 1);
+        let on = vm_rate(true, false, 500, 1);
+        let sb = vm_rate(true, true, 500, 1);
         assert_eq!(off.insns, on.insns, "same program, same retire count");
+        assert_eq!(off.insns, sb.insns, "superblock tier retires identically");
         assert_eq!(off.stats, CacheStats::default(), "disabled cache is inert");
         assert!(on.stats.hits > 0, "enabled cache serves hits");
+        assert_eq!(on.sb_stats, SbStats::default(), "sb off leaves tier inert");
+        // The tight loop's 2-insn body is below the minimum fusion
+        // length: the tier probes and caches it but hands it back to
+        // the icache, so branch-dense code never pays block-dispatch
+        // overhead (the pre-threshold tier ran it 0.82x of icache).
+        // Only the one-shot boot prologue (movi + fall-through body)
+        // is long enough to fuse, hence at most one dispatch.
+        assert!(sb.sb_stats.dispatches <= 1, "short blocks stay on icache");
+        assert!(sb.sb_stats.bypasses > 0, "probed and cached as bypasses");
+        let (straight, _) = vm_rate_src(&straight_src(40), true, true, 1);
+        assert!(
+            straight.sb_stats.dispatches > 0,
+            "straight-line guest dispatches fused blocks"
+        );
         assert!(on.insns_per_sec > 0.0 && off.insns_per_sec > 0.0);
     }
 
@@ -474,10 +750,19 @@ mod tests {
         assert!(r.outcomes_identical, "K must not change the outcome");
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"sweeper-bench-v4\""));
+        assert!(json.contains("\"schema\": \"sweeper-bench-v5\""));
         assert!(json.contains("\"cached_over_uncached\""));
+        assert!(json.contains("\"superblock_over_cached\""));
+        assert!(json.contains("\"vm_straight\""));
         assert!(json.contains("\"speedup_status\""));
-        // The schema-v4 distnet block is present and populated.
+        // All three tiers retired the same instruction stream.
+        assert_eq!(r.vm_uncached.insns, r.vm_superblock.insns);
+        assert_eq!(r.straight_uncached.insns, r.straight_superblock.insns);
+        assert!(
+            r.straight_superblock.sb_stats.insns > 0,
+            "superblock tier executed the straight-line guest"
+        );
+        // The distnet block is present and populated.
         assert!(json.contains("\"distnet\""));
         assert!(json.contains("\"deployed_unverified\""));
         assert_eq!(r.distnet.len(), 8, "4 loss x 2 byzantine cells");
@@ -487,6 +772,35 @@ mod tests {
         assert!(r.obs.counter("epidemic.infected") > 0);
         // Non-finite floats must serialize as `null`, never bare tokens.
         assert!(!json.contains("NaN") && !json.contains(": inf"));
+    }
+
+    #[test]
+    fn skipped_sweeps_still_emit_their_blocks() {
+        // Regression: the v4 writer dropped the chaos block entirely
+        // when the sweep was skipped on a 1-core container, so JSON
+        // consumers could not tell "clean" from "never ran". Force the
+        // 1-core path and require the block with its explicit marker.
+        let r = measure_with_cores(400, 7, 300, 1);
+        assert_eq!(r.chaos.status, "SKIPPED (1 core)");
+        assert_eq!((r.chaos.cases, r.chaos.execs), (0, 0));
+        let json = r.to_json();
+        assert!(
+            json.contains("\"chaos\": {\"status\": \"SKIPPED (1 core)\""),
+            "chaos block must survive the skip with an explicit marker"
+        );
+        assert!(
+            json.contains("\"distnet\": {\n    \"status\": \"ok\""),
+            "distnet block carries an explicit status too"
+        );
+        assert_eq!(r.speedup_status, "SKIPPED (1 core)");
+    }
+
+    #[test]
+    fn multi_core_path_runs_the_chaos_sweep() {
+        let c = super::chaos_sweep(3, 2);
+        assert_eq!(c.status, "ok");
+        assert!(c.cases == 2 && c.execs > 0, "sweep actually ran");
+        assert_eq!(c.violations, 0, "quick sweep must be clean");
     }
 
     #[test]

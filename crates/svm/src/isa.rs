@@ -106,6 +106,39 @@ pub enum AluOp {
     Shr,
 }
 
+impl AluOp {
+    /// Evaluate the operation on two unsigned operands.
+    ///
+    /// `pc` is used only to populate the [`Fault::DivByZero`] payload.
+    /// Both execution tiers (the interpreter in `machine` and the
+    /// superblock compiler in `superblock`) call this single definition,
+    /// so ALU semantics cannot drift between them.
+    pub fn eval(self, a: u32, b: u32, pc: u32) -> Result<u32, Fault> {
+        Ok(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return Err(Fault::DivByZero { pc });
+                }
+                a / b
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return Err(Fault::DivByZero { pc });
+                }
+                a % b
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b),
+            AluOp::Shr => a.wrapping_shr(b),
+        })
+    }
+}
+
 /// A decoded instruction.
 ///
 /// Field meanings are given in each variant's doc line; `rd`/`rs*` are

@@ -12,11 +12,16 @@
 #     families demonstrably fired, and each wire family (loss, Byzantine
 #     rejections, bundle forgeries) exercising the antibody distribution
 #     network at least once (TESTING.md);
-#   - a non-failing bench smoke: `tables benchjson` (which now embeds
-#     the fig9dist distnet sweep as the schema-v4 `distnet` block) plus
-#     `tables fig9dist` on small inputs, proving the perf-snapshot path
-#     works (its numbers are NOT gated — commit refreshed BENCH_*.json
-#     files deliberately, not from CI).
+#   - the superblock parity gate: `tables sbparity` runs a benign
+#     workload on all four guests on every execution tier (interpreter,
+#     icache, icache + superblocks) and fails on any divergence;
+#   - a non-failing bench smoke: `tables benchjson` (schema v5: tier
+#     rows, chaos block with explicit skip markers, fig9dist distnet
+#     sweep) plus `tables fig9dist` on small inputs, proving the
+#     perf-snapshot path works (its numbers are NOT gated — commit
+#     refreshed BENCH_*.json files deliberately, not from CI). The one
+#     gated piece of the smoke: a written snapshot must contain the
+#     schema-v5 "superblock" block.
 #
 # Run from anywhere; works offline — all dependencies are in-tree.
 set -eu
@@ -42,10 +47,19 @@ echo "== tier2: chaos smoke (seeded fault-injection + differential gate)"
 # families must each exercise the distribution network (see TESTING.md).
 cargo run --release -p chaos -- --smoke
 
+echo "== tier2: superblock parity gate (all guests, all tiers)"
+cargo run --release -p bench --bin tables -- sbparity
+
 echo "== tier2: bench smoke (non-failing)"
 if cargo run --release -p bench --bin tables -- \
     benchjson --hosts=2000 --out=target/bench_smoke.json >/dev/null 2>&1; then
     echo "   wrote target/bench_smoke.json"
+    # Gated: the schema-v5 superblock tier rows must be present.
+    if ! grep -q '"superblock"' target/bench_smoke.json; then
+        echo "== tier2: FAIL — no superblock block in bench_smoke.json" >&2
+        exit 1
+    fi
+    echo "   schema-v5 superblock block present"
 else
     echo "   WARN: bench smoke failed (not a gate)"
 fi

@@ -1,13 +1,15 @@
-//! Differential parity for the predecoded instruction cache.
+//! Differential parity for the accelerated execution tiers.
 //!
-//! The cache (`svm::icache`) is a pure performance knob: with it on or
-//! off, every guest — all four Table 1 servers, every exploit variant,
-//! and checkpoint/rollback/replay round trips — must produce
+//! The predecoded icache (`svm::icache`) and the superblock tier
+//! (`svm::superblock`) are pure performance knobs: on any of the three
+//! stacks — pure interpreter, icache only, icache + superblocks — every
+//! guest (all four Table 1 servers, every exploit variant, and
+//! checkpoint/rollback/replay round trips) must produce
 //! **bit-identical** observable behavior: the same final `Status` (same
 //! `Fault` at the same pc), the same retired-instruction and
 //! virtual-cycle counts, the same connection outputs, the same
-//! compromise verdicts. This is the executable form of the cache's
-//! correctness contract; `tests/parity.rs` plays the same role for the
+//! compromise verdicts. This is the executable form of both tiers'
+//! correctness contracts; `tests/parity.rs` plays the same role for the
 //! sharded community engine.
 //!
 //! The self-modifying-code tests at the bottom pin the invalidation
@@ -52,13 +54,35 @@ enum Boot {
     Nominal,
 }
 
-fn run_inputs(app: &App, boot: &Boot, inputs: &[Vec<u8>], cache: bool) -> Fingerprint {
-    let mut m = match boot {
-        Boot::Random(seed) => app.boot(Aslr::on(*seed)),
-        Boot::Nominal => app.boot_at(Layout::nominal()),
+/// One of the three execution stacks under differential test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Tier {
+    /// Pure word-at-a-time interpreter.
+    Interp,
+    /// Predecoded icache only.
+    Icache,
+    /// Icache + superblock closure chains.
+    Full,
+}
+
+impl Tier {
+    fn apply(self, m: Machine) -> Machine {
+        match self {
+            Tier::Interp => m.with_decode_cache(false),
+            Tier::Icache => m.with_decode_cache(true).with_superblocks(false),
+            Tier::Full => m.with_decode_cache(true),
+        }
     }
-    .expect("boot")
-    .with_decode_cache(cache);
+}
+
+fn run_inputs(app: &App, boot: &Boot, inputs: &[Vec<u8>], tier: Tier) -> Fingerprint {
+    let mut m = tier.apply(
+        match boot {
+            Boot::Random(seed) => app.boot(Aslr::on(*seed)),
+            Boot::Nominal => app.boot_at(Layout::nominal()),
+        }
+        .expect("boot"),
+    );
     for i in inputs {
         m.net.push_connection(i.clone());
     }
@@ -67,24 +91,50 @@ fn run_inputs(app: &App, boot: &Boot, inputs: &[Vec<u8>], cache: bool) -> Finger
         !matches!(status, Status::Running),
         "must finish within fuel"
     );
-    if cache {
-        assert!(m.icache_stats().hits > 0, "cache must actually engage");
-    } else {
-        assert_eq!(
-            m.icache_stats(),
-            Default::default(),
-            "disabled cache is inert"
-        );
+    match tier {
+        Tier::Interp => {
+            assert_eq!(
+                m.icache_stats(),
+                Default::default(),
+                "disabled cache is inert"
+            );
+            assert_eq!(
+                m.superblock_stats(),
+                Default::default(),
+                "disabled superblock tier is inert"
+            );
+        }
+        Tier::Icache => {
+            assert!(m.icache_stats().hits > 0, "cache must actually engage");
+            assert_eq!(
+                m.superblock_stats(),
+                Default::default(),
+                "sb-off leaves the tier inert"
+            );
+        }
+        Tier::Full => {
+            assert!(m.icache_stats().hits > 0, "cache must actually engage");
+            assert!(
+                m.superblock_stats().dispatches > 0,
+                "superblock tier must actually engage: {:?}",
+                m.superblock_stats()
+            );
+        }
     }
     fingerprint(&m, status)
 }
 
 #[track_caller]
 fn assert_parity(name: &str, app: &App, boot: Boot, inputs: Vec<Vec<u8>>) -> Fingerprint {
-    let off = run_inputs(app, &boot, &inputs, false);
-    let on = run_inputs(app, &boot, &inputs, true);
+    let off = run_inputs(app, &boot, &inputs, Tier::Interp);
+    let on = run_inputs(app, &boot, &inputs, Tier::Icache);
+    let sb = run_inputs(app, &boot, &inputs, Tier::Full);
     assert_eq!(off, on, "{name}: decode cache changed observable behavior");
-    on
+    assert_eq!(
+        on, sb,
+        "{name}: superblock tier changed observable behavior"
+    );
+    sb
 }
 
 #[test]
@@ -228,12 +278,9 @@ fn exploit_parity_every_variant() {
 /// the attack, roll back, replay the attack (determinism), then roll
 /// back again and serve benign traffic instead (recovery). Returns the
 /// fingerprints of all three machines.
-fn rollback_cycle(cache: bool) -> [Fingerprint; 3] {
+fn rollback_cycle(tier: Tier) -> [Fingerprint; 3] {
     let app = httpd2::app().expect("app");
-    let mut m = app
-        .boot(Aslr::on(42))
-        .expect("boot")
-        .with_decode_cache(cache);
+    let mut m = tier.apply(app.boot(Aslr::on(42)).expect("boot"));
     m.net
         .push_connection(httpd2::benign_request("pre.html", None));
     let s = m.run(&mut NopHook, FUEL);
@@ -277,9 +324,11 @@ fn rollback_cycle(cache: bool) -> [Fingerprint; 3] {
 
 #[test]
 fn rollback_then_replay_round_trip_parity() {
-    let off = rollback_cycle(false);
-    let on = rollback_cycle(true);
+    let off = rollback_cycle(Tier::Interp);
+    let on = rollback_cycle(Tier::Icache);
+    let sb = rollback_cycle(Tier::Full);
     assert_eq!(off, on, "cache changed a rollback/replay round trip");
+    assert_eq!(on, sb, "superblocks changed a rollback/replay round trip");
 }
 
 // ---------------------------------------------------------------------
@@ -326,18 +375,16 @@ tmpl_b:
 buf: .space 16
 ";
 
-fn run_smc(cache: bool) -> (Machine, Status) {
+fn run_smc(tier: Tier) -> (Machine, Status) {
     let prog = assemble(SMC_GUEST).expect("asm");
-    let mut m = Machine::boot(&prog, Aslr::off())
-        .expect("boot")
-        .with_decode_cache(cache);
+    let mut m = tier.apply(Machine::boot(&prog, Aslr::off()).expect("boot"));
     let s = m.run(&mut NopHook, FUEL);
     (m, s)
 }
 
 #[test]
 fn guest_smc_sees_fresh_code_and_matches_uncached() {
-    let (m_on, s_on) = run_smc(true);
+    let (m_on, s_on) = run_smc(Tier::Icache);
     assert!(matches!(s_on, Status::Halted(_)), "{s_on:?}");
     assert_eq!(m_on.cpu.regs[8], 7, "first installed function ran");
     assert_eq!(m_on.cpu.regs[7], 9, "patched function ran fresh, not stale");
@@ -347,11 +394,33 @@ fn guest_smc_sees_fresh_code_and_matches_uncached() {
         "rewriting an executed page must invalidate: {stats:?}"
     );
 
-    let (m_off, s_off) = run_smc(false);
+    let (m_off, s_off) = run_smc(Tier::Interp);
     assert_eq!(
-        (s_on, m_on.cpu, m_on.insns_retired, m_on.clock.cycles()),
+        (
+            s_on,
+            m_on.cpu.clone(),
+            m_on.insns_retired,
+            m_on.clock.cycles()
+        ),
         (s_off, m_off.cpu, m_off.insns_retired, m_off.clock.cycles()),
         "SMC runs identically with the cache off"
+    );
+
+    let (m_sb, s_sb) = run_smc(Tier::Full);
+    assert_eq!(
+        (
+            s_on,
+            m_on.cpu.clone(),
+            m_on.insns_retired,
+            m_on.clock.cycles()
+        ),
+        (
+            s_sb,
+            m_sb.cpu.clone(),
+            m_sb.insns_retired,
+            m_sb.clock.cycles()
+        ),
+        "SMC runs identically with superblocks on"
     );
 }
 
@@ -399,4 +468,61 @@ fn host_write_to_cached_code_page_invalidates() {
         "host write must be counted as an invalidation: {:?}",
         m.icache_stats()
     );
+}
+
+#[test]
+fn rollback_flush_and_write_bump_same_page_count_once() {
+    // Regression: when a rollback-path flush (`flush_decode_cache`, the
+    // call `CheckpointManager::rollback` makes) and a write-generation
+    // bump land on the same warm page inside one step window, each tier
+    // must record ONE event — the flush. The dirtying write lands on a
+    // page the flush already dropped, so counting it again as an
+    // invalidation would double-count a single dirtying event. Each
+    // tier keeps its own counters and they are never summed.
+    //
+    // The loop body is long enough (>= the minimum fusion length) that
+    // the superblock tier dispatches it rather than caching a bypass.
+    let prog = assemble(
+        ".text\nmain:\nloop:\n movi r1, 1\n movi r2, 2\n movi r3, 3\n jmp loop\nhalt_src:\n halt\n.data\nv: .word 0\n",
+    )
+    .expect("asm");
+    let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+    // Warm both tiers on the loop page.
+    assert!(matches!(m.run(&mut NopHook, 2000), Status::Running));
+    let (warm_i, warm_s) = (m.icache_stats(), m.superblock_stats());
+    assert!(warm_i.hits > 0, "icache warm");
+    assert!(warm_s.dispatches > 0, "superblock tier warm");
+
+    // The rollback-path flush...
+    m.flush_decode_cache();
+    // ...and a host write dirtying the very page that was warm, before
+    // the next instruction executes.
+    let halt_addr = m.symbols.addr_of("halt_src").expect("halt_src");
+    let patch_addr = m.symbols.addr_of("loop").expect("loop") + 8;
+    let mut halt_bytes = [0u8; 8];
+    for (i, b) in halt_bytes.iter_mut().enumerate() {
+        *b = m.mem.read_u8(0, halt_addr + i as u32).expect("read");
+    }
+    m.mem
+        .write_bytes_host(patch_addr, &halt_bytes)
+        .expect("host patch");
+    assert!(matches!(m.run(&mut NopHook, 2000), Status::Halted(_)));
+
+    let (after_i, after_s) = (m.icache_stats(), m.superblock_stats());
+    assert_eq!(after_i.flushes, warm_i.flushes + 1, "one icache flush");
+    assert_eq!(
+        after_i.invalidations, warm_i.invalidations,
+        "the write-gen bump must not ALSO count as an icache \
+         invalidation — the flush already dropped the page"
+    );
+    assert_eq!(after_s.flushes, warm_s.flushes + 1, "one superblock flush");
+    assert_eq!(
+        after_s.invalidations, warm_s.invalidations,
+        "the write-gen bump must not ALSO count as a superblock \
+         invalidation — the flush already dropped the block"
+    );
+    // Re-decode after the flush shows up as misses/builds, never as
+    // invalidations.
+    assert!(after_i.misses > warm_i.misses, "flushed pages re-decode");
+    assert!(after_s.built > warm_s.built, "flushed blocks rebuild");
 }

@@ -14,8 +14,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use sweeper_repro::checkpoint::{CheckpointManager, CkptId};
 use sweeper_repro::svm::asm::assemble;
+use sweeper_repro::svm::isa::Op;
 use sweeper_repro::svm::loader::Aslr;
-use sweeper_repro::svm::{Machine, Status};
+use sweeper_repro::svm::{Hook, Machine, NopHook, Status};
 
 /// A guest that alternates between installing `tmpl_a` (verdict 7) and
 /// `tmpl_b` (verdict 9) into an executable data buffer and calling it:
@@ -218,4 +219,56 @@ fn dense_interleaving_invalidates_and_stays_in_parity() {
         "guest SMC + host patches must invalidate: {:?}",
         on.m.icache_stats()
     );
+}
+
+/// Counts every instruction it is shown; never passive.
+#[derive(Default)]
+struct CountHook {
+    insns: u64,
+}
+
+impl Hook for CountHook {
+    fn on_insn(&mut self, _m: &Machine, _pc: u32, _op: &Op) {
+        self.insns += 1;
+    }
+}
+
+/// Regression: a passive-hook fast-path decision made before
+/// `Machine::clone` must not leak into the clone. If the machine cached
+/// "hook is passive" anywhere copyable, a hook attaching between the
+/// clone and its first step could miss the clone's first instruction(s)
+/// — the superblock tier would dispatch a whole block before anyone
+/// re-asked. Liveness must be re-derived on the clone's first dispatch.
+#[test]
+fn clone_does_not_inherit_passive_fast_path_decision() {
+    let prog = assemble(SMC_LOOP_GUEST).expect("asm");
+    let mut m = Machine::boot(&prog, Aslr::off()).expect("boot");
+    // Decide the passive fast path on the live machine: the superblock
+    // tier is warm and mid-dispatch-cadence.
+    assert!(m.run(&mut NopHook, 1_000).is_running());
+    assert!(m.superblock_stats().dispatches > 0, "fast path decided");
+
+    // Clone, then attach a live hook before the clone's first step.
+    let mut c = m.clone();
+    let mut h = CountHook::default();
+    let before = c.insns_retired;
+    assert!(c.run(&mut h, 500).is_running());
+    let retired = c.insns_retired - before;
+    assert!(retired > 0, "the clone made progress");
+    assert_eq!(
+        h.insns, retired,
+        "the hook must see the clone's very first instruction — \
+         liveness is re-checked on the first dispatch, never inherited"
+    );
+    assert_eq!(
+        c.superblock_stats().dispatches,
+        0,
+        "no superblock may dispatch on the clone while a hook is live"
+    );
+
+    // Control: the pre-clone machine itself keeps fast-pathing, and the
+    // two stay bit-identical when driven by equivalent passive work.
+    let mut n = NopHook;
+    assert!(m.run(&mut n, 500).is_running());
+    assert_eq!(obs(&m), obs(&c), "hooked clone matches passive original");
 }
