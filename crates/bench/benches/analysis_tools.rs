@@ -52,7 +52,7 @@ fn bench_membug_replay(c: &mut Criterion) {
     let s = scene();
     c.bench_function("analysis/membug_replay", |b| {
         b.iter(|| {
-            let det = MemBugDetector::attach_to(&s.mgr.get(s.ckpt).expect("ck").machine);
+            let det = MemBugDetector::attach_to(&s.mgr.materialize(s.ckpt).expect("ck"));
             let mut ins = Instrumenter::new();
             let id = ins.attach(Box::new(det));
             ReplaySession::new(&s.mgr, &s.proxy, s.ckpt)

@@ -7,6 +7,7 @@
 
 use apps::workload::{Target, Workload};
 use apps::App;
+use checkpoint::Engine;
 use svm::clock::cycles_to_secs;
 use sweeper::{Config, RequestOutcome, Sweeper};
 
@@ -73,15 +74,80 @@ pub fn run_protected(
 
 /// Figure 4 cell: fractional throughput overhead of checkpointing at the
 /// given interval versus the same system with checkpointing disabled.
+///
+/// Pinned to the legacy full-copy engine: Figure 4 reproduces the
+/// paper's whole-image snapshot cost curve, which is the calibration
+/// the incremental engine is measured *against* (see
+/// [`cadence_sweep`]).
 pub fn checkpoint_overhead(app: &App, target: Target, interval_ms: f64, n: usize) -> f64 {
+    checkpoint_overhead_with_engine(app, target, Engine::Full, interval_ms, n)
+}
+
+/// [`checkpoint_overhead`] with the snapshot engine chosen explicitly.
+/// Virtual-time arithmetic, so the result is exactly reproducible and
+/// never negative: the checkpointed run differs from the baseline only
+/// by the checkpoint costs charged to the clock.
+pub fn checkpoint_overhead_with_engine(
+    app: &App,
+    target: Target,
+    engine: Engine,
+    interval_ms: f64,
+    n: usize,
+) -> f64 {
     let base_cfg = Config {
         checkpoint_interval: u64::MAX,
         ..Config::producer(11)
-    };
+    }
+    .with_engine(engine);
     let base = run_protected(app, base_cfg, target, 99, n);
-    let cfg = Config::producer(11).with_interval_ms(interval_ms);
+    let cfg = Config::producer(11)
+        .with_interval_ms(interval_ms)
+        .with_engine(engine);
     let ck = run_protected(app, cfg, target, 99, n);
     (ck.secs - base.secs) / base.secs
+}
+
+/// One cell of the `ckptcadence` sweep: service-path overhead of one
+/// snapshot engine at one production cadence.
+#[derive(Debug, Clone)]
+pub struct CadenceCell {
+    /// Engine name (`"full"` or `"incremental"`).
+    pub engine: &'static str,
+    /// Checkpoint interval in virtual milliseconds.
+    pub interval_ms: f64,
+    /// Fractional throughput overhead vs the no-checkpoint baseline.
+    pub overhead: f64,
+    /// Checkpoints taken during the measured run.
+    pub checkpoints: u64,
+}
+
+/// The `ckptcadence` sweep: overhead of the full-copy and incremental
+/// engines across production cadences down to the paper's 200 ms
+/// default. The incremental engine's 200 ms cell is the PR-7 headline
+/// gate (< 1% service-path overhead).
+pub fn cadence_sweep(app: &App, target: Target, n: usize) -> Vec<CadenceCell> {
+    let mut cells = Vec::new();
+    for engine in [Engine::Full, Engine::Incremental] {
+        let base_cfg = Config {
+            checkpoint_interval: u64::MAX,
+            ..Config::producer(11)
+        }
+        .with_engine(engine);
+        let base = run_protected(app, base_cfg, target, 99, n);
+        for interval_ms in [20.0, 50.0, 100.0, 200.0] {
+            let cfg = Config::producer(11)
+                .with_interval_ms(interval_ms)
+                .with_engine(engine);
+            let ck = run_protected(app, cfg, target, 99, n);
+            cells.push(CadenceCell {
+                engine: engine.name(),
+                interval_ms,
+                overhead: (ck.secs - base.secs) / base.secs,
+                checkpoints: ck.checkpoints,
+            });
+        }
+    }
+    cells
 }
 
 /// A Figure 5-style timeline: per-bin served request counts and bytes,

@@ -16,6 +16,7 @@
 //! | I6 | proxy log grows exactly once per offered request |
 //! | I7 | a plan that fired nothing is bit-identical to the unfaulted run |
 //! | I8 | no consumer ever deploys an unverified antibody bundle |
+//! | I9 | incremental/full checkpoint parity never diverges (`checkpoint.parity_mismatches` = 0, unconditionally — damaged chains fail *closed*, they never resurrect a wrong image) |
 
 use crate::plan::FaultStats;
 
@@ -58,6 +59,9 @@ pub struct FaultedRun {
     pub tool_failures: u64,
     /// `sweeper.antibody_corrupt_total` counter.
     pub antibody_corrupt: u64,
+    /// `checkpoint.parity_mismatches` counter: materialized incremental
+    /// images that diverged from the full-copy oracle (I9; must be 0).
+    pub parity_mismatches: u64,
     /// Deployed VSEF count at the end of the run.
     pub deployed_vsefs: u64,
     /// Deployed signature count at the end of the run.
@@ -153,6 +157,21 @@ pub fn check_faulted_run(
         ));
     }
 
+    // I9: the incremental engine is bit-identical to the full-copy
+    // oracle, under every fault plan. Damage (truncated deltas, evicted
+    // store slots) must fail *closed* — a materialize failure degrading
+    // to restart — never materialize-but-diverge. Unconditional: no
+    // fired fault relaxes it.
+    if run.parity_mismatches > 0 {
+        v.push(Violation::new(
+            "I9",
+            format!(
+                "{} checkpoint parity mismatch(es) between incremental and full engines",
+                run.parity_mismatches
+            ),
+        ));
+    }
+
     // I7: an installed plan whose *hook* families fired nothing must not
     // perturb the run. (Wire families touch only the distnet legs, never
     // this sweeper run, so they do not relax the bit-identity.)
@@ -202,6 +221,7 @@ mod tests {
             proxy_filtered: 1,
             tool_failures: 0,
             antibody_corrupt: 0,
+            parity_mismatches: 0,
             deployed_vsefs: 2,
             deployed_signatures: 1,
             healthy: true,
@@ -237,6 +257,27 @@ mod tests {
         assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I6");
         let r = clean_run();
         assert_eq!(check_faulted_run(&r, &stats, 0x9999)[0].invariant, "I7");
+        let mut r = clean_run();
+        r.parity_mismatches = 1;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I9");
+    }
+
+    #[test]
+    fn i9_is_not_relaxed_by_fired_faults() {
+        // Even a plan that truncated deltas and evicted store slots must
+        // see zero parity mismatches: damage fails closed, it never
+        // materializes a divergent image.
+        let stats = FaultStats {
+            deltas_truncated: 2,
+            store_evictions: 1,
+            ..FaultStats::default()
+        };
+        let mut r = clean_run();
+        r.digest = 0xdead; // I7 relaxed by the fired hooks…
+        r.parity_mismatches = 1; // …but I9 still fires.
+        let v = check_faulted_run(&r, &stats, 0x1234);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "I9");
     }
 
     #[test]

@@ -31,16 +31,37 @@ const SMOKE_MIN_FAMILIES: usize = 3;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [--seeds N] [--base SEED] [--seed SEED] [--smoke] [--json]\n\
+        "usage: chaos [--seeds N] [--base SEED] [--seed SEED] [--seed-file PATH] [--smoke] [--json]\n\
          \n\
-         --seeds N     fuzz N sequential cases (default base 0)\n\
-         --base SEED   first seed for --seeds (decimal or 0x-hex)\n\
-         --seed SEED   replay exactly one case, verbosely\n\
-         --smoke       bounded CI gate: {SMOKE_CASES} cases, all guests,\n\
-        \u{20}              zero violations, >= {SMOKE_MIN_FAMILIES} fault families fired\n\
-         --json        print the summary as one JSON object"
+         --seeds N       fuzz N sequential cases (default base 0)\n\
+         --base SEED     first seed for --seeds (decimal or 0x-hex)\n\
+         --seed SEED     replay exactly one case, verbosely\n\
+         --seed-file P   replay every seed listed in P (one per line,\n\
+        \u{20}                decimal or 0x-hex; # starts a comment) — the\n\
+        \u{20}                CI quarantine list of once-failing seeds\n\
+         --smoke         bounded CI gate: {SMOKE_CASES} cases, all guests,\n\
+        \u{20}                zero violations, >= {SMOKE_MIN_FAMILIES} fault families fired\n\
+         --json          print the summary as one JSON object"
     );
     std::process::exit(2);
+}
+
+/// Parse a quarantine seed file: one seed per line, `#` to end-of-line
+/// is a comment, blank lines ignored.
+fn parse_seed_file(path: &str) -> Result<Vec<u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut seeds = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_u64(line) {
+            Some(s) => seeds.push(s),
+            None => return Err(format!("{path}:{}: bad seed {line:?}", lineno + 1)),
+        }
+    }
+    Ok(seeds)
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -100,7 +121,7 @@ fn replay_one(seed: u64) -> i32 {
     let scenario = CaseScenario::from_seed(seed);
     println!(
         "case {seed:#x}: guest={:?} role={:?} requests={} attacks={} \
-         interval={}ms retained={} sampling={} slicing={}",
+         interval={}ms retained={} sampling={} slicing={} engine={:?}",
         scenario.target,
         scenario.role,
         scenario.requests.len(),
@@ -109,6 +130,7 @@ fn replay_one(seed: u64) -> i32 {
         scenario.retained,
         scenario.sample_rate,
         scenario.run_slicing,
+        scenario.engine,
     );
     let report = run_case(seed);
     println!("digest: {:#018x}", report.digest);
@@ -129,11 +151,16 @@ fn main() {
     let mut seeds_n: Option<u64> = None;
     let mut base: u64 = 0;
     let mut one_seed: Option<u64> = None;
+    let mut seed_file: Option<String> = None;
     let mut smoke = false;
     let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--seed-file" => match it.next() {
+                Some(p) => seed_file = Some(p.clone()),
+                None => usage(),
+            },
             "--seeds" => match it.next().and_then(|v| parse_u64(v)) {
                 Some(n) => seeds_n = Some(n),
                 None => usage(),
@@ -154,6 +181,26 @@ fn main() {
 
     if let Some(seed) = one_seed {
         std::process::exit(replay_one(seed));
+    }
+
+    // Quarantine replay: run exactly the committed once-failing seeds.
+    // Zero violations is the only gate — these seeds are pinned because
+    // they once broke the pipeline, so they run before any random batch.
+    if let Some(path) = seed_file {
+        let seeds = match parse_seed_file(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("chaos: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "chaos: replaying {} quarantined seed(s) from {path}",
+            seeds.len()
+        );
+        let summary = run_many(seeds);
+        print_summary(&summary, json);
+        std::process::exit(i32::from(!summary.violations.is_empty()));
     }
 
     let n = if smoke {

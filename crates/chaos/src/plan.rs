@@ -8,9 +8,9 @@
 //! seed fires the same faults at the same sites in a replayed run, which
 //! is what makes `chaos --seed 0x…` an exact reproducer.
 //!
-//! A plan covers ten fault families, each independently enabled by a
+//! A plan covers twelve fault families, each independently enabled by a
 //! seed-derived mask so seeds explore combinations (including the empty
-//! plan, which anchors the bit-identical invariant). Seven are hook
+//! plan, which anchors the bit-identical invariant). Nine are hook
 //! families firing through [`sweeper::FaultHooks`]; three (PR 5) are
 //! *wire* families that configure the antibody distribution network and
 //! the certified-bundle hand-off of the runner's distnet legs:
@@ -24,6 +24,8 @@
 //! | tool-detach | the DBI runtime dies after N delivered events |
 //! | ckpt-evict | the chosen checkpoint is evicted pre-recovery |
 //! | antibody-corrupt | the serialized antibody is damaged in transit |
+//! | delta-trunc | the newest incremental delta loses its tail pages |
+//! | dedupe-evict | the dedupe store drops a live page slot (PR 7) |
 //! | wire-loss | distnet sends are dropped / duplicated / delayed |
 //! | wire-byzantine | a producer fraction emits forged bundles |
 //! | bundle-forge | a forged certified bundle is handed to a consumer |
@@ -52,6 +54,9 @@ const DOM_AB_MODE: u64 = 0xc4a0_0041;
 const DOM_WIRE_DUP: u64 = 0xc4a0_0050;
 const DOM_WIRE_DELAY: u64 = 0xc4a0_0051;
 const DOM_WIRE_BYZ: u64 = 0xc4a0_0052;
+const DOM_DELTA_TRUNC: u64 = 0xc4a0_0070;
+const DOM_TRUNC_N: u64 = 0xc4a0_0071;
+const DOM_DEDUPE_EVICT: u64 = 0xc4a0_0072;
 
 /// Family bit indices in the seed-derived enable mask.
 const FAM_REPLAY_DROP: u32 = 0;
@@ -64,6 +69,8 @@ const FAM_AB_CORRUPT: u32 = 6;
 const FAM_WIRE_LOSS: u32 = 7;
 const FAM_WIRE_BYZANTINE: u32 = 8;
 const FAM_BUNDLE_FORGE: u32 = 9;
+const FAM_DELTA_TRUNC: u32 = 10;
+const FAM_DEDUPE_EVICT: u32 = 11;
 
 /// Counts of faults a plan actually *fired* during a run, per family.
 ///
@@ -86,6 +93,12 @@ pub struct FaultStats {
     pub ckpts_evicted: u64,
     /// Antibody bundles corrupted in transit.
     pub antibodies_corrupted: u64,
+    /// Incremental delta records truncated in the recovery window
+    /// (materialization must fail closed, degrading to restart).
+    pub deltas_truncated: u64,
+    /// Live dedupe-store page slots force-evicted out from under the
+    /// delta chain (the compaction race).
+    pub store_evictions: u64,
     /// Distnet wire faults observed (sends dropped + duplicated +
     /// delayed) on the faulted distribution leg.
     pub wire_faults: u64,
@@ -101,19 +114,10 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total faults fired across all families.
     pub fn total(&self) -> u64 {
-        self.replay_dropped
-            + self.replay_corrupted
-            + self.replay_reordered
-            + self.tools_failed
-            + self.tools_detached
-            + self.ckpts_evicted
-            + self.antibodies_corrupted
-            + self.wire_faults
-            + self.byzantine_rejections
-            + self.bundles_forged
+        self.hook_total() + self.wire_faults + self.byzantine_rejections + self.bundles_forged
     }
 
-    /// Total *hook* faults fired (the seven [`sweeper::FaultHooks`]
+    /// Total *hook* faults fired (the nine [`sweeper::FaultHooks`]
     /// families). This — not [`FaultStats::total`] — governs invariant
     /// I7: wire faults perturb only the distnet legs, never the faulted
     /// sweeper run, so they must not relax the bit-identity check.
@@ -125,6 +129,8 @@ impl FaultStats {
             + self.tools_detached
             + self.ckpts_evicted
             + self.antibodies_corrupted
+            + self.deltas_truncated
+            + self.store_evictions
     }
 
     /// Number of distinct families that fired at least once.
@@ -137,6 +143,8 @@ impl FaultStats {
             self.tools_detached,
             self.ckpts_evicted,
             self.antibodies_corrupted,
+            self.deltas_truncated,
+            self.store_evictions,
             self.wire_faults,
             self.byzantine_rejections,
             self.bundles_forged,
@@ -155,6 +163,8 @@ impl FaultStats {
         self.tools_detached += other.tools_detached;
         self.ckpts_evicted += other.ckpts_evicted;
         self.antibodies_corrupted += other.antibodies_corrupted;
+        self.deltas_truncated += other.deltas_truncated;
+        self.store_evictions += other.store_evictions;
         self.wire_faults += other.wire_faults;
         self.byzantine_rejections += other.byzantine_rejections;
         self.bundles_forged += other.bundles_forged;
@@ -173,6 +183,8 @@ impl FaultStats {
             "chaos.fault.antibodies_corrupted",
             self.antibodies_corrupted,
         );
+        reg.set_counter("chaos.fault.deltas_truncated", self.deltas_truncated);
+        reg.set_counter("chaos.fault.store_evictions", self.store_evictions);
         reg.set_counter("chaos.fault.wire_faults", self.wire_faults);
         reg.set_counter(
             "chaos.fault.byzantine_rejections",
@@ -182,7 +194,7 @@ impl FaultStats {
     }
 
     /// `(name, count)` pairs in a fixed order, for reports.
-    pub fn named(&self) -> [(&'static str, u64); 10] {
+    pub fn named(&self) -> [(&'static str, u64); 12] {
         [
             ("replay_dropped", self.replay_dropped),
             ("replay_corrupted", self.replay_corrupted),
@@ -191,6 +203,8 @@ impl FaultStats {
             ("tools_detached", self.tools_detached),
             ("ckpts_evicted", self.ckpts_evicted),
             ("antibodies_corrupted", self.antibodies_corrupted),
+            ("deltas_truncated", self.deltas_truncated),
+            ("store_evictions", self.store_evictions),
             ("wire_faults", self.wire_faults),
             ("byzantine_rejections", self.byzantine_rejections),
             ("bundles_forged", self.bundles_forged),
@@ -239,7 +253,7 @@ pub struct FaultPlan {
     /// Enabled-family bitmask (bits [`FAM_REPLAY_DROP`]..).
     families: u64,
     /// Per-domain decision counters (indexed by site, not family).
-    counters: [u64; 8],
+    counters: [u64; 9],
     stats: SharedStats,
 }
 
@@ -261,7 +275,7 @@ impl FaultPlan {
                 seed,
                 permille,
                 families,
-                counters: [0; 8],
+                counters: [0; 9],
                 stats: Arc::clone(&stats),
             },
             stats,
@@ -388,6 +402,22 @@ impl FaultHooks for FaultPlan {
             }
             self.stats.lock().unwrap().ckpts_evicted += 1;
         }
+        // Delta-chain truncation (PR 7): the newest incremental record
+        // loses its tail pages in the same window. Materialization must
+        // fail closed — a restart, never a wrong image. Fires only when
+        // the engine actually holds a delta (Full snapshots are immune),
+        // so the roll is counted only if pages were really dropped.
+        if self.roll(FAM_DELTA_TRUNC, DOM_DELTA_TRUNC, 7) {
+            let n = 1 + (self.value(DOM_TRUNC_N, 7) % 4) as usize;
+            if mgr.chaos_truncate_latest_delta(n) > 0 {
+                self.stats.lock().unwrap().deltas_truncated += 1;
+            }
+        }
+        // Dedupe-store eviction race (PR 7): compaction pressure drops a
+        // live page slot out from under every delta that references it.
+        if self.roll(FAM_DEDUPE_EVICT, DOM_DEDUPE_EVICT, 8) && mgr.chaos_evict_store_page() {
+            self.stats.lock().unwrap().store_evictions += 1;
+        }
     }
 
     fn corrupt_antibody(&mut self, bytes: &mut Vec<u8>) -> bool {
@@ -491,10 +521,10 @@ mod tests {
         for seed in 0..64u64 {
             agg.absorb(&trace(seed).1);
         }
-        // `trace` drives only the hook seams; all 7 hook families fire.
+        // `trace` drives only the hook seams; all 9 hook families fire.
         assert_eq!(
             agg.families_fired(),
-            7,
+            9,
             "all hook families reachable: {agg:?}"
         );
     }

@@ -158,6 +158,7 @@ fn drive(
             proxy_filtered: reg.counter("proxy.filtered_total"),
             tool_failures: reg.counter("pipeline.tool_failures"),
             antibody_corrupt: reg.counter("sweeper.antibody_corrupt_total"),
+            parity_mismatches: reg.counter("checkpoint.parity_mismatches"),
             deployed_vsefs: s.deployed_vsefs() as u64,
             deployed_signatures: s.signatures.len() as u64,
             healthy: s.status().healthy,

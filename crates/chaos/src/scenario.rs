@@ -9,6 +9,7 @@
 
 use apps::workload::{Target, Workload};
 use apps::{cvs, httpd1, httpd2, squid, App};
+use checkpoint::Engine;
 use epidemic::community::{CommunityParams, Parallelism};
 use epidemic::distnet::DistNetParams;
 use epidemic::rng::draw;
@@ -27,6 +28,7 @@ const DOM_SLICING: u64 = 0x5ce0_0009;
 const DOM_ASLR: u64 = 0x5ce0_000a;
 const DOM_WORKLOAD: u64 = 0x5ce0_000b;
 const DOM_EPI: u64 = 0x5ce0_000c;
+const DOM_ENGINE: u64 = 0x5ce0_000d;
 
 /// One request in a scenario's schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +71,11 @@ pub struct CaseScenario {
     pub retained: usize,
     /// Whether the slicing verification step runs.
     pub run_slicing: bool,
+    /// Checkpoint snapshot engine. Half the seeds run `Differential`
+    /// (both engines in lockstep — the strongest parity oracle the
+    /// fuzzer has); the rest split between plain `Incremental` and the
+    /// legacy `Full` copy.
+    pub engine: Engine,
     /// The request schedule, in offer order.
     pub requests: Vec<Request>,
     /// Community-simulation parameters for the epidemic differential leg
@@ -106,6 +113,11 @@ impl CaseScenario {
             _ => 20,
         };
         let run_slicing = draw(seed, DOM_SLICING, 0).is_multiple_of(2);
+        let engine = match draw(seed, DOM_ENGINE, 0) % 4 {
+            0 => Engine::Full,
+            1 => Engine::Incremental,
+            _ => Engine::Differential,
+        };
 
         // Request schedule: 4–10 benign requests with 0–2 exploit
         // variants interleaved after the first benign request (so the
@@ -151,6 +163,7 @@ impl CaseScenario {
             interval_ms,
             retained,
             run_slicing,
+            engine,
             requests,
             community,
         }
@@ -173,7 +186,8 @@ impl CaseScenario {
             Role::Consumer => Config::consumer(draw(self.seed, DOM_ASLR, 0)),
         }
         .with_interval_ms(self.interval_ms)
-        .with_sampling(self.sample_rate);
+        .with_sampling(self.sample_rate)
+        .with_engine(self.engine);
         c.retained_checkpoints = self.retained;
         c.run_slicing = self.run_slicing;
         c
@@ -294,6 +308,14 @@ mod tests {
         targets.sort_by_key(|t| format!("{t:?}"));
         targets.dedup();
         assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn seeds_cover_all_three_checkpoint_engines() {
+        let engines: std::collections::BTreeSet<String> = (0..32u64)
+            .map(|s| format!("{:?}", CaseScenario::from_seed(s).engine))
+            .collect();
+        assert_eq!(engines.len(), 3, "engines covered: {engines:?}");
     }
 
     #[test]

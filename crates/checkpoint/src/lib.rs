@@ -8,13 +8,15 @@
 //! without the attacker's input — or falls back to demanding a restart
 //! when the re-execution diverges from committed output.
 
+pub mod incremental;
 pub mod manager;
 pub mod proxy;
 pub mod recovery;
 pub mod replay;
 pub mod syscall_log;
 
-pub use manager::{Checkpoint, CheckpointManager, CkptId};
+pub use incremental::{mem_digest, DedupeStore, DeltaRecord, PageKey, StoreStats};
+pub use manager::{Checkpoint, CheckpointManager, CkptId, Engine};
 pub use proxy::{InputFilter, LoggedConn, Proxy};
 pub use recovery::{recover, recover_with_fault, RecoveryOutcome};
 pub use replay::{NoFault, ReplayEnd, ReplayFault, ReplayOutcome, ReplaySession};

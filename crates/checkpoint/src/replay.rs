@@ -16,7 +16,7 @@
 use svm::net::BlockedOn;
 use svm::{Hook, Machine, Status};
 
-use crate::manager::{Checkpoint, CheckpointManager, CkptId};
+use crate::manager::{CheckpointManager, CkptId};
 use crate::proxy::Proxy;
 
 /// Why a replay stopped.
@@ -80,7 +80,12 @@ impl ReplayFault for NoFault {}
 
 /// A configured replay: which checkpoint, which inputs to drop.
 pub struct ReplaySession<'a> {
-    ckpt: &'a Checkpoint,
+    /// The checkpointed machine, materialized once at session creation
+    /// (a clone for full-copy snapshots, a digest-verified delta-chain
+    /// reconstruction for incremental ones) and cloned per run.
+    machine: Machine,
+    /// Connection count at the checkpoint (the replay-set cut point).
+    conns_at: usize,
     proxy: &'a Proxy,
     drop: Vec<usize>,
     budget: u64,
@@ -88,10 +93,14 @@ pub struct ReplaySession<'a> {
 
 impl<'a> ReplaySession<'a> {
     /// Replay from checkpoint `id`, re-injecting all logged
-    /// post-checkpoint connections.
-    pub fn new(mgr: &'a CheckpointManager, proxy: &'a Proxy, id: CkptId) -> Option<Self> {
+    /// post-checkpoint connections. `None` when the checkpoint is not
+    /// retained **or** cannot be reconstructed (a damaged delta chain
+    /// fails closed here, and the caller degrades to a restart).
+    pub fn new(mgr: &CheckpointManager, proxy: &'a Proxy, id: CkptId) -> Option<Self> {
+        let conns_at = mgr.get(id)?.conns_at;
         Some(ReplaySession {
-            ckpt: mgr.get(id)?,
+            machine: mgr.materialize(id)?,
+            conns_at,
             proxy,
             drop: Vec::new(),
             budget: u64::MAX,
@@ -124,7 +133,7 @@ impl<'a> ReplaySession<'a> {
         hook: &mut dyn Hook,
         fault: &mut dyn ReplayFault,
     ) -> ReplayOutcome {
-        let mut m = self.ckpt.machine.clone();
+        let mut m = self.machine.clone();
         m.clock.tick(svm::clock::cost::ROLLBACK);
         let insns_start = m.insns_retired;
         let cycles_start = m.clock.cycles();
@@ -134,7 +143,7 @@ impl<'a> ReplaySession<'a> {
         // execution, per the paper).
         let mut pending: Vec<(usize, Vec<u8>)> = self
             .proxy
-            .replay_set(self.ckpt.conns_at, &self.drop)
+            .replay_set(self.conns_at, &self.drop)
             .into_iter()
             .map(|lc| (lc.log_id, lc.input.clone()))
             .collect();

@@ -362,6 +362,60 @@ impl Mem {
     pub fn snapshot(&self) -> Mem {
         self.clone()
     }
+
+    /// Iterate every mapped page number with its write generation, in
+    /// ascending page order.
+    pub fn page_table(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.pages.iter().map(|(pno, s)| (*pno, s.gen))
+    }
+
+    /// Iterate the pages whose write generation advanced past `gen`
+    /// (i.e. pages dirtied since a consumer last observed `write_seq()
+    /// == gen`), in ascending page order. Newly mapped pages start at
+    /// generation 0, so a consumer that needs *every* page it has never
+    /// seen must also diff [`Mem::page_table`] against its own table —
+    /// but this address space never unmaps, and all mapping happens at
+    /// load time, so post-boot consumers only ever see the gen ladder
+    /// move.
+    pub fn dirty_pages_since(&self, gen: u64) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.pages
+            .iter()
+            .filter(move |(_, s)| s.gen > gen)
+            .map(|(pno, s)| (*pno, s.gen))
+    }
+
+    /// Capture page `pno`'s backing storage by reference: an O(1) `Arc`
+    /// clone plus the page's generation. The captured page is immutable
+    /// from the caller's perspective — a later guest write to the same
+    /// page goes through `Arc::make_mut` and copies first (the same
+    /// copy-on-write discipline [`Mem::snapshot`] relies on).
+    pub fn page_arc(&self, pno: u32) -> Option<(Arc<Page>, u64)> {
+        self.pages.get(&pno).map(|s| (Arc::clone(&s.data), s.gen))
+    }
+
+    /// Clone the address-space *skeleton*: permissions, regions, NX flag
+    /// and the `write_seq` watermark, with an **empty** page table. The
+    /// incremental checkpoint engine stores one skeleton per snapshot and
+    /// reconstructs the page table from its delta chain via
+    /// [`Mem::restore_page`]; the pair is bit-identical to a full
+    /// [`Mem::snapshot`] once every page is restored.
+    pub fn skeleton(&self) -> Mem {
+        Mem {
+            pages: BTreeMap::new(),
+            perms: self.perms.clone(),
+            regions: self.regions.clone(),
+            write_seq: self.write_seq,
+            nx: self.nx,
+        }
+    }
+
+    /// Reinstate page `pno` with explicit backing storage and write
+    /// generation (the inverse of [`Mem::page_arc`], used when
+    /// reconstructing an address space from an incremental checkpoint).
+    /// Replaces any existing slot for `pno`.
+    pub fn restore_page(&mut self, pno: u32, data: Arc<Page>, gen: u64) {
+        self.pages.insert(pno, PageSlot { data, gen });
+    }
 }
 
 fn to_owned(s: &str) -> String {
@@ -505,6 +559,38 @@ mod tests {
         assert!(!m.page_exec_ok(2), "NX forbids data exec");
         assert!(m.page_bytes(1).is_some());
         assert!(m.page_bytes(9).is_none());
+    }
+
+    #[test]
+    fn dirty_iteration_capture_and_rebuild_roundtrip() {
+        let mut m = mem_with(0x1000, 3, Perm::RW);
+        m.write_u8(0, 0x1000, 1).expect("w");
+        let watermark = m.write_seq();
+        m.write_u8(0, 0x2000, 2).expect("w");
+        m.write_u32(0, 0x3000, 3).expect("w");
+        // Only the two pages written past the watermark show up.
+        let dirty: Vec<(u32, u64)> = m.dirty_pages_since(watermark).collect();
+        assert_eq!(dirty.iter().map(|(p, _)| *p).collect::<Vec<_>>(), [2, 3]);
+        assert!(dirty.iter().all(|(p, g)| *g == m.page_gen(*p)));
+        assert_eq!(m.dirty_pages_since(m.write_seq()).count(), 0);
+        assert_eq!(m.page_table().count(), m.mapped_pages());
+        // Rebuild from skeleton + captured pages: bit-identical.
+        let mut rebuilt = m.skeleton();
+        assert_eq!(rebuilt.mapped_pages(), 0, "skeleton has no pages");
+        assert_eq!(rebuilt.write_seq(), m.write_seq());
+        for (pno, _) in m.page_table() {
+            let (arc, gen) = m.page_arc(pno).expect("mapped");
+            rebuilt.restore_page(pno, arc, gen);
+        }
+        for (pno, gen) in m.page_table() {
+            assert_eq!(rebuilt.page_gen(pno), gen);
+            assert_eq!(rebuilt.page_bytes(pno), m.page_bytes(pno));
+        }
+        assert_eq!(rebuilt.regions(), m.regions());
+        // Restored pages share storage COW-style: a write to the origin
+        // copies first and leaves the rebuilt view untouched.
+        m.write_u8(0, 0x1004, 9).expect("w");
+        assert_eq!(rebuilt.read_u8(0, 0x1004).expect("r"), 0);
     }
 
     #[test]

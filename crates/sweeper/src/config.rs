@@ -1,5 +1,6 @@
 //! Sweeper deployment configuration.
 
+use checkpoint::Engine;
 use svm::clock::secs_to_cycles;
 use svm::loader::Aslr;
 
@@ -24,6 +25,11 @@ pub struct Config {
     pub checkpoint_interval: u64,
     /// Retained checkpoints (paper default: 20).
     pub retained_checkpoints: usize,
+    /// Snapshot engine: incremental dirty-page deltas by default;
+    /// `Full` selects the legacy whole-machine copy, `Differential`
+    /// runs both in lockstep with page-level digest comparison (the
+    /// parity-gate / chaos configuration).
+    pub checkpoint_engine: Engine,
     /// Run the expensive dynamic-slicing verification step.
     pub run_slicing: bool,
     /// Deployment role.
@@ -49,6 +55,7 @@ impl Default for Config {
             aslr: Aslr::on(0x5eed_0001),
             checkpoint_interval: secs_to_cycles(0.2),
             retained_checkpoints: 20,
+            checkpoint_engine: Engine::default(),
             run_slicing: true,
             role: Role::Producer,
             restart_cycles: secs_to_cycles(5.0),
@@ -88,6 +95,12 @@ impl Config {
         self.sample_rate = rate.clamp(0.0, 1.0);
         self
     }
+
+    /// Select the checkpoint snapshot engine.
+    pub fn with_engine(mut self, engine: Engine) -> Config {
+        self.checkpoint_engine = engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +112,7 @@ mod tests {
         let c = Config::default();
         assert_eq!(c.checkpoint_interval, secs_to_cycles(0.2));
         assert_eq!(c.retained_checkpoints, 20);
+        assert_eq!(c.checkpoint_engine, Engine::Incremental);
         assert!(c.aslr.enabled);
         assert_eq!(c.aslr.entropy_bits, 12);
     }

@@ -322,8 +322,8 @@ pub fn analyze_attack_with_faults(
         });
         Vec::new()
     } else {
-        let ckpt_machine = &mgr.get(ckpt)?.machine;
-        let det = MemBugDetector::attach_to(ckpt_machine);
+        let ckpt_machine = mgr.materialize(ckpt)?;
+        let det = MemBugDetector::attach_to(&ckpt_machine);
         let mut ins = Instrumenter::new();
         let det_id = ins.attach(Box::new(det));
         if let Some(n) = faults.tool_detach_after("memory-bug") {

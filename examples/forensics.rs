@@ -59,7 +59,7 @@ fn main() {
 
     // Step 2: rollback + memory-bug detection.
     println!("== step 2: memory-bug detection on replay ==");
-    let det = MemBugDetector::attach_to(&mgr.get(ckpt).expect("ckpt").machine);
+    let det = MemBugDetector::attach_to(&mgr.materialize(ckpt).expect("ckpt"));
     let mut ins = Instrumenter::new();
     let id = ins.attach(Box::new(det));
     ReplaySession::new(&mgr, &proxy, ckpt)

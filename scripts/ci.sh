@@ -1,73 +1,166 @@
 #!/bin/sh
-# Two-tier CI gate.
+# Staged CI gate.
 #
-# Tier 1 (scripts/tier1.sh): release build, full test suite, rustfmt.
-# Tier 2 (this script, on top):
-#   - clippy across the whole workspace with warnings denied;
-#   - a grep gate asserting the workspace stays `unsafe`-free
-#     (DESIGN.md §7) — belt-and-braces on top of the workspace-level
-#     `unsafe_code = "forbid"` lint, catching `#[allow]` overrides;
-#   - the chaos smoke gate: 200 seeded fault-injection + differential
-#     fuzz cases across all four guests with zero violations, >= 3 fault
-#     families demonstrably fired, and each wire family (loss, Byzantine
-#     rejections, bundle forgeries) exercising the antibody distribution
-#     network at least once (TESTING.md);
-#   - the superblock parity gate: `tables sbparity` runs a benign
-#     workload on all four guests on every execution tier (interpreter,
-#     icache, icache + superblocks) and fails on any divergence;
-#   - a non-failing bench smoke: `tables benchjson` (schema v5: tier
-#     rows, chaos block with explicit skip markers, fig9dist distnet
-#     sweep) plus `tables fig9dist` on small inputs, proving the
-#     perf-snapshot path works (its numbers are NOT gated — commit
-#     refreshed BENCH_*.json files deliberately, not from CI). The one
-#     gated piece of the smoke: a written snapshot must contain the
-#     schema-v5 "superblock" block.
+# Every stage is named, timed, and logged: output streams to
+# target/ci-logs/<stage>.log, the console shows one line per stage, and
+# a wall-clock summary table is printed at the end (also on failure, so
+# a red run still shows where the time went). A failing stage prints
+# the tail of its log instead of swallowing it. Run a single stage with
+# `scripts/ci.sh --stage <name>`.
+#
+# Stages, in order (tier 1 always runs first):
+#   tier1        release build + full test suite + rustfmt
+#                (scripts/tier1.sh — the per-commit gate)
+#   clippy       whole-workspace clippy, warnings denied
+#   no-unsafe    grep gate: the workspace stays `unsafe`-free
+#                (DESIGN.md §7) — belt-and-braces on top of the
+#                workspace-level `unsafe_code = "forbid"` lint
+#   chaos-seeds  quarantined-seed replay: every seed in
+#                tests/chaos_known_seeds.txt re-runs BEFORE the random
+#                smoke, so once-interesting fault mixes stay covered
+#   chaos-smoke  200 seeded fault-injection + differential fuzz cases
+#                across all four guests, zero violations required
+#   sbparity     superblock parity: all guests on every execution tier
+#                must stay bit-identical
+#   ckptparity   checkpoint parity: the incremental snapshot engine
+#                must reconstruct bit-identically to the full-copy
+#                oracle on every guest (differential engine lockstep)
+#   bench-smoke  `tables benchjson` perf snapshot; numbers are NOT
+#                gated (commit refreshed BENCH_*.json deliberately),
+#                but the written JSON must carry the schema-v6
+#                "superblock" AND "checkpoint" blocks
+#   fig9dist     distnet sweep smoke (non-failing)
 #
 # Run from anywhere; works offline — all dependencies are in-tree.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== tier2: tier1 first"
-scripts/tier1.sh
+LOGDIR=target/ci-logs
+mkdir -p "$LOGDIR"
 
-echo "== tier2: cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+ONLY=""
+case "${1:-}" in
+"") ;;
+--stage)
+    ONLY="${2:?usage: scripts/ci.sh [--stage <name>]}"
+    ;;
+*)
+    echo "usage: scripts/ci.sh [--stage <name>]" >&2
+    exit 2
+    ;;
+esac
 
-echo "== tier2: no-unsafe grep gate (DESIGN.md §7)"
-if grep -rn --include='*.rs' -E 'unsafe[[:space:]]+(\{|fn|impl|trait)|allow\(unsafe_code\)' \
-    src crates tests; then
-    echo "== tier2: FAIL — 'unsafe' construct found in workspace sources" >&2
-    exit 1
-fi
-echo "   workspace is unsafe-free"
+SUMMARY=""
+RAN=0
 
-echo "== tier2: chaos smoke (seeded fault-injection + differential gate)"
-# Bounded: 200 seeds, all four guests, zero violations required, at
-# least three fault families must demonstrably fire, and the wire
-# families must each exercise the distribution network (see TESTING.md).
-cargo run --release -p chaos -- --smoke
+print_summary() {
+    [ -n "$SUMMARY" ] || return 0
+    printf '\n== stage summary\n'
+    printf '   %-12s %8s  %s\n' stage wall status
+    printf '%b' "$SUMMARY"
+}
 
-echo "== tier2: superblock parity gate (all guests, all tiers)"
-cargo run --release -p bench --bin tables -- sbparity
-
-echo "== tier2: bench smoke (non-failing)"
-if cargo run --release -p bench --bin tables -- \
-    benchjson --hosts=2000 --out=target/bench_smoke.json >/dev/null 2>&1; then
-    echo "   wrote target/bench_smoke.json"
-    # Gated: the schema-v5 superblock tier rows must be present.
-    if ! grep -q '"superblock"' target/bench_smoke.json; then
-        echo "== tier2: FAIL — no superblock block in bench_smoke.json" >&2
+# run_stage <name> <fn>: time <fn>, logging to $LOGDIR/<name>.log. On
+# failure: print the log tail, the summary so far, and exit non-zero.
+# Lines the stage writes starting with "WARN" are surfaced on the
+# console even when it passes.
+run_stage() {
+    name="$1"
+    fn="$2"
+    if [ -n "$ONLY" ] && [ "$name" != "$ONLY" ]; then
+        return 0
+    fi
+    RAN=1
+    log="$LOGDIR/$name.log"
+    printf '== stage: %s\n' "$name"
+    start=$(date +%s)
+    if "$fn" >"$log" 2>&1; then
+        end=$(date +%s)
+        SUMMARY="$SUMMARY$(printf '   %-12s %7ss  ok' "$name" "$((end - start))")\n"
+        grep '^WARN' "$log" || true
+    else
+        end=$(date +%s)
+        SUMMARY="$SUMMARY$(printf '   %-12s %7ss  FAIL' "$name" "$((end - start))")\n"
+        printf '== stage %s: FAIL — last 40 lines of %s\n' "$name" "$log" >&2
+        tail -40 "$log" >&2
+        print_summary
         exit 1
     fi
-    echo "   schema-v5 superblock block present"
-else
-    echo "   WARN: bench smoke failed (not a gate)"
-fi
-if cargo run --release -p bench --bin tables -- \
-    fig9dist --hosts=1000 >/dev/null 2>&1; then
-    echo "   fig9dist sweep ok"
-else
-    echo "   WARN: fig9dist smoke failed (not a gate)"
-fi
+}
 
-echo "== tier2: OK"
+stage_tier1() {
+    scripts/tier1.sh
+}
+
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_no_unsafe() {
+    if grep -rn --include='*.rs' -E 'unsafe[[:space:]]+(\{|fn|impl|trait)|allow\(unsafe_code\)' \
+        src crates tests; then
+        echo "FAIL: 'unsafe' construct found in workspace sources"
+        return 1
+    fi
+    echo "workspace is unsafe-free"
+}
+
+stage_chaos_seeds() {
+    cargo run --release -p chaos -- --seed-file tests/chaos_known_seeds.txt
+}
+
+stage_chaos_smoke() {
+    cargo run --release -p chaos -- --smoke
+}
+
+stage_sbparity() {
+    cargo run --release -p bench --bin tables -- sbparity
+}
+
+stage_ckptparity() {
+    cargo run --release -p bench --bin tables -- ckptparity
+}
+
+stage_bench_smoke() {
+    if cargo run --release -p bench --bin tables -- \
+        benchjson --hosts=2000 --out=target/bench_smoke.json; then
+        echo "wrote target/bench_smoke.json"
+        # Gated: the schema-v6 snapshot must carry both tier blocks.
+        if ! grep -q '"superblock"' target/bench_smoke.json; then
+            echo "FAIL: no superblock block in bench_smoke.json"
+            return 1
+        fi
+        if ! grep -q '"checkpoint"' target/bench_smoke.json; then
+            echo "FAIL: no checkpoint block in bench_smoke.json"
+            return 1
+        fi
+        echo "schema-v6 superblock + checkpoint blocks present"
+    else
+        echo "WARN: bench smoke failed (not a gate) — see $LOGDIR/bench-smoke.log"
+    fi
+}
+
+stage_fig9dist() {
+    if cargo run --release -p bench --bin tables -- fig9dist --hosts=1000; then
+        echo "fig9dist sweep ok"
+    else
+        echo "WARN: fig9dist smoke failed (not a gate) — see $LOGDIR/fig9dist.log"
+    fi
+}
+
+run_stage tier1 stage_tier1
+run_stage clippy stage_clippy
+run_stage no-unsafe stage_no_unsafe
+run_stage chaos-seeds stage_chaos_seeds
+run_stage chaos-smoke stage_chaos_smoke
+run_stage sbparity stage_sbparity
+run_stage ckptparity stage_ckptparity
+run_stage bench-smoke stage_bench_smoke
+run_stage fig9dist stage_fig9dist
+
+if [ "$RAN" -eq 0 ]; then
+    echo "ci: unknown stage '$ONLY' (see the stage list in scripts/ci.sh)" >&2
+    exit 2
+fi
+print_summary
+echo "== ci: OK"
