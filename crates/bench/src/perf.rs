@@ -234,6 +234,163 @@ impl CheckpointBlock {
     }
 }
 
+/// Percentile summary of one latency window of the fleet run
+/// (quiescent or outbreak). All values in virtual milliseconds; NaN
+/// (serialized as `null`) when the window collected no samples.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetLatency {
+    /// Benign requests completed in this window.
+    pub samples: u64,
+    /// Median service latency.
+    pub p50_ms: f64,
+    /// 99th-percentile service latency.
+    pub p99_ms: f64,
+    /// 99.9th-percentile service latency.
+    pub p999_ms: f64,
+    /// Worst observed service latency.
+    pub max_ms: f64,
+    /// Mean service latency.
+    pub mean_ms: f64,
+}
+
+impl FleetLatency {
+    fn from_book(book: &sweeper::LatencyBook) -> FleetLatency {
+        FleetLatency {
+            samples: book.len() as u64,
+            p50_ms: book.percentile(0.5).unwrap_or(f64::NAN),
+            p99_ms: book.percentile(0.99).unwrap_or(f64::NAN),
+            p999_ms: book.percentile(0.999).unwrap_or(f64::NAN),
+            max_ms: book.max_ms().unwrap_or(f64::NAN),
+            mean_ms: book.mean_ms().unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// The schema-v7 `"fleet"` block: the virtual-clock reactor run
+/// (`tables fleet`) — fleet-wide benign service latency during an
+/// outbreak versus the quiescent baseline, plus the determinism
+/// evidence.
+///
+/// Deliberately carries **no wall-clock time and no shard count**:
+/// every field is a pure function of `(hosts, seed, …)`, which is what
+/// makes the committed block reproducible bit-for-bit. Shard
+/// invariance is reported *inside* the block (`shard_invariant`,
+/// computed by running the same seed at 1 and N reactor shards and
+/// comparing digests) rather than by leaking the shard knob into it.
+#[derive(Debug, Clone)]
+pub struct FleetBlock {
+    /// `"ok"` always once produced (the skip marker is emitted by
+    /// [`PerfReport::to_json`] when the block is absent).
+    pub status: String,
+    /// Guest Sweeper hosts simulated.
+    pub hosts: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Guest application (`Apache1` etc.).
+    pub target: String,
+    /// Virtual-time horizon of the run, ms.
+    pub horizon_ms: f64,
+    /// Patient-zero instant, ms (NaN → `null` for quiescent-only runs).
+    pub outbreak_at_ms: f64,
+    /// Requests served normally.
+    pub served: u64,
+    /// Requests dropped by deployed signatures.
+    pub filtered: u64,
+    /// Attacks detected.
+    pub attacks: u64,
+    /// Worm contacts scheduled.
+    pub contacts: u64,
+    /// Certified bundles verified and deployed.
+    pub bundles_deployed: u64,
+    /// Certified bundles rejected at verification (must stay 0).
+    pub bundles_rejected: u64,
+    /// Hosts holding at least one antibody at the end.
+    pub protected_hosts: u32,
+    /// Latency of benign requests arriving before the outbreak.
+    pub quiescent: FleetLatency,
+    /// Latency of benign requests arriving during the outbreak.
+    pub outbreak: FleetLatency,
+    /// The run's determinism digest, hex-printed.
+    pub digest: String,
+    /// Whether 1-shard and N-shard runs produced bit-equal digests
+    /// (chaos invariant I10; must be `true`).
+    pub shard_invariant: bool,
+}
+
+/// Run the fleet reactor at 1 shard and at `check_shards` shards and
+/// fold the (1-shard) outcome plus the shard-invariance verdict into
+/// the schema-v7 `"fleet"` block.
+pub fn fleet_block(cfg: &fleet::FleetConfig, check_shards: usize) -> Result<FleetBlock, String> {
+    let serial = fleet::run(&cfg.with_shards(1))?;
+    let sharded = fleet::run(&cfg.with_shards(check_shards.max(2)))?;
+    Ok(FleetBlock {
+        status: "ok".to_string(),
+        hosts: serial.hosts,
+        seed: serial.seed,
+        target: format!("{:?}", cfg.target),
+        horizon_ms: cfg.horizon_ms,
+        outbreak_at_ms: cfg.outbreak_at_ms.unwrap_or(f64::NAN),
+        served: serial.served,
+        filtered: serial.filtered,
+        attacks: serial.attacks,
+        contacts: serial.contacts,
+        bundles_deployed: serial.bundles_deployed,
+        bundles_rejected: serial.bundles_rejected,
+        protected_hosts: serial.protected_hosts,
+        quiescent: FleetLatency::from_book(&serial.quiescent),
+        outbreak: FleetLatency::from_book(&serial.outbreak),
+        digest: format!("{:#018x}", serial.digest),
+        shard_invariant: serial.digest == sharded.digest,
+    })
+}
+
+/// Render the fleet block as a text table (what `tables fleet` prints).
+pub fn render_fleet_block(b: &FleetBlock) -> String {
+    let row = |name: &str, l: &FleetLatency| {
+        format!(
+            "{name:>10} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            l.samples, l.p50_ms, l.p99_ms, l.p999_ms, l.max_ms, l.mean_ms
+        )
+    };
+    let mut s = format!(
+        "fleet: {} hosts ({}), seed {}, horizon {} ms, outbreak @ {} ms\n\
+         {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        b.hosts,
+        b.target,
+        b.seed,
+        b.horizon_ms,
+        if b.outbreak_at_ms.is_finite() {
+            format!("{}", b.outbreak_at_ms)
+        } else {
+            "never".to_string()
+        },
+        "window",
+        "samples",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms",
+        "max_ms",
+        "mean_ms"
+    );
+    s.push_str(&row("quiescent", &b.quiescent));
+    s.push_str(&row("outbreak", &b.outbreak));
+    s.push_str(&format!(
+        "served {} | filtered {} | attacks {} | contacts {} | bundles +{}/-{} | \
+         protected {}/{} | digest {} | shard_invariant {}",
+        b.served,
+        b.filtered,
+        b.attacks,
+        b.contacts,
+        b.bundles_deployed,
+        b.bundles_rejected,
+        b.protected_hosts,
+        b.hosts,
+        b.digest,
+        b.shard_invariant,
+    ));
+    s
+}
+
 /// The full quick-pass snapshot written to `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -297,6 +454,13 @@ pub struct PerfReport {
     pub distnet: Vec<DistNetCell>,
     /// The `ckptcadence` sweep (the schema v6 `"checkpoint"` block).
     pub checkpoint: CheckpointBlock,
+    /// The fleet reactor run (the schema v7 `"fleet"` block).
+    ///
+    /// `None` in the quick pass — a 1k-host fleet is far too heavy for
+    /// `measure()`'s budget — in which case the JSON carries an
+    /// explicit skip marker. Populated by `tables fleet` (optionally
+    /// `--full`, which attaches it to a fresh full snapshot).
+    pub fleet: Option<FleetBlock>,
 }
 
 /// The tight-loop guest: branch-dense, so the icache dominates and
@@ -508,6 +672,7 @@ pub fn measure_with_cores(hosts: u64, seed: u64, vm_loop_iters: u32, cores: usiz
         distnet_status: "ok".to_string(),
         distnet,
         checkpoint,
+        fleet: None,
     }
 }
 
@@ -636,6 +801,52 @@ fn j_cadence_cell(c: &CadenceCell) -> String {
     )
 }
 
+fn j_fleet_latency(l: &FleetLatency) -> String {
+    format!(
+        "{{\"samples\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+         \"max_ms\": {}, \"mean_ms\": {}}}",
+        l.samples,
+        jf(l.p50_ms),
+        jf(l.p99_ms),
+        jf(l.p999_ms),
+        jf(l.max_ms),
+        jf(l.mean_ms),
+    )
+}
+
+fn j_fleet(b: &Option<FleetBlock>) -> String {
+    let Some(b) = b else {
+        // Same convention as the chaos skip: the block always exists,
+        // so consumers can tell "not run" from "silently dropped".
+        return "{\"status\": \"SKIPPED (run tables fleet)\"}".to_string();
+    };
+    format!(
+        "{{\n    \"status\": \"{}\",\n    \"hosts\": {},\n    \"seed\": {},\n    \
+         \"target\": \"{}\",\n    \"horizon_ms\": {},\n    \"outbreak_at_ms\": {},\n    \
+         \"served\": {},\n    \"filtered\": {},\n    \"attacks\": {},\n    \
+         \"contacts\": {},\n    \"bundles_deployed\": {},\n    \"bundles_rejected\": {},\n    \
+         \"protected_hosts\": {},\n    \"quiescent\": {},\n    \"outbreak\": {},\n    \
+         \"digest\": \"{}\",\n    \"shard_invariant\": {}\n  }}",
+        b.status,
+        b.hosts,
+        b.seed,
+        b.target,
+        jf(b.horizon_ms),
+        jf(b.outbreak_at_ms),
+        b.served,
+        b.filtered,
+        b.attacks,
+        b.contacts,
+        b.bundles_deployed,
+        b.bundles_rejected,
+        b.protected_hosts,
+        j_fleet_latency(&b.quiescent),
+        j_fleet_latency(&b.outbreak),
+        b.digest,
+        b.shard_invariant,
+    )
+}
+
 fn j_checkpoint(b: &CheckpointBlock) -> String {
     let cells: Vec<String> = b
         .cells
@@ -656,10 +867,14 @@ fn j_checkpoint(b: &CheckpointBlock) -> String {
 }
 
 impl PerfReport {
-    /// Serialize as pretty-printed JSON (`sweeper-bench-v6` schema; v6
-    /// added the always-present `"checkpoint"` block — the
-    /// `ckptcadence` engine × interval sweep with its headline 200 ms
-    /// overhead cells; v5 added the `"superblock"` tier rows, the
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v7` schema; v7
+    /// added the always-present `"fleet"` block — the virtual-clock
+    /// reactor's outbreak-vs-quiescent latency percentiles with its
+    /// shard-invariance verdict, or an explicit skip marker when
+    /// `tables fleet` has not populated it; v6 added the
+    /// always-present `"checkpoint"` block — the `ckptcadence`
+    /// engine × interval sweep with its headline 200 ms overhead
+    /// cells; v5 added the `"superblock"` tier rows, the
     /// `"vm_straight"` block, the always-present `"chaos"` block, and
     /// explicit `"status"` markers on the skippable sweeps).
     pub fn to_json(&self) -> String {
@@ -669,7 +884,7 @@ impl PerfReport {
             .map(|c| format!("      {}", j_distnet_cell(c)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v6\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+            "{{\n  \"schema\": \"sweeper-bench-v7\",\n  \"cores\": {},\n  \"vm\": {{\n    \
              \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
              \"superblock\": {},\n    \"cached_over_uncached\": {},\n    \
              \"superblock_over_cached\": {}\n  }},\n  \"vm_straight\": {{\n    \
@@ -682,6 +897,7 @@ impl PerfReport {
              \"distnet\": {{\n    \"status\": \"{}\",\n    \"hosts\": {},\n    \"seed\": {},\n    \
              \"cells\": [\n{}\n    ]\n  }},\n  \
              \"checkpoint\": {},\n  \
+             \"fleet\": {},\n  \
              \"obs\": {}\n}}\n",
             self.cores,
             self.vm_loop_insns,
@@ -709,6 +925,7 @@ impl PerfReport {
             self.seed,
             cells.join(",\n"),
             j_checkpoint(&self.checkpoint),
+            j_fleet(&self.fleet),
             self.obs.to_json(),
         )
     }
@@ -716,6 +933,20 @@ impl PerfReport {
     /// Human-readable summary (what `tables benchjson` prints).
     pub fn render(&self) -> String {
         let unverified: u64 = self.distnet.iter().map(|c| c.deployed_unverified).sum();
+        let fleet_line = match &self.fleet {
+            Some(f) => format!(
+                "\nfleet       : {} hosts, p99 {:.3} ms quiescent -> {:.3} ms outbreak, \
+                 protected {}/{}, shard_invariant {} [{}]",
+                f.hosts,
+                f.quiescent.p99_ms,
+                f.outbreak.p99_ms,
+                f.protected_hosts,
+                f.hosts,
+                f.shard_invariant,
+                f.status,
+            ),
+            None => "\nfleet       : SKIPPED (run tables fleet)".to_string(),
+        };
         format!(
             "interpreter : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
              straight    : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
@@ -723,7 +954,7 @@ impl PerfReport {
              outcomes    : identical across K = {}\n\
              chaos       : {} cases, {} execs, {} violations [{}]\n\
              distnet     : {} fig9dist cells over {} hosts, {} unverified deployments (I8) [{}]\n\
-             checkpoint  : incremental {:.4}% vs full {:.4}% @ 200 ms ({} requests) [{}]",
+             checkpoint  : incremental {:.4}% vs full {:.4}% @ 200 ms ({} requests) [{}]{fleet_line}",
             self.vm_uncached.insns_per_sec,
             self.vm_cached.insns_per_sec,
             self.vm_speedup,
@@ -760,6 +991,20 @@ impl PerfReport {
 /// Write `report` to `path`, creating or truncating the file.
 pub fn write_json(path: &str, report: &PerfReport) -> std::io::Result<()> {
     std::fs::write(path, report.to_json())
+}
+
+/// Write a fleet-only schema-v7 document (the CI `fleet-smoke` fast
+/// path): the same `"fleet"` block a full snapshot carries, without
+/// re-measuring everything else.
+pub fn write_fleet_json(path: &str, block: &FleetBlock) -> std::io::Result<()> {
+    let b = Some(block.clone());
+    std::fs::write(
+        path,
+        format!(
+            "{{\n  \"schema\": \"sweeper-bench-v7\",\n  \"fleet\": {}\n}}\n",
+            j_fleet(&b)
+        ),
+    )
 }
 
 /// The superblock parity smoke behind `tables sbparity`: run a benign
@@ -968,7 +1213,7 @@ mod tests {
         assert!(r.outcomes_identical, "K must not change the outcome");
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"sweeper-bench-v6\""));
+        assert!(json.contains("\"schema\": \"sweeper-bench-v7\""));
         assert!(json.contains("\"cached_over_uncached\""));
         assert!(json.contains("\"superblock_over_cached\""));
         assert!(json.contains("\"vm_straight\""));
@@ -1037,7 +1282,32 @@ mod tests {
             json.contains("\"checkpoint\": {\n    \"status\": \"ok\""),
             "checkpoint block is never skipped (virtual time)"
         );
+        assert!(
+            json.contains("\"fleet\": {\"status\": \"SKIPPED (run tables fleet)\"}"),
+            "the quick pass marks the fleet block skipped, never drops it"
+        );
         assert_eq!(r.speedup_status, "SKIPPED (1 core)");
+    }
+
+    #[test]
+    fn fleet_block_reports_latency_and_shard_invariance() {
+        let cfg = fleet::FleetConfig::smoke(5, 9);
+        let b = fleet_block(&cfg, 3).expect("fleet runs");
+        assert_eq!(b.status, "ok");
+        assert!(b.shard_invariant, "1 vs 3 shards must digest-match");
+        assert!(b.quiescent.samples > 0);
+        assert!(b.quiescent.p99_ms.is_finite() && b.quiescent.p99_ms > 0.0);
+        assert!(b.attacks > 0, "smoke outbreak lands: {b:?}");
+        // Same seed, same block — including through the JSON encoding.
+        let again = fleet_block(&cfg, 3).expect("fleet runs");
+        let (a, b2) = (Some(b), Some(again));
+        assert_eq!(j_fleet(&a), j_fleet(&b2), "fleet block is bit-stable");
+        let json = j_fleet(&a);
+        assert!(json.contains("\"shard_invariant\": true"));
+        // An empty window serializes its percentiles as null; a
+        // populated one never does.
+        let quiescent_cell = j_fleet_latency(&a.as_ref().expect("block").quiescent);
+        assert!(!quiescent_cell.contains("null"), "{quiescent_cell}");
     }
 
     #[test]

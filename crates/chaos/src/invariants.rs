@@ -17,6 +17,7 @@
 //! | I7 | a plan that fired nothing is bit-identical to the unfaulted run |
 //! | I8 | no consumer ever deploys an unverified antibody bundle |
 //! | I9 | incremental/full checkpoint parity never diverges (`checkpoint.parity_mismatches` = 0, unconditionally — damaged chains fail *closed*, they never resurrect a wrong image) |
+//! | I10 | the fleet reactor's outcome digest is shard-count-invariant (sharding is a layout knob, never a semantics knob) |
 
 use crate::plan::FaultStats;
 
@@ -205,6 +206,22 @@ pub fn check_i8(deployed_unverified: u64, ctx: &str) -> Option<Violation> {
     })
 }
 
+/// I10: the fleet reactor's outcome digest is shard-count-invariant.
+///
+/// The reactor orders events by `(stamp, tie, host, seq)` where the tie
+/// is a pure function of event identity; re-partitioning hosts across
+/// shards can therefore never change the pop sequence, so the whole
+/// fleet outcome — every service completion, every contact, every
+/// per-host counter — must hash identically at 1 and N shards.
+pub fn check_i10(serial: u64, sharded: u64, ctx: &str) -> Option<Violation> {
+    (serial != sharded).then(|| {
+        Violation::new(
+            "I10",
+            format!("{ctx}: shards=1 digest {serial:#018x} != sharded digest {sharded:#018x}"),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +351,13 @@ mod tests {
         let v = check_i8(2, "faulted distnet K=4").expect("violation");
         assert_eq!(v.invariant, "I8");
         assert!(v.detail.contains("faulted distnet K=4"), "{}", v.detail);
+    }
+
+    #[test]
+    fn i10_fires_only_on_digest_divergence() {
+        assert!(check_i10(7, 7, "fleet").is_none());
+        let v = check_i10(7, 8, "fleet").expect("violation");
+        assert_eq!(v.invariant, "I10");
+        assert!(v.detail.contains("shards=1"), "{}", v.detail);
     }
 }

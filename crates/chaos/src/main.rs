@@ -19,6 +19,7 @@
 //! Exit status: 0 = all checks passed, 1 = violations (each printed with
 //! its replay command), 2 = bad usage.
 
+use chaos::seedfile::{parse_seed, parse_seed_list};
 use chaos::{run_case, run_many, CaseScenario, Summary};
 
 /// Cases in `--smoke` mode. Seeds are `0..SMOKE_CASES`; the guest
@@ -46,30 +47,13 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Parse a quarantine seed file: one seed per line, `#` to end-of-line
-/// is a comment, blank lines ignored.
+/// Parse a quarantine seed file (see [`chaos::seedfile`]): one seed per
+/// line, `#` to end-of-line is a comment, blank lines ignored. A
+/// malformed or duplicate line is a named, fatal error — a bad line
+/// must never shrink the quarantine suite silently.
 fn parse_seed_file(path: &str) -> Result<Vec<u64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut seeds = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        match parse_u64(line) {
-            Some(s) => seeds.push(s),
-            None => return Err(format!("{path}:{}: bad seed {line:?}", lineno + 1)),
-        }
-    }
-    Ok(seeds)
-}
-
-fn parse_u64(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
+    parse_seed_list(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn print_summary(s: &Summary, json: bool) {
@@ -161,15 +145,15 @@ fn main() {
                 Some(p) => seed_file = Some(p.clone()),
                 None => usage(),
             },
-            "--seeds" => match it.next().and_then(|v| parse_u64(v)) {
+            "--seeds" => match it.next().and_then(|v| parse_seed(v)) {
                 Some(n) => seeds_n = Some(n),
                 None => usage(),
             },
-            "--base" => match it.next().and_then(|v| parse_u64(v)) {
+            "--base" => match it.next().and_then(|v| parse_seed(v)) {
                 Some(b) => base = b,
                 None => usage(),
             },
-            "--seed" => match it.next().and_then(|v| parse_u64(v)) {
+            "--seed" => match it.next().and_then(|v| parse_seed(v)) {
                 Some(s) => one_seed = Some(s),
                 None => usage(),
             },

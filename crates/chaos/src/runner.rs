@@ -19,7 +19,11 @@
 //!    bundle is forged in the producer→consumer hand-off. Invariant I8
 //!    — no consumer ever deploys an unverified bundle — is checked on
 //!    every distnet leg.
-//! 3. **Faulted run** — the same workload runs again with the seeded
+//! 3. **Fleet reactor leg (PR 8)** — a miniature fleet (3 hosts, the
+//!    case's guest, outbreak on even seeds) runs at 1 and 3 reactor
+//!    shards; the fleet outcome digests must be bit-equal
+//!    (invariant I10).
+//! 4. **Faulted run** — the same workload runs again with the seeded
 //!    [`FaultPlan`] installed, inside `catch_unwind`. The
 //!    [invariant catalog](crate::invariants) is checked over the result.
 //!
@@ -37,7 +41,7 @@ use epidemic::DistNetParams;
 use sweeper::{BundleOutcome, Config, RequestOutcome, Role, Sweeper};
 
 use crate::digest::{digest_community, digest_community_epidemic, digest_sweeper, Hasher};
-use crate::invariants::{check_faulted_run, check_i8, FaultedRun, Violation};
+use crate::invariants::{check_faulted_run, check_i10, check_i8, FaultedRun, Violation};
 use crate::plan::{FaultPlan, FaultStats, WirePlan};
 use crate::scenario::CaseScenario;
 
@@ -424,6 +428,41 @@ pub fn run_case(seed: u64) -> CaseReport {
             Err(msg) => violations.push(Violation {
                 invariant: "I1",
                 detail: format!("forge leg: {msg}"),
+            }),
+        }
+    }
+
+    // ---- Fleet reactor leg (PR 8). -----------------------------------
+    // A miniature fleet runs the case's guest at 1 and 3 reactor
+    // shards; the outcome digests must be bit-equal (invariant I10).
+    // Even seeds include a mid-run outbreak so the contact process and
+    // antibody broadcast paths are exercised under the comparison too.
+    {
+        let fcfg = fleet::FleetConfig {
+            hosts: 3,
+            shards: 1,
+            seed,
+            target: scenario.target,
+            arrival_rate_hz: 2.0,
+            horizon_ms: 400.0,
+            outbreak_at_ms: seed.is_multiple_of(2).then_some(150.0),
+            producer_every: 3,
+            worm_rate_hz: 40.0,
+            fanout: 2,
+            wire_delay_ms: (5.0, 25.0),
+            interval_ms: 200,
+            contact_cap: 6,
+        };
+        execs += 2;
+        match (fleet::run(&fcfg), fleet::run(&fcfg.with_shards(3))) {
+            (Ok(serial), Ok(sharded)) => {
+                if let Some(v) = check_i10(serial.digest, sharded.digest, "fleet leg") {
+                    violations.push(v);
+                }
+            }
+            (Err(msg), _) | (_, Err(msg)) => violations.push(Violation {
+                invariant: "I1",
+                detail: format!("fleet leg: {msg}"),
             }),
         }
     }

@@ -1,0 +1,136 @@
+//! The CI quarantine seed-file format (`chaos --seed-file`).
+//!
+//! One seed per line, decimal or `0x`-hex; `#` starts a comment; blank
+//! lines are ignored. The file is a *gate input* — every listed seed is
+//! a once-failing case that must replay clean before the random smoke
+//! runs — so the parser *rejects* anything suspicious instead of
+//! skipping it: a malformed line or a duplicate seed used to shrink the
+//! quarantine suite silently, which is exactly how a regression slips
+//! back past CI.
+
+/// Why a quarantine seed file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedFileError {
+    /// A non-comment line did not parse as a decimal or `0x`-hex `u64`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text (comment stripped, trimmed).
+        content: String,
+    },
+    /// The same seed value appears twice (`10` and `0xa` collide: the
+    /// *value* is the case identity, not the spelling). A duplicate is
+    /// always an editing mistake — replaying a seed twice proves
+    /// nothing extra — and usually means a merge clobbered a different
+    /// seed that was meant to be there.
+    Duplicate {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The duplicated seed value.
+        seed: u64,
+        /// 1-based line number of the first occurrence.
+        first_line: usize,
+    },
+}
+
+impl core::fmt::Display for SeedFileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SeedFileError::Malformed { line, content } => {
+                write!(f, "line {line}: malformed seed {content:?}")
+            }
+            SeedFileError::Duplicate {
+                line,
+                seed,
+                first_line,
+            } => write!(
+                f,
+                "line {line}: duplicate seed {seed:#x} (first listed on line {first_line})"
+            ),
+        }
+    }
+}
+
+/// Parse one seed spelling: decimal or `0x`/`0X`-prefixed hex.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parse the body of a quarantine seed file, preserving listing order.
+///
+/// Fails closed with a named [`SeedFileError`] on the first malformed
+/// or duplicate line — never by silently dropping entries.
+pub fn parse_seed_list(text: &str) -> Result<Vec<u64>, SeedFileError> {
+    let mut seeds: Vec<(u64, usize)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let seed = parse_seed(content).ok_or(SeedFileError::Malformed {
+            line,
+            content: content.to_string(),
+        })?;
+        if let Some(&(_, first_line)) = seeds.iter().find(|&&(s, _)| s == seed) {
+            return Err(SeedFileError::Duplicate {
+                line,
+                seed,
+                first_line,
+            });
+        }
+        seeds.push((seed, line));
+    }
+    Ok(seeds.into_iter().map(|(s, _)| s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_blanks_and_both_radices_parse_in_order() {
+        let text = "# quarantine\n12 # once failed\n\n0xBEEF\n0X10\n";
+        assert_eq!(parse_seed_list(text), Ok(vec![12, 0xBEEF, 0x10]));
+        assert_eq!(parse_seed_list(""), Ok(vec![]));
+    }
+
+    #[test]
+    fn malformed_lines_name_themselves() {
+        let err = parse_seed_list("7\nnot-a-seed\n9\n").unwrap_err();
+        assert_eq!(
+            err,
+            SeedFileError::Malformed {
+                line: 2,
+                content: "not-a-seed".into()
+            }
+        );
+        // Out-of-range and junk-suffixed numbers are malformed too.
+        assert!(matches!(
+            parse_seed_list("99999999999999999999999"),
+            Err(SeedFileError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_seed_list("12fish"),
+            Err(SeedFileError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_rejected_by_value_not_spelling() {
+        let err = parse_seed_list("10\n5\n0xa\n").unwrap_err();
+        assert_eq!(
+            err,
+            SeedFileError::Duplicate {
+                line: 3,
+                seed: 10,
+                first_line: 1
+            }
+        );
+        assert!(err.to_string().contains("0xa"), "{err}");
+    }
+}

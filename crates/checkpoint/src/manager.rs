@@ -208,6 +208,27 @@ impl CheckpointManager {
         drained
     }
 
+    /// Discard the pending pre-copy drain set without capturing it.
+    ///
+    /// Must be called after the live machine is **rolled back or
+    /// replaced**: a rollback rewinds `write_seq`, so the forward
+    /// execution resumed from the snapshot re-reaches generation
+    /// numbers the drained pages were recorded under — with different
+    /// bytes. The "equal generations ⇒ identical bytes" contract that
+    /// lets [`DeltaRecord::capture`] reuse a pending page holds only
+    /// within one forward execution; folding a pre-rollback drain into
+    /// a post-rollback delta leaks stale page content into the next
+    /// snapshot (caught as a materialize digest mismatch, degrading
+    /// recovery to a restart for no reason). Releases every held store
+    /// reference and rewinds the coverage watermark so the next drain
+    /// or capture rescans from the snapshot's own generation floor.
+    pub fn discard_pending(&mut self) {
+        for (key, _) in std::mem::take(&mut self.pending).into_values() {
+            self.store.release(key);
+        }
+        self.covered_gen = 0;
+    }
+
     /// Take a checkpoint now, charging its cost to the machine's clock.
     ///
     /// Full engine: the `fork()`-like page-table copy plus the

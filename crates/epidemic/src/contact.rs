@@ -1,0 +1,131 @@
+//! Event-driven worm contact generation for the fleet reactor.
+//!
+//! The §6 community engine walks a dense tick loop: every tick scans
+//! every infected host for scan attempts. The fleet front-end is a
+//! discrete-*event* simulator, so the contact process must be expressed
+//! as *events*: each delivered infection spawns a bounded fan-out of
+//! future contacts, each with an exponentially distributed delay (the
+//! continuous-time limit of the per-tick Bernoulli scan) and a
+//! uniformly drawn victim.
+//!
+//! Every draw is **counter-based** ([`crate::rng::draw`]): a pure
+//! function of `(seed, domain, infection-id, slot)`. The reactor
+//! processes infections in a deterministic global order and numbers
+//! them as it goes, so the whole contact tree — delays, victims,
+//! branching — is bit-identical for any reactor shard count, the same
+//! keystone as the sharded community engine's merge.
+
+use crate::rng::{draw_below, draw_unit};
+
+/// Domain tag for contact inter-arrival delays (`"cwai"`).
+pub const DOMAIN_CONTACT_WAIT: u64 = 0x6377_6169;
+/// Domain tag for contact victim choice (`"ctgt"`).
+pub const DOMAIN_CONTACT_TARGET: u64 = 0x6374_6774;
+
+/// The deterministic contact process of one outbreak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactModel {
+    /// Outbreak RNG seed (domain-separated from every other consumer).
+    pub seed: u64,
+    /// Address-space size: victims are drawn uniformly from `0..hosts`.
+    pub hosts: u64,
+    /// Mean scan rate of one infected host, contacts per (virtual)
+    /// second.
+    pub rate_per_sec: f64,
+    /// Contacts spawned per delivered infection before the infected
+    /// host is cleaned (Sweeper detects and recovers quickly, so each
+    /// compromise only gets a short scanning burst).
+    pub fanout: u32,
+}
+
+impl ContactModel {
+    /// The `slot`-th contact spawned by infection event `infection`
+    /// (slot in `0..fanout`): returns `(delay_secs, victim)` — the
+    /// exponentially distributed wait after the infection, and the
+    /// uniformly drawn victim host index.
+    pub fn contact(&self, infection: u64, slot: u32) -> (f64, u64) {
+        let counter = infection
+            .wrapping_mul(0x1_0001)
+            .wrapping_add(u64::from(slot));
+        let u = draw_unit(self.seed, DOMAIN_CONTACT_WAIT, counter);
+        let delay = -(1.0f64 - u).ln() / self.rate_per_sec;
+        let victim = draw_below(self.seed, DOMAIN_CONTACT_TARGET, counter, self.hosts.max(1));
+        (delay, victim)
+    }
+
+    /// All `fanout` contacts of one infection, in slot order.
+    pub fn burst(&self, infection: u64) -> Vec<(f64, u64)> {
+        (0..self.fanout)
+            .map(|slot| self.contact(infection, slot))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ContactModel {
+        ContactModel {
+            seed: 42,
+            hosts: 1000,
+            rate_per_sec: 20.0,
+            fanout: 4,
+        }
+    }
+
+    #[test]
+    fn contacts_are_pure_functions_of_their_key() {
+        let m = model();
+        assert_eq!(m.contact(7, 2), m.contact(7, 2));
+        assert_ne!(m.contact(7, 2), m.contact(7, 3));
+        assert_ne!(m.contact(7, 2), m.contact(8, 2));
+        let other = ContactModel { seed: 43, ..m };
+        assert_ne!(m.contact(7, 2), other.contact(7, 2));
+    }
+
+    #[test]
+    fn burst_order_is_slot_order_regardless_of_query_order() {
+        let m = model();
+        let forward = m.burst(11);
+        let backward: Vec<(f64, u64)> = (0..m.fanout).rev().map(|s| m.contact(11, s)).collect();
+        let mut reversed = backward;
+        reversed.reverse();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn delays_are_exponential_with_the_configured_mean() {
+        let m = model();
+        let mut acc = 0.0;
+        let n = 4000u64;
+        for infection in 0..n / 4 {
+            for (delay, victim) in m.burst(infection) {
+                assert!(delay >= 0.0);
+                assert!(victim < m.hosts);
+                acc += delay;
+            }
+        }
+        let mean = acc / n as f64;
+        let expect = 1.0 / m.rate_per_sec;
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn victims_cover_the_address_space() {
+        let m = ContactModel {
+            hosts: 8,
+            ..model()
+        };
+        let mut seen = [false; 8];
+        for infection in 0..64 {
+            for (_, v) in m.burst(infection) {
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -16,11 +16,15 @@
 //!   lossy, Byzantine-adversarial message layer that replaces the
 //!   idealized instantaneous-γ clock with certified-bundle broadcast,
 //!   verify-before-deploy, retry/backoff, and graceful degradation.
+//! - [`contact`] — the event-driven contact process feeding the fleet
+//!   reactor: each infection spawns counter-keyed exponential-delay
+//!   contacts instead of dense per-tick scans.
 //! - [`figures`] — the α/γ sweeps regenerating Figures 6, 7, and 8.
 //! - [`rng`] — the counter-based deterministic RNG both engines share.
 
 pub mod agent;
 pub mod community;
+pub mod contact;
 pub mod distnet;
 pub mod figures;
 pub mod model;
@@ -28,6 +32,7 @@ pub mod rng;
 
 pub use agent::{simulate, simulate_mean, SimOutcome};
 pub use community::{CommunityOutcome, CommunityParams, Parallelism, ShardStats, TickStats};
+pub use contact::ContactModel;
 pub use distnet::{backoff_ticks, DistNet, DistNetParams, DistOutcome, DistShardStats};
 pub use figures::{
     figure6, figure6_community, figure7, figure7_community, figure8, figure8_community,

@@ -244,6 +244,26 @@ impl MetricsRegistry {
         self.spans.extend(other.spans.iter().cloned());
     }
 
+    /// Fold many registries into one, **in the order given** — the
+    /// fleet aggregation primitive.
+    ///
+    /// Counters are a commutative monoid, so any order would yield the
+    /// same sums; gauges are last-writer-wins and spans append, so the
+    /// fold order *is* part of the result. Callers aggregating per-host
+    /// registries must pass them in host-index order (as the fleet
+    /// front-end and the sharded community engine do) for the merged
+    /// registry to be bit-identical at any parallelism level.
+    pub fn merge_all<'a, I>(regs: I) -> MetricsRegistry
+    where
+        I: IntoIterator<Item = &'a MetricsRegistry>,
+    {
+        let mut out = MetricsRegistry::new();
+        for r in regs {
+            out.merge(r);
+        }
+        out
+    }
+
     /// Human-readable dump: counters, gauges, then spans, each section
     /// sorted or in recording order.
     pub fn render(&self) -> String {
@@ -404,6 +424,24 @@ mod tests {
         m2.merge(&a);
         m2.merge(&b);
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn merge_all_folds_in_the_given_order() {
+        let mut per_host = Vec::new();
+        for host in 0..4u64 {
+            let mut r = MetricsRegistry::new();
+            r.inc("served", host + 1);
+            r.gauge("occupancy", host as f64);
+            per_host.push(r);
+        }
+        let fleet = MetricsRegistry::merge_all(per_host.iter());
+        // Counters sum across hosts...
+        assert_eq!(fleet.counter("served"), 1 + 2 + 3 + 4);
+        // ...and the last host in index order owns the gauges.
+        assert_eq!(fleet.gauge_value("occupancy"), Some(3.0));
+        // Same inputs, same order => structurally identical fold.
+        assert_eq!(fleet, MetricsRegistry::merge_all(per_host.iter()));
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use pipeline::{
     analyze_attack, analyze_attack_with_faults, timings_from_timeline, AnalysisReport,
     InputFinding, SliceVerdict, StepTimings,
 };
-pub use runtime::{AttackReport, BundleOutcome, HostStatus, RequestOutcome, Sweeper};
-pub use timeline::{Event, Stamped, Timeline};
+pub use runtime::{AttackReport, BundleOutcome, HostStatus, PollOutcome, RequestOutcome, Sweeper};
+pub use timeline::{Event, LatencyBook, Stamped, Timeline};

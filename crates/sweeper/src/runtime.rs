@@ -50,6 +50,21 @@ pub enum RequestOutcome {
     Attack(Box<AttackReport>),
 }
 
+/// Outcome of one reactor-driven service step (see
+/// [`Sweeper::poll_offer`]): the request outcome plus how much virtual
+/// host time the step consumed, so an external scheduler can advance
+/// its own clock without reaching into the machine.
+#[derive(Debug)]
+pub struct PollOutcome {
+    /// What happened to the request.
+    pub outcome: RequestOutcome,
+    /// Virtual cycles of host busy time the step consumed: service,
+    /// any due checkpoint, and — when the request was an attack — the
+    /// whole analysis/recovery pause. Zero-cost steps (a request
+    /// dropped at the proxy filter) report 0.
+    pub busy_cycles: u64,
+}
+
 /// Everything Sweeper did about one attack.
 #[derive(Debug)]
 pub struct AttackReport {
@@ -514,6 +529,37 @@ impl Sweeper {
         }
     }
 
+    /// Offer one request without blocking the caller's scheduler: the
+    /// fleet reactor's entry point around [`Sweeper::offer_request`].
+    ///
+    /// The host's notion of time is the maximum of its machine clock
+    /// and its monotone timeline (recovery rewinds the former and
+    /// re-anchors it to the latter, so the max is monotone across every
+    /// path through the runtime). The returned `busy_cycles` is the
+    /// advance of that maximum across the call — service work, due
+    /// checkpoints, and any analysis/recovery pause — which is exactly
+    /// what a virtual-clock reactor must add to its own clock before
+    /// this host can accept the next event.
+    pub fn poll_offer(&mut self, input: Vec<u8>) -> PollOutcome {
+        let before = self.machine.clock.cycles().max(self.timeline.now());
+        let outcome = self.offer_request(input);
+        let after = self.machine.clock.cycles().max(self.timeline.now());
+        PollOutcome {
+            outcome,
+            busy_cycles: after.saturating_sub(before),
+        }
+    }
+
+    /// Pre-copy drain between reactor events: fold pages the last
+    /// request dirtied into the pending delta while the host is idle.
+    /// Background work, never charged to the service clock — the
+    /// reactor schedules these off its own clock so a due snapshot
+    /// only pays for pages dirtied since the last drain. Returns the
+    /// number of pages drained.
+    pub fn drain_precopy(&mut self) -> usize {
+        self.mgr.drain(&self.machine)
+    }
+
     /// Handle a detected attack: analyze (producers), deploy antibodies,
     /// recover.
     fn handle_attack(&mut self, cause: String, via_vsef: bool) -> AttackReport {
@@ -652,7 +698,11 @@ impl Sweeper {
         }
         let pause_ms = cycles_to_secs(self.timeline.now() - detection_at) * 1e3;
         self.timeline.record(Event::Recovered { method, pause_ms });
-        // Fresh checkpoint of the recovered state.
+        // Fresh checkpoint of the recovered state. The pre-attack drain
+        // set refers to the execution that was just rolled back (or
+        // replaced): discard it, or its stale pages leak into this
+        // delta (see `CheckpointManager::discard_pending`).
+        self.mgr.discard_pending();
         let id = self.mgr.take(&mut self.machine);
         self.sync_time();
         self.timeline.record(Event::Checkpoint { id: id.0 });
@@ -819,6 +869,7 @@ impl Sweeper {
         }
         let pause_ms = cycles_to_secs(self.timeline.now() - detection_at) * 1e3;
         self.timeline.record(Event::Recovered { method, pause_ms });
+        self.mgr.discard_pending();
         let id = self.mgr.take(&mut self.machine);
         self.sync_time();
         self.timeline.record(Event::Checkpoint { id: id.0 });
@@ -924,6 +975,9 @@ impl Sweeper {
                 .clock
                 .tick(self.machine.clock.cycles() + self.config.restart_cycles);
             self.machine = fresh;
+            // The drained pages belonged to the old instance; its
+            // write generations mean nothing to the fresh boot.
+            self.mgr.discard_pending();
             for &id in drop_ids {
                 self.proxy.mark_dropped(id);
             }

@@ -141,6 +141,85 @@ impl Timeline {
     }
 }
 
+/// A multiset of latency samples on the shared virtual clock, with
+/// nearest-rank percentile read-out — the fleet-wide latency
+/// accounting primitive.
+///
+/// Samples are kept in a plain `Vec`, **never** keyed by their
+/// virtual-clock stamp: with thousands of hosts multiplexed onto one
+/// virtual clock, many hosts complete requests at the *same* stamp,
+/// and a stamp-keyed map would collapse those distinct measurements
+/// into one sample — silently thinning exactly the tail the p99/p999
+/// read-out exists to expose. (The regression lives in
+/// `tests/end_to_end.rs`.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyBook {
+    /// `(virtual stamp in cycles, latency in ms)` per completed request.
+    samples: Vec<(u64, f64)>,
+}
+
+impl LatencyBook {
+    /// An empty book.
+    pub fn new() -> LatencyBook {
+        LatencyBook::default()
+    }
+
+    /// Record one sample: a request that completed at virtual-clock
+    /// stamp `at_cycles` after `ms` milliseconds of service latency.
+    /// Equal stamps are expected and kept distinct.
+    pub fn add(&mut self, at_cycles: u64, ms: f64) {
+        self.samples.push((at_cycles, ms));
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in recording order.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Append every sample of `other` (stable: `other`'s recording
+    /// order is preserved). Merging per-host books in host-index order
+    /// is fully deterministic; samples from different hosts sharing a
+    /// stamp all survive the merge.
+    pub fn merge(&mut self, other: &LatencyBook) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Nearest-rank percentile of the latency values, `q` in `[0, 1]`
+    /// (`0.99` = p99). `None` when the book is empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut ms: Vec<f64> = self.samples.iter().map(|&(_, v)| v).collect();
+        ms.sort_by(f64::total_cmp);
+        let rank = ((q.clamp(0.0, 1.0) * ms.len() as f64).ceil() as usize).max(1);
+        Some(ms[rank.min(ms.len()) - 1])
+    }
+
+    /// Largest recorded latency (`None` when empty).
+    pub fn max_ms(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).max_by(f64::total_cmp)
+    }
+
+    /// Mean latency (`None` when empty).
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +284,36 @@ mod tests {
         // And the detection anchor is the *index* of the latest attack.
         let (idx, _) = t.last_detection().expect("detection");
         assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut b = LatencyBook::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            b.add(0, v);
+        }
+        assert_eq!(b.percentile(0.0), Some(1.0));
+        assert_eq!(b.percentile(0.5), Some(3.0));
+        assert_eq!(b.percentile(0.99), Some(5.0));
+        assert_eq!(b.percentile(1.0), Some(5.0));
+        assert_eq!(b.max_ms(), Some(5.0));
+        assert!(LatencyBook::new().percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn equal_stamps_stay_distinct_samples() {
+        // The multi-host case: three hosts complete at the same virtual
+        // stamp. All three samples must survive, and the percentile must
+        // see all of them.
+        let mut fleet = LatencyBook::new();
+        for (host_ms, _) in [(5.0, 0), (5.0, 1), (50.0, 2)] {
+            let mut host = LatencyBook::new();
+            host.add(1_000, host_ms);
+            fleet.merge(&host);
+        }
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.percentile(0.5), Some(5.0));
+        assert_eq!(fleet.percentile(0.999), Some(50.0));
     }
 
     #[test]

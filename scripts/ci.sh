@@ -27,8 +27,12 @@
 #                oracle on every guest (differential engine lockstep)
 #   bench-smoke  `tables benchjson` perf snapshot; numbers are NOT
 #                gated (commit refreshed BENCH_*.json deliberately),
-#                but the written JSON must carry the schema-v6
+#                but the written JSON must carry the schema-v7
 #                "superblock" AND "checkpoint" blocks
+#   fleet-smoke  `tables fleet` at 1k hosts over a short horizon; the
+#                written JSON must carry the "fleet" block with a
+#                finite outbreak p99 and shard_invariant=true (the
+#                reactor determinism gate, invariant I10)
 #   fig9dist     distnet sweep smoke (non-failing)
 #
 # Run from anywhere; works offline — all dependencies are in-tree.
@@ -134,10 +138,31 @@ stage_bench_smoke() {
             echo "FAIL: no checkpoint block in bench_smoke.json"
             return 1
         fi
-        echo "schema-v6 superblock + checkpoint blocks present"
+        echo "schema-v7 superblock + checkpoint blocks present"
     else
         echo "WARN: bench smoke failed (not a gate) — see $LOGDIR/bench-smoke.log"
     fi
+}
+
+stage_fleet_smoke() {
+    # Gated: the reactor itself asserts digest equality at 1 vs 2
+    # shards (a mismatch aborts the run), and the written block must
+    # carry a finite outbreak p99.
+    cargo run --release -p bench --bin tables -- \
+        fleet --hosts=1000 --shards=2 --out=target/fleet_smoke.json
+    if ! grep -q '"fleet"' target/fleet_smoke.json; then
+        echo "FAIL: no fleet block in fleet_smoke.json"
+        return 1
+    fi
+    if ! grep -q '"shard_invariant": true' target/fleet_smoke.json; then
+        echo "FAIL: fleet run is not shard-invariant (I10)"
+        return 1
+    fi
+    if grep -q '"p99_ms": null' target/fleet_smoke.json; then
+        echo "FAIL: fleet latency window has no samples (p99 null)"
+        return 1
+    fi
+    echo "schema-v7 fleet block present, p99 finite, shard-invariant"
 }
 
 stage_fig9dist() {
@@ -156,6 +181,7 @@ run_stage chaos-smoke stage_chaos_smoke
 run_stage sbparity stage_sbparity
 run_stage ckptparity stage_ckptparity
 run_stage bench-smoke stage_bench_smoke
+run_stage fleet-smoke stage_fleet_smoke
 run_stage fig9dist stage_fig9dist
 
 if [ "$RAN" -eq 0 ]; then

@@ -11,6 +11,7 @@ pub use apps;
 pub use checkpoint;
 pub use dbi;
 pub use epidemic;
+pub use fleet;
 pub use obs;
 pub use svm;
 pub use sweeper;

@@ -77,6 +77,52 @@ fn wire_families_exercise_the_distribution_network() {
     );
 }
 
+/// Regression (`chaos --seed-file`): a malformed or duplicate line in
+/// the quarantine seed file must surface as a *named* error, never be
+/// silently skipped — a bad line used to shrink the quarantine suite
+/// without failing CI (malformed lines were a loose string error;
+/// duplicates were accepted outright, so a merge that clobbered a seed
+/// with a copy of its neighbour went unnoticed).
+#[test]
+fn quarantine_seed_files_fail_closed_on_bad_lines() {
+    use chaos::seedfile::{parse_seed_list, SeedFileError};
+    // The documented format still parses, in listing order.
+    assert_eq!(
+        parse_seed_list("# quarantine\n3\n0x7f # guest 3\n\n12\n"),
+        Ok(vec![3, 0x7f, 12])
+    );
+    // A line that is not a decimal or 0x-hex u64 names itself.
+    assert_eq!(
+        parse_seed_list("3\nmerge-conflict!\n7\n").unwrap_err(),
+        SeedFileError::Malformed {
+            line: 2,
+            content: "merge-conflict!".into()
+        }
+    );
+    // A duplicate is detected by *value*, across spellings, and points
+    // back at the first occurrence.
+    assert_eq!(
+        parse_seed_list("10\n7\n0xA\n").unwrap_err(),
+        SeedFileError::Duplicate {
+            line: 3,
+            seed: 10,
+            first_line: 1
+        }
+    );
+}
+
+/// The committed quarantine list itself must always satisfy the parser
+/// the CI gate uses on it.
+#[test]
+fn committed_quarantine_list_parses_clean() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/chaos_known_seeds.txt"
+    ))
+    .expect("quarantine list exists");
+    chaos::seedfile::parse_seed_list(&text).expect("quarantine list is well-formed");
+}
+
 #[test]
 fn any_case_replays_bit_identically_from_its_seed() {
     for seed in [0u64, 5, 9, 0xDEAD_BEEF] {

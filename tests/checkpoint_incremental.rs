@@ -135,13 +135,15 @@ impl Leg {
                 let id = ids[(*sel as usize) % ids.len()];
                 if let Some(rolled) = self.mgr.rollback(id) {
                     self.m = rolled;
-                    // Mirror the runtime (runtime.rs, recovery): a fresh
-                    // snapshot of the recovered state is taken before
-                    // any new writes. The rolled-back machine's write
-                    // generations regressed; capturing now rebuilds the
-                    // cumulative table from the live image so later
-                    // generations can never collide with pre-rollback
-                    // entries.
+                    // Mirror the runtime (runtime.rs, recovery): the
+                    // pre-rollback drain set is discarded — its pages
+                    // were recorded under generations the rewound
+                    // machine will re-reach with different bytes — and
+                    // a fresh snapshot of the recovered state is taken
+                    // before any new writes, rebuilding the cumulative
+                    // table from the live image so later generations
+                    // can never collide with pre-rollback entries.
+                    self.mgr.discard_pending();
                     self.mgr.take(&mut self.m);
                 }
             }
@@ -223,6 +225,54 @@ proptest! {
         }
         prop_assert_eq!(leg.mgr.materialize_failures(), 0);
     }
+}
+
+/// Regression (stale-delta leak across rollback): a pre-copy drain
+/// taken *before* a rollback must not be folded into the delta captured
+/// *after* it. The drain records `(page, generation)` pairs; rollback
+/// rewinds `write_seq`, so the replayed execution re-reaches the very
+/// same generation numbers with different bytes. Pre-fix, the next
+/// `take` saw a matching generation in the pending set and reused the
+/// stale pre-rollback page content, so the snapshot's image digest
+/// (computed from the live machine) could never match what
+/// materialization rebuilds — a spurious fail-closed materialize
+/// failure that degraded perfectly good rollback-replay recoveries to
+/// restarts. The runtime now calls `discard_pending` between rollback
+/// and the post-recovery snapshot; this test drives that exact
+/// sequence at the manager level.
+#[test]
+fn pending_drain_does_not_leak_across_rollback() {
+    let mut leg = Leg::boot(Engine::Incremental);
+    let buf = leg.m.symbols.addr_of("buf").expect("buf");
+    let base = leg.mgr.take(&mut leg.m);
+    // Dirty one page and drain it: the pending set now holds the page
+    // under the current write generation, content [1; 8].
+    leg.m.mem.write_bytes_host(buf, &[1u8; 8]).expect("patch");
+    assert_eq!(leg.mgr.drain(&leg.m), 1, "the patched page drains");
+    // Roll back to the base: write_seq rewinds past the drained
+    // generation.
+    let rolled = leg.mgr.rollback(base).expect("base materializes");
+    leg.m = rolled;
+    // The replayed execution re-reaches the drained generation — same
+    // (page, generation) pair, different bytes.
+    leg.m.mem.write_bytes_host(buf, &[2u8; 8]).expect("patch");
+    // The runtime's post-recovery sequence: discard the stale drain
+    // set, then snapshot the recovered state. (Pre-fix there was no
+    // discard, the stale [1; 8] page was captured under the matching
+    // generation, and the assertions below failed.)
+    leg.mgr.discard_pending();
+    let id = leg.mgr.take(&mut leg.m);
+    let rebuilt = leg.mgr.materialize(id);
+    assert!(
+        rebuilt.is_some(),
+        "post-rollback snapshot must materialize (stale drained page leaked into the delta)"
+    );
+    assert_eq!(
+        fingerprint(&rebuilt.expect("checked")),
+        fingerprint(&leg.m),
+        "snapshot must reproduce the live post-rollback machine"
+    );
+    assert_eq!(leg.mgr.materialize_failures(), 0, "no fail-closed damage");
 }
 
 /// A truncated delta chain must fail closed: the damaged snapshot

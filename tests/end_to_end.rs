@@ -266,3 +266,49 @@ fn timings_scale_sanely_with_window_size() {
         ts.slicing_ms
     );
 }
+
+#[test]
+fn multi_host_latency_samples_sharing_a_stamp_do_not_collapse() {
+    // The fleet-accounting regression: several hosts multiplexed onto
+    // one virtual clock routinely complete work at the *same* stamp —
+    // here, three identically-seeded hosts detect the same exploit at
+    // bit-identical virtual times. Folding their per-host detection
+    // latencies into the fleet-wide book must keep one sample per host;
+    // a stamp-keyed fold collapses them into one and the percentile
+    // read-out silently thins the very tail p99 exists to expose.
+    use sweeper_repro::sweeper::{Event, LatencyBook};
+
+    let app = httpd1::app().expect("app");
+    let mut fleet = LatencyBook::new();
+    let mut stamps = Vec::new();
+    for _host in 0..3 {
+        let mut s = Sweeper::protect(&app, Config::producer(77)).expect("protect");
+        let RequestOutcome::Attack(_) = s.offer_request(httpd1::exploit_crash(&app).input) else {
+            panic!("exploit not detected")
+        };
+        let (_, det_at) = s.timeline.last_detection().expect("detection");
+        let ms = s
+            .timeline
+            .ms_from_detection(|e| matches!(e, Event::Recovered { .. }))
+            .expect("recovered");
+        stamps.push(det_at);
+        let mut host_book = LatencyBook::new();
+        host_book.add(det_at, ms);
+        fleet.merge(&host_book);
+    }
+    // Identically-seeded hosts really do share the virtual-clock stamp:
+    // the collision this regression is about is the common case, not a
+    // pathological one.
+    assert_eq!(stamps[0], stamps[1]);
+    assert_eq!(stamps[1], stamps[2]);
+    assert_eq!(
+        fleet.len(),
+        3,
+        "one latency sample per host must survive the fleet merge"
+    );
+    // With all samples equal, every percentile reads that latency; the
+    // max-rank read-out must agree with any single host's measurement.
+    let p999 = fleet.percentile(0.999).expect("samples");
+    assert_eq!(Some(p999), fleet.percentile(0.5));
+    assert!(p999 > 0.0, "detection→recovery latency is non-zero");
+}

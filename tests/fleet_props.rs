@@ -1,0 +1,81 @@
+//! Property tests for the fleet reactor (PR 8 satellite).
+//!
+//! Two laws the whole `tables fleet` measurement rests on:
+//!
+//! * **Shard invariance** — the reactor's shard count is a pure
+//!   data-structure knob: for any seed, host count, and shard count,
+//!   the fleet outcome digest (every service completion plus the final
+//!   per-host state) is bit-identical to the 1-shard run, and so are
+//!   the aggregate counters and both latency books. This is chaos
+//!   invariant I10 quantified over the configuration space rather than
+//!   spot-checked.
+//! * **Aggregation consistency** — the fleet's merged metrics are
+//!   exactly the host-order fold of the per-host exports: summing
+//!   `sweeper.requests_served` across hosts equals the fleet `served`
+//!   counter, and the latency books partition the served requests
+//!   (quiescent + outbreak sample counts = served).
+
+use proptest::prelude::*;
+use sweeper_repro::fleet::{run, FleetConfig};
+
+/// A small-but-varied fleet configuration: host counts, seeds, and an
+/// optional outbreak, sized so one case stays well under a second.
+fn arb_cfg() -> impl Strategy<Value = FleetConfig> {
+    (3u32..9, 0u64..1_000, any::<bool>()).prop_map(|(hosts, seed, outbreak)| FleetConfig {
+        outbreak_at_ms: outbreak.then_some(200.0),
+        horizon_ms: 450.0,
+        contact_cap: hosts,
+        ..FleetConfig::smoke(hosts, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any shard count pops the same global event order, so the whole
+    /// run — digest, counters, latency books — is bit-identical.
+    #[test]
+    fn shard_count_never_changes_the_outcome(
+        cfg in arb_cfg(),
+        shards in 2usize..5,
+    ) {
+        let serial = run(&cfg.with_shards(1)).expect("fleet runs");
+        let sharded = run(&cfg.with_shards(shards)).expect("fleet runs");
+        prop_assert_eq!(serial.digest, sharded.digest);
+        prop_assert_eq!(serial.served, sharded.served);
+        prop_assert_eq!(serial.filtered, sharded.filtered);
+        prop_assert_eq!(serial.attacks, sharded.attacks);
+        prop_assert_eq!(serial.contacts, sharded.contacts);
+        prop_assert_eq!(serial.bundles_deployed, sharded.bundles_deployed);
+        prop_assert_eq!(serial.protected_hosts, sharded.protected_hosts);
+        prop_assert_eq!(serial.quiescent.samples(), sharded.quiescent.samples());
+        prop_assert_eq!(serial.outbreak.samples(), sharded.outbreak.samples());
+    }
+
+    /// The fleet aggregates are exactly the sum of the per-host truth:
+    /// merged counters equal the fleet counters, and the two latency
+    /// windows partition the served benign requests.
+    #[test]
+    fn fleet_aggregates_sum_the_per_host_metrics(cfg in arb_cfg()) {
+        let out = run(&cfg).expect("fleet runs");
+        // Per-host exports are merged in host order into out.metrics;
+        // counters are a commutative monoid, so the merged counter must
+        // equal the scalar the simulation counted independently.
+        prop_assert_eq!(out.metrics.counter("sweeper.requests_served"), out.served);
+        prop_assert_eq!(out.metrics.counter("sweeper.attacks_detected"), out.attacks);
+        // Every benign service completion landed in exactly one book.
+        // Worm deliveries never produce latency samples, so the books
+        // cover served + filtered benign requests minus the worm
+        // filtered ones; with no outbreak it is exact.
+        let sampled = (out.quiescent.len() + out.outbreak.len()) as u64;
+        prop_assert!(sampled >= out.served, "served requests all sampled");
+        prop_assert!(
+            sampled <= out.served + out.filtered,
+            "samples never exceed benign completions"
+        );
+        if cfg.outbreak_at_ms.is_none() {
+            prop_assert_eq!(sampled, out.served);
+            prop_assert!(out.outbreak.is_empty());
+        }
+    }
+}
