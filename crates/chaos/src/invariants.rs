@@ -18,6 +18,7 @@
 //! | I8 | no consumer ever deploys an unverified antibody bundle |
 //! | I9 | incremental/full checkpoint parity never diverges (`checkpoint.parity_mismatches` = 0, unconditionally — damaged chains fail *closed*, they never resurrect a wrong image) |
 //! | I10 | the fleet reactor's outcome digest is shard-count-invariant (sharding is a layout knob, never a semantics knob) |
+//! | I11 | the SoA community engine is bit-identical to the legacy dense oracle (`epidemic.soa_parity_mismatches` = 0, unconditionally — no fired fault relaxes it) |
 
 use crate::plan::FaultStats;
 
@@ -222,6 +223,25 @@ pub fn check_i10(serial: u64, sharded: u64, ctx: &str) -> Option<Violation> {
     })
 }
 
+/// I11: the SoA community engine is bit-identical to the legacy dense
+/// oracle.
+///
+/// Every community leg runs `CommunityEngine::Differential` — the
+/// legacy `Vec<bool>` scan and the bitset/active-queue backend in
+/// lockstep over the same draws — and `mismatches` is the field-by-
+/// field outcome comparison (`epidemic.soa_parity_mismatches`). It must
+/// be zero under every fault plan and every knob combination; like I9,
+/// no fired fault ever relaxes it, because the two backends consume the
+/// identical RNG stream by construction.
+pub fn check_i11(mismatches: u64, ctx: &str) -> Option<Violation> {
+    (mismatches > 0).then(|| {
+        Violation::new(
+            "I11",
+            format!("{ctx}: {mismatches} SoA/legacy engine parity mismatch(es)"),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +379,14 @@ mod tests {
         let v = check_i10(7, 8, "fleet").expect("violation");
         assert_eq!(v.invariant, "I10");
         assert!(v.detail.contains("shards=1"), "{}", v.detail);
+    }
+
+    #[test]
+    fn i11_fires_only_on_engine_parity_mismatch() {
+        assert!(check_i11(0, "community K=1").is_none());
+        let v = check_i11(3, "faulted distnet K=4").expect("violation");
+        assert_eq!(v.invariant, "I11");
+        assert!(v.detail.contains("3 SoA/legacy"), "{}", v.detail);
+        assert!(v.detail.contains("faulted distnet K=4"), "{}", v.detail);
     }
 }

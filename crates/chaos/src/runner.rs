@@ -8,7 +8,13 @@
 //!    with K = 1 and K = 4 shards. The six combined outcome digests
 //!    (tier × K, metrics always on) must be bit-equal: all the knobs
 //!    are pure performance knobs, and any divergence is a determinism
-//!    bug.
+//!    bug. Every community leg additionally runs
+//!    `CommunityEngine::Differential` (PR 9): the legacy dense oracle
+//!    and the SoA bitset backend execute in lockstep and their parity
+//!    mismatch count must be zero (invariant I11, checked on every
+//!    community leg, never relaxed by fired faults). A third of the
+//!    seeds also arm the connection-failure estimator so containment
+//!    draws are fuzzed across both backends.
 //! 2. **Distribution-network legs (PR 5)** — the same outbreak runs
 //!    with the antibody distribution network on a *perfect* wire at
 //!    K ∈ {1, 4}: its epidemic core must be bit-identical to the legacy
@@ -41,7 +47,7 @@ use epidemic::DistNetParams;
 use sweeper::{BundleOutcome, Config, RequestOutcome, Role, Sweeper};
 
 use crate::digest::{digest_community, digest_community_epidemic, digest_sweeper, Hasher};
-use crate::invariants::{check_faulted_run, check_i10, check_i8, FaultedRun, Violation};
+use crate::invariants::{check_faulted_run, check_i10, check_i11, check_i8, FaultedRun, Violation};
 use crate::plan::{FaultPlan, FaultStats, WirePlan};
 use crate::scenario::CaseScenario;
 
@@ -278,6 +284,15 @@ pub fn run_case(seed: u64) -> CaseReport {
             (k, epidemic::community::run(&scenario.community_with(k)))
         })
         .collect();
+    // Every community leg runs `CommunityEngine::Differential` (the
+    // scenario pins it): the legacy dense oracle and the SoA backend in
+    // lockstep, parity checked here as invariant I11.
+    for (k, epi) in &community_legs {
+        let m = epi.soa_parity_mismatches.unwrap_or(0);
+        if let Some(v) = check_i11(m, &format!("community K={k}")) {
+            violations.push(v);
+        }
+    }
 
     let mut baseline: Option<FaultedRun> = None;
     let mut leg_digests: Vec<(String, u64)> = Vec::new();
@@ -343,6 +358,10 @@ pub fn run_case(seed: u64) -> CaseReport {
                 violations.push(v);
             }
         }
+        let m = out.soa_parity_mismatches.unwrap_or(0);
+        if let Some(v) = check_i11(m, &format!("ideal distnet K={k}")) {
+            violations.push(v);
+        }
         if let Some(legacy) = legacy_epi {
             let epi = digest_community_epidemic(out);
             if epi != legacy {
@@ -393,6 +412,12 @@ pub fn run_case(seed: u64) -> CaseReport {
                 {
                     violations.push(v);
                 }
+            }
+            // I11 is never relaxed by fired wire faults: both backends
+            // see the identical faulted wire, so they must still agree.
+            let m = out.soa_parity_mismatches.unwrap_or(0);
+            if let Some(v) = check_i11(m, &format!("faulted distnet K={k}")) {
+                violations.push(v);
             }
         }
         if let [(_, a), (_, b)] = &faulted_legs[..] {

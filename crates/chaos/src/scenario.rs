@@ -10,8 +10,9 @@
 use apps::workload::{Target, Workload};
 use apps::{cvs, httpd1, httpd2, squid, App};
 use checkpoint::Engine;
-use epidemic::community::{CommunityParams, Parallelism};
+use epidemic::community::{CommunityEngine, CommunityParams, Parallelism};
 use epidemic::distnet::DistNetParams;
+use epidemic::failest::FailContParams;
 use epidemic::rng::draw;
 use sweeper::{Config, Role};
 
@@ -29,6 +30,7 @@ const DOM_ASLR: u64 = 0x5ce0_000a;
 const DOM_WORKLOAD: u64 = 0x5ce0_000b;
 const DOM_EPI: u64 = 0x5ce0_000c;
 const DOM_ENGINE: u64 = 0x5ce0_000d;
+const DOM_FAILCONT: u64 = 0x5ce0_000e;
 
 /// One request in a scenario's schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +142,10 @@ impl CaseScenario {
         }
 
         // A small community outbreak for the epidemic differential leg.
+        // Every leg runs `Differential`: the legacy dense oracle and
+        // the SoA backend in lockstep, parity checked per case (I11).
+        // A third of the seeds also arm the failure estimator so the
+        // containment draws are fuzzed alongside everything else.
         let e = |c: u64| draw(seed, DOM_EPI, c);
         let community = CommunityParams {
             hosts: 600 + e(0) % 1400,
@@ -152,7 +158,13 @@ impl CaseScenario {
             max_ticks: 600,
             seed: draw(seed, DOM_EPI, 99),
             parallelism: Parallelism::Fixed(1),
+            engine: CommunityEngine::Differential,
             distnet: DistNetParams::disabled(),
+            failcont: if draw(seed, DOM_FAILCONT, 0).is_multiple_of(3) {
+                FailContParams::standard()
+            } else {
+                FailContParams::disabled()
+            },
         };
 
         CaseScenario {

@@ -15,22 +15,42 @@
 //! state. Hosts are partitioned into `K` contiguous shards; each tick
 //! runs two barrier-separated phases:
 //!
-//! 1. **generate** — every shard scans its own infected hosts in host
-//!    order and emits events, routed by target shard. Because shards
-//!    are contiguous and scanned in order, concatenating per-shard
-//!    outboxes in shard order *is* the canonical global
-//!    `(src, attempt)` order; a final stable sort enforces it
-//!    regardless of scheduling.
+//! 1. **generate** — every shard visits its own infected hosts and
+//!    emits events, routed by target shard. The visit order is
+//!    backend-defined (see below); the coordinator's stable sort of
+//!    each inbox by `(src, attempt)` canonicalizes it, so only the
+//!    event *multiset* matters — and that is a pure function of the
+//!    draws.
 //! 2. **apply** — every shard applies the events targeting its own
-//!    hosts. Infections are idempotent boolean marks, the antibody
-//!    clock is a `min` over producer-contact ticks, and infection
-//!    counts are sums — all order-independent reductions.
+//!    hosts. Infections are idempotent marks, the antibody clock is a
+//!    `min` over producer-contact ticks, and infection counts are sums
+//!    — all order-independent reductions.
 //!
 //! New infections become active the *next* tick (the generate phase of
 //! tick `t` reads only state produced through tick `t-1`), so no shard
 //! can observe another shard's same-tick writes. The serial engine is
 //! the identical code run with one shard and no threads; the parity
 //! test in `tests/` checks bit-identical curves for K ∈ {1, 2, 4, 8}.
+//!
+//! ## Two contact-state backends, one engine (PR 9)
+//!
+//! The engine body is generic over [`crate::soa::HostSet`]:
+//!
+//! * [`CommunityEngine::Legacy`] — the original dense backend, one
+//!   `Vec<bool>` per shard scanned in host order every tick:
+//!   O(shard size) per tick. Kept in-tree as the differential oracle.
+//! * [`CommunityEngine::Soa`] (the default) — struct-of-arrays state
+//!   ([`crate::soa::SoaHosts`]): bitset membership plus an active
+//!   queue of exactly the hosts with pending scan activity, so a tick
+//!   costs O(infected). This is what makes 1M–10M hosts tractable in
+//!   the sparse (contained) regime.
+//! * [`CommunityEngine::Differential`] — runs both and counts
+//!   field-level outcome mismatches
+//!   ([`CommunityOutcome::soa_parity_mismatches`], chaos invariant
+//!   I11), mirroring the PR 7 checkpoint differential oracle.
+//!
+//! Both backends consume the identical draw stream, so legacy↔SoA
+//! parity holds bit-identically, as does shard-count K-invariance.
 //!
 //! ## The antibody distribution network (PR 5)
 //!
@@ -44,12 +64,30 @@
 //! is preserved; with a perfect wire the run is bit-identical to the
 //! legacy clock because every consumer verifies its bundle in the
 //! broadcast tick itself.
+//!
+//! ## Connection-failure containment (PR 9)
+//!
+//! With [`FailContParams::enabled`], every *failed* contact against a
+//! consumer is recorded into a hyper-compact failure estimator
+//! ([`crate::failest`]): the generate phase records attempts blocked
+//! by proactive protection (the ρ draw — from the source's side, a
+//! failed exploit connection), the apply phase records contacts on
+//! already-infected, antibody-protected, or throttle-blocked targets.
+//! Sources whose
+//! distinct-failure estimate crosses the threshold are flagged and
+//! their attempt slots suppressed at the source with probability
+//! `suppress`. All containment draws live in their own domains on the
+//! same event keys, so enabling the knob never perturbs the existing
+//! streams, and flag decisions are made only at the post-apply barrier
+//! — shard- and engine-invariant by construction.
 
 use std::time::Instant;
 
 use crate::distnet::{DistNet, DistNetParams, DistOutcome, DOMAIN_THROTTLE};
+use crate::failest::{FailCont, FailContOutcome, FailContParams, DOMAIN_FAILSUP};
 use crate::model::Scenario;
 use crate::rng::{draw, to_unit};
+use crate::soa::{HostBits, HostSet, SoaHosts};
 
 /// Domain separator for attempt-existence draws.
 const DOMAIN_ATTEMPT: u64 = 0x6174_7470;
@@ -89,6 +127,19 @@ impl Parallelism {
     }
 }
 
+/// Which contact-state backend executes the run (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommunityEngine {
+    /// Dense per-tick scan over `Vec<bool>` — the differential oracle.
+    Legacy,
+    /// Struct-of-arrays bitset + active queue — O(infected) ticks.
+    #[default]
+    Soa,
+    /// Run both in lockstep; return the SoA outcome with
+    /// [`CommunityOutcome::soa_parity_mismatches`] populated.
+    Differential,
+}
+
 /// Parameters of one community run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommunityParams {
@@ -114,9 +165,14 @@ pub struct CommunityParams {
     pub seed: u64,
     /// Shard/thread configuration.
     pub parallelism: Parallelism,
+    /// Contact-state backend selection.
+    pub engine: CommunityEngine,
     /// Antibody distribution network configuration
     /// ([`DistNetParams::disabled`] = the legacy instantaneous clock).
     pub distnet: DistNetParams,
+    /// Connection-failure containment configuration
+    /// ([`FailContParams::disabled`] = off).
+    pub failcont: FailContParams,
 }
 
 impl CommunityParams {
@@ -141,7 +197,9 @@ impl CommunityParams {
             max_ticks: 1_000_000,
             seed,
             parallelism,
+            engine: CommunityEngine::default(),
             distnet: DistNetParams::disabled(),
+            failcont: FailContParams::disabled(),
         }
     }
 
@@ -174,6 +232,12 @@ pub struct ShardStats {
     /// Infection contacts blocked by a degraded consumer's contact
     /// throttling (distribution-network runs only).
     pub throttled_blocks: u64,
+    /// Attempt slots suppressed at flagged sources (failcont runs only).
+    pub failcont_suppressed: u64,
+    /// Failed contacts recorded into the failure estimator by this
+    /// shard (ρ-blocked attempts at generate, blocked contacts at
+    /// apply; failcont runs only).
+    pub failcont_failures: u64,
     /// Nanoseconds spent in this shard's generate phases.
     pub generate_nanos: u128,
     /// Nanoseconds spent in this shard's apply phases.
@@ -214,6 +278,12 @@ pub struct CommunityOutcome {
     pub tick_stats: Vec<TickStats>,
     /// Distribution-network outcome (`None` for legacy-clock runs).
     pub dist: Option<DistOutcome>,
+    /// Failure-containment outcome (`None` when the knob is off).
+    pub failcont: Option<FailContOutcome>,
+    /// `Differential` runs only: how many outcome fields the legacy and
+    /// SoA engines disagreed on (`Some(0)` = bit-identical, invariant
+    /// I11). `None` for single-engine runs.
+    pub soa_parity_mismatches: Option<u64>,
 }
 
 impl CommunityOutcome {
@@ -236,6 +306,12 @@ impl CommunityOutcome {
             shard_reg.inc("epidemic.producer_contacts", s.producer_contacts);
             shard_reg.inc("epidemic.antibodies_applied", s.antibodies_applied);
             shard_reg.inc("epidemic.events_cross_shard", s.events_sent_cross);
+            if self.failcont.is_some() {
+                // Containment counters fold shard-order-independently
+                // (sums), like the simulation counters: K-invariant.
+                shard_reg.inc("failcont.suppressed_attempts", s.failcont_suppressed);
+                shard_reg.inc("failcont.failures_recorded", s.failcont_failures);
+            }
             if let Some(d) = &self.dist {
                 // The distribution-network counters are attributed to
                 // the *receiving* host's shard and folded here in shard
@@ -261,6 +337,15 @@ impl CommunityOutcome {
                     .and_then(|t0| d.gamma_effective(t0))
                     .map_or(-1.0, |g| g as f64),
             );
+        }
+        if let Some(f) = &self.failcont {
+            reg.set_counter("failcont.flagged_sources", f.flagged_sources);
+            reg.set_counter("failcont.pool_bits_set", f.bits_set);
+        }
+        if let Some(n) = self.soa_parity_mismatches {
+            // Chaos invariant I11 reads this; 0 on every healthy
+            // Differential run, identical across K legs.
+            reg.set_counter("epidemic.soa_parity_mismatches", n);
         }
         reg.set_counter("epidemic.ticks", self.ticks);
         reg.set_counter(
@@ -334,6 +419,12 @@ impl CommunityOutcome {
                 d.deployed_unverified,
             ));
         }
+        if let Some(f) = &self.failcont {
+            out.push_str(&format!(
+                "failcont: flagged={} failures={} suppressed={} pool_bits={}\n",
+                f.flagged_sources, f.failures_recorded, f.suppressed_attempts, f.bits_set,
+            ));
+        }
         out
     }
 }
@@ -349,23 +440,58 @@ struct Event {
     target: u64,
 }
 
-/// Host state owned by one shard: `[lo, hi)` plus infection flags.
-struct Shard {
+/// The legacy dense backend: one bool per owned host, visited in host
+/// order by a full scan every tick — O(shard size) per tick regardless
+/// of prevalence. Kept as the oracle the SoA backend is differenced
+/// against (`CommunityEngine::Differential`).
+struct DenseHosts(Vec<bool>);
+
+impl HostSet for DenseHosts {
+    fn with_capacity(len: u64) -> DenseHosts {
+        DenseHosts(vec![false; len as usize])
+    }
+
+    fn contains(&self, off: u64) -> bool {
+        self.0[off as usize]
+    }
+
+    fn insert(&mut self, off: u64) -> bool {
+        let slot = &mut self.0[off as usize];
+        let fresh = !*slot;
+        *slot = true;
+        fresh
+    }
+
+    fn count(&self) -> u64 {
+        self.0.iter().filter(|f| **f).count() as u64
+    }
+
+    fn for_each_member(&self, mut f: impl FnMut(u64)) {
+        for (off, flag) in self.0.iter().enumerate() {
+            if *flag {
+                f(off as u64);
+            }
+        }
+    }
+}
+
+/// Host state owned by one shard: `[lo, hi)` plus infection membership.
+struct Shard<S> {
     idx: usize,
     lo: u64,
     hi: u64,
-    /// Infection flag per owned host (index `host - lo`).
-    infected: Vec<bool>,
+    /// Infection membership per owned host (offset `host - lo`).
+    hosts: S,
     stats: ShardStats,
 }
 
-impl Shard {
-    fn new(idx: usize, lo: u64, hi: u64) -> Shard {
+impl<S: HostSet> Shard<S> {
+    fn new(idx: usize, lo: u64, hi: u64) -> Shard<S> {
         Shard {
             idx,
             lo,
             hi,
-            infected: vec![false; (hi - lo) as usize],
+            hosts: S::with_capacity(hi - lo),
             stats: ShardStats {
                 shard: idx,
                 hosts: hi - lo,
@@ -374,28 +500,56 @@ impl Shard {
         }
     }
 
-    /// Generate this tick's events from this shard's infected hosts.
+    /// Generate this tick's events from this shard's infected hosts
+    /// into the shard's reused outbox row (one `Vec` per target shard,
+    /// cleared here — the coordinator hoists the allocations across
+    /// ticks).
     ///
-    /// Outboxes are returned per target shard; within each outbox the
-    /// events are already in canonical `(src, attempt)` order because
-    /// hosts are scanned in order.
+    /// With failure containment on, an attempt blocked by proactive
+    /// protection (the ρ draw) is recorded into `failures` — from the
+    /// scanning source's side, that exploit connection failed.
+    ///
+    /// Backend visit order is free: the coordinator's canonical inbox
+    /// sort re-establishes `(src, attempt)` order downstream.
     fn generate(
         &mut self,
         p: &CommunityParams,
         bounds: &[(u64, u64)],
         tick: u64,
-    ) -> Vec<Vec<Event>> {
+        flagged: Option<&HostBits>,
+        out: &mut [Vec<Event>],
+        failures: &mut Vec<(u64, u64)>,
+    ) {
         let t_start = Instant::now();
-        let mut out: Vec<Vec<Event>> = vec![Vec::new(); bounds.len()];
-        let attempts = p.attempts_per_tick as u64;
+        for ob in out.iter_mut() {
+            ob.clear();
+        }
+        let attempts = u64::from(p.attempts_per_tick);
         let producers = p.producers();
-        for (off, flag) in self.infected.iter().enumerate() {
-            if !*flag {
-                continue;
-            }
-            let src = self.lo + off as u64;
+        let record = p.failcont.enabled;
+        let Shard {
+            idx,
+            lo,
+            hosts,
+            stats,
+            ..
+        } = self;
+        hosts.for_each_member(|off| {
+            let src = *lo + off;
             for a in 0..attempts {
                 let key = (tick * p.hosts + src) * attempts + a;
+                if let Some(fl) = flagged {
+                    // A flagged source loses this slot with probability
+                    // `suppress`; the draw lives in its own domain on
+                    // the same event key, so the attempt/target/success
+                    // streams below are untouched.
+                    if fl.contains(src)
+                        && to_unit(draw(p.seed, DOMAIN_FAILSUP, key)) < p.failcont.suppress
+                    {
+                        stats.failcont_suppressed += 1;
+                        continue;
+                    }
+                }
                 if p.attempt_prob < 1.0
                     && to_unit(draw(p.seed, DOMAIN_ATTEMPT, key)) >= p.attempt_prob
                 {
@@ -404,15 +558,22 @@ impl Shard {
                 let target = draw(p.seed, DOMAIN_TARGET, key) % p.hosts;
                 if target >= producers {
                     // Consumer target: roll proactive protection now;
-                    // only successful attempts are shipped.
+                    // only successful attempts are shipped. A blocked
+                    // exploit is a *failed connection* as seen from the
+                    // source — the primary signal the failure estimator
+                    // keys on (Zhou et al.).
                     let u = to_unit(draw(p.seed, DOMAIN_SUCCESS, key));
                     if u >= p.rho {
+                        if record {
+                            stats.failcont_failures += 1;
+                            failures.push((src, key));
+                        }
                         continue;
                     }
                 }
                 let dest = shard_of(target, bounds);
-                if dest != self.idx {
-                    self.stats.events_sent_cross += 1;
+                if dest != *idx {
+                    stats.events_sent_cross += 1;
                 }
                 out[dest].push(Event {
                     src,
@@ -420,9 +581,8 @@ impl Shard {
                     target,
                 });
             }
-        }
+        });
         self.stats.generate_nanos += t_start.elapsed().as_nanos();
-        out
     }
 
     /// Apply the canonically merged inbox for this tick.
@@ -440,16 +600,25 @@ impl Shard {
     /// event key the generate phase used — deterministic and
     /// shard-order-independent. `dist` is read-only here; all its
     /// mutation happens in the coordinator between phases.
+    ///
+    /// With failure containment on, every contact against a consumer
+    /// that does *not* newly infect it — already infected, antibody-
+    /// protected, or throttle-blocked — is pushed into `failures` as a
+    /// `(src, key)` record; the coordinator folds them into the
+    /// estimator after the barrier. Producer contacts are detections,
+    /// not failures.
     fn apply(
         &mut self,
         p: &CommunityParams,
         inbox: &[Event],
         tick: u64,
         dist: Option<&DistNet>,
+        failures: &mut Vec<(u64, u64)>,
     ) -> (u64, bool) {
         let t_start = Instant::now();
         let producers = p.producers();
-        let attempts = p.attempts_per_tick as u64;
+        let attempts = u64::from(p.attempts_per_tick);
+        let record = p.failcont.enabled;
         let mut fresh = 0u64;
         let mut producer_contact = false;
         for ev in inbox {
@@ -462,24 +631,37 @@ impl Shard {
                 producer_contact = true;
                 continue;
             }
-            let off = (ev.target - self.lo) as usize;
-            if self.infected[off] {
+            let off = ev.target - self.lo;
+            let key = (tick * p.hosts + ev.src) * attempts + u64::from(ev.attempt);
+            if self.hosts.contains(off) {
+                if record {
+                    self.stats.failcont_failures += 1;
+                    failures.push((ev.src, key));
+                }
                 continue;
             }
             if let Some(d) = dist {
                 if d.protected(ev.target) {
                     self.stats.protected_blocks += 1;
+                    if record {
+                        self.stats.failcont_failures += 1;
+                        failures.push((ev.src, key));
+                    }
                     continue;
                 }
-                if p.distnet.throttle > 0.0 && d.throttled(ev.target) {
-                    let key = (tick * p.hosts + ev.src) * attempts + u64::from(ev.attempt);
-                    if to_unit(draw(p.seed, DOMAIN_THROTTLE, key)) < p.distnet.throttle {
-                        self.stats.throttled_blocks += 1;
-                        continue;
+                if p.distnet.throttle > 0.0
+                    && d.throttled(ev.target)
+                    && to_unit(draw(p.seed, DOMAIN_THROTTLE, key)) < p.distnet.throttle
+                {
+                    self.stats.throttled_blocks += 1;
+                    if record {
+                        self.stats.failcont_failures += 1;
+                        failures.push((ev.src, key));
                     }
+                    continue;
                 }
             }
-            self.infected[off] = true;
+            self.hosts.insert(off);
             fresh += 1;
         }
         self.stats.infected += fresh;
@@ -525,27 +707,76 @@ fn partition(hosts: u64, k: usize) -> Vec<(u64, u64)> {
     bounds
 }
 
-/// Canonically merge per-source-shard outboxes destined for one shard.
-///
-/// Concatenation in shard order already yields `(src, attempt)` order
-/// for contiguous partitions; the stable sort makes the invariant
-/// explicit and robust to future partitioning changes.
-fn merge_inbox(mut parts: Vec<Vec<Event>>) -> Vec<Event> {
-    let mut inbox: Vec<Event> = parts.drain(..).flatten().collect();
-    inbox.sort_by_key(|e| (e.src, e.attempt));
-    inbox
-}
-
 /// Run the community simulation described by `p`.
 ///
 /// The result is a pure function of `p` minus `parallelism`: any shard
-/// count produces the identical outcome (up to the timing counters in
-/// [`ShardStats`] / [`TickStats`]).
+/// count — and either contact-state backend — produces the identical
+/// outcome (up to the timing counters in [`ShardStats`] /
+/// [`TickStats`]). `Differential` runs both backends and reports the
+/// mismatch count on the returned (SoA) outcome.
 pub fn run(p: &CommunityParams) -> CommunityOutcome {
+    match p.engine {
+        CommunityEngine::Legacy => run_engine::<DenseHosts>(p),
+        CommunityEngine::Soa => run_engine::<SoaHosts>(p),
+        CommunityEngine::Differential => {
+            let oracle = run_engine::<DenseHosts>(p);
+            let mut out = run_engine::<SoaHosts>(p);
+            out.soa_parity_mismatches = Some(parity_mismatches(&oracle, &out));
+            out
+        }
+    }
+}
+
+/// Count the outcome fields on which two engine runs disagree.
+///
+/// Everything except the wall-clock counters participates: essence
+/// (t0, totals, curve, tick count), per-shard simulation/topology/
+/// containment counters, per-tick stats, the distribution-network
+/// outcome and the failure-containment outcome. 0 = bit-identical.
+fn parity_mismatches(a: &CommunityOutcome, b: &CommunityOutcome) -> u64 {
+    let mut n = 0u64;
+    let mut check = |same: bool| {
+        if !same {
+            n += 1;
+        }
+    };
+    check(a.t0_tick == b.t0_tick);
+    check(a.infected == b.infected);
+    check(a.infection_ratio.to_bits() == b.infection_ratio.to_bits());
+    check(a.curve == b.curve);
+    check(a.ticks == b.ticks);
+    check(a.shards_used == b.shards_used);
+    check(a.shard_stats.len() == b.shard_stats.len());
+    for (x, y) in a.shard_stats.iter().zip(&b.shard_stats) {
+        check(x.shard == y.shard);
+        check(x.hosts == y.hosts);
+        check(x.infected == y.infected);
+        check(x.producer_contacts == y.producer_contacts);
+        check(x.antibodies_applied == y.antibodies_applied);
+        check(x.events_sent_cross == y.events_sent_cross);
+        check(x.events_received_cross == y.events_received_cross);
+        check(x.protected_blocks == y.protected_blocks);
+        check(x.throttled_blocks == y.throttled_blocks);
+        check(x.failcont_suppressed == y.failcont_suppressed);
+        check(x.failcont_failures == y.failcont_failures);
+    }
+    check(a.tick_stats.len() == b.tick_stats.len());
+    for (x, y) in a.tick_stats.iter().zip(&b.tick_stats) {
+        check(x.tick == y.tick);
+        check(x.new_infections == y.new_infections);
+        check(x.events_exchanged == y.events_exchanged);
+    }
+    check(a.dist == b.dist);
+    check(a.failcont == b.failcont);
+    n
+}
+
+/// The engine body, generic over the contact-state backend.
+fn run_engine<S: HostSet>(p: &CommunityParams) -> CommunityOutcome {
     assert!(p.hosts >= 2, "community needs at least two hosts");
     let k = p.parallelism.shards(p.hosts);
     let bounds = partition(p.hosts, k);
-    let mut shards: Vec<Shard> = bounds
+    let mut shards: Vec<Shard<S>> = bounds
         .iter()
         .enumerate()
         .map(|(i, &(lo, hi))| Shard::new(i, lo, hi))
@@ -558,9 +789,8 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
     for s in 0..i0 {
         let host = (producers + s).min(p.hosts - 1);
         let dest = shard_of(host, &bounds);
-        let off = (host - shards[dest].lo) as usize;
-        if !shards[dest].infected[off] {
-            shards[dest].infected[off] = true;
+        let off = host - shards[dest].lo;
+        if shards[dest].hosts.insert(off) {
             shards[dest].stats.infected += 1;
         }
     }
@@ -577,6 +807,21 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
     // protected — once every consumer is resolved, nothing can change.
     let mut dist: Option<DistNet> = None;
     let mut resolved: u64 = infected;
+    // Failure-containment estimator (failcont runs only); fed at the
+    // post-apply barrier, read (flag membership) by generate.
+    let mut failcont: Option<FailCont> = p
+        .failcont
+        .enabled
+        .then(|| FailCont::new(&p.failcont, p.seed, p.hosts));
+
+    // Hoisted scratch (PR 9 fix): the per-tick shard loop used to
+    // allocate a fresh k×k outbox matrix, k inboxes and their routing
+    // clones every tick. These buffers now live across ticks — cleared
+    // and refilled in place, routed by `Vec::append` draining — so the
+    // steady-state tick loop allocates only on high-water growth.
+    let mut outboxes: Vec<Vec<Vec<Event>>> = (0..k).map(|_| vec![Vec::new(); k]).collect();
+    let mut inboxes: Vec<Vec<Event>> = vec![Vec::new(); k];
+    let mut failure_bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); k];
 
     while tick < p.max_ticks {
         if p.distnet.enabled {
@@ -598,7 +843,7 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
                 // immunity break bit-identically.
                 let infected_q = |h: u64| {
                     let s = shard_of(h, &bounds);
-                    shards[s].infected[(h - bounds[s].0) as usize]
+                    shards[s].hosts.contains(h - bounds[s].0)
                 };
                 resolved += d.step(tick, &infected_q);
             }
@@ -620,65 +865,76 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
         // threads would cost more than the work saves. Same functions,
         // same result either way.
         let go_parallel =
-            k > 1 && infected.saturating_mul(p.attempts_per_tick as u64) >= PARALLEL_THRESHOLD;
+            k > 1 && infected.saturating_mul(u64::from(p.attempts_per_tick)) >= PARALLEL_THRESHOLD;
+        let flagged = failcont.as_ref().map(|f| f.flagged());
 
-        // Phase 1: generate (parallel over shards).
-        let outboxes: Vec<Vec<Vec<Event>>> = if !go_parallel {
-            shards
+        // Phase 1: generate (parallel over shards), each shard filling
+        // its own persistent outbox row.
+        if !go_parallel {
+            for ((sh, out), fb) in shards
                 .iter_mut()
-                .map(|sh| sh.generate(p, &bounds, tick))
-                .collect()
+                .zip(outboxes.iter_mut())
+                .zip(failure_bufs.iter_mut())
+            {
+                sh.generate(p, &bounds, tick, flagged, out, fb);
+            }
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter_mut()
-                    .map(|sh| {
+                    .zip(outboxes.iter_mut())
+                    .zip(failure_bufs.iter_mut())
+                    .map(|((sh, out), fb)| {
                         let bounds = &bounds;
-                        scope.spawn(move || sh.generate(p, bounds, tick))
+                        scope.spawn(move || sh.generate(p, bounds, tick, flagged, out, fb))
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("generate worker"))
-                    .collect()
-            })
-        };
+                for h in handles {
+                    h.join().expect("generate worker");
+                }
+            });
+        }
 
         // Route + canonical merge: inbox[d] gathers every shard's
-        // outbox for destination d, in shard (= src) order.
-        let mut inboxes: Vec<Vec<Event>> = Vec::with_capacity(k);
+        // outbox for destination d, drained in shard (= src) order and
+        // stably sorted by (src, attempt). Concatenation in shard order
+        // already yields that order for contiguous partitions with the
+        // dense backend; the sort makes the invariant explicit and
+        // independent of backend visit order.
         let mut exchanged = 0u64;
-        for d in 0..k {
-            let parts: Vec<Vec<Event>> = outboxes
-                .iter()
-                .enumerate()
-                .map(|(srcs, ob)| {
-                    if srcs != d {
-                        exchanged += ob[d].len() as u64;
-                    }
-                    ob[d].clone()
-                })
-                .collect();
-            inboxes.push(merge_inbox(parts));
+        for (d, inbox) in inboxes.iter_mut().enumerate() {
+            inbox.clear();
+            for (s, ob) in outboxes.iter_mut().enumerate() {
+                if s != d {
+                    exchanged += ob[d].len() as u64;
+                }
+                inbox.append(&mut ob[d]);
+            }
+            inbox.sort_by_key(|e| (e.src, e.attempt));
         }
 
         // Phase 2: apply (parallel over target shards — disjoint state).
         // The distribution network is only *read* here (protection /
         // throttle flags); `Option<&DistNet>` is freely shared across
-        // the scoped workers.
+        // the scoped workers. Failure records land in per-shard scratch
+        // buffers, folded after the barrier.
         let dist_ref = dist.as_ref();
         let applied: Vec<(u64, bool)> = if !go_parallel {
             shards
                 .iter_mut()
                 .zip(inboxes.iter())
-                .map(|(sh, inbox)| sh.apply(p, inbox, tick, dist_ref))
+                .zip(failure_bufs.iter_mut())
+                .map(|((sh, inbox), fb)| sh.apply(p, inbox, tick, dist_ref, fb))
                 .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter_mut()
                     .zip(inboxes.iter())
-                    .map(|(sh, inbox)| scope.spawn(move || sh.apply(p, inbox, tick, dist_ref)))
+                    .zip(failure_bufs.iter_mut())
+                    .map(|((sh, inbox), fb)| {
+                        scope.spawn(move || sh.apply(p, inbox, tick, dist_ref, fb))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -686,6 +942,13 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
                     .collect()
             })
         };
+
+        // Post-apply barrier: fold this tick's failure records and make
+        // flag decisions against the fully folded pool (shard- and
+        // engine-invariant; see `crate::failest`).
+        if let Some(fc) = failcont.as_mut() {
+            fc.fold_tick(&mut failure_bufs);
+        }
 
         let fresh: u64 = applied.iter().map(|&(f, _)| f).sum();
         if t0_tick.is_none() && applied.iter().any(|&(_, c)| c) {
@@ -708,11 +971,14 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
     // Antibody application at the immunity instant.
     if t0_tick.is_some() {
         for sh in &mut shards {
-            let still_susceptible = sh.infected.iter().filter(|f| !**f).count() as u64;
-            sh.stats.antibodies_applied = still_susceptible;
+            sh.stats.antibodies_applied = sh.stats.hosts - sh.hosts.count();
         }
     }
 
+    let failcont_out = failcont.map(|fc| {
+        let suppressed: u64 = shards.iter().map(|s| s.stats.failcont_suppressed).sum();
+        fc.outcome(suppressed)
+    });
     CommunityOutcome {
         t0_tick,
         infected,
@@ -730,6 +996,8 @@ pub fn run(p: &CommunityParams) -> CommunityOutcome {
             deployed_unverified: d.deployed_unverified(),
             shard_stats: d.shard_stats().to_vec(),
         }),
+        failcont: failcont_out,
+        soa_parity_mismatches: None,
     }
 }
 
@@ -749,7 +1017,9 @@ mod tests {
             max_ticks: 5_000,
             seed: 42,
             parallelism: Parallelism::Fixed(k),
+            engine: CommunityEngine::default(),
             distnet: DistNetParams::disabled(),
+            failcont: FailContParams::disabled(),
         }
     }
 
@@ -757,6 +1027,18 @@ mod tests {
     /// across shard counts.
     fn essence(o: &CommunityOutcome) -> (Option<u64>, u64, Vec<u64>, u64) {
         (o.t0_tick, o.infected, o.curve.clone(), o.ticks)
+    }
+
+    /// FNV-1a over a curve, for compact pinning of long outcomes.
+    fn curve_fnv(curve: &[u64]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &v in curve {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
     }
 
     #[test]
@@ -798,6 +1080,100 @@ mod tests {
         for k in [2usize, 4, 8] {
             let sharded = run(&dense(k));
             assert_eq!(essence(&serial), essence(&sharded), "k={k}");
+        }
+    }
+
+    #[test]
+    fn legacy_and_soa_engines_agree_bit_identically() {
+        // The tentpole parity claim, checked through the public
+        // `Differential` knob: zero field mismatches on legacy-clock,
+        // ideal-wire, lossy-wire and failcont configurations, serial
+        // and sharded.
+        let configs = [
+            params(500, 0.01, 40, 1),
+            params(500, 0.01, 40, 4),
+            CommunityParams {
+                distnet: DistNetParams::ideal(),
+                ..contained_params(4, 42, 2)
+            },
+            CommunityParams {
+                distnet: DistNetParams::lossy(0.35, 0.3),
+                ..contained_params(5, 7, 3)
+            },
+            CommunityParams {
+                failcont: FailContParams::standard(),
+                ..params(1_000, 0.0, 10, 2)
+            },
+        ];
+        for base in configs {
+            let out = run(&CommunityParams {
+                engine: CommunityEngine::Differential,
+                ..base
+            });
+            assert_eq!(out.soa_parity_mismatches, Some(0), "{base:?}");
+            // And the differential run's (SoA) outcome matches each
+            // single-engine run outwardly too.
+            let legacy = run(&CommunityParams {
+                engine: CommunityEngine::Legacy,
+                ..base
+            });
+            let soa = run(&CommunityParams {
+                engine: CommunityEngine::Soa,
+                ..base
+            });
+            assert_eq!(essence(&legacy), essence(&soa), "{base:?}");
+            assert_eq!(essence(&legacy), essence(&out), "{base:?}");
+            assert_eq!(legacy.dist, soa.dist, "{base:?}");
+            assert_eq!(legacy.failcont, soa.failcont, "{base:?}");
+        }
+    }
+
+    #[test]
+    fn pinned_outcomes_are_unchanged_by_the_rework() {
+        // Values captured from the pre-PR-9 engine (dense scans,
+        // per-tick scratch allocation, map-based distnet): the scratch
+        // hoist, the SoA backend and the distnet re-index must all
+        // reproduce them exactly.
+        for engine in [CommunityEngine::Legacy, CommunityEngine::Soa] {
+            let o = run(&CommunityParams {
+                engine,
+                ..params(500, 0.01, 40, 1)
+            });
+            assert_eq!(o.t0_tick, Some(8), "{engine:?}");
+            assert_eq!(o.infected, 495, "{engine:?}");
+            assert_eq!(o.ticks, 15, "{engine:?}");
+            assert_eq!(curve_fnv(&o.curve), 0x3b25_e759_491d_a176, "{engine:?}");
+
+            let o = run(&CommunityParams {
+                engine,
+                distnet: DistNetParams::ideal(),
+                parallelism: Parallelism::Fixed(2),
+                ..contained_params(4, 42, 2)
+            });
+            let d = o.dist.as_ref().expect("dist outcome");
+            assert_eq!(
+                (o.t0_tick, o.infected, o.ticks, d.protected),
+                (Some(4), 35, 8, 1_900),
+                "{engine:?}"
+            );
+            assert_eq!(curve_fnv(&o.curve), 0x7445_d04f_2455_a20a, "{engine:?}");
+
+            let o = run(&CommunityParams {
+                engine,
+                distnet: DistNetParams::lossy(0.35, 0.3),
+                parallelism: Parallelism::Fixed(1),
+                ..contained_params(5, 7, 1)
+            });
+            let d = o.dist.as_ref().expect("dist outcome");
+            let verified: u64 = d.shard_stats.iter().map(|s| s.verified).sum();
+            let rejected: u64 = d.shard_stats.iter().map(|s| s.rejected).sum();
+            assert_eq!(
+                (o.t0_tick, o.infected, o.ticks, d.protected),
+                (Some(7), 368, 108, 1_893),
+                "{engine:?}"
+            );
+            assert_eq!((verified, rejected), (1_893, 830), "{engine:?}");
+            assert_eq!(curve_fnv(&o.curve), 0xfe91_1748_27fa_0caa, "{engine:?}");
         }
     }
 
@@ -860,6 +1236,8 @@ mod tests {
         assert_eq!(p.attempts_per_tick, 1);
         assert!((p.attempt_prob - 1.0).abs() < 1e-12);
         assert_eq!(p.gamma_ticks, 100);
+        assert_eq!(p.engine, CommunityEngine::Soa, "SoA is the default");
+        assert!(!p.failcont.enabled, "containment defaults off");
 
         // A slow worm maps to fractional attempts (β·Δt < 1).
         let slow = Scenario {
@@ -1109,5 +1487,107 @@ mod tests {
             ..base
         });
         assert_eq!(essence(&serial), essence(&sharded));
+    }
+
+    #[test]
+    fn failure_containment_slows_an_uncontained_worm() {
+        // No producers, no distnet: the only brake is the estimator.
+        // Proactive protection (ρ = 0.1) blocks 90% of exploits, so a
+        // scanning source leaves ~0.9 failed connections per tick and
+        // crosses the 32-slot flag threshold long before saturation.
+        // Saturation must take strictly longer with containment on, and
+        // the machinery must visibly engage.
+        let open = CommunityParams {
+            rho: 0.1,
+            ..params(2_000, 0.0, 50, 2)
+        };
+        let contained = CommunityParams {
+            failcont: FailContParams::standard(),
+            ..open
+        };
+        let a = run(&open);
+        let b = run(&contained);
+        assert_eq!(a.infected, 2_000, "open worm saturates consumers");
+        let f = b.failcont.expect("failcont outcome");
+        assert!(f.flagged_sources > 0, "heavy failers must be flagged");
+        assert!(f.suppressed_attempts > 0, "flagged sources must lose slots");
+        assert!(f.failures_recorded > 0);
+        assert!(f.bits_set > 0);
+        assert!(
+            b.ticks > a.ticks,
+            "containment must slow saturation: {} vs {} ticks",
+            b.ticks,
+            a.ticks
+        );
+        assert!(a.failcont.is_none(), "knob off ⇒ no outcome block");
+    }
+
+    #[test]
+    fn failcont_counters_are_shard_count_and_engine_invariant() {
+        let base = CommunityParams {
+            failcont: FailContParams::standard(),
+            ..params(1_500, 0.01, 30, 1)
+        };
+        let serial = run(&base);
+        let serial_m = serial.metrics();
+        assert!(serial_m.counter("failcont.failures_recorded") > 0);
+        const FC: &[&str] = &[
+            "failcont.suppressed_attempts",
+            "failcont.failures_recorded",
+            "failcont.flagged_sources",
+            "failcont.pool_bits_set",
+        ];
+        for k in [2usize, 4, 8] {
+            let m = run(&CommunityParams {
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            })
+            .metrics();
+            for name in EPI_SIM.iter().chain(FC) {
+                assert_eq!(m.counter(name), serial_m.counter(name), "{name} k={k}");
+            }
+        }
+        for k in [1usize, 4] {
+            let diff = run(&CommunityParams {
+                engine: CommunityEngine::Differential,
+                parallelism: Parallelism::Fixed(k),
+                ..base
+            });
+            assert_eq!(diff.soa_parity_mismatches, Some(0), "k={k}");
+            assert_eq!(diff.failcont, serial.failcont, "k={k}");
+        }
+    }
+
+    #[test]
+    fn differential_reports_mismatches_and_metrics_expose_them() {
+        let out = run(&CommunityParams {
+            engine: CommunityEngine::Differential,
+            ..params(500, 0.01, 40, 2)
+        });
+        assert_eq!(out.soa_parity_mismatches, Some(0));
+        assert_eq!(out.metrics().counter("epidemic.soa_parity_mismatches"), 0);
+        // Single-engine runs carry no parity counter at all.
+        let single = run(&params(500, 0.01, 40, 2));
+        assert_eq!(single.soa_parity_mismatches, None);
+        assert!(
+            !single
+                .metrics()
+                .counters()
+                .any(|(n, _)| n == "epidemic.soa_parity_mismatches"),
+            "single-engine runs must not emit the parity counter"
+        );
+    }
+
+    #[test]
+    fn parity_mismatch_counter_detects_divergence() {
+        // `parity_mismatches` is the I11 sensor: feed it a doctored
+        // outcome and it must count every diverged field.
+        let a = run(&params(500, 0.01, 40, 2));
+        let mut b = a.clone();
+        assert_eq!(parity_mismatches(&a, &b), 0);
+        b.infected += 1;
+        b.curve.push(999);
+        b.shard_stats[0].producer_contacts += 7;
+        assert_eq!(parity_mismatches(&a, &b), 3, "infected, curve, shard");
     }
 }

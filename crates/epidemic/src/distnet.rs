@@ -46,8 +46,26 @@
 //! legacy immunity instant — the engine reproduces the instantaneous-γ
 //! results bit-identically (enforced by `tests/distnet_parity.rs` and
 //! the chaos differential leg).
-
-use std::collections::BTreeMap;
+//!
+//! ## Index-based state (PR 9)
+//!
+//! The million-host engine rework replaced this module's map-shaped
+//! state with host-index structures: per-consumer `protected` /
+//! `degraded` / `gave-up` flags live in [`crate::soa::HostBits`]
+//! bitsets (3 bits per consumer instead of a struct), quarantine lists
+//! in a host-indexed vector, and the send/arrival schedules in
+//! fixed-size **tick rings** instead of `BTreeMap<tick, …>`. Every
+//! scheduled entry lands strictly in the future and at most
+//! `cap + base − 1` (retries) or `max_delay + 1` (duplicated
+//! arrivals) ticks ahead, and the engine steps the network on every
+//! consecutive tick — so a ring of `cap + base + max_delay + 2`
+//! buckets indexed by `tick % horizon` can never collide. Bucket push
+//! order is preserved exactly as the map kept it, so delivery order —
+//! and therefore every outcome — is bit-identical to the map-based
+//! implementation (pinned by the PR 9 regression in
+//! `community::tests::pinned_outcomes_are_unchanged_by_the_rework`).
+//! Drained buckets are swapped back after processing, so the
+//! steady-state step loop allocates nothing.
 
 use antibody::bundle::{Antibody, AntibodyItem};
 use antibody::signature::Signature;
@@ -55,6 +73,7 @@ use antibody::vsef::VsefSpec;
 use antibody::CertifiedBundle;
 
 use crate::rng::{draw, to_unit};
+use crate::soa::HostBits;
 
 /// Domain separator: is producer `p` Byzantine?
 pub const DOMAIN_BYZANTINE: u64 = 0x627a_6e74; // "bznt"
@@ -242,20 +261,6 @@ impl DistShardStats {
     }
 }
 
-/// Per-consumer delivery state.
-#[derive(Debug, Clone, Default)]
-struct HostState {
-    /// Verified antibody deployed.
-    protected: bool,
-    /// Received at least one forged bundle while unprotected: contact
-    /// throttling active until protected.
-    degraded: bool,
-    /// Producers this host has quarantined.
-    quarantined: Vec<u64>,
-    /// Exhausted the attempt budget.
-    gave_up: bool,
-}
-
 /// A bundle in flight, due at a known tick.
 #[derive(Debug, Clone, Copy)]
 struct Arrival {
@@ -286,12 +291,26 @@ pub struct DistNet {
     byz: Vec<bool>,
     /// The community certification key.
     key: u64,
-    /// Per-consumer state, indexed by `host - producers`.
-    state: Vec<HostState>,
-    /// Sends due, keyed by tick.
-    send_due: BTreeMap<u64, Vec<(u64, u32)>>,
-    /// In-flight bundles, keyed by arrival tick.
-    arrivals: BTreeMap<u64, Vec<Arrival>>,
+    /// Per-consumer verified-deployment flags, indexed `host - producers`.
+    protected_set: HostBits,
+    /// Per-consumer degraded flags (forged-bundle-bitten, throttling
+    /// inbound contacts until protected).
+    degraded_set: HostBits,
+    /// Per-consumer exhausted-attempt-budget flags.
+    gave_up_set: HostBits,
+    /// Producers quarantined by each consumer (host-indexed; empty for
+    /// consumers that never saw a rejection).
+    quarantined: Vec<Vec<u64>>,
+    /// Send schedule: ring bucket `due % horizon` holds the
+    /// `(host, attempt)` pairs due at tick `due`.
+    send_ring: Vec<Vec<(u64, u32)>>,
+    /// In-flight bundles: ring bucket `due % horizon`.
+    arrival_ring: Vec<Vec<Arrival>>,
+    /// Ring size: strictly greater than the farthest-future schedule
+    /// offset (`cap + base − 1` for retries, `max_delay + 1` for
+    /// duplicated arrivals), so same-bucket collisions cannot happen
+    /// while the engine steps every consecutive tick.
+    horizon: u64,
     /// Per-shard counters.
     stats: Vec<DistShardStats>,
     /// Tick the initial broadcast happened.
@@ -377,7 +396,8 @@ impl DistNet {
             bundles.push(bundle);
         }
         let consumers = producers..hosts;
-        let n_consumers = (hosts - producers) as usize;
+        let n_consumers = hosts - producers;
+        let horizon = p.cap() + p.base() + p.max_delay_ticks + 2;
         let mut net = DistNet {
             p: *p,
             seed,
@@ -387,9 +407,13 @@ impl DistNet {
             bundles,
             byz,
             key,
-            state: vec![HostState::default(); n_consumers],
-            send_due: BTreeMap::new(),
-            arrivals: BTreeMap::new(),
+            protected_set: HostBits::new(n_consumers),
+            degraded_set: HostBits::new(n_consumers),
+            gave_up_set: HostBits::new(n_consumers),
+            quarantined: vec![Vec::new(); n_consumers as usize],
+            send_ring: vec![Vec::new(); horizon as usize],
+            arrival_ring: vec![Vec::new(); horizon as usize],
+            horizon,
             stats: vec![DistShardStats::default(); bounds.len()],
             activated_tick,
             protection_complete_tick: None,
@@ -397,10 +421,8 @@ impl DistNet {
             deployed_unverified: 0,
         };
         // Initial broadcast: attempt 0 for every consumer, this tick.
-        let due: Vec<(u64, u32)> = net.consumers.clone().map(|h| (h, 0)).collect();
-        if !due.is_empty() {
-            net.send_due.insert(activated_tick, due);
-        }
+        let slot = (activated_tick % horizon) as usize;
+        net.send_ring[slot] = net.consumers.clone().map(|h| (h, 0)).collect();
         net
     }
 
@@ -414,7 +436,7 @@ impl DistNet {
 
     /// Whether `host` has deployed a verified antibody.
     pub fn protected(&self, host: u64) -> bool {
-        self.consumers.contains(&host) && self.state[(host - self.producers) as usize].protected
+        self.consumers.contains(&host) && self.protected_set.contains(host - self.producers)
     }
 
     /// Whether `host` is degraded (forged-bundle-bitten, unprotected)
@@ -423,8 +445,8 @@ impl DistNet {
         if !self.consumers.contains(&host) {
             return false;
         }
-        let s = &self.state[(host - self.producers) as usize];
-        s.degraded && !s.protected
+        let idx = host - self.producers;
+        self.degraded_set.contains(idx) && !self.protected_set.contains(idx)
     }
 
     /// Counter key for `(host, attempt)` wire rolls.
@@ -438,13 +460,13 @@ impl DistNet {
     /// newly resolved), else 0.
     fn deliver(&mut self, host: u64, src: u64, tick: u64, infected: &dyn Fn(u64) -> bool) -> u64 {
         let shard = self.shard_of(host);
-        let idx = (host - self.producers) as usize;
-        if self.state[idx].protected {
+        let idx = host - self.producers;
+        if self.protected_set.contains(idx) {
             self.stats[shard].late += 1;
             return 0;
         }
         // Verify-before-deploy: decode + keyed tag + fail-closed payload
-        // + evidence consistency. The *only* path to `protected = true`.
+        // + evidence consistency. The *only* path into `protected_set`.
         match self.bundles[src as usize].verify(self.key) {
             Ok(_antibody) => {
                 if self.byz[src as usize] {
@@ -453,7 +475,7 @@ impl DistNet {
                     // deployment in I8 terms.
                     self.deployed_unverified += 1;
                 }
-                self.state[idx].protected = true;
+                self.protected_set.insert(idx);
                 self.stats[shard].verified += 1;
                 self.protected_count += 1;
                 if self.protected_count == self.consumers.end - self.consumers.start {
@@ -463,11 +485,12 @@ impl DistNet {
             }
             Err(_) => {
                 self.stats[shard].rejected += 1;
-                if !self.state[idx].quarantined.contains(&src) {
-                    self.state[idx].quarantined.push(src);
+                let q = &mut self.quarantined[idx as usize];
+                if !q.contains(&src) {
+                    q.push(src);
                     self.stats[shard].quarantines += 1;
                 }
-                self.state[idx].degraded = true;
+                self.degraded_set.insert(idx);
                 0
             }
         }
@@ -476,16 +499,22 @@ impl DistNet {
     /// Schedule attempt `attempt` for `host` after the backoff.
     fn schedule_retry(&mut self, host: u64, attempt: u32, tick: u64) {
         if attempt >= self.p.max_attempts {
-            let idx = (host - self.producers) as usize;
-            if !self.state[idx].gave_up && !self.state[idx].protected {
-                self.state[idx].gave_up = true;
+            let idx = host - self.producers;
+            if !self.gave_up_set.contains(idx) && !self.protected_set.contains(idx) {
+                self.gave_up_set.insert(idx);
                 let shard = self.shard_of(host);
                 self.stats[shard].gave_up += 1;
             }
             return;
         }
         let due = tick + backoff_ticks(&self.p, self.seed, host, attempt);
-        self.send_due.entry(due).or_default().push((host, attempt));
+        debug_assert!(
+            due > tick && due - tick < self.horizon,
+            "retry offset {} outside ring horizon {}",
+            due - tick,
+            self.horizon
+        );
+        self.send_ring[(due % self.horizon) as usize].push((host, attempt));
     }
 
     /// One distribution tick: process due arrivals, then due sends.
@@ -494,22 +523,25 @@ impl DistNet {
     /// (protected while not infected).
     pub fn step(&mut self, tick: u64, infected: &dyn Fn(u64) -> bool) -> u64 {
         let mut newly_resolved = 0;
-        if let Some(due) = self.arrivals.remove(&tick) {
-            for a in due {
-                newly_resolved += self.deliver(a.host, a.src, tick, infected);
-            }
+        let slot = (tick % self.horizon) as usize;
+        // Everything scheduled during this step lands strictly in the
+        // future and within the horizon, so it can never hit `slot`;
+        // the drained buckets are swapped back below to keep their
+        // capacity — the steady-state step allocates nothing.
+        let mut arrivals = std::mem::take(&mut self.arrival_ring[slot]);
+        for a in arrivals.drain(..) {
+            newly_resolved += self.deliver(a.host, a.src, tick, infected);
         }
-        let Some(due) = self.send_due.remove(&tick) else {
-            return newly_resolved;
-        };
-        for (host, attempt) in due {
-            let idx = (host - self.producers) as usize;
-            if self.state[idx].protected {
+        self.arrival_ring[slot] = arrivals;
+        let mut due = std::mem::take(&mut self.send_ring[slot]);
+        for &(host, attempt) in due.iter() {
+            let idx = host - self.producers;
+            if self.protected_set.contains(idx) {
                 continue; // Acknowledged: the producer stops retrying.
             }
             let src = (host + u64::from(attempt)) % self.producers;
             let shard = self.shard_of(host);
-            if self.state[idx].quarantined.contains(&src) {
+            if self.quarantined[idx as usize].contains(&src) {
                 self.stats[shard].skipped_quarantined += 1;
                 self.schedule_retry(host, attempt + 1, tick);
                 continue;
@@ -534,21 +566,19 @@ impl DistNet {
             };
             if self.p.dup > 0.0 && to_unit(draw(self.seed, DOMAIN_DUP, key)) < self.p.dup {
                 self.stats[shard].dups += 1;
-                self.arrivals
-                    .entry(tick + delay + 1)
-                    .or_default()
-                    .push(Arrival { host, src });
+                let at = ((tick + delay + 1) % self.horizon) as usize;
+                self.arrival_ring[at].push(Arrival { host, src });
             }
             if delay == 0 {
                 newly_resolved += self.deliver(host, src, tick, infected);
             } else {
                 self.stats[shard].delayed += 1;
-                self.arrivals
-                    .entry(tick + delay)
-                    .or_default()
-                    .push(Arrival { host, src });
+                let at = ((tick + delay) % self.horizon) as usize;
+                self.arrival_ring[at].push(Arrival { host, src });
             }
         }
+        due.clear();
+        self.send_ring[slot] = due;
         newly_resolved
     }
 

@@ -1,0 +1,287 @@
+//! Connection-failure containment via hyper-compact failure estimators.
+//!
+//! Antibody distribution (γ, `distnet`) is Sweeper's containment
+//! mechanism; this module adds the *network-side* alternative the
+//! ROADMAP names (Zhou et al., arXiv:1602.03153): scanning worms leave
+//! a trail of **failed connections** (exploits blocked by proactive
+//! protection, contacts against already-infected or protected
+//! targets), and an edge device can estimate each source's
+//! distinct-failure count in a few bits, throttling sources whose
+//! estimate crosses a threshold — no antibody, no bundle, no wire.
+//!
+//! ## The estimator
+//!
+//! All sources share one bit pool of `2^bits_log2` bits. Each source
+//! owns `registers` *virtual* register slots; a failure with event key
+//! `k` hashes to slot `j = mix(k) mod registers` (a multiplicative
+//! mix — a raw modulo would alias with the engine's key stride, which
+//! is a multiple of `hosts` per tick), and slot `(src, j)` maps
+//! to one pool bit via a counter-based draw — recording is an
+//! idempotent bit OR, the estimate is the number of the source's slots
+//! whose bits are set. Distinct failures saturate distinct slots;
+//! repeats are absorbed; pool collisions between sources *inflate*
+//! estimates slightly, the price of hyper-compactness (1M hosts × 64
+//! registers share 128 KiB at `bits_log2 = 20`).
+//!
+//! ## Why flagging is shard- and engine-invariant
+//!
+//! Per tick, shards collect failure records during the apply phase into
+//! per-shard scratch buffers; after the apply barrier the coordinator
+//! folds *all* of them (bit OR — order-independent) and only then makes
+//! flag decisions, for the sorted, deduplicated set of sources that
+//! recorded this tick, each judged against the same post-fold pool.
+//! No decision can observe a partially folded tick, so the flagged set
+//! is a pure function of the tick's failure *multiset* — which the
+//! community engine already guarantees is identical for any shard
+//! count and either contact-state backend.
+//!
+//! Once flagged, a source stays flagged; the generate phase then
+//! suppresses each of its attempt slots with probability `suppress`
+//! via a fresh domain-separated draw on the *same* event key, so
+//! enabling containment never perturbs the existing draw streams.
+
+use crate::rng::draw;
+use crate::soa::HostBits;
+
+/// Domain separator for slot→pool-bit placement draws (`"fpos"`).
+pub const DOMAIN_FAILPOS: u64 = 0x6670_6f73;
+/// Domain separator for attempt-suppression draws (`"fsup"`).
+pub const DOMAIN_FAILSUP: u64 = 0x6673_7570;
+
+/// Knobs of the failure-containment mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailContParams {
+    /// Master switch; `false` keeps the engine byte-for-byte on the
+    /// pre-containment path.
+    pub enabled: bool,
+    /// Virtual register slots per source (distinct-failure resolution).
+    pub registers: u32,
+    /// log₂ of the shared bit pool size.
+    pub bits_log2: u32,
+    /// Flag a source once its estimate reaches this many slots.
+    pub threshold: u32,
+    /// Probability a flagged source's attempt slot is suppressed.
+    pub suppress: f64,
+}
+
+impl FailContParams {
+    /// Containment off (the default everywhere).
+    pub fn disabled() -> FailContParams {
+        FailContParams {
+            enabled: false,
+            registers: 0,
+            bits_log2: 0,
+            threshold: 0,
+            suppress: 0.0,
+        }
+    }
+
+    /// The paper-shaped operating point: 64 slots per source sharing a
+    /// 2²⁰-bit pool (128 KiB — ~1 bit/host at 1M hosts), flag at 32
+    /// distinct failures, suppress 95% of a flagged source's attempts.
+    pub fn standard() -> FailContParams {
+        FailContParams {
+            enabled: true,
+            registers: 64,
+            bits_log2: 20,
+            threshold: 32,
+            suppress: 0.95,
+        }
+    }
+}
+
+/// Aggregate containment counters of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailContOutcome {
+    /// Sources flagged (and thereafter throttled) by the estimator.
+    pub flagged_sources: u64,
+    /// Failure records folded into the pool (pre-dedup).
+    pub failures_recorded: u64,
+    /// Attempt slots suppressed at flagged sources.
+    pub suppressed_attempts: u64,
+    /// Pool bits set when the run ended (occupancy).
+    pub bits_set: u64,
+}
+
+/// Live estimator state, owned by the community coordinator.
+#[derive(Debug, Clone)]
+pub struct FailCont {
+    registers: u64,
+    threshold: u32,
+    seed: u64,
+    mask: u64,
+    /// The shared bit pool.
+    pool: HostBits,
+    /// Per-host flagged membership.
+    flagged: HostBits,
+    flagged_count: u64,
+    failures_recorded: u64,
+    /// Scratch: sources that recorded failures this tick.
+    touched: Vec<u64>,
+}
+
+impl FailCont {
+    /// Fresh estimator for a community of `hosts` hosts.
+    pub fn new(p: &FailContParams, seed: u64, hosts: u64) -> FailCont {
+        assert!(p.enabled, "FailCont::new on a disabled config");
+        let bits_log2 = p.bits_log2.clamp(6, 30);
+        FailCont {
+            registers: u64::from(p.registers.max(1)),
+            threshold: p.threshold.max(1),
+            seed,
+            mask: (1u64 << bits_log2) - 1,
+            pool: HostBits::new(1u64 << bits_log2),
+            flagged: HostBits::new(hosts),
+            flagged_count: 0,
+            failures_recorded: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Pool bit owned by virtual register slot `(src, j)`.
+    fn slot_bit(&self, src: u64, j: u64) -> u64 {
+        draw(
+            self.seed,
+            DOMAIN_FAILPOS,
+            src.wrapping_mul(self.registers).wrapping_add(j),
+        ) & self.mask
+    }
+
+    /// Register slot of failure key `key`: multiplicative mix, then
+    /// mod. Event keys stride by `hosts × attempts` across ticks, so a
+    /// bare modulo would visit only `registers / gcd(stride, registers)`
+    /// slots — the mix decorrelates slot choice from the stride.
+    fn slot_of(&self, key: u64) -> u64 {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % self.registers
+    }
+
+    /// Estimated distinct-failure count of `src`: set slots, `0..=registers`.
+    pub fn estimate(&self, src: u64) -> u32 {
+        (0..self.registers)
+            .filter(|&j| self.pool.contains(self.slot_bit(src, j)))
+            .count() as u32
+    }
+
+    /// The flagged-source membership read by the generate phase.
+    pub fn flagged(&self) -> &HostBits {
+        &self.flagged
+    }
+
+    /// Fold one tick's failure records (per-shard buffers, drained in
+    /// shard order) and make this tick's flag decisions — called once
+    /// per tick after the apply barrier; see the module docs for why
+    /// this point makes flagging shard- and engine-invariant.
+    pub fn fold_tick(&mut self, shard_records: &mut [Vec<(u64, u64)>]) {
+        self.touched.clear();
+        for records in shard_records.iter_mut() {
+            for &(src, key) in records.iter() {
+                let j = self.slot_of(key);
+                let bit = self.slot_bit(src, j);
+                self.pool.insert(bit);
+                self.failures_recorded += 1;
+                self.touched.push(src);
+            }
+            records.clear();
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for i in 0..self.touched.len() {
+            let src = self.touched[i];
+            if !self.flagged.contains(src) && self.estimate(src) >= self.threshold {
+                self.flagged.insert(src);
+                self.flagged_count += 1;
+            }
+        }
+    }
+
+    /// Final counters; `suppressed_attempts` is summed by the caller
+    /// from the per-shard generate stats.
+    pub fn outcome(&self, suppressed_attempts: u64) -> FailContOutcome {
+        FailContOutcome {
+            flagged_sources: self.flagged_count,
+            failures_recorded: self.failures_recorded,
+            suppressed_attempts,
+            bits_set: self.pool.count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> FailCont {
+        FailCont::new(&FailContParams::standard(), 42, 10_000)
+    }
+
+    #[test]
+    fn distinct_failures_raise_the_estimate_and_repeats_do_not() {
+        let mut fc = estimator();
+        let mut bufs = vec![vec![(7u64, 0u64); 1]];
+        fc.fold_tick(&mut bufs);
+        let one = fc.estimate(7);
+        assert!(one >= 1);
+        // The same key again: same slot, same bit, estimate unchanged.
+        bufs[0] = vec![(7, 0)];
+        fc.fold_tick(&mut bufs);
+        assert_eq!(fc.estimate(7), one);
+        // Plenty of distinct keys eventually saturate every slot.
+        bufs[0] = (0..1_000u64).map(|k| (7, k)).collect();
+        fc.fold_tick(&mut bufs);
+        assert_eq!(fc.estimate(7), 64);
+        assert_eq!(fc.failures_recorded, 1_002);
+    }
+
+    #[test]
+    fn flagging_happens_at_threshold_and_is_monotone() {
+        let mut fc = estimator();
+        // A handful of distinct failures stays far below the threshold.
+        let mut bufs = vec![(0..10u64).map(|k| (9, k)).collect::<Vec<_>>()];
+        fc.fold_tick(&mut bufs);
+        assert!(fc.estimate(9) <= 10);
+        assert!(!fc.flagged().contains(9));
+        assert_eq!(fc.flagged_count, 0);
+        // A scanning-worm-sized failure trail crosses it.
+        bufs[0] = (10..600u64).map(|k| (9, k)).collect();
+        fc.fold_tick(&mut bufs);
+        assert!(fc.estimate(9) >= 32);
+        assert!(fc.flagged().contains(9), "heavy failer must be flagged");
+        assert_eq!(fc.flagged_count, 1);
+        // Stays flagged; count does not double-increment.
+        bufs[0] = vec![(9, 600)];
+        fc.fold_tick(&mut bufs);
+        assert!(fc.flagged().contains(9));
+        assert_eq!(fc.flagged_count, 1);
+    }
+
+    #[test]
+    fn fold_order_across_shards_does_not_matter() {
+        let records: Vec<(u64, u64)> = (0..400u64)
+            .map(|k| (11, k))
+            .chain((0..400).map(|k| (12, k + 3)))
+            .collect();
+        let mut a = estimator();
+        let mut b = estimator();
+        let (left, right) = records.split_at(200);
+        a.fold_tick(&mut [left.to_vec(), right.to_vec()]);
+        b.fold_tick(&mut [right.to_vec(), left.to_vec()]);
+        assert_eq!(a.flagged_count, b.flagged_count);
+        assert_eq!(a.estimate(11), b.estimate(11));
+        assert_eq!(a.estimate(12), b.estimate(12));
+        assert_eq!(a.pool.count(), b.pool.count());
+        let out_a = a.outcome(0);
+        let out_b = b.outcome(0);
+        assert_eq!(out_a, out_b);
+        assert_eq!(out_a.flagged_sources, 2, "both heavy failers flag");
+    }
+
+    #[test]
+    fn outcome_reports_pool_occupancy() {
+        let mut fc = estimator();
+        fc.fold_tick(&mut [vec![(1, 0), (2, 0), (3, 0)]]);
+        let out = fc.outcome(5);
+        assert_eq!(out.suppressed_attempts, 5);
+        assert_eq!(out.failures_recorded, 3);
+        assert!(out.bits_set >= 1 && out.bits_set <= 3, "{out:?}");
+    }
+}

@@ -16,6 +16,12 @@
 //!   lossy, Byzantine-adversarial message layer that replaces the
 //!   idealized instantaneous-γ clock with certified-bundle broadcast,
 //!   verify-before-deploy, retry/backoff, and graceful degradation.
+//! - [`soa`] — struct-of-arrays host state: word-level bitsets plus an
+//!   active-host queue, the backend that makes million-host community
+//!   runs O(infected) per tick instead of O(hosts).
+//! - [`failest`] — connection-failure containment: hyper-compact
+//!   failure estimators flagging and throttling scanning sources, the
+//!   network-side alternative to antibody distribution.
 //! - [`contact`] — the event-driven contact process feeding the fleet
 //!   reactor: each infection spawns counter-keyed exponential-delay
 //!   contacts instead of dense per-tick scans.
@@ -26,16 +32,22 @@ pub mod agent;
 pub mod community;
 pub mod contact;
 pub mod distnet;
+pub mod failest;
 pub mod figures;
 pub mod model;
 pub mod rng;
+pub mod soa;
 
 pub use agent::{simulate, simulate_mean, SimOutcome};
-pub use community::{CommunityOutcome, CommunityParams, Parallelism, ShardStats, TickStats};
+pub use community::{
+    CommunityEngine, CommunityOutcome, CommunityParams, Parallelism, ShardStats, TickStats,
+};
 pub use contact::ContactModel;
 pub use distnet::{backoff_ticks, DistNet, DistNetParams, DistOutcome, DistShardStats};
+pub use failest::{FailContOutcome, FailContParams};
 pub use figures::{
     figure6, figure6_community, figure7, figure7_community, figure8, figure8_community,
     CommunitySweepConfig, Curve, Figure, ALPHAS_FIG6, ALPHAS_FIG78, GAMMAS,
 };
 pub use model::{logistic_i, required_gamma, solve, Outcome, Scenario};
+pub use soa::{HostBits, HostSet, SoaHosts};

@@ -27,12 +27,17 @@
 #                oracle on every guest (differential engine lockstep)
 #   bench-smoke  `tables benchjson` perf snapshot; numbers are NOT
 #                gated (commit refreshed BENCH_*.json deliberately),
-#                but the written JSON must carry the schema-v7
+#                but the written JSON must carry the schema-v8
 #                "superblock" AND "checkpoint" blocks
 #   fleet-smoke  `tables fleet` at 1k hosts over a short horizon; the
 #                written JSON must carry the "fleet" block with a
 #                finite outbreak p99 and shard_invariant=true (the
 #                reactor determinism gate, invariant I10)
+#   epidemic-smoke  `tables fig9fail` at reduced hosts; the written
+#                JSON must carry the "epidemic1m" block with a finite
+#                per-host tick rate and soa_parity=true (the SoA/legacy
+#                differential gate, invariant I11 — the binary itself
+#                asserts parity and K-invariance before writing)
 #   fig9dist     distnet sweep smoke (non-failing)
 #
 # Run from anywhere; works offline — all dependencies are in-tree.
@@ -129,7 +134,12 @@ stage_bench_smoke() {
     if cargo run --release -p bench --bin tables -- \
         benchjson --hosts=2000 --out=target/bench_smoke.json; then
         echo "wrote target/bench_smoke.json"
-        # Gated: the schema-v6 snapshot must carry both tier blocks.
+        # Gated: the snapshot must declare the current schema and carry
+        # both tier blocks.
+        if ! grep -q '"schema": "sweeper-bench-v8"' target/bench_smoke.json; then
+            echo "FAIL: bench_smoke.json does not declare schema sweeper-bench-v8"
+            return 1
+        fi
         if ! grep -q '"superblock"' target/bench_smoke.json; then
             echo "FAIL: no superblock block in bench_smoke.json"
             return 1
@@ -138,7 +148,7 @@ stage_bench_smoke() {
             echo "FAIL: no checkpoint block in bench_smoke.json"
             return 1
         fi
-        echo "schema-v7 superblock + checkpoint blocks present"
+        echo "schema-v8 declared, superblock + checkpoint blocks present"
     else
         echo "WARN: bench smoke failed (not a gate) — see $LOGDIR/bench-smoke.log"
     fi
@@ -162,7 +172,32 @@ stage_fleet_smoke() {
         echo "FAIL: fleet latency window has no samples (p99 null)"
         return 1
     fi
-    echo "schema-v7 fleet block present, p99 finite, shard-invariant"
+    echo "schema-v8 fleet block present, p99 finite, shard-invariant"
+}
+
+stage_epidemic_smoke() {
+    # Gated: the fig9fail binary itself asserts the differential parity
+    # verdicts (I11 + K-invariance) before writing; the written block
+    # must then carry soa_parity=true and a finite per-host tick rate.
+    cargo run --release -p bench --bin tables -- \
+        fig9fail --hosts=50000 --out=target/epidemic_smoke.json
+    if ! grep -q '"epidemic1m"' target/epidemic_smoke.json; then
+        echo "FAIL: no epidemic1m block in epidemic_smoke.json"
+        return 1
+    fi
+    if ! grep -q '"soa_parity": true' target/epidemic_smoke.json; then
+        echo "FAIL: SoA/legacy engines diverged (I11)"
+        return 1
+    fi
+    if ! grep -q '"k_invariant": true' target/epidemic_smoke.json; then
+        echo "FAIL: shard count changed the parity-gate outcome"
+        return 1
+    fi
+    if grep -q '"host_ticks_per_sec": null' target/epidemic_smoke.json; then
+        echo "FAIL: epidemic per-host tick rate is not finite"
+        return 1
+    fi
+    echo "schema-v8 epidemic1m block present, rate finite, SoA parity holds"
 }
 
 stage_fig9dist() {
@@ -182,6 +217,7 @@ run_stage sbparity stage_sbparity
 run_stage ckptparity stage_ckptparity
 run_stage bench-smoke stage_bench_smoke
 run_stage fleet-smoke stage_fleet_smoke
+run_stage epidemic-smoke stage_epidemic_smoke
 run_stage fig9dist stage_fig9dist
 
 if [ "$RAN" -eq 0 ]; then

@@ -9,9 +9,13 @@
 //! K = 4. The network is then a pure refinement: every deviation it
 //! ever shows is attributable to wire faults, never to the rewrite of
 //! the clock itself.
+//!
+//! PR 9 adds the contact-state backend as a third axis: the anchor
+//! matrix is engine × K (4 legs per configuration), and the emergent
+//! γ the network exhibits must be engine-invariant.
 
-use sweeper_repro::epidemic::community::{run, CommunityOutcome, CommunityParams};
-use sweeper_repro::epidemic::{DistNetParams, Parallelism};
+use sweeper_repro::epidemic::community::{run, CommunityEngine, CommunityOutcome, CommunityParams};
+use sweeper_repro::epidemic::{DistNetParams, FailContParams, Parallelism};
 
 /// The comparable core of an outcome (timing counters excluded).
 fn essence(o: &CommunityOutcome) -> (Option<u64>, u64, Vec<u64>, u64) {
@@ -43,44 +47,54 @@ fn contained(gamma_ticks: u64, seed: u64) -> CommunityParams {
         max_ticks: 4_000,
         seed,
         parallelism: Parallelism::Fixed(1),
+        engine: CommunityEngine::default(),
         distnet: DistNetParams::disabled(),
+        failcont: FailContParams::disabled(),
     }
 }
 
 #[test]
 fn ideal_wire_is_bit_identical_to_the_legacy_clock() {
+    // Anchor matrix: engine × K — 4 legs per (γ, seed) configuration.
     let mut activated = 0usize;
     for (gamma, seed) in [(1u64, 11u64), (4, 42), (9, 7), (0, 3)] {
         for k in [1usize, 4] {
-            let legacy = CommunityParams {
-                parallelism: Parallelism::Fixed(k),
-                ..contained(gamma, seed)
-            };
-            let ideal = CommunityParams {
-                distnet: DistNetParams::ideal(),
-                ..legacy
-            };
-            let a = run(&legacy);
-            let b = run(&ideal);
-            let ctx = format!("gamma={gamma} seed={seed} k={k}");
-            assert_eq!(essence(&a), essence(&b), "essence diverged: {ctx}");
-            let (ma, mb) = (a.metrics(), b.metrics());
-            for name in EPI_SIM {
-                assert_eq!(ma.counter(name), mb.counter(name), "{name}: {ctx}");
+            let mut emergent = Vec::new();
+            for engine in [CommunityEngine::Legacy, CommunityEngine::Soa] {
+                let legacy = CommunityParams {
+                    parallelism: Parallelism::Fixed(k),
+                    engine,
+                    ..contained(gamma, seed)
+                };
+                let ideal = CommunityParams {
+                    distnet: DistNetParams::ideal(),
+                    ..legacy
+                };
+                let a = run(&legacy);
+                let b = run(&ideal);
+                let ctx = format!("gamma={gamma} seed={seed} k={k} engine={engine:?}");
+                assert_eq!(essence(&a), essence(&b), "essence diverged: {ctx}");
+                let (ma, mb) = (a.metrics(), b.metrics());
+                for name in EPI_SIM {
+                    assert_eq!(ma.counter(name), mb.counter(name), "{name}: {ctx}");
+                }
+                if let Some(d) = &b.dist {
+                    activated += 1;
+                    assert_eq!(d.deployed_unverified, 0, "I8: {ctx}");
+                    let ge = d.gamma_effective(b.t0_tick.expect("t0"));
+                    assert_eq!(ge, Some(gamma.max(1)), "ideal wire emergent γ: {ctx}");
+                    emergent.push(ge);
+                }
             }
-            if let Some(d) = &b.dist {
-                activated += 1;
-                assert_eq!(d.deployed_unverified, 0, "I8: {ctx}");
-                assert_eq!(
-                    d.gamma_effective(b.t0_tick.expect("t0")),
-                    Some(gamma.max(1)),
-                    "ideal wire emergent γ: {ctx}"
-                );
-            }
+            assert!(
+                emergent.windows(2).all(|w| w[0] == w[1]),
+                "gamma_effective must be engine-invariant: \
+                 gamma={gamma} seed={seed} k={k} {emergent:?}"
+            );
         }
     }
     assert!(
-        activated >= 6,
+        activated >= 12,
         "the contained configs must exercise the network ({activated})"
     );
 }

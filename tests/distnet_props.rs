@@ -9,8 +9,8 @@
 //! community eventually protects every consumer.
 
 use proptest::prelude::*;
-use sweeper_repro::epidemic::community::{run, CommunityParams};
-use sweeper_repro::epidemic::{backoff_ticks, DistNetParams, Parallelism};
+use sweeper_repro::epidemic::community::{run, CommunityEngine, CommunityParams};
+use sweeper_repro::epidemic::{backoff_ticks, DistNetParams, FailContParams, Parallelism};
 
 /// A distnet parameter set with the given backoff shape.
 fn params_with_backoff(base: u64, cap: u64) -> DistNetParams {
@@ -118,11 +118,13 @@ proptest! {
             max_ticks: 4_000,
             seed,
             parallelism: Parallelism::Fixed(1),
+            engine: CommunityEngine::default(),
             distnet: DistNetParams {
                 max_delay_ticks: 1,
                 dup: 0.02,
                 ..DistNetParams::lossy(f64::from(loss_pct) / 100.0, 0.0)
             },
+            failcont: FailContParams::disabled(),
         };
         let out = run(&p);
         prop_assert!(out.ticks < p.max_ticks, "the run must terminate");

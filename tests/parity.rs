@@ -5,8 +5,8 @@
 //! shards/threads it runs on. This is the contract that makes the
 //! parallel engine trustworthy: `K` is a pure performance knob.
 
-use sweeper_repro::epidemic::community::{run, CommunityParams};
-use sweeper_repro::epidemic::{DistNetParams, Parallelism, Scenario};
+use sweeper_repro::epidemic::community::{run, CommunityEngine, CommunityParams};
+use sweeper_repro::epidemic::{DistNetParams, FailContParams, Parallelism, Scenario};
 
 /// The comparable core of an outcome (timing counters excluded).
 fn essence(p: &CommunityParams) -> (Option<u64>, u64, Vec<u64>, u64) {
@@ -30,7 +30,9 @@ fn sharded_runs_match_serial_for_all_seeds_and_shard_counts() {
             max_ticks: 4_000,
             seed,
             parallelism: Parallelism::Fixed(1),
+            engine: CommunityEngine::default(),
             distnet: DistNetParams::disabled(),
+            failcont: FailContParams::disabled(),
         };
         let serial = essence(&base);
         assert!(serial.1 > 9_000, "seed {seed}: the outbreak must spread");
@@ -78,7 +80,9 @@ fn auto_parallelism_matches_the_serial_legacy_path() {
         max_ticks: 4_000,
         seed: 7,
         parallelism: Parallelism::Fixed(1),
+        engine: CommunityEngine::default(),
         distnet: DistNetParams::disabled(),
+        failcont: FailContParams::disabled(),
     };
     let serial = essence(&base);
     let auto = essence(&CommunityParams {
