@@ -259,7 +259,10 @@ mod tests {
             200,
             0.05,
         );
-        assert_eq!(tl.method, "rollback-replay");
+        // Domain recovery is the default: the attacked connection's
+        // domain rolls back alone, so the method is "domain-rollback"
+        // (a fail-closed fallback would report "rollback-replay").
+        assert_eq!(tl.method, "domain-rollback");
         assert!(tl.pause_secs > 0.0);
         // Service resumed: the last bins carry traffic again.
         let tail: f64 = tl.mbps.iter().rev().take(3).sum();

@@ -393,6 +393,154 @@ pub fn render_fleet_block(b: &FleetBlock) -> String {
     s
 }
 
+/// The schema-v9 `"recovery"` block: the `tables fleetrecover` run —
+/// the same fleet outbreak measured under Full recovery (whole-machine
+/// rollback + drop-the-attack replay) and under Domain recovery
+/// (partial rollback of only the attacked connection's domain, PR 10),
+/// plus a Differential leg in which every attacked host runs both modes
+/// for the same fault and asserts bit-equal post-recovery digests.
+///
+/// Follows the [`FleetBlock`] conventions: no wall-clock time, no shard
+/// count — every field is a pure function of `(hosts, seed, …)`, with
+/// shard invariance reported *inside* the block.
+#[derive(Debug, Clone)]
+pub struct RecoveryBlock {
+    /// `"ok"` always once produced (the skip marker is emitted by
+    /// [`PerfReport::to_json`] when the block is absent).
+    pub status: String,
+    /// Guest Sweeper hosts simulated (per leg).
+    pub hosts: u32,
+    /// Master seed of the run (identical across legs).
+    pub seed: u64,
+    /// Guest application (`Apache1` etc.).
+    pub target: String,
+    /// Outbreak-window benign latency under Full recovery.
+    pub full_outbreak: FleetLatency,
+    /// Quiescent benign latency under Full recovery.
+    pub full_quiescent: FleetLatency,
+    /// Outbreak-window benign latency under Domain recovery.
+    pub domain_outbreak: FleetLatency,
+    /// Quiescent benign latency under Domain recovery.
+    pub domain_quiescent: FleetLatency,
+    /// Partial rollbacks completed on the Domain leg.
+    pub domain_rollbacks: u64,
+    /// Fail-closed fallbacks from Domain to Full on the Domain leg.
+    pub domain_fallbacks: u64,
+    /// Cross-domain spills the page→domain ledger counted on the Domain
+    /// leg (each one forces a fallback).
+    pub domain_spills: u64,
+    /// `recovery.i12_violations` summed over every leg: partial
+    /// rollbacks that disturbed a benign domain. Must be 0.
+    pub i12_violations: u64,
+    /// Whether the Differential leg proved Domain ≡ Full: at least one
+    /// in-lockstep parity check ran and none mismatched.
+    pub domain_parity: bool,
+    /// Hosts protected at the end of the Full leg.
+    pub protected_full: u32,
+    /// Hosts protected at the end of the Domain leg.
+    pub protected_domain: u32,
+    /// Domain outbreak p999 over Full outbreak p999 — the headline
+    /// number: partial recovery keeps the analysis pause off the benign
+    /// service path, so this must stay well below 1.
+    pub p999_ratio: f64,
+    /// Domain-leg determinism digest, hex-printed.
+    pub digest_domain: String,
+    /// Whether the Domain leg's digest is shard-count-invariant
+    /// (invariant I10; must be `true`).
+    pub shard_invariant: bool,
+}
+
+/// Run the fleet under Full, Domain (at 1 and `check_shards` shards),
+/// and Differential recovery, and fold the comparison into the
+/// schema-v9 `"recovery"` block.
+pub fn recovery_block(
+    cfg: &fleet::FleetConfig,
+    check_shards: usize,
+) -> Result<RecoveryBlock, String> {
+    use sweeper::RecoveryMode;
+    let full = fleet::run(&cfg.with_recovery(RecoveryMode::Full).with_shards(1))?;
+    let domain = fleet::run(&cfg.with_recovery(RecoveryMode::Domain).with_shards(1))?;
+    let sharded = fleet::run(
+        &cfg.with_recovery(RecoveryMode::Domain)
+            .with_shards(check_shards.max(2)),
+    )?;
+    let diff = fleet::run(&cfg.with_recovery(RecoveryMode::Differential).with_shards(1))?;
+    let parity_checks = diff.metrics.counter("recovery.domain_parity_checks");
+    let parity_mismatches = diff.metrics.counter("recovery.domain_parity_mismatches");
+    let i12_violations = [&full, &domain, &sharded, &diff]
+        .iter()
+        .map(|o| o.metrics.counter("recovery.i12_violations"))
+        .sum();
+    Ok(RecoveryBlock {
+        status: "ok".to_string(),
+        hosts: domain.hosts,
+        seed: domain.seed,
+        target: format!("{:?}", cfg.target),
+        full_outbreak: FleetLatency::from_book(&full.outbreak),
+        full_quiescent: FleetLatency::from_book(&full.quiescent),
+        domain_outbreak: FleetLatency::from_book(&domain.outbreak),
+        domain_quiescent: FleetLatency::from_book(&domain.quiescent),
+        domain_rollbacks: domain.metrics.counter("recovery.domain_rollbacks"),
+        domain_fallbacks: domain.metrics.counter("recovery.domain_fallbacks"),
+        domain_spills: domain.metrics.counter("checkpoint.domain_spills"),
+        i12_violations,
+        domain_parity: parity_checks > 0 && parity_mismatches == 0,
+        protected_full: full.protected_hosts,
+        protected_domain: domain.protected_hosts,
+        p999_ratio: domain.outbreak.percentile(0.999).unwrap_or(f64::NAN)
+            / full.outbreak.percentile(0.999).unwrap_or(f64::NAN),
+        digest_domain: format!("{:#018x}", domain.digest),
+        shard_invariant: domain.digest == sharded.digest,
+    })
+}
+
+/// Render the recovery block as a text table (what `tables fleetrecover`
+/// prints).
+pub fn render_recovery_block(b: &RecoveryBlock) -> String {
+    let row = |name: &str, l: &FleetLatency| {
+        format!(
+            "{name:>16} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            l.samples, l.p50_ms, l.p99_ms, l.p999_ms, l.max_ms, l.mean_ms
+        )
+    };
+    let mut s = format!(
+        "fleetrecover: {} hosts ({}), seed {} — Full vs Domain recovery\n\
+         {:>16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        b.hosts,
+        b.target,
+        b.seed,
+        "window",
+        "samples",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms",
+        "max_ms",
+        "mean_ms"
+    );
+    s.push_str(&row("full quiescent", &b.full_quiescent));
+    s.push_str(&row("full outbreak", &b.full_outbreak));
+    s.push_str(&row("domain quiescent", &b.domain_quiescent));
+    s.push_str(&row("domain outbreak", &b.domain_outbreak));
+    s.push_str(&format!(
+        "outbreak p999 ratio (domain/full) {:.4} | domain rollbacks {} | fallbacks {} | \
+         spills {} | i12_violations {} | domain_parity {} | protected {}/{} (full) {}/{} (domain) | \
+         digest {} | shard_invariant {}",
+        b.p999_ratio,
+        b.domain_rollbacks,
+        b.domain_fallbacks,
+        b.domain_spills,
+        b.i12_violations,
+        b.domain_parity,
+        b.protected_full,
+        b.hosts,
+        b.protected_domain,
+        b.hosts,
+        b.digest_domain,
+        b.shard_invariant,
+    ));
+    s
+}
+
 /// The PR-5 dense-engine baseline the `fig9fail` speedup gate compares
 /// against: `BENCH_pr5.json` recorded 1741.78 ticks/s at 20 000 hosts
 /// (K = 1), i.e. ≈ 34.84 M host·ticks/s — a dense engine visits every
@@ -722,6 +870,13 @@ pub struct PerfReport {
     /// carries an explicit skip marker. `tables fig9fail --full`
     /// attaches it to a fresh full snapshot.
     pub epidemic1m: Option<Epidemic1mBlock>,
+    /// The `fleetrecover` Full-vs-Domain recovery comparison (the
+    /// schema v9 `"recovery"` block).
+    ///
+    /// `None` in the quick pass — it runs the fleet four times — in
+    /// which case the JSON carries an explicit skip marker. Populated
+    /// by `tables fleetrecover`.
+    pub recovery: Option<RecoveryBlock>,
 }
 
 /// The tight-loop guest: branch-dense, so the icache dominates and
@@ -935,6 +1090,7 @@ pub fn measure_with_cores(hosts: u64, seed: u64, vm_loop_iters: u32, cores: usiz
         checkpoint,
         fleet: None,
         epidemic1m: None,
+        recovery: None,
     }
 }
 
@@ -1109,6 +1265,41 @@ fn j_fleet(b: &Option<FleetBlock>) -> String {
     )
 }
 
+fn j_recovery(b: &Option<RecoveryBlock>) -> String {
+    let Some(b) = b else {
+        // Same convention as the fleet skip: the block always exists,
+        // so consumers can tell "not run" from "silently dropped".
+        return "{\"status\": \"SKIPPED (run tables fleetrecover)\"}".to_string();
+    };
+    format!(
+        "{{\n    \"status\": \"{}\",\n    \"hosts\": {},\n    \"seed\": {},\n    \
+         \"target\": \"{}\",\n    \"full_quiescent\": {},\n    \"full_outbreak\": {},\n    \
+         \"domain_quiescent\": {},\n    \"domain_outbreak\": {},\n    \
+         \"domain_rollbacks\": {},\n    \"domain_fallbacks\": {},\n    \
+         \"domain_spills\": {},\n    \"i12_violations\": {},\n    \"domain_parity\": {},\n    \
+         \"protected_full\": {},\n    \"protected_domain\": {},\n    \"p999_ratio\": {},\n    \
+         \"digest_domain\": \"{}\",\n    \"shard_invariant\": {}\n  }}",
+        b.status,
+        b.hosts,
+        b.seed,
+        b.target,
+        j_fleet_latency(&b.full_quiescent),
+        j_fleet_latency(&b.full_outbreak),
+        j_fleet_latency(&b.domain_quiescent),
+        j_fleet_latency(&b.domain_outbreak),
+        b.domain_rollbacks,
+        b.domain_fallbacks,
+        b.domain_spills,
+        b.i12_violations,
+        b.domain_parity,
+        b.protected_full,
+        b.protected_domain,
+        jf(b.p999_ratio),
+        b.digest_domain,
+        b.shard_invariant,
+    )
+}
+
 fn j_fail_arm(a: &FailArm) -> String {
     format!(
         "{{\"name\": \"{}\", \"infected\": {}, \"infection_ratio\": {}, \"ticks\": {}, \
@@ -1180,7 +1371,11 @@ fn j_checkpoint(b: &CheckpointBlock) -> String {
 }
 
 impl PerfReport {
-    /// Serialize as pretty-printed JSON (`sweeper-bench-v8` schema; v8
+    /// Serialize as pretty-printed JSON (`sweeper-bench-v9` schema; v9
+    /// added the always-present `"recovery"` block — the `fleetrecover`
+    /// Full-vs-Domain recovery comparison with its I12 and differential
+    /// parity verdicts, or an explicit skip marker when
+    /// `tables fleetrecover` has not populated it; v8
     /// added the always-present `"epidemic1m"` block — the `fig9fail`
     /// million-host containment sweep on the SoA engine with its
     /// differential-parity verdicts, or an explicit skip marker when
@@ -1201,7 +1396,7 @@ impl PerfReport {
             .map(|c| format!("      {}", j_distnet_cell(c)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v8\",\n  \"cores\": {},\n  \"vm\": {{\n    \
+            "{{\n  \"schema\": \"sweeper-bench-v9\",\n  \"cores\": {},\n  \"vm\": {{\n    \
              \"loop_insns\": {},\n    \"uncached\": {},\n    \"cached\": {},\n    \
              \"superblock\": {},\n    \"cached_over_uncached\": {},\n    \
              \"superblock_over_cached\": {}\n  }},\n  \"vm_straight\": {{\n    \
@@ -1216,6 +1411,7 @@ impl PerfReport {
              \"checkpoint\": {},\n  \
              \"fleet\": {},\n  \
              \"epidemic1m\": {},\n  \
+             \"recovery\": {},\n  \
              \"obs\": {}\n}}\n",
             self.cores,
             self.vm_loop_insns,
@@ -1245,6 +1441,7 @@ impl PerfReport {
             j_checkpoint(&self.checkpoint),
             j_fleet(&self.fleet),
             j_epidemic1m(&self.epidemic1m),
+            j_recovery(&self.recovery),
             self.obs.to_json(),
         )
     }
@@ -1279,6 +1476,21 @@ impl PerfReport {
             ),
             None => "\nepidemic1m  : SKIPPED (run tables fig9fail)".to_string(),
         };
+        let recovery_line = match &self.recovery {
+            Some(r) => format!(
+                "\nrecovery    : {} hosts, outbreak p999 {:.3} ms domain vs {:.3} ms full \
+                 ({:.2}x), i12 {}, parity {}, shard_invariant {} [{}]",
+                r.hosts,
+                r.domain_outbreak.p999_ms,
+                r.full_outbreak.p999_ms,
+                r.p999_ratio,
+                r.i12_violations,
+                r.domain_parity,
+                r.shard_invariant,
+                r.status,
+            ),
+            None => "\nrecovery    : SKIPPED (run tables fleetrecover)".to_string(),
+        };
         format!(
             "interpreter : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
              straight    : {:>12.0} insns/s uncached | {:>12.0} icache -> {:.2}x | {:>12.0} superblock -> {:.2}x\n\
@@ -1286,7 +1498,7 @@ impl PerfReport {
              outcomes    : identical across K = {}\n\
              chaos       : {} cases, {} execs, {} violations [{}]\n\
              distnet     : {} fig9dist cells over {} hosts, {} unverified deployments (I8) [{}]\n\
-             checkpoint  : incremental {:.4}% vs full {:.4}% @ 200 ms ({} requests) [{}]{fleet_line}{epi_line}",
+             checkpoint  : incremental {:.4}% vs full {:.4}% @ 200 ms ({} requests) [{}]{fleet_line}{epi_line}{recovery_line}",
             self.vm_uncached.insns_per_sec,
             self.vm_cached.insns_per_sec,
             self.vm_speedup,
@@ -1333,7 +1545,7 @@ pub fn write_fleet_json(path: &str, block: &FleetBlock) -> std::io::Result<()> {
     std::fs::write(
         path,
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v8\",\n  \"fleet\": {}\n}}\n",
+            "{{\n  \"schema\": \"sweeper-bench-v9\",\n  \"fleet\": {}\n}}\n",
             j_fleet(&b)
         ),
     )
@@ -1347,8 +1559,22 @@ pub fn write_epidemic_json(path: &str, block: &Epidemic1mBlock) -> std::io::Resu
     std::fs::write(
         path,
         format!(
-            "{{\n  \"schema\": \"sweeper-bench-v8\",\n  \"epidemic1m\": {}\n}}\n",
+            "{{\n  \"schema\": \"sweeper-bench-v9\",\n  \"epidemic1m\": {}\n}}\n",
             j_epidemic1m(&b)
+        ),
+    )
+}
+
+/// Write a recovery-only schema-v9 document (the CI `recovery-smoke`
+/// fast path): the same `"recovery"` block a full snapshot carries,
+/// without re-measuring everything else.
+pub fn write_recovery_json(path: &str, block: &RecoveryBlock) -> std::io::Result<()> {
+    let b = Some(block.clone());
+    std::fs::write(
+        path,
+        format!(
+            "{{\n  \"schema\": \"sweeper-bench-v9\",\n  \"recovery\": {}\n}}\n",
+            j_recovery(&b)
         ),
     )
 }
@@ -1559,7 +1785,11 @@ mod tests {
         assert!(r.outcomes_identical, "K must not change the outcome");
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"sweeper-bench-v8\""));
+        assert!(json.contains("\"schema\": \"sweeper-bench-v9\""));
+        assert!(
+            json.contains("\"recovery\": {\"status\": \"SKIPPED (run tables fleetrecover)\"}"),
+            "the quick pass marks the recovery block skipped, never drops it"
+        );
         assert!(json.contains("\"cached_over_uncached\""));
         assert!(json.contains("\"superblock_over_cached\""));
         assert!(json.contains("\"vm_straight\""));
@@ -1636,6 +1866,10 @@ mod tests {
             json.contains("\"epidemic1m\": {\"status\": \"SKIPPED (run tables fig9fail)\"}"),
             "the quick pass marks the epidemic1m block skipped, never drops it"
         );
+        assert!(
+            json.contains("\"recovery\": {\"status\": \"SKIPPED (run tables fleetrecover)\"}"),
+            "the quick pass marks the recovery block skipped, never drops it"
+        );
         assert_eq!(r.speedup_status, "SKIPPED (1 core)");
     }
 
@@ -1698,6 +1932,32 @@ mod tests {
         // populated one never does.
         let quiescent_cell = j_fleet_latency(&a.as_ref().expect("block").quiescent);
         assert!(!quiescent_cell.contains("null"), "{quiescent_cell}");
+    }
+
+    #[test]
+    fn recovery_block_holds_i12_and_parity_at_smoke_scale() {
+        let cfg = fleet::FleetConfig::smoke(5, 9);
+        let b = recovery_block(&cfg, 3).expect("fleet runs");
+        assert_eq!(b.status, "ok");
+        assert!(b.shard_invariant, "Domain digest must be shard-invariant");
+        assert_eq!(b.i12_violations, 0, "benign domains stay undisturbed");
+        assert!(
+            b.domain_parity,
+            "differential legs must check and match: {b:?}"
+        );
+        assert_eq!(b.protected_full, b.protected_domain, "same protection");
+        assert!(b.domain_rollbacks > 0, "Domain mode actually ran: {b:?}");
+        // Same seed, same block — including through the JSON encoding.
+        let again = recovery_block(&cfg, 3).expect("fleet runs");
+        let (a, b2) = (Some(b), Some(again));
+        assert_eq!(
+            j_recovery(&a),
+            j_recovery(&b2),
+            "recovery block is bit-stable"
+        );
+        let json = j_recovery(&a);
+        assert!(json.contains("\"domain_parity\": true"));
+        assert!(!json.contains("NaN") && !json.contains(": inf"));
     }
 
     #[test]

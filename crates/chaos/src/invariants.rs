@@ -19,6 +19,7 @@
 //! | I9 | incremental/full checkpoint parity never diverges (`checkpoint.parity_mismatches` = 0, unconditionally — damaged chains fail *closed*, they never resurrect a wrong image) |
 //! | I10 | the fleet reactor's outcome digest is shard-count-invariant (sharding is a layout knob, never a semantics knob) |
 //! | I11 | the SoA community engine is bit-identical to the legacy dense oracle (`epidemic.soa_parity_mismatches` = 0, unconditionally — no fired fault relaxes it) |
+//! | I12 | a partial (domain) rollback never disturbs benign domains: benign connections in untouched domains are neither dropped nor replayed (`recovery.i12_violations` = 0, unconditionally — fired faults force the fail-closed path to Full, they never license a benign disturbance) |
 
 use crate::plan::FaultStats;
 
@@ -64,6 +65,17 @@ pub struct FaultedRun {
     /// `checkpoint.parity_mismatches` counter: materialized incremental
     /// images that diverged from the full-copy oracle (I9; must be 0).
     pub parity_mismatches: u64,
+    /// `recovery.i12_violations` counter: partial rollbacks that dropped
+    /// or replayed a connection in an untouched benign domain (I12; must
+    /// be 0 unconditionally).
+    pub i12_violations: u64,
+    /// `recovery.domain_parity_mismatches` counter: differential
+    /// recoveries where the Domain shadow and the Full live machine
+    /// disagreed on the post-recovery digest. Must be 0 unless a
+    /// replay-family fault perturbed the Full leg's replay (the partial
+    /// rollback replays nothing, so only those faults can legitimately
+    /// split the pair).
+    pub domain_parity_mismatches: u64,
     /// Deployed VSEF count at the end of the run.
     pub deployed_vsefs: u64,
     /// Deployed signature count at the end of the run.
@@ -174,6 +186,29 @@ pub fn check_faulted_run(
         ));
     }
 
+    // I12: a partial rollback never disturbs benign domains.
+    // Unconditional: every fired fault (corrupt tag, forced spill,
+    // evicted checkpoint, truncated delta) forces the fail-closed path
+    // to full recovery — none of them licenses a benign disturbance.
+    if let Some(viol) = check_i12(run.i12_violations, "faulted sweeper run") {
+        v.push(viol);
+    }
+
+    // The differential recovery oracle: when Domain (shadow) and Full
+    // (live) both complete for the same fault, their post-recovery
+    // digests must be bit-equal. Only the replay families can
+    // legitimately split the pair — they perturb the Full leg's replay,
+    // which the partial rollback does not have.
+    if stats.replay_total() == 0 && run.domain_parity_mismatches > 0 {
+        v.push(Violation::new(
+            "differential",
+            format!(
+                "{} Domain/Full recovery parity mismatch(es) with no replay fault fired",
+                run.domain_parity_mismatches
+            ),
+        ));
+    }
+
     // I7: an installed plan whose *hook* families fired nothing must not
     // perturb the run. (Wire families touch only the distnet legs, never
     // this sweeper run, so they do not relax the bit-identity.)
@@ -242,6 +277,24 @@ pub fn check_i11(mismatches: u64, ctx: &str) -> Option<Violation> {
     })
 }
 
+/// I12: a partial (domain) rollback never disturbs benign domains.
+///
+/// `violations` is the runtime's structural counter
+/// (`recovery.i12_violations`): it increments whenever a Domain recovery
+/// resume dropped or replayed a connection belonging to a domain outside
+/// the attacked set, per-domain accounting straight from the resume
+/// report. It must be zero under every fault plan and every recovery
+/// mode — fired faults make the runtime *refuse* partial rollback
+/// (fail-closed to Full), they never relax this check.
+pub fn check_i12(violations: u64, ctx: &str) -> Option<Violation> {
+    (violations > 0).then(|| {
+        Violation::new(
+            "I12",
+            format!("{ctx}: {violations} benign-domain disturbance(s) by partial rollback"),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +312,8 @@ mod tests {
             tool_failures: 0,
             antibody_corrupt: 0,
             parity_mismatches: 0,
+            i12_violations: 0,
+            domain_parity_mismatches: 0,
             deployed_vsefs: 2,
             deployed_signatures: 1,
             healthy: true,
@@ -297,6 +352,53 @@ mod tests {
         let mut r = clean_run();
         r.parity_mismatches = 1;
         assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I9");
+        let mut r = clean_run();
+        r.i12_violations = 1;
+        assert_eq!(check_faulted_run(&r, &stats, 0x1234)[0].invariant, "I12");
+        let mut r = clean_run();
+        r.domain_parity_mismatches = 1;
+        assert_eq!(
+            check_faulted_run(&r, &stats, 0x1234)[0].invariant,
+            "differential"
+        );
+    }
+
+    #[test]
+    fn i12_is_not_relaxed_by_fired_faults() {
+        // Even a plan that corrupted domain tags and forced spills must
+        // see zero benign-domain disturbances: the runtime fails closed
+        // to full recovery, it never runs a partial rollback that
+        // touches benign domains.
+        let stats = FaultStats {
+            domain_tags_corrupted: 2,
+            domain_spills_forced: 1,
+            ..FaultStats::default()
+        };
+        let mut r = clean_run();
+        r.digest = 0xdead; // I7 relaxed by the fired hooks…
+        r.i12_violations = 1; // …but I12 still fires.
+        let v = check_faulted_run(&r, &stats, 0x1234);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "I12");
+    }
+
+    #[test]
+    fn replay_faults_relax_domain_parity_but_not_i12() {
+        // A corrupted replay legitimately splits the Domain/Full digest
+        // pair (only the Full leg replays), so the parity comparison is
+        // relaxed — but a benign-domain disturbance is still I12.
+        let stats = FaultStats {
+            replay_corrupted: 1,
+            ..FaultStats::default()
+        };
+        let mut r = clean_run();
+        r.digest = 0xdead;
+        r.domain_parity_mismatches = 1;
+        assert!(check_faulted_run(&r, &stats, 0x1234).is_empty());
+        r.i12_violations = 1;
+        let v = check_faulted_run(&r, &stats, 0x1234);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "I12");
     }
 
     #[test]
@@ -379,6 +481,15 @@ mod tests {
         let v = check_i10(7, 8, "fleet").expect("violation");
         assert_eq!(v.invariant, "I10");
         assert!(v.detail.contains("shards=1"), "{}", v.detail);
+    }
+
+    #[test]
+    fn i12_fires_only_on_benign_domain_disturbance() {
+        assert!(check_i12(0, "fleet leg").is_none());
+        let v = check_i12(2, "fleet leg").expect("violation");
+        assert_eq!(v.invariant, "I12");
+        assert!(v.detail.contains("2 benign-domain"), "{}", v.detail);
+        assert!(v.detail.contains("fleet leg"), "{}", v.detail);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod scenario;
 pub mod seedfile;
 
 pub use digest::{digest_community, digest_community_epidemic, digest_sweeper, Hasher};
-pub use invariants::{check_faulted_run, check_i8, FaultedRun, Violation};
+pub use invariants::{check_faulted_run, check_i12, check_i8, FaultedRun, Violation};
 pub use plan::{FaultPlan, FaultStats, SharedStats, WirePlan};
 pub use runner::{run_case, run_many, CaseReport, Summary};
 pub use scenario::{CaseScenario, Request};

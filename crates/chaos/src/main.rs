@@ -105,7 +105,7 @@ fn replay_one(seed: u64) -> i32 {
     let scenario = CaseScenario::from_seed(seed);
     println!(
         "case {seed:#x}: guest={:?} role={:?} requests={} attacks={} \
-         interval={}ms retained={} sampling={} slicing={} engine={:?}",
+         interval={}ms retained={} sampling={} slicing={} engine={:?} recovery={}",
         scenario.target,
         scenario.role,
         scenario.requests.len(),
@@ -115,6 +115,7 @@ fn replay_one(seed: u64) -> i32 {
         scenario.sample_rate,
         scenario.run_slicing,
         scenario.engine,
+        scenario.recovery.name(),
     );
     let report = run_case(seed);
     println!("digest: {:#018x}", report.digest);
@@ -215,6 +216,18 @@ fn main() {
         ] {
             if count == 0 {
                 eprintln!("smoke: FAIL — wire family {name} never fired");
+                failed = true;
+            }
+        }
+        // The PR-10 recovery families must genuinely fire (every firing
+        // is a forced fail-closed fallback to Full, checked by I12 and
+        // the differential recovery oracle above).
+        for (name, count) in [
+            ("domain_tags_corrupted", summary.agg.domain_tags_corrupted),
+            ("domain_spills_forced", summary.agg.domain_spills_forced),
+        ] {
+            if count == 0 {
+                eprintln!("smoke: FAIL — recovery family {name} never fired");
                 failed = true;
             }
         }

@@ -8,12 +8,12 @@
 //! seed fires the same faults at the same sites in a replayed run, which
 //! is what makes `chaos --seed 0x…` an exact reproducer.
 //!
-//! A plan covers twelve fault families, each independently enabled by a
-//! seed-derived mask so seeds explore combinations (including the empty
-//! plan, which anchors the bit-identical invariant). Nine are hook
-//! families firing through [`sweeper::FaultHooks`]; three (PR 5) are
-//! *wire* families that configure the antibody distribution network and
-//! the certified-bundle hand-off of the runner's distnet legs:
+//! A plan covers fourteen fault families, each independently enabled by
+//! a seed-derived mask so seeds explore combinations (including the
+//! empty plan, which anchors the bit-identical invariant). Eleven are
+//! hook families firing through [`sweeper::FaultHooks`]; three (PR 5)
+//! are *wire* families that configure the antibody distribution network
+//! and the certified-bundle hand-off of the runner's distnet legs:
 //!
 //! | family | seam |
 //! |--------|------|
@@ -26,6 +26,8 @@
 //! | antibody-corrupt | the serialized antibody is damaged in transit |
 //! | delta-trunc | the newest incremental delta loses its tail pages |
 //! | dedupe-evict | the dedupe store drops a live page slot (PR 7) |
+//! | domain-tag-corrupt | a page's domain attribution is flipped pre-recovery (PR 10) |
+//! | domain-spill-force | every tracked domain is forced into the spilled set (PR 10) |
 //! | wire-loss | distnet sends are dropped / duplicated / delayed |
 //! | wire-byzantine | a producer fraction emits forged bundles |
 //! | bundle-forge | a forged certified bundle is handed to a consumer |
@@ -57,6 +59,9 @@ const DOM_WIRE_BYZ: u64 = 0xc4a0_0052;
 const DOM_DELTA_TRUNC: u64 = 0xc4a0_0070;
 const DOM_TRUNC_N: u64 = 0xc4a0_0071;
 const DOM_DEDUPE_EVICT: u64 = 0xc4a0_0072;
+const DOM_DOMAIN_TAG: u64 = 0xc4a0_0080;
+const DOM_TAG_SEL: u64 = 0xc4a0_0081;
+const DOM_DOMAIN_SPILL: u64 = 0xc4a0_0082;
 
 /// Family bit indices in the seed-derived enable mask.
 const FAM_REPLAY_DROP: u32 = 0;
@@ -71,6 +76,8 @@ const FAM_WIRE_BYZANTINE: u32 = 8;
 const FAM_BUNDLE_FORGE: u32 = 9;
 const FAM_DELTA_TRUNC: u32 = 10;
 const FAM_DEDUPE_EVICT: u32 = 11;
+const FAM_DOMAIN_TAG: u32 = 12;
+const FAM_DOMAIN_SPILL: u32 = 13;
 
 /// Counts of faults a plan actually *fired* during a run, per family.
 ///
@@ -99,6 +106,15 @@ pub struct FaultStats {
     /// Live dedupe-store page slots force-evicted out from under the
     /// delta chain (the compaction race).
     pub store_evictions: u64,
+    /// Domain-ledger page tags corrupted in the recovery window (PR 10).
+    /// The partial rollback must detect the mis-attribution through the
+    /// ledger checksum and fail closed to full recovery — a corrupt tag
+    /// never yields a wrong partial image.
+    pub domain_tags_corrupted: u64,
+    /// Cross-domain spills forced into the ledger in the recovery window
+    /// (PR 10): every attacked domain then refuses partial rollback and
+    /// the runtime falls back to full recovery.
+    pub domain_spills_forced: u64,
     /// Distnet wire faults observed (sends dropped + duplicated +
     /// delayed) on the faulted distribution leg.
     pub wire_faults: u64,
@@ -117,7 +133,7 @@ impl FaultStats {
         self.hook_total() + self.wire_faults + self.byzantine_rejections + self.bundles_forged
     }
 
-    /// Total *hook* faults fired (the nine [`sweeper::FaultHooks`]
+    /// Total *hook* faults fired (the eleven [`sweeper::FaultHooks`]
     /// families). This — not [`FaultStats::total`] — governs invariant
     /// I7: wire faults perturb only the distnet legs, never the faulted
     /// sweeper run, so they must not relax the bit-identity check.
@@ -131,6 +147,17 @@ impl FaultStats {
             + self.antibodies_corrupted
             + self.deltas_truncated
             + self.store_evictions
+            + self.domain_tags_corrupted
+            + self.domain_spills_forced
+    }
+
+    /// Total replay-perturbing faults fired (drop / corrupt / reorder).
+    /// These are the only families that touch the *full* recovery
+    /// replay, so they are the only ones allowed to relax the
+    /// Domain-vs-Full recovery parity comparison (the partial rollback
+    /// replays nothing and cannot see them).
+    pub fn replay_total(&self) -> u64 {
+        self.replay_dropped + self.replay_corrupted + self.replay_reordered
     }
 
     /// Number of distinct families that fired at least once.
@@ -145,6 +172,8 @@ impl FaultStats {
             self.antibodies_corrupted,
             self.deltas_truncated,
             self.store_evictions,
+            self.domain_tags_corrupted,
+            self.domain_spills_forced,
             self.wire_faults,
             self.byzantine_rejections,
             self.bundles_forged,
@@ -165,6 +194,8 @@ impl FaultStats {
         self.antibodies_corrupted += other.antibodies_corrupted;
         self.deltas_truncated += other.deltas_truncated;
         self.store_evictions += other.store_evictions;
+        self.domain_tags_corrupted += other.domain_tags_corrupted;
+        self.domain_spills_forced += other.domain_spills_forced;
         self.wire_faults += other.wire_faults;
         self.byzantine_rejections += other.byzantine_rejections;
         self.bundles_forged += other.bundles_forged;
@@ -185,6 +216,14 @@ impl FaultStats {
         );
         reg.set_counter("chaos.fault.deltas_truncated", self.deltas_truncated);
         reg.set_counter("chaos.fault.store_evictions", self.store_evictions);
+        reg.set_counter(
+            "chaos.fault.domain_tags_corrupted",
+            self.domain_tags_corrupted,
+        );
+        reg.set_counter(
+            "chaos.fault.domain_spills_forced",
+            self.domain_spills_forced,
+        );
         reg.set_counter("chaos.fault.wire_faults", self.wire_faults);
         reg.set_counter(
             "chaos.fault.byzantine_rejections",
@@ -194,7 +233,7 @@ impl FaultStats {
     }
 
     /// `(name, count)` pairs in a fixed order, for reports.
-    pub fn named(&self) -> [(&'static str, u64); 12] {
+    pub fn named(&self) -> [(&'static str, u64); 14] {
         [
             ("replay_dropped", self.replay_dropped),
             ("replay_corrupted", self.replay_corrupted),
@@ -205,6 +244,8 @@ impl FaultStats {
             ("antibodies_corrupted", self.antibodies_corrupted),
             ("deltas_truncated", self.deltas_truncated),
             ("store_evictions", self.store_evictions),
+            ("domain_tags_corrupted", self.domain_tags_corrupted),
+            ("domain_spills_forced", self.domain_spills_forced),
             ("wire_faults", self.wire_faults),
             ("byzantine_rejections", self.byzantine_rejections),
             ("bundles_forged", self.bundles_forged),
@@ -253,7 +294,7 @@ pub struct FaultPlan {
     /// Enabled-family bitmask (bits [`FAM_REPLAY_DROP`]..).
     families: u64,
     /// Per-domain decision counters (indexed by site, not family).
-    counters: [u64; 9],
+    counters: [u64; 11],
     stats: SharedStats,
 }
 
@@ -275,7 +316,7 @@ impl FaultPlan {
                 seed,
                 permille,
                 families,
-                counters: [0; 9],
+                counters: [0; 11],
                 stats: Arc::clone(&stats),
             },
             stats,
@@ -418,6 +459,24 @@ impl FaultHooks for FaultPlan {
         if self.roll(FAM_DEDUPE_EVICT, DOM_DEDUPE_EVICT, 8) && mgr.chaos_evict_store_page() {
             self.stats.lock().unwrap().store_evictions += 1;
         }
+        // Domain-tag corruption (PR 10): one tracked page's domain
+        // attribution is flipped without re-sealing the ledger checksum.
+        // Partial recovery must detect the mis-attribution (a corrupt
+        // ledger never verifies) and fail closed to full recovery. Lands
+        // only when the ledger actually tracks pages.
+        if self.roll(FAM_DOMAIN_TAG, DOM_DOMAIN_TAG, 9) {
+            let sel = self.value(DOM_TAG_SEL, 9);
+            if mgr.chaos_corrupt_domain_tag(sel) {
+                self.stats.lock().unwrap().domain_tags_corrupted += 1;
+            }
+        }
+        // Forced cross-domain spill (PR 10): every tracked domain is
+        // marked spilled, modelling uncovered cross-domain writes. Every
+        // attacked domain must then refuse partial rollback and fall
+        // back to full recovery — never a wrong partial image.
+        if self.roll(FAM_DOMAIN_SPILL, DOM_DOMAIN_SPILL, 10) && mgr.chaos_force_domain_spill() {
+            self.stats.lock().unwrap().domain_spills_forced += 1;
+        }
     }
 
     fn corrupt_antibody(&mut self, bytes: &mut Vec<u8>) -> bool {
@@ -489,6 +548,11 @@ mod tests {
             while mgr.retained() < 3 {
                 mgr.take(&mut m);
             }
+            // Keep the domain ledger populated (run the guest, attribute
+            // the dirtied pages) so the tag-corruption and forced-spill
+            // seams can actually land.
+            m.run(&mut svm::NopHook, 200);
+            mgr.note_service(&m, (i % 3) as u32);
             p.before_recovery(&mut mgr, &mut proxy);
             out.push(format!("retained {}", mgr.retained()));
         }
@@ -521,10 +585,10 @@ mod tests {
         for seed in 0..64u64 {
             agg.absorb(&trace(seed).1);
         }
-        // `trace` drives only the hook seams; all 9 hook families fire.
+        // `trace` drives only the hook seams; all 11 hook families fire.
         assert_eq!(
             agg.families_fired(),
-            9,
+            11,
             "all hook families reachable: {agg:?}"
         );
     }

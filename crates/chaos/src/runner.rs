@@ -169,6 +169,8 @@ fn drive(
             tool_failures: reg.counter("pipeline.tool_failures"),
             antibody_corrupt: reg.counter("sweeper.antibody_corrupt_total"),
             parity_mismatches: reg.counter("checkpoint.parity_mismatches"),
+            i12_violations: reg.counter("recovery.i12_violations"),
+            domain_parity_mismatches: reg.counter("recovery.domain_parity_mismatches"),
             deployed_vsefs: s.deployed_vsefs() as u64,
             deployed_signatures: s.signatures.len() as u64,
             healthy: s.status().healthy,
@@ -477,6 +479,10 @@ pub fn run_case(seed: u64) -> CaseReport {
             wire_delay_ms: (5.0, 25.0),
             interval_ms: 200,
             contact_cap: 6,
+            // The fleet leg fuzzes the recovery knob too: whatever mode
+            // the scenario drew runs identically on both shard counts,
+            // so I10 still compares like with like.
+            recovery: scenario.recovery,
         };
         execs += 2;
         match (fleet::run(&fcfg), fleet::run(&fcfg.with_shards(3))) {

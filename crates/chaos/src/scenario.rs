@@ -14,7 +14,7 @@ use epidemic::community::{CommunityEngine, CommunityParams, Parallelism};
 use epidemic::distnet::DistNetParams;
 use epidemic::failest::FailContParams;
 use epidemic::rng::draw;
-use sweeper::{Config, Role};
+use sweeper::{Config, RecoveryMode, Role};
 
 // Domain separators for scenario-shaping draws.
 const DOM_BENIGN_N: u64 = 0x5ce0_0001;
@@ -31,6 +31,7 @@ const DOM_WORKLOAD: u64 = 0x5ce0_000b;
 const DOM_EPI: u64 = 0x5ce0_000c;
 const DOM_ENGINE: u64 = 0x5ce0_000d;
 const DOM_FAILCONT: u64 = 0x5ce0_000e;
+const DOM_RECOVERY: u64 = 0x5ce0_000f;
 
 /// One request in a scenario's schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +79,12 @@ pub struct CaseScenario {
     /// fuzzer has); the rest split between plain `Incremental` and the
     /// legacy `Full` copy.
     pub engine: Engine,
+    /// Post-attack recovery strategy. Half the seeds run the default
+    /// partial (`Domain`) rollback, a quarter pin the legacy `Full`
+    /// path, and a quarter run the `Differential` recovery oracle
+    /// (Domain on a shadow clone, Full on the live machine, digests
+    /// compared — the strongest partial-recovery oracle the fuzzer has).
+    pub recovery: RecoveryMode,
     /// The request schedule, in offer order.
     pub requests: Vec<Request>,
     /// Community-simulation parameters for the epidemic differential leg
@@ -119,6 +126,11 @@ impl CaseScenario {
             0 => Engine::Full,
             1 => Engine::Incremental,
             _ => Engine::Differential,
+        };
+        let recovery = match draw(seed, DOM_RECOVERY, 0) % 4 {
+            0 => RecoveryMode::Full,
+            1 => RecoveryMode::Differential,
+            _ => RecoveryMode::Domain,
         };
 
         // Request schedule: 4–10 benign requests with 0–2 exploit
@@ -176,6 +188,7 @@ impl CaseScenario {
             retained,
             run_slicing,
             engine,
+            recovery,
             requests,
             community,
         }
@@ -199,7 +212,8 @@ impl CaseScenario {
         }
         .with_interval_ms(self.interval_ms)
         .with_sampling(self.sample_rate)
-        .with_engine(self.engine);
+        .with_engine(self.engine)
+        .with_recovery(self.recovery);
         c.retained_checkpoints = self.retained;
         c.run_slicing = self.run_slicing;
         c
@@ -328,6 +342,14 @@ mod tests {
             .map(|s| format!("{:?}", CaseScenario::from_seed(s).engine))
             .collect();
         assert_eq!(engines.len(), 3, "engines covered: {engines:?}");
+    }
+
+    #[test]
+    fn seeds_cover_all_three_recovery_modes() {
+        let modes: std::collections::BTreeSet<&'static str> = (0..32u64)
+            .map(|s| CaseScenario::from_seed(s).recovery.name())
+            .collect();
+        assert_eq!(modes.len(), 3, "recovery modes covered: {modes:?}");
     }
 
     #[test]

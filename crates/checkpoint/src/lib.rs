@@ -8,6 +8,7 @@
 //! without the attacker's input — or falls back to demanding a restart
 //! when the re-execution diverges from committed output.
 
+pub mod domains;
 pub mod incremental;
 pub mod manager;
 pub mod proxy;
@@ -15,9 +16,13 @@ pub mod recovery;
 pub mod replay;
 pub mod syscall_log;
 
+pub use domains::{recovery_digest, DomainLedger, DomainRecovery, DomainRefusal};
 pub use incremental::{mem_digest, DedupeStore, DeltaRecord, PageKey, StoreStats};
 pub use manager::{Checkpoint, CheckpointManager, CkptId, Engine};
 pub use proxy::{InputFilter, LoggedConn, Proxy};
-pub use recovery::{recover, recover_with_fault, RecoveryOutcome};
+pub use recovery::{
+    recover, recover_domain, recover_with_fault, DomainConns, RecoveryKind, RecoveryOutcome,
+    ResumeReport,
+};
 pub use replay::{NoFault, ReplayEnd, ReplayFault, ReplayOutcome, ReplaySession};
 pub use syscall_log::{divergence, Divergence, SyscallLog, SyscallLogError, SyscallRecord};

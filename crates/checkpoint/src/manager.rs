@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, VecDeque};
 use svm::clock::cost;
 use svm::Machine;
 
+use crate::domains::{DomainLedger, DomainRecovery, DomainRefusal};
 use crate::incremental::{mem_digest, DedupeStore, DeltaRecord, PageKey};
 
 /// Identifier of a retained checkpoint (monotonically increasing).
@@ -126,6 +127,13 @@ pub struct CheckpointManager {
     /// Reconstructions that failed closed (delta-chain truncation or
     /// dedupe-store eviction damage detected by digest verification).
     materialize_failures: Cell<u64>,
+    /// Page→domain attribution for the current checkpoint window (see
+    /// [`crate::domains`]).
+    ledger: DomainLedger,
+    /// Successful partial (domain) rollbacks.
+    pub domain_rollbacks: u64,
+    /// Pages restored across all partial rollbacks.
+    pub domain_pages_restored: u64,
 }
 
 impl CheckpointManager {
@@ -155,6 +163,9 @@ impl CheckpointManager {
             precopy_cycles: 0,
             parity_mismatches: Cell::new(0),
             materialize_failures: Cell::new(0),
+            ledger: DomainLedger::new(),
+            domain_rollbacks: 0,
+            domain_pages_restored: 0,
         }
     }
 
@@ -205,6 +216,9 @@ impl CheckpointManager {
         self.covered_gen = m.mem.write_seq();
         self.pages_drained_total += drained as u64;
         self.precopy_cycles += cost::PAGE_COPY * drained as u64;
+        // Every page dirtied in this window is now captured in `pending`:
+        // later cross-domain overwrites no longer lose recoverable state.
+        self.ledger.mark_all_covered();
         drained
     }
 
@@ -287,6 +301,7 @@ impl CheckpointManager {
         if self.ring.len() > self.max_retained {
             self.evict_oldest();
         }
+        self.ledger.reset(id, m);
         id
     }
 
@@ -467,6 +482,128 @@ impl CheckpointManager {
         Some(m)
     }
 
+    /// Attribute the pages dirtied since the last attribution scan to
+    /// `domain` (a benign connection that just completed service), and
+    /// advance the ledger's service boundary to the machine's current
+    /// idle state. See [`crate::domains`].
+    pub fn note_service(&mut self, m: &Machine, domain: u32) {
+        self.ledger.note_service(m, domain);
+    }
+
+    /// Attribute the pages dirtied since the last attribution scan to
+    /// `domain` (the detected attack connection) *without* moving the
+    /// service boundary.
+    pub fn note_attack(&mut self, m: &Machine, domain: u32) {
+        self.ledger.note_attack(m, domain);
+    }
+
+    /// The page→domain attribution ledger for the current window.
+    pub fn ledger(&self) -> &DomainLedger {
+        &self.ledger
+    }
+
+    /// Cross-domain spills observed so far (monotone).
+    pub fn domain_spills(&self) -> u64 {
+        self.ledger.spills
+    }
+
+    /// Partial rollback: restore *only* the pages owned by `domains`
+    /// (the attacked connections) to their pre-attack content and rewind
+    /// CPU/heap/RNG/status/connections to the captured service boundary,
+    /// leaving every other page — and the work of every benign
+    /// connection — live and untouched. The clock stays monotone; the
+    /// restore cost is charged forward.
+    ///
+    /// Fail-closed on every structural doubt: a stale window, a missing
+    /// boundary, a failing ledger checksum, a spilled domain, or a
+    /// missing restore source refuses the partial path (the caller runs
+    /// full rollback + replay instead). The pre-attack content of each
+    /// owned page comes from the pre-copy drain's `pending` set when
+    /// present (captured *after* the last benign write), else from the
+    /// checkpoint image (the page was untouched between the snapshot and
+    /// the attack).
+    pub fn rollback_domain(
+        &mut self,
+        id: CkptId,
+        live: &mut Machine,
+        domains: &[u32],
+    ) -> Result<DomainRecovery, DomainRefusal> {
+        if self.ledger.window() != Some(id) {
+            return Err(DomainRefusal::StaleWindow);
+        }
+        if !self.ledger.verify() {
+            return Err(DomainRefusal::CorruptLedger);
+        }
+        let Some(boundary) = self.ledger.boundary() else {
+            return Err(DomainRefusal::NoBoundary);
+        };
+        if domains.iter().any(|d| self.ledger.is_spilled(*d)) {
+            return Err(DomainRefusal::Spilled);
+        }
+        // Gather every restore source before touching `live`.
+        let owned = self.ledger.owned_pages(domains);
+        let mut restores = Vec::with_capacity(owned.len());
+        let mut ckpt_image: Option<Machine> = None;
+        for pno in owned {
+            let arc = match self.pending.get(&pno) {
+                Some(&(key, _)) => self.store.get(key),
+                None => {
+                    if ckpt_image.is_none() {
+                        ckpt_image = self.materialize(id);
+                        if ckpt_image.is_none() {
+                            return Err(DomainRefusal::PageUnavailable);
+                        }
+                    }
+                    ckpt_image
+                        .as_ref()
+                        .expect("just materialized")
+                        .mem
+                        .page_arc(pno)
+                        .map(|(arc, _)| arc)
+                }
+            };
+            match arc {
+                Some(a) => restores.push((pno, a)),
+                None => return Err(DomainRefusal::PageUnavailable),
+            }
+        }
+        // Commit: restore pages at the current write watermark (they are
+        // "dirty now"; the caller discards pending state and takes a
+        // fresh checkpoint right after recovery anyway), then rewind the
+        // non-memory state to the boundary.
+        let pages = restores.len();
+        let gen = live.mem.write_seq();
+        for (pno, data) in restores {
+            live.mem.restore_page(pno, data, gen);
+        }
+        crate::domains::apply_boundary(live, &boundary);
+        let pause = cost::ROLLBACK + cost::PAGE_COPY * pages as u64;
+        live.clock.tick(pause);
+        self.domain_rollbacks += 1;
+        self.domain_pages_restored += pages as u64;
+        Ok(DomainRecovery {
+            pages_restored: pages,
+            pause_cycles: pause,
+        })
+    }
+
+    /// Chaos seam: mis-attribute one ledger entry to a different domain
+    /// without updating the integrity checksum (chaos family
+    /// `domain-tag`). Returns whether the fault landed. The next
+    /// [`CheckpointManager::rollback_domain`] must detect the corruption
+    /// and refuse.
+    pub fn chaos_corrupt_domain_tag(&mut self, selector: u64) -> bool {
+        self.ledger.chaos_corrupt_tag(selector)
+    }
+
+    /// Chaos seam: force every tracked domain into the spilled set
+    /// (chaos family `domain-spill`). Returns whether the fault landed.
+    /// The next partial rollback of any attacked domain must take the
+    /// fail-closed path to full recovery.
+    pub fn chaos_force_domain_spill(&mut self) -> bool {
+        self.ledger.chaos_force_spill()
+    }
+
     /// Exact extra memory held by the retained checkpoints, in pages.
     ///
     /// Counts the distinct page storages reachable from the snapshot
@@ -522,6 +659,16 @@ impl CheckpointManager {
             "checkpoint.materialize_failures",
             self.materialize_failures.get(),
         );
+        reg.set_counter("checkpoint.domain_spills", self.ledger.spills);
+        reg.set_counter("checkpoint.domain_rollbacks", self.domain_rollbacks);
+        reg.set_counter(
+            "checkpoint.domain_pages_restored",
+            self.domain_pages_restored,
+        );
+        reg.gauge(
+            "checkpoint.domain_pages_tracked",
+            self.ledger.pages_tracked() as f64,
+        );
         reg.gauge(
             "checkpoint.last_pages_copied",
             self.last_pages_copied as f64,
@@ -551,6 +698,7 @@ fn lockstep_identical(a: &Machine, b: &Machine) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domains::DomainRefusal;
     use svm::asm::assemble;
     use svm::loader::Aslr;
     use svm::{NopHook, Status};
@@ -861,6 +1009,115 @@ mod tests {
         mgr.export_metrics(&m, &mut reg);
         assert_eq!(reg.counter("checkpoint.materialize_failures"), 2);
         assert_eq!(reg.counter("checkpoint.parity_mismatches"), 0);
+    }
+
+    #[test]
+    fn domain_rollback_restores_pre_attack_state_under_drain_coverage() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let id = mgr.take(&mut m);
+        let v_addr = m.symbols.addr_of("v").expect("v");
+        m.run(&mut NopHook, 1000);
+        mgr.note_service(&m, 0); // benign connection 0 completed
+        let v_boundary = m.mem.read_u32(0, v_addr).expect("r");
+        let cpu_boundary = m.cpu.clone();
+        mgr.drain(&m); // pre-copy captures domain 0's writes
+        m.run(&mut NopHook, 1000); // the "attack" dirties the same page
+        mgr.note_attack(&m, 1);
+        assert!(m.mem.read_u32(0, v_addr).expect("r") > v_boundary);
+        let rec = mgr.rollback_domain(id, &mut m, &[1]).expect("partial");
+        assert!(rec.pages_restored >= 1);
+        assert!(rec.pause_cycles > 0);
+        assert_eq!(
+            m.mem.read_u32(0, v_addr).expect("r"),
+            v_boundary,
+            "attack-owned page restored to the drained pre-attack content"
+        );
+        assert_eq!(m.cpu, cpu_boundary, "registers rewound to the boundary");
+        assert_eq!(mgr.domain_rollbacks, 1);
+        assert_eq!(mgr.domain_spills(), 0);
+        // The machine resumes deterministically from the boundary.
+        m.run(&mut NopHook, 500);
+        assert!(m.mem.read_u32(0, v_addr).expect("r") > v_boundary);
+    }
+
+    #[test]
+    fn uncovered_spill_refuses_partial_rollback() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let id = mgr.take(&mut m);
+        m.run(&mut NopHook, 1000);
+        mgr.note_service(&m, 0);
+        // No drain: domain 1 overwrites uncovered domain-0 state.
+        m.run(&mut NopHook, 1000);
+        mgr.note_attack(&m, 1);
+        assert_eq!(mgr.domain_spills(), 1);
+        assert_eq!(
+            mgr.rollback_domain(id, &mut m, &[1]),
+            Err(DomainRefusal::Spilled)
+        );
+        assert_eq!(mgr.domain_rollbacks, 0);
+    }
+
+    #[test]
+    fn ledger_corruption_and_forced_spill_fail_closed() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let id = mgr.take(&mut m);
+        m.run(&mut NopHook, 1000);
+        mgr.note_service(&m, 0);
+        mgr.drain(&m);
+        m.run(&mut NopHook, 1000);
+        mgr.note_attack(&m, 1);
+        // Tag corruption: detected by the checksum, refused.
+        assert!(mgr.chaos_corrupt_domain_tag(3));
+        assert_eq!(
+            mgr.rollback_domain(id, &mut m, &[1]),
+            Err(DomainRefusal::CorruptLedger)
+        );
+        // Forced spill on a fresh world: refused via the spill set.
+        let mut m2 = boot_counter();
+        let mut mgr2 = CheckpointManager::new(0, 8);
+        let id2 = mgr2.take(&mut m2);
+        m2.run(&mut NopHook, 1000);
+        mgr2.note_service(&m2, 0);
+        mgr2.drain(&m2);
+        m2.run(&mut NopHook, 1000);
+        mgr2.note_attack(&m2, 1);
+        assert!(mgr2.chaos_force_domain_spill());
+        let out = mgr2.rollback_domain(id2, &mut m2, &[1]);
+        assert_eq!(out, Err(DomainRefusal::Spilled));
+        assert!(out.unwrap_err().is_spill());
+        assert!(mgr2.domain_spills() > 0);
+    }
+
+    #[test]
+    fn stale_window_and_evicted_store_refuse_partial_rollback() {
+        let mut m = boot_counter();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let old = mgr.take(&mut m);
+        m.run(&mut NopHook, 500);
+        mgr.take(&mut m); // opens a fresh window
+        m.run(&mut NopHook, 500);
+        mgr.note_attack(&m, 1);
+        assert_eq!(
+            mgr.rollback_domain(old, &mut m, &[1]),
+            Err(DomainRefusal::StaleWindow)
+        );
+        // Evicted dedupe slots make the pending restore source vanish.
+        let mut m2 = boot_counter();
+        let mut mgr2 = CheckpointManager::new(0, 8);
+        let id2 = mgr2.take(&mut m2);
+        m2.run(&mut NopHook, 1000);
+        mgr2.note_service(&m2, 0);
+        mgr2.drain(&m2);
+        m2.run(&mut NopHook, 1000);
+        mgr2.note_attack(&m2, 1);
+        while mgr2.chaos_evict_store_page() {}
+        assert_eq!(
+            mgr2.rollback_domain(id2, &mut m2, &[1]),
+            Err(DomainRefusal::PageUnavailable)
+        );
     }
 
     #[test]

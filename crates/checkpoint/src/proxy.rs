@@ -44,6 +44,11 @@ pub struct LoggedConn {
     /// Server output bytes already released to the client (the output
     /// commit point; replays must neither duplicate nor contradict them).
     pub released: Vec<u8>,
+    /// Rollback domain this connection's guest-state writes are
+    /// attributed to (per-connection by default: the log id). Partial
+    /// recovery rolls back only the attacked connection's domain; see
+    /// [`crate::domains`].
+    pub domain: u32,
 }
 
 /// The logging/filtering proxy.
@@ -80,6 +85,7 @@ impl Proxy {
             filtered: blocked,
             dropped: false,
             released: Vec::new(),
+            domain: log_id as u32,
         });
         if blocked {
             self.filtered_total += 1;

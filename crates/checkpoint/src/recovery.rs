@@ -14,31 +14,98 @@
 
 use svm::Machine;
 
+use crate::domains::DomainRefusal;
 use crate::manager::{CheckpointManager, CkptId};
 use crate::proxy::Proxy;
 use crate::replay::{NoFault, ReplayEnd, ReplayFault, ReplaySession};
 
+/// Which rollback strategy produced a resumed machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Whole-machine rollback to the checkpoint + drop-the-attack replay.
+    Full,
+    /// Partial rollback of only the attacked connection's domain
+    /// ([`CheckpointManager::rollback_domain`]); nothing was replayed.
+    Domain,
+}
+
+impl RecoveryKind {
+    /// Stable lowercase label (metrics and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryKind::Full => "full",
+            RecoveryKind::Domain => "domain",
+        }
+    }
+}
+
+/// Replay/drop work attributed to one rollback domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainConns {
+    /// The domain (per-connection by default: the proxy log id).
+    pub domain: u32,
+    /// Connections of this domain re-injected by the recovery replay.
+    pub replayed: usize,
+    /// Delivered connections of this domain retroactively dropped by
+    /// *this* recovery.
+    pub dropped: usize,
+}
+
+/// Accounting of one successful recovery, split per recovery mode and
+/// per domain — so a Domain recovery that silently fell back to Full is
+/// visible in metrics, and invariant I12 (benign connections in
+/// untouched domains are neither dropped nor replayed) is checkable
+/// from the outcome alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// Which rollback strategy ran.
+    pub kind: RecoveryKind,
+    /// Virtual cycles the recovery consumed (service pause).
+    pub pause_cycles: u64,
+    /// Guest connections that survived recovery *without* being
+    /// replayed: the pre-checkpoint prefix under [`RecoveryKind::Full`],
+    /// every benign connection under [`RecoveryKind::Domain`].
+    pub preserved_conns: usize,
+    /// Per-domain replay/drop accounting. Domains with neither replayed
+    /// nor dropped work do not appear.
+    pub per_domain: Vec<DomainConns>,
+}
+
+impl ResumeReport {
+    /// Total connections re-injected by the recovery replay.
+    ///
+    /// Counted as the replay-segment length of the guest-id mapping
+    /// (everything past the pre-checkpoint prefix), **not** as
+    /// `mapping.len() - conns_at`: when previously dropped attack
+    /// connections shrink the unfiltered log below `conns_at`, the old
+    /// subtraction silently under-reported replay work as 0.
+    pub fn replayed_conns(&self) -> usize {
+        self.per_domain.iter().map(|d| d.replayed).sum()
+    }
+
+    /// Total delivered connections retroactively dropped by this
+    /// recovery — excluded replay work, reported separately so the
+    /// Figure 5 narration can't conflate "nothing replayed" with
+    /// "attack connections dropped".
+    pub fn dropped_conns(&self) -> usize {
+        self.per_domain.iter().map(|d| d.dropped).sum()
+    }
+
+    /// Whether any domain **outside** `attacked` saw replay or drop work
+    /// — the invariant-I12 predicate for a [`RecoveryKind::Domain`]
+    /// resume (a Full recovery legitimately replays benign domains).
+    pub fn disturbed_outside(&self, attacked: &[u32]) -> bool {
+        self.per_domain
+            .iter()
+            .any(|d| !attacked.contains(&d.domain) && (d.replayed > 0 || d.dropped > 0))
+    }
+}
+
 /// Outcome of a recovery attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryOutcome {
-    /// The replayed machine was promoted to live; service continues.
-    Resumed {
-        /// Virtual cycles the recovery replay consumed (service pause).
-        pause_cycles: u64,
-        /// Post-checkpoint connections that were actually re-injected.
-        ///
-        /// Counted as the replay-segment length of the guest-id mapping
-        /// (everything past the pre-checkpoint prefix), **not** as
-        /// `mapping.len() - conns_at`: when previously dropped attack
-        /// connections shrink the unfiltered log below `conns_at`, the
-        /// old subtraction silently under-reported replay work as 0.
-        replayed_conns: usize,
-        /// Connections retroactively dropped by *this* recovery that had
-        /// been delivered to the guest — excluded replay work, reported
-        /// separately so the Figure 5 narration can't conflate "nothing
-        /// replayed" with "attack connections dropped".
-        dropped_conns: usize,
-    },
+    /// The recovered machine was promoted to live; service continues.
+    Resumed(ResumeReport),
     /// Replay diverged from committed output; a restart is required.
     RestartRequired {
         /// Log id of the diverging connection.
@@ -144,22 +211,98 @@ pub fn recover_with_fault(
 
     // Consistent: drop the attack connections from the log so that future
     // `release_outputs` walks line up with the recovered machine, then
-    // promote the replayed machine to live. Count how many of the dropped
-    // ids were genuinely delivered connections (excluded replay work)
+    // promote the replayed machine to live. Count the dropped ids that
+    // were genuinely delivered connections (excluded replay work)
     // *before* marking, so repeated drops aren't double-counted.
-    let dropped_conns = drop_ids
-        .iter()
-        .filter(|id| proxy.get(**id).is_some_and(|c| !c.filtered))
-        .count();
+    let mut per_domain: Vec<DomainConns> = Vec::new();
+    for &log_id in &mapping[prefix_len..] {
+        let domain = proxy.get(log_id).map(|c| c.domain).unwrap_or(log_id as u32);
+        bump_domain(&mut per_domain, domain).replayed += 1;
+    }
     for id in drop_ids {
+        if proxy.get(*id).is_some_and(|c| !c.filtered) {
+            let domain = proxy.get(*id).map(|c| c.domain).unwrap_or(*id as u32);
+            bump_domain(&mut per_domain, domain).dropped += 1;
+        }
         proxy.mark_dropped(*id);
     }
     *live = replayed;
-    RecoveryOutcome::Resumed {
+    RecoveryOutcome::Resumed(ResumeReport {
+        kind: RecoveryKind::Full,
         pause_cycles: out.cycles,
-        replayed_conns: mapping.len() - prefix_len,
-        dropped_conns,
+        preserved_conns: prefix_len,
+        per_domain,
+    })
+}
+
+fn bump_domain(per_domain: &mut Vec<DomainConns>, domain: u32) -> &mut DomainConns {
+    if let Some(i) = per_domain.iter().position(|d| d.domain == domain) {
+        &mut per_domain[i]
+    } else {
+        per_domain.push(DomainConns {
+            domain,
+            replayed: 0,
+            dropped: 0,
+        });
+        per_domain.last_mut().expect("just pushed")
     }
+}
+
+/// Attempt a **partial** (domain) recovery: roll back only the dropped
+/// connections' domains via [`CheckpointManager::rollback_domain`],
+/// leaving every benign connection's state live — nothing is replayed,
+/// nothing benign is dropped (invariant I12).
+///
+/// Structural preconditions are checked fail-closed before any state is
+/// touched: every dropped connection must lie at or past the captured
+/// service boundary, and no benign traffic may have been delivered after
+/// it (either would require re-execution to subtract). On any
+/// [`DomainRefusal`] the live machine and proxy are untouched and the
+/// caller falls back to the full rollback/replay path ([`recover`]).
+pub fn recover_domain(
+    live: &mut Machine,
+    mgr: &mut CheckpointManager,
+    proxy: &mut Proxy,
+    ckpt: CkptId,
+    drop_ids: &[usize],
+) -> Result<RecoveryOutcome, DomainRefusal> {
+    let Some(boundary_conns) = mgr.ledger().boundary_conns() else {
+        return Err(DomainRefusal::NoBoundary);
+    };
+    // Map each undropped log entry to its guest connection index and
+    // split the delivered traffic at the boundary.
+    let mut domains: Vec<u32> = Vec::new();
+    let mut dropped_delivered: Vec<u32> = Vec::new();
+    for (guest_idx, lc) in proxy.log().iter().filter(|c| !c.filtered).enumerate() {
+        if drop_ids.contains(&lc.log_id) {
+            if guest_idx < boundary_conns {
+                // Its effects are baked into the boundary snapshot.
+                return Err(DomainRefusal::PreBoundary);
+            }
+            domains.push(lc.domain);
+            dropped_delivered.push(lc.domain);
+        } else if guest_idx >= boundary_conns {
+            // Benign traffic after the boundary would be silently
+            // discarded by the truncation, not replayed.
+            return Err(DomainRefusal::TrailingBenign);
+        }
+    }
+    // Already-filtered drop ids contribute no domain (nothing delivered
+    // to roll back), mirroring the full path's dropped accounting.
+    let rec = mgr.rollback_domain(ckpt, live, &domains)?;
+    let mut per_domain: Vec<DomainConns> = Vec::new();
+    for &d in &dropped_delivered {
+        bump_domain(&mut per_domain, d).dropped += 1;
+    }
+    for id in drop_ids {
+        proxy.mark_dropped(*id);
+    }
+    Ok(RecoveryOutcome::Resumed(ResumeReport {
+        kind: RecoveryKind::Domain,
+        pause_cycles: rec.pause_cycles,
+        preserved_conns: live.net.conns().len(),
+        per_domain,
+    }))
 }
 
 #[cfg(test)]
@@ -267,14 +410,17 @@ count: .word 0
         let mut w = attacked_world();
         let out = recover(&mut w.m, &w.mgr, &mut w.proxy, w.ckpt, &[1]);
         match out {
-            RecoveryOutcome::Resumed {
-                replayed_conns,
-                pause_cycles,
-                dropped_conns,
-            } => {
-                assert_eq!(replayed_conns, 2, "first + third replayed");
-                assert_eq!(dropped_conns, 1, "the attack connection");
-                assert!(pause_cycles > 0);
+            RecoveryOutcome::Resumed(r) => {
+                assert_eq!(r.kind, RecoveryKind::Full);
+                assert_eq!(r.replayed_conns(), 2, "first + third replayed");
+                assert_eq!(r.dropped_conns(), 1, "the attack connection");
+                assert!(r.pause_cycles > 0);
+                assert_eq!(r.preserved_conns, 0, "checkpoint preceded all conns");
+                // Per-domain split: the attack's domain shows the drop,
+                // the benign domains show the replays.
+                let atk = r.per_domain.iter().find(|d| d.domain == 1).expect("atk");
+                assert_eq!((atk.replayed, atk.dropped), (0, 1));
+                assert!(r.disturbed_outside(&[1]), "full recovery replays benign");
             }
             other => panic!("{other:?}"),
         }
@@ -351,14 +497,15 @@ count: .word 0
         assert!(matches!(m.status(), Status::Faulted(_)));
         let out = recover(&mut m, &mgr, &mut proxy, ckpt, &[0, 1]);
         match out {
-            RecoveryOutcome::Resumed {
-                replayed_conns,
-                dropped_conns,
-                ..
-            } => {
-                assert_eq!(replayed_conns, 0, "everything after the ckpt was dropped");
+            RecoveryOutcome::Resumed(r) => {
                 assert_eq!(
-                    dropped_conns, 2,
+                    r.replayed_conns(),
+                    0,
+                    "everything after the ckpt was dropped"
+                );
+                assert_eq!(
+                    r.dropped_conns(),
+                    2,
                     "both delivered attack connections are accounted as dropped work"
                 );
             }
@@ -373,8 +520,12 @@ count: .word 0
         let mut m2 = server();
         drive(&mut m2);
         let out2 = recover(&mut m2, &mgr, &mut proxy, ckpt, &[0, 1]);
-        if let RecoveryOutcome::Resumed { dropped_conns, .. } = out2 {
-            assert_eq!(dropped_conns, 0, "already-dropped conns are not re-counted");
+        if let RecoveryOutcome::Resumed(r) = out2 {
+            assert_eq!(
+                r.dropped_conns(),
+                0,
+                "already-dropped conns are not re-counted"
+            );
         } else {
             panic!("{out2:?}");
         }
@@ -396,9 +547,100 @@ count: .word 0
         proxy.offer(&mut m, b"atkX".to_vec(), &[]);
         drive(&mut m);
         let out = recover(&mut m, &mgr, &mut proxy, ckpt, &[1]);
-        assert!(
-            matches!(out, RecoveryOutcome::Resumed { .. }),
-            "got {out:?}"
+        assert!(matches!(out, RecoveryOutcome::Resumed(_)), "got {out:?}");
+    }
+
+    /// An attacked world whose manager was fed the domain-attribution
+    /// callbacks (note_service + drain) the runtime performs.
+    fn attributed_world() -> World {
+        let mut m = server();
+        let mut mgr = CheckpointManager::new(0, 8);
+        let mut proxy = Proxy::new();
+        drive(&mut m);
+        let ckpt = mgr.take(&mut m);
+        let (first, _) = proxy.offer(&mut m, b"first".to_vec(), &[]);
+        drive(&mut m);
+        proxy.release_outputs(&m);
+        mgr.note_service(&m, first as u32);
+        mgr.drain(&m);
+        let (atk, _) = proxy.offer(&mut m, b"atkX".to_vec(), &[]);
+        drive(&mut m);
+        assert!(matches!(m.status(), Status::Faulted(_)));
+        mgr.note_attack(&m, atk as u32);
+        World {
+            m,
+            mgr,
+            proxy,
+            ckpt,
+        }
+    }
+
+    #[test]
+    fn domain_recovery_preserves_benign_connections() {
+        let mut w = attributed_world();
+        let out = recover_domain(&mut w.m, &mut w.mgr, &mut w.proxy, w.ckpt, &[1])
+            .expect("partial recovery");
+        match out {
+            RecoveryOutcome::Resumed(r) => {
+                assert_eq!(r.kind, RecoveryKind::Domain);
+                assert_eq!(r.replayed_conns(), 0, "nothing replays under I12");
+                assert_eq!(r.dropped_conns(), 1, "only the attack dropped");
+                assert_eq!(r.preserved_conns, 1, "the benign conn survived live");
+                assert!(!r.disturbed_outside(&[1]), "I12: benign domains untouched");
+                assert!(r.pause_cycles > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!matches!(w.m.status(), Status::Faulted(_)));
+        // The benign connection's served output is still committed; no
+        // re-release happens.
+        assert!(w.proxy.release_outputs(&w.m).is_empty());
+        // And the server keeps serving with a consistent log↔guest map.
+        w.proxy.offer(&mut w.m, b"third".to_vec(), &[]);
+        drive(&mut w.m);
+        assert_eq!(w.proxy.release_outputs(&w.m), vec![(2, b"third".to_vec())]);
+    }
+
+    #[test]
+    fn domain_and_full_recovery_agree_on_guest_state() {
+        // The differential oracle's core claim: both strategies land on
+        // bit-identical guest-observable state (content digest; clock
+        // and write generations legitimately differ).
+        let mut dom = attributed_world();
+        let out = recover_domain(&mut dom.m, &mut dom.mgr, &mut dom.proxy, dom.ckpt, &[1])
+            .expect("partial");
+        assert!(matches!(out, RecoveryOutcome::Resumed(_)));
+        let mut full = attributed_world();
+        let out = recover(&mut full.m, &full.mgr, &mut full.proxy, full.ckpt, &[1]);
+        assert!(matches!(out, RecoveryOutcome::Resumed(_)));
+        assert_eq!(
+            crate::domains::recovery_digest(&dom.m),
+            crate::domains::recovery_digest(&full.m),
+            "domain and full recovery must agree bit-for-bit"
         );
+    }
+
+    #[test]
+    fn trailing_benign_traffic_refuses_partial_recovery() {
+        let mut w = attributed_world();
+        // A benign connection delivered after the boundary (the runtime
+        // never does this mid-recovery, but the seam must fail closed).
+        w.proxy.offer(&mut w.m, b"late".to_vec(), &[]);
+        let err =
+            recover_domain(&mut w.m, &mut w.mgr, &mut w.proxy, w.ckpt, &[1]).expect_err("refused");
+        assert_eq!(err, DomainRefusal::TrailingBenign);
+        assert!(matches!(w.m.status(), Status::Faulted(_)), "live untouched");
+        assert!(!w.proxy.get(1).expect("c").filtered, "proxy untouched");
+    }
+
+    #[test]
+    fn pre_boundary_drop_refuses_partial_recovery() {
+        let mut w = attributed_world();
+        // Widened drop set naming the already-served benign connection:
+        // its effects are baked into the boundary snapshot.
+        let err = recover_domain(&mut w.m, &mut w.mgr, &mut w.proxy, w.ckpt, &[0, 1])
+            .expect_err("refused");
+        assert_eq!(err, DomainRefusal::PreBoundary);
+        assert!(matches!(w.m.status(), Status::Faulted(_)), "live untouched");
     }
 }

@@ -59,7 +59,7 @@ use epidemic::rng::{draw, draw_unit};
 use epidemic::ContactModel;
 use obs::MetricsRegistry;
 use svm::clock::{cycles_to_secs, secs_to_cycles};
-use sweeper::{Config, LatencyBook, RequestOutcome, Sweeper};
+use sweeper::{Config, LatencyBook, RecoveryMode, RequestOutcome, Sweeper};
 
 use crate::loadgen::LoadGen;
 use crate::reactor::Reactor;
@@ -105,6 +105,12 @@ pub struct FleetConfig {
     /// Hard cap on total worm contacts scheduled (keeps the branching
     /// process bounded above the horizon cutoff).
     pub contact_cap: u32,
+    /// Post-attack recovery strategy every host runs. Domain (the
+    /// default) is what keeps an attacked host's pause off its benign
+    /// queue: the partial rollback restores service immediately and the
+    /// analysis overlaps the queued requests
+    /// ([`sweeper::PollOutcome::deferred_cycles`]).
+    pub recovery: RecoveryMode,
 }
 
 impl FleetConfig {
@@ -125,6 +131,7 @@ impl FleetConfig {
             wire_delay_ms: (5.0, 25.0),
             interval_ms: 200,
             contact_cap: 4 * hosts,
+            recovery: RecoveryMode::Domain,
         }
     }
 
@@ -142,6 +149,11 @@ impl FleetConfig {
     /// Same run with a different shard count (results must not change).
     pub fn with_shards(self, shards: usize) -> FleetConfig {
         FleetConfig { shards, ..self }
+    }
+
+    /// Same run with a different per-host recovery strategy.
+    pub fn with_recovery(self, recovery: RecoveryMode) -> FleetConfig {
+        FleetConfig { recovery, ..self }
     }
 }
 
@@ -269,7 +281,8 @@ impl Sim {
             } else {
                 Config::consumer(hseed)
             }
-            .with_interval_ms(cfg.interval_ms as f64);
+            .with_interval_ms(cfg.interval_ms as f64)
+            .with_recovery(cfg.recovery);
             let sw = Sweeper::protect(&app, conf)
                 .map_err(|e| format!("fleet host {h} failed to boot: {e}"))?;
             hosts.push(Host {
@@ -570,6 +583,39 @@ mod tests {
         assert!(
             out.protected_hosts > 1,
             "antibody reached beyond the producer: {out:?}"
+        );
+    }
+
+    #[test]
+    fn domain_recovery_keeps_the_analysis_pause_off_the_queue() {
+        // Same seed, same outbreak, only the recovery strategy differs.
+        // Under Full recovery an attacked producer stalls its whole
+        // queue behind detect→rollback→replay→analysis; under Domain
+        // recovery the partial rollback restores the benign connections
+        // first and the analysis overlaps the queue, so the outbreak
+        // tail collapses.
+        let cfg = FleetConfig {
+            // Dense enough load that benign requests queue behind an
+            // attacked host's pause, and every host a producer so the
+            // attacked host itself pays the analysis.
+            arrival_rate_hz: 25.0,
+            producer_every: 1,
+            ..FleetConfig::smoke(8, 5)
+        };
+        let dom = run(&cfg).expect("domain run");
+        let full = run(&cfg.with_recovery(RecoveryMode::Full)).expect("full run");
+        assert!(dom.attacks > 0 && full.attacks > 0, "outbreak landed");
+        assert!(
+            dom.metrics.counter("recovery.domain_rollbacks") > 0,
+            "partial rollbacks ran"
+        );
+        assert_eq!(full.metrics.counter("recovery.domain_rollbacks"), 0);
+        assert_eq!(dom.metrics.counter("recovery.i12_violations"), 0, "I12");
+        let d999 = dom.outbreak.percentile(0.999).expect("domain outbreak");
+        let f999 = full.outbreak.percentile(0.999).expect("full outbreak");
+        assert!(
+            d999 < f999,
+            "domain tail must beat full: {d999:.3} vs {f999:.3} ms"
         );
     }
 

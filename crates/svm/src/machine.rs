@@ -114,6 +114,17 @@ impl Machine {
         self.status
     }
 
+    /// Restore a previously captured status verbatim.
+    ///
+    /// Recovery support: partial (domain) rollback rebuilds a machine
+    /// from a faulted live image plus a captured service boundary, and
+    /// must be able to clear the `Faulted` latch back to the boundary's
+    /// blocked-on-accept state. Not for general use — ordinary code
+    /// transitions status through execution and [`Machine::unblock`].
+    pub fn restore_status(&mut self, status: Status) {
+        self.status = status;
+    }
+
     /// Builder-style decode-cache knob: `boot(..)?.with_decode_cache(false)`
     /// yields the pre-cache interpreter (useful for differential parity
     /// testing and the `vm_decode_cache` benchmarks). The cache is **on**

@@ -149,6 +149,15 @@ impl NetState {
         &self.conns
     }
 
+    /// Drop every connection with id >= `len`, including any still
+    /// waiting in the accept queue. Rollback-domain recovery uses this
+    /// to truncate the endpoint back to a service boundary without
+    /// disturbing the (already-served) earlier connections.
+    pub fn truncate_conns(&mut self, len: usize) {
+        self.conns.truncate(len);
+        self.pending_accept.retain(|&id| (id as usize) < len);
+    }
+
     /// Total bytes written by the guest across all connections.
     pub fn total_output(&self) -> usize {
         self.conns.iter().map(|c| c.output.len()).sum()

@@ -4,6 +4,39 @@ use checkpoint::Engine;
 use svm::clock::secs_to_cycles;
 use svm::loader::Aslr;
 
+/// How post-attack recovery restores service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Whole-machine rollback to the chosen checkpoint followed by a
+    /// drop-the-attack replay of every post-checkpoint connection.
+    Full,
+    /// Partial rollback of only the attacked connection's domain
+    /// (benign connections are neither dropped nor replayed — invariant
+    /// I12), falling back to [`RecoveryMode::Full`] whenever the
+    /// page→domain ledger cannot *prove* isolation (cross-domain spill,
+    /// corrupt ledger, stale window, trailing benign traffic). The
+    /// fallback is fail-closed: correctness never depends on domain
+    /// isolation holding.
+    #[default]
+    Domain,
+    /// Run Domain recovery on a shadow clone and Full recovery on the
+    /// live machine for the same fault, assert their post-recovery
+    /// digests agree, and adopt the Full result — the differential
+    /// oracle configuration used by the chaos harness and CI.
+    Differential,
+}
+
+impl RecoveryMode {
+    /// Stable lowercase label (metrics, bench JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryMode::Full => "full",
+            RecoveryMode::Domain => "domain",
+            RecoveryMode::Differential => "differential",
+        }
+    }
+}
+
 /// How much of Sweeper a host deploys (paper §6 community roles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
@@ -47,6 +80,9 @@ pub struct Config {
     /// paper's 2003-era targets predate NX, and the exploits' shellcode
     /// runs from data. Turning it on is the "modern mitigation" ablation.
     pub nx: bool,
+    /// Post-attack recovery strategy (default: [`RecoveryMode::Domain`]
+    /// with a fail-closed fallback to Full).
+    pub recovery: RecoveryMode,
 }
 
 impl Default for Config {
@@ -62,6 +98,7 @@ impl Default for Config {
             replay_budget: 20_000_000_000,
             sample_rate: 0.0,
             nx: false,
+            recovery: RecoveryMode::default(),
         }
     }
 }
@@ -101,6 +138,12 @@ impl Config {
         self.checkpoint_engine = engine;
         self
     }
+
+    /// Select the post-attack recovery strategy.
+    pub fn with_recovery(mut self, mode: RecoveryMode) -> Config {
+        self.recovery = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +158,14 @@ mod tests {
         assert_eq!(c.checkpoint_engine, Engine::Incremental);
         assert!(c.aslr.enabled);
         assert_eq!(c.aslr.entropy_bits, 12);
+        assert_eq!(c.recovery, RecoveryMode::Domain, "partial by default");
+    }
+
+    #[test]
+    fn recovery_override() {
+        let c = Config::default().with_recovery(RecoveryMode::Differential);
+        assert_eq!(c.recovery, RecoveryMode::Differential);
+        assert_eq!(c.recovery.name(), "differential");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod report;
 pub mod runtime;
 pub mod timeline;
 
-pub use config::{Config, Role};
+pub use config::{Config, RecoveryMode, Role};
 pub use error::SweeperError;
 pub use fault::{FaultAdapter, FaultHooks, NoFaultHooks};
 pub use pipeline::{

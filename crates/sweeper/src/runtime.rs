@@ -13,8 +13,9 @@ use antibody::{
 };
 use apps::App;
 use checkpoint::{
-    divergence, recover, recover_with_fault, CheckpointManager, CkptId, Divergence, InputFilter,
-    Proxy, RecoveryOutcome, SyscallLog,
+    divergence, recover, recover_domain, recover_with_fault, recovery_digest, CheckpointManager,
+    CkptId, Divergence, InputFilter, Proxy, RecoveryKind, RecoveryOutcome, ResumeReport,
+    SyscallLog,
 };
 use dbi::{Instrumenter, ToolId};
 use svm::clock::cycles_to_secs;
@@ -26,7 +27,7 @@ use svm::{Machine, Status};
 
 use crate::error::SweeperError;
 
-use crate::config::{Config, Role};
+use crate::config::{Config, RecoveryMode, Role};
 use crate::fault::{FaultAdapter, FaultHooks};
 use crate::pipeline::{analyze_attack_with_faults, AnalysisReport};
 use crate::timeline::{Event, Timeline};
@@ -60,9 +61,17 @@ pub struct PollOutcome {
     pub outcome: RequestOutcome,
     /// Virtual cycles of host busy time the step consumed: service,
     /// any due checkpoint, and — when the request was an attack — the
-    /// whole analysis/recovery pause. Zero-cost steps (a request
-    /// dropped at the proxy filter) report 0.
+    /// part of the analysis/recovery pause that actually blocks the
+    /// service queue. Zero-cost steps (a request dropped at the proxy
+    /// filter) report 0.
     pub busy_cycles: u64,
+    /// Virtual cycles of attack-handling work that does **not** block
+    /// the service queue: after a successful domain rollback the benign
+    /// connections are already restored, so the heavyweight analysis
+    /// runs concurrently with the host's own queued requests. Always 0
+    /// for non-attack steps and for full (rollback+replay or restart)
+    /// recoveries, whose pause genuinely stalls the queue.
+    pub deferred_cycles: u64,
 }
 
 /// Everything Sweeper did about one attack.
@@ -76,6 +85,11 @@ pub struct AttackReport {
     pub recovery_method: &'static str,
     /// Service pause in virtual milliseconds (analysis + recovery).
     pub pause_ms: f64,
+    /// Of the pause, virtual cycles that overlap queued benign service
+    /// instead of stalling it: the analysis phase, when (and only when)
+    /// recovery was a partial domain rollback. See
+    /// [`PollOutcome::deferred_cycles`].
+    pub deferred_cycles: u64,
     /// Whether the attacker's shellcode ran before detection (should
     /// always be false for ASLR misses; true means compromise).
     pub compromised: bool,
@@ -523,6 +537,10 @@ impl Sweeper {
                 let released = self.proxy.release_outputs(&self.machine);
                 let bytes: usize = released.iter().map(|(_, b)| b.len()).sum();
                 self.requests_served += 1;
+                // Attribute this connection's dirty pages to its own
+                // rollback domain and advance the service boundary: the
+                // idle state a later partial rollback restores to.
+                self.mgr.note_service(&self.machine, log_id as u32);
                 self.timeline.record(Event::RequestServed { log_id, bytes });
                 RequestOutcome::Served { log_id, bytes }
             }
@@ -544,9 +562,18 @@ impl Sweeper {
         let before = self.machine.clock.cycles().max(self.timeline.now());
         let outcome = self.offer_request(input);
         let after = self.machine.clock.cycles().max(self.timeline.now());
+        // A domain rollback restores the benign connections *before*
+        // analysis output is needed, so the analysis phase overlaps the
+        // host's own queued requests instead of stalling them: report it
+        // separately and exclude it from the queue-blocking busy time.
+        let deferred_cycles = match &outcome {
+            RequestOutcome::Attack(r) => r.deferred_cycles,
+            _ => 0,
+        };
         PollOutcome {
             outcome,
-            busy_cycles: after.saturating_sub(before),
+            busy_cycles: after.saturating_sub(before).saturating_sub(deferred_cycles),
+            deferred_cycles,
         }
     }
 
@@ -573,6 +600,7 @@ impl Sweeper {
 
         // Producers run the full analysis (skipped when a deployed VSEF
         // caught a known vulnerability — the antibody already exists).
+        let analysis_begin = self.timeline.now();
         let analysis = if self.config.role == Role::Producer && !via_vsef {
             analyze_attack_with_faults(
                 &self.machine,
@@ -587,6 +615,7 @@ impl Sweeper {
         } else {
             None
         };
+        let analysis_cycles = self.timeline.now().saturating_sub(analysis_begin);
 
         // Deploy our own antibody locally.
         let drop_ids: Vec<usize> = if let Some(rep) = &analysis {
@@ -649,6 +678,17 @@ impl Sweeper {
             )
             .or_else(|| self.mgr.oldest())
             .map(|c| c.id);
+        // Attribute the attack's dirty pages to its own domain *before*
+        // the fault seam runs, so the chaos hooks that corrupt domain
+        // tags or force spills find a populated ledger to perturb.
+        let attacked: Vec<u32> = drop_ids
+            .iter()
+            .filter_map(|&id| self.proxy.get(id))
+            .map(|c| c.domain)
+            .collect();
+        if let Some(&d) = attacked.first() {
+            self.mgr.note_attack(&self.machine, d);
+        }
         // Fault seam: the eviction-race window between choosing a
         // checkpoint and replaying from it. A hook may evict the chosen
         // snapshot here; recovery must then degrade to a restart.
@@ -657,22 +697,7 @@ impl Sweeper {
         }
         let mut method: &'static str = "restart";
         if let Some(ck) = recover_from {
-            match self.recover_faulted(ck, &drop_ids) {
-                RecoveryOutcome::Resumed {
-                    pause_cycles,
-                    replayed_conns,
-                    dropped_conns,
-                } => {
-                    method = "rollback-replay";
-                    self.obs
-                        .inc("recovery.replayed_conns", replayed_conns as u64);
-                    self.obs.inc("recovery.dropped_conns", dropped_conns as u64);
-                    self.timeline.advance_by(pause_cycles);
-                }
-                RecoveryOutcome::ReplayFaulted(_) | RecoveryOutcome::RestartRequired { .. } => {
-                    method = "restart";
-                }
-            }
+            method = self.run_recovery(ck, &drop_ids, &attacked);
         }
         if method == "restart" {
             self.restart(&drop_ids);
@@ -711,8 +736,150 @@ impl Sweeper {
             analysis,
             recovery_method: method,
             pause_ms,
+            // Only a domain rollback leaves the benign connections live
+            // while analysis runs; a full replay (or restart) needs the
+            // analysis verdict before service state exists again.
+            deferred_cycles: if method == "domain-rollback" {
+                analysis_cycles
+            } else {
+                0
+            },
             compromised,
         }
+    }
+
+    /// Run the configured post-attack recovery strategy against
+    /// checkpoint `ck`, accounting the outcome. Returns the method label
+    /// recorded on the timeline: `"domain-rollback"` (partial rollback,
+    /// benign connections untouched), `"rollback-replay"` (full rollback
+    /// plus drop-the-attack replay), or `"restart"` (nothing could be
+    /// recovered).
+    fn run_recovery(&mut self, ck: CkptId, drop_ids: &[usize], attacked: &[u32]) -> &'static str {
+        match self.config.recovery {
+            RecoveryMode::Full => self.full_recovery(ck, drop_ids, attacked),
+            RecoveryMode::Domain => self
+                .domain_recovery(ck, drop_ids, attacked)
+                .unwrap_or_else(|| self.full_recovery(ck, drop_ids, attacked)),
+            RecoveryMode::Differential => {
+                // The differential oracle: run the partial rollback on a
+                // shadow clone of the faulted machine and the full
+                // rollback+replay on the live one, then require their
+                // guest-observable states to be bit-identical. The Full
+                // result is always the one adopted.
+                let mut shadow = self.machine.clone();
+                let domain =
+                    recover_domain(&mut shadow, &mut self.mgr, &mut self.proxy, ck, drop_ids);
+                if let Err(refusal) = &domain {
+                    self.count_domain_fallback(*refusal);
+                }
+                let method = self.full_recovery(ck, drop_ids, attacked);
+                if let Ok(RecoveryOutcome::Resumed(r)) = &domain {
+                    if r.disturbed_outside(attacked) {
+                        self.obs.inc("recovery.i12_violations", 1);
+                    }
+                    if method == "rollback-replay" {
+                        self.obs.inc("recovery.domain_parity_checks", 1);
+                        if recovery_digest(&shadow) != recovery_digest(&self.machine) {
+                            self.obs.inc("recovery.domain_parity_mismatches", 1);
+                        }
+                    }
+                }
+                method
+            }
+        }
+    }
+
+    /// Attempt the partial (domain) rollback; `None` means it refused
+    /// fail-closed and the caller must run the full path.
+    fn domain_recovery(
+        &mut self,
+        ck: CkptId,
+        drop_ids: &[usize],
+        attacked: &[u32],
+    ) -> Option<&'static str> {
+        match recover_domain(
+            &mut self.machine,
+            &mut self.mgr,
+            &mut self.proxy,
+            ck,
+            drop_ids,
+        ) {
+            Ok(RecoveryOutcome::Resumed(r)) => {
+                self.adopt_resume(&r, attacked);
+                Some("domain-rollback")
+            }
+            Ok(_) => None,
+            Err(refusal) => {
+                self.count_domain_fallback(refusal);
+                None
+            }
+        }
+    }
+
+    /// Full rollback + drop-the-attack replay (the pre-domain pipeline).
+    fn full_recovery(&mut self, ck: CkptId, drop_ids: &[usize], attacked: &[u32]) -> &'static str {
+        match self.recover_faulted(ck, drop_ids) {
+            RecoveryOutcome::Resumed(r) => {
+                self.adopt_resume(&r, attacked);
+                "rollback-replay"
+            }
+            RecoveryOutcome::ReplayFaulted(_) | RecoveryOutcome::RestartRequired { .. } => {
+                "restart"
+            }
+        }
+    }
+
+    /// Account a refused partial rollback: the silent-fallback visibility
+    /// counters (satellite of invariant I12 — a Domain host quietly
+    /// running Full recoveries must show up in metrics).
+    fn count_domain_fallback(&mut self, refusal: checkpoint::DomainRefusal) {
+        self.obs.inc("recovery.domain_fallbacks", 1);
+        self.obs
+            .inc(&format!("recovery.domain_fallback.{}", refusal.name()), 1);
+        if refusal.is_spill() {
+            self.obs.inc("recovery.domain_spill_fallbacks", 1);
+        }
+    }
+
+    /// Account a successful resume: the legacy flat totals, the
+    /// per-recovery-mode split (`recovery.full.*` / `recovery.domain.*`),
+    /// per-domain counters, the unconditional I12 check for partial
+    /// rollbacks, and the service pause.
+    fn adopt_resume(&mut self, r: &ResumeReport, attacked: &[u32]) {
+        let mode = r.kind.name();
+        self.obs
+            .inc("recovery.replayed_conns", r.replayed_conns() as u64);
+        self.obs
+            .inc("recovery.dropped_conns", r.dropped_conns() as u64);
+        self.obs.inc(
+            &format!("recovery.{mode}.replayed_conns"),
+            r.replayed_conns() as u64,
+        );
+        self.obs.inc(
+            &format!("recovery.{mode}.dropped_conns"),
+            r.dropped_conns() as u64,
+        );
+        self.obs.inc(&format!("recovery.{mode}.resumes"), 1);
+        for d in &r.per_domain {
+            self.obs.inc(
+                &format!("recovery.{mode}.domain.{}.replayed_conns", d.domain),
+                d.replayed as u64,
+            );
+            self.obs.inc(
+                &format!("recovery.{mode}.domain.{}.dropped_conns", d.domain),
+                d.dropped as u64,
+            );
+        }
+        if r.kind == RecoveryKind::Domain {
+            self.obs.inc("recovery.domain_rollbacks", 1);
+            // I12 is unconditional: a partial rollback that replayed or
+            // dropped work in any benign domain is a violation no matter
+            // what faults were firing.
+            if r.disturbed_outside(attacked) {
+                self.obs.inc("recovery.i12_violations", 1);
+            }
+        }
+        self.timeline.advance_by(r.pause_cycles);
     }
 
     /// Run one request under full sampling instrumentation (taint paired
@@ -831,23 +998,20 @@ impl Sweeper {
             .latest_before(arrival)
             .or_else(|| self.mgr.oldest())
             .map(|c| c.id);
+        let attacked: Vec<u32> = self
+            .proxy
+            .get(log_id)
+            .map(|c| vec![c.domain])
+            .unwrap_or_default();
+        if let Some(&d) = attacked.first() {
+            self.mgr.note_attack(&self.machine, d);
+        }
         if let Some(hooks) = self.fault_hooks.as_deref_mut() {
             hooks.before_recovery(&mut self.mgr, &mut self.proxy);
         }
         let mut method: &'static str = "restart";
         if let Some(ck) = recover_from {
-            if let RecoveryOutcome::Resumed {
-                pause_cycles,
-                replayed_conns,
-                dropped_conns,
-            } = self.recover_faulted(ck, &[log_id])
-            {
-                method = "rollback-replay";
-                self.obs
-                    .inc("recovery.replayed_conns", replayed_conns as u64);
-                self.obs.inc("recovery.dropped_conns", dropped_conns as u64);
-                self.timeline.advance_by(pause_cycles);
-            }
+            method = self.run_recovery(ck, &[log_id], &attacked);
         }
         if method == "restart" {
             self.restart(&[log_id]);
@@ -878,6 +1042,10 @@ impl Sweeper {
             analysis: None,
             recovery_method: method,
             pause_ms,
+            // The sampled path's heavyweight work *was* the monitoring,
+            // charged to the live clock before detection: nothing left
+            // to overlap.
+            deferred_cycles: 0,
             compromised,
         }
     }
@@ -1028,7 +1196,15 @@ mod tests {
             !analysis.input.attack_log_ids.is_empty(),
             "input identified"
         );
-        assert_eq!(report.recovery_method, "rollback-replay");
+        // Default recovery is the partial domain rollback: the benign
+        // connection's work survives without being replayed.
+        assert_eq!(report.recovery_method, "domain-rollback");
+        assert!(report.deferred_cycles > 0, "analysis overlaps the queue");
+        let m = s.export_metrics();
+        assert_eq!(m.counter("recovery.domain_rollbacks"), 1);
+        assert_eq!(m.counter("recovery.domain.replayed_conns"), 0);
+        assert_eq!(m.counter("recovery.domain.dropped_conns"), 1);
+        assert_eq!(m.counter("recovery.i12_violations"), 0);
         // Service continues.
         assert!(served(&s.offer_request(httpd1::benign_request("b.html"))));
         // The same exploit again is now filtered by the exact signature.
@@ -1392,6 +1568,132 @@ mod tests {
             }
             other => panic!("consumer unprotected: {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod recovery_mode_tests {
+    use super::*;
+    use crate::config::RecoveryMode;
+    use apps::httpd1;
+
+    #[test]
+    fn full_mode_replays_benign_connections() {
+        let app = httpd1::app().expect("app");
+        let cfg = Config::producer(21).with_recovery(RecoveryMode::Full);
+        let mut s = Sweeper::protect(&app, cfg).expect("protect");
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("a.html")),
+            RequestOutcome::Served { .. }
+        ));
+        let RequestOutcome::Attack(report) = s.offer_request(httpd1::exploit_crash(&app).input)
+        else {
+            panic!("expected attack")
+        };
+        assert_eq!(report.recovery_method, "rollback-replay");
+        assert_eq!(report.deferred_cycles, 0, "full pause stalls the queue");
+        let m = s.export_metrics();
+        assert_eq!(m.counter("recovery.domain_rollbacks"), 0);
+        assert_eq!(m.counter("recovery.full.replayed_conns"), 1);
+        assert_eq!(m.counter("recovery.full.dropped_conns"), 1);
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("b.html")),
+            RequestOutcome::Served { .. }
+        ));
+    }
+
+    #[test]
+    fn differential_mode_proves_domain_matches_full() {
+        let app = httpd1::app().expect("app");
+        let cfg = Config::producer(22).with_recovery(RecoveryMode::Differential);
+        let mut s = Sweeper::protect(&app, cfg).expect("protect");
+        for i in 0..3 {
+            assert!(matches!(
+                s.offer_request(httpd1::benign_request(&format!("p{i}.html"))),
+                RequestOutcome::Served { .. }
+            ));
+        }
+        let RequestOutcome::Attack(report) = s.offer_request(httpd1::exploit_crash(&app).input)
+        else {
+            panic!("expected attack")
+        };
+        assert_eq!(report.recovery_method, "rollback-replay", "Full adopted");
+        let m = s.export_metrics();
+        assert_eq!(m.counter("recovery.domain_parity_checks"), 1);
+        assert_eq!(
+            m.counter("recovery.domain_parity_mismatches"),
+            0,
+            "partial rollback must land on the bit-identical guest state"
+        );
+        assert_eq!(m.counter("recovery.i12_violations"), 0);
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("after.html")),
+            RequestOutcome::Served { .. }
+        ));
+    }
+
+    #[test]
+    fn spilled_domain_falls_back_to_full_not_a_wrong_answer() {
+        // Force every tracked domain into the spilled set right before
+        // recovery runs (the chaos `domain-spill` family's seam): the
+        // partial path must refuse and the full pipeline must carry the
+        // recovery — never a partial restore of unproven isolation.
+        struct ForceSpill;
+        impl FaultHooks for ForceSpill {
+            fn before_recovery(&mut self, mgr: &mut CheckpointManager, _proxy: &mut Proxy) {
+                assert!(mgr.chaos_force_domain_spill(), "ledger populated");
+            }
+        }
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(23)).expect("protect");
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("a.html")),
+            RequestOutcome::Served { .. }
+        ));
+        s.set_fault_hooks(Box::new(ForceSpill));
+        let RequestOutcome::Attack(report) = s.offer_request(httpd1::exploit_crash(&app).input)
+        else {
+            panic!("expected attack")
+        };
+        assert_eq!(report.recovery_method, "rollback-replay", "fail-closed");
+        let m = s.export_metrics();
+        assert_eq!(m.counter("recovery.domain_fallbacks"), 1);
+        assert_eq!(m.counter("recovery.domain_spill_fallbacks"), 1);
+        assert_eq!(m.counter("recovery.domain_fallback.spilled"), 1);
+        assert!(m.counter("checkpoint.domain_spills") >= 1);
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("b.html")),
+            RequestOutcome::Served { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupt_domain_tags_fall_back_to_full() {
+        struct CorruptTag;
+        impl FaultHooks for CorruptTag {
+            fn before_recovery(&mut self, mgr: &mut CheckpointManager, _proxy: &mut Proxy) {
+                assert!(mgr.chaos_corrupt_domain_tag(5), "ledger populated");
+            }
+        }
+        let app = httpd1::app().expect("app");
+        let mut s = Sweeper::protect(&app, Config::producer(24)).expect("protect");
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("a.html")),
+            RequestOutcome::Served { .. }
+        ));
+        s.set_fault_hooks(Box::new(CorruptTag));
+        let RequestOutcome::Attack(report) = s.offer_request(httpd1::exploit_crash(&app).input)
+        else {
+            panic!("expected attack")
+        };
+        assert_eq!(report.recovery_method, "rollback-replay", "fail-closed");
+        let m = s.export_metrics();
+        assert_eq!(m.counter("recovery.domain_fallback.corrupt-ledger"), 1);
+        assert_eq!(m.counter("recovery.i12_violations"), 0);
+        assert!(matches!(
+            s.offer_request(httpd1::benign_request("b.html")),
+            RequestOutcome::Served { .. }
+        ));
     }
 }
 

@@ -27,7 +27,7 @@
 #                oracle on every guest (differential engine lockstep)
 #   bench-smoke  `tables benchjson` perf snapshot; numbers are NOT
 #                gated (commit refreshed BENCH_*.json deliberately),
-#                but the written JSON must carry the schema-v8
+#                but the written JSON must carry the schema-v9
 #                "superblock" AND "checkpoint" blocks
 #   fleet-smoke  `tables fleet` at 1k hosts over a short horizon; the
 #                written JSON must carry the "fleet" block with a
@@ -38,6 +38,13 @@
 #                per-host tick rate and soa_parity=true (the SoA/legacy
 #                differential gate, invariant I11 — the binary itself
 #                asserts parity and K-invariance before writing)
+#   recovery-smoke  `tables fleetrecover` at 1k hosts: the same
+#                outbreak under Full vs Domain recovery plus a
+#                Differential oracle leg; the written JSON must carry
+#                the "recovery" block with domain_parity=true, zero
+#                I12 violations, and a Domain outbreak p999 strictly
+#                below Full's (the binary itself asserts all four
+#                gates before writing)
 #   fig9dist     distnet sweep smoke (non-failing)
 #
 # Run from anywhere; works offline — all dependencies are in-tree.
@@ -136,8 +143,8 @@ stage_bench_smoke() {
         echo "wrote target/bench_smoke.json"
         # Gated: the snapshot must declare the current schema and carry
         # both tier blocks.
-        if ! grep -q '"schema": "sweeper-bench-v8"' target/bench_smoke.json; then
-            echo "FAIL: bench_smoke.json does not declare schema sweeper-bench-v8"
+        if ! grep -q '"schema": "sweeper-bench-v9"' target/bench_smoke.json; then
+            echo "FAIL: bench_smoke.json does not declare schema sweeper-bench-v9"
             return 1
         fi
         if ! grep -q '"superblock"' target/bench_smoke.json; then
@@ -148,7 +155,7 @@ stage_bench_smoke() {
             echo "FAIL: no checkpoint block in bench_smoke.json"
             return 1
         fi
-        echo "schema-v8 declared, superblock + checkpoint blocks present"
+        echo "schema-v9 declared, superblock + checkpoint blocks present"
     else
         echo "WARN: bench smoke failed (not a gate) — see $LOGDIR/bench-smoke.log"
     fi
@@ -172,7 +179,7 @@ stage_fleet_smoke() {
         echo "FAIL: fleet latency window has no samples (p99 null)"
         return 1
     fi
-    echo "schema-v8 fleet block present, p99 finite, shard-invariant"
+    echo "schema-v9 fleet block present, p99 finite, shard-invariant"
 }
 
 stage_epidemic_smoke() {
@@ -197,7 +204,39 @@ stage_epidemic_smoke() {
         echo "FAIL: epidemic per-host tick rate is not finite"
         return 1
     fi
-    echo "schema-v8 epidemic1m block present, rate finite, SoA parity holds"
+    echo "schema-v9 epidemic1m block present, rate finite, SoA parity holds"
+}
+
+stage_recovery_smoke() {
+    # Gated: the fleetrecover binary itself asserts shard invariance,
+    # domain parity, zero I12 violations, and Domain p999 < Full p999
+    # before writing; re-check the written block so a silent writer
+    # regression cannot green-wash the stage.
+    cargo run --release -p bench --bin tables -- \
+        fleetrecover --hosts=1000 --shards=2 --out=target/recovery_smoke.json
+    if ! grep -q '"recovery"' target/recovery_smoke.json; then
+        echo "FAIL: no recovery block in recovery_smoke.json"
+        return 1
+    fi
+    if ! grep -q '"domain_parity": true' target/recovery_smoke.json; then
+        echo "FAIL: Differential oracle found a Domain/Full divergence"
+        return 1
+    fi
+    if ! grep -q '"i12_violations": 0' target/recovery_smoke.json; then
+        echo "FAIL: partial rollback disturbed a benign domain (I12)"
+        return 1
+    fi
+    domain_p999=$(sed -n 's/.*"domain_outbreak".*"p999_ms": \([0-9.]*\).*/\1/p' target/recovery_smoke.json)
+    full_p999=$(sed -n 's/.*"full_outbreak".*"p999_ms": \([0-9.]*\).*/\1/p' target/recovery_smoke.json)
+    if [ -z "$domain_p999" ] || [ -z "$full_p999" ]; then
+        echo "FAIL: recovery block is missing an outbreak p999"
+        return 1
+    fi
+    if ! awk -v d="$domain_p999" -v f="$full_p999" 'BEGIN { exit !(d < f) }'; then
+        echo "FAIL: Domain outbreak p999 ($domain_p999 ms) not below Full ($full_p999 ms)"
+        return 1
+    fi
+    echo "schema-v9 recovery block present, I12 clean, parity holds, domain p999 $domain_p999 < full $full_p999 ms"
 }
 
 stage_fig9dist() {
@@ -218,6 +257,7 @@ run_stage ckptparity stage_ckptparity
 run_stage bench-smoke stage_bench_smoke
 run_stage fleet-smoke stage_fleet_smoke
 run_stage epidemic-smoke stage_epidemic_smoke
+run_stage recovery-smoke stage_recovery_smoke
 run_stage fig9dist stage_fig9dist
 
 if [ "$RAN" -eq 0 ]; then

@@ -51,8 +51,64 @@ fn every_exploit_is_detected_analyzed_and_recovered() {
             "{}: input not packaged",
             app.name
         );
-        // Recovery restored service without restart.
-        assert_eq!(report.recovery_method, "rollback-replay", "{}", app.name);
+        // Recovery restored service without restart — and with rollback
+        // domains on by default, only the attack connection's domain is
+        // materialized; the warm-up connections never roll back.
+        assert_eq!(report.recovery_method, "domain-rollback", "{}", app.name);
+    }
+}
+
+#[test]
+fn recovery_metrics_split_by_mode_and_domain() {
+    // Regression for the per-mode metrics split: the flat
+    // `recovery.replayed_conns` / `recovery.dropped_conns` totals used
+    // to be the only accounting, so a dashboard could not tell "Domain
+    // rolled back one connection" from "Full replayed the whole epoch".
+    // Under the default Domain mode, benign warm-up connections must
+    // show up in *no* replay counter at all (invariant I12), and every
+    // flat total must equal the sum of its per-mode splits.
+    let app = squid::app().expect("app");
+    let mut s = Sweeper::protect(&app, Config::producer(99)).expect("protect");
+    for i in 0..6 {
+        assert!(matches!(
+            s.offer_request(squid::benign_request(&format!("u{i}"), "h")),
+            RequestOutcome::Served { .. }
+        ));
+    }
+    let RequestOutcome::Attack(r) = s.offer_request(squid::exploit_crash(&app).input) else {
+        panic!("exploit not detected")
+    };
+    assert_eq!(r.recovery_method, "domain-rollback");
+    let m = s.export_metrics();
+    assert_eq!(m.counter("recovery.domain_rollbacks"), 1);
+    assert_eq!(m.counter("recovery.domain_fallbacks"), 0);
+    assert_eq!(m.counter("recovery.i12_violations"), 0);
+    // The six benign connections are in an untouched domain: nothing
+    // replayed, and only the attack connection itself was dropped.
+    assert_eq!(m.counter("recovery.domain.replayed_conns"), 0);
+    assert_eq!(m.counter("recovery.domain.dropped_conns"), 1);
+    assert_eq!(m.counter("recovery.full.replayed_conns"), 0);
+    assert_eq!(m.counter("recovery.full.dropped_conns"), 0);
+    // Flat totals must equal the sum of the per-mode splits, and the
+    // per-mode counters the sum of their per-domain splits.
+    for leaf in ["replayed_conns", "dropped_conns"] {
+        let flat = m.counter(&format!("recovery.{leaf}"));
+        let by_mode: u64 = ["full", "domain", "differential"]
+            .iter()
+            .map(|mode| m.counter(&format!("recovery.{mode}.{leaf}")))
+            .sum();
+        assert_eq!(flat, by_mode, "{leaf}: flat vs per-mode");
+        let by_domain: u64 = m
+            .counters()
+            .filter(|(name, _)| {
+                name.starts_with("recovery.")
+                    && name.contains(".domain.")
+                    && name.ends_with(leaf)
+                    && *name != format!("recovery.domain.{leaf}")
+            })
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(flat, by_domain, "{leaf}: flat vs per-domain");
     }
 }
 

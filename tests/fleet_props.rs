@@ -17,6 +17,7 @@
 
 use proptest::prelude::*;
 use sweeper_repro::fleet::{run, FleetConfig};
+use sweeper_repro::sweeper::RecoveryMode;
 
 /// A small-but-varied fleet configuration: host counts, seeds, and an
 /// optional outbreak, sized so one case stays well under a second.
@@ -78,4 +79,71 @@ proptest! {
             prop_assert!(out.outbreak.is_empty());
         }
     }
+
+    /// Recovery mode is a latency knob, never a safety knob: for any
+    /// fleet configuration, the default Domain mode protects exactly
+    /// the hosts Full protects, holds I12 (no benign-domain
+    /// disturbance), and never materially worsens the outbreak tail —
+    /// the pause split can only move analysis *off* the benign queue.
+    /// (A 10 µs tolerance absorbs per-sample scheduling jitter: under
+    /// sparse load both tails sit at the quiescent baseline and either
+    /// run can draw the epsilon-later completion.)
+    #[test]
+    fn domain_recovery_never_worsens_the_outbreak_tail(cfg in arb_cfg()) {
+        let cfg = FleetConfig { outbreak_at_ms: Some(200.0), ..cfg };
+        let dom = run(&cfg).expect("domain run");
+        let full = run(&cfg.with_recovery(RecoveryMode::Full)).expect("full run");
+        prop_assert_eq!(dom.metrics.counter("recovery.i12_violations"), 0);
+        prop_assert_eq!(full.metrics.counter("recovery.domain_rollbacks"), 0);
+        // Recovery pauses shift worm-delivery timing, so attack counts
+        // (and how far the antibody spreads before the horizon) can
+        // differ between the runs — but Domain mode must convert every
+        // attack into a partial rollback that replays no benign
+        // connection (per-connection domains hold exactly the attack).
+        prop_assert_eq!(
+            dom.metrics.counter("recovery.domain_rollbacks"),
+            dom.attacks
+        );
+        prop_assert_eq!(dom.metrics.counter("recovery.domain.replayed_conns"), 0);
+        if let (Some(d), Some(f)) = (
+            dom.outbreak.percentile(0.999),
+            full.outbreak.percentile(0.999),
+        ) {
+            prop_assert!(
+                d <= f + 0.01,
+                "domain tail never materially worse: {d:.4} vs {f:.4} ms"
+            );
+        }
+    }
+}
+
+/// The pause-split regression under real queueing pressure: once Domain
+/// recovery restores the benign connections, the analysis overlaps the
+/// queued arrivals instead of stalling them, so the attacked hosts'
+/// analysis pause stops being visible in benign outbreak-window latency
+/// at all — the Domain tail stays at the quiescent baseline while the
+/// Full tail absorbs whole analysis pauses.
+#[test]
+fn analysis_overlaps_queued_service_under_domain_recovery() {
+    let cfg = FleetConfig {
+        arrival_rate_hz: 25.0,
+        producer_every: 1,
+        ..FleetConfig::smoke(8, 5)
+    };
+    let dom = run(&cfg).expect("domain run");
+    let full = run(&cfg.with_recovery(RecoveryMode::Full)).expect("full run");
+    assert!(dom.attacks > 0, "outbreak landed: {dom:?}");
+    assert!(dom.metrics.counter("recovery.domain_rollbacks") > 0);
+    let quiescent_p99 = dom.quiescent.percentile(0.99).expect("baseline");
+    let d999 = dom.outbreak.percentile(0.999).expect("domain outbreak");
+    let f999 = full.outbreak.percentile(0.999).expect("full outbreak");
+    assert!(
+        d999 < f999,
+        "domain tail must beat full: {d999:.3} vs {f999:.3} ms"
+    );
+    assert!(
+        d999 < 2.0 * quiescent_p99,
+        "the analysis pause must stay off the benign queue: outbreak \
+         p999 {d999:.3} ms vs quiescent p99 {quiescent_p99:.3} ms"
+    );
 }
